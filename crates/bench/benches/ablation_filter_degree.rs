@@ -1,0 +1,46 @@
+//! Ablation (§III-A, Table I): Chebyshev filter degree 0 (plain subspace
+//! iteration) vs the paper's degree 2 vs higher degrees, measured as the
+//! wall time to converge one cold-started frequency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbrpa_bench::prepare_ladder_system;
+use mbrpa_core::{
+    frequency_quadrature, random_orthonormal_block, subspace_iteration, DielectricOperator,
+    SternheimerSettings,
+};
+use std::hint::black_box;
+
+fn bench_filter_degree(c: &mut Criterion) {
+    let setup = prepare_ladder_system(1, 6);
+    let psi = setup.ks.occupied_orbitals();
+    let energies = setup.ks.occupied_energies().to_vec();
+    let n = setup.ham.dim();
+    let n_eig = 24;
+    let omega = frequency_quadrature(8)[3].omega;
+    let v0 = random_orthonormal_block(n, n_eig, 21);
+
+    let mut group = c.benchmark_group("ablation_filter_degree");
+    group.sample_size(10);
+    for degree in [1usize, 2, 3] {
+        let op = DielectricOperator::new(
+            &setup.ham,
+            &psi,
+            &energies,
+            &setup.coulomb,
+            omega,
+            SternheimerSettings::default(),
+            1,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &deg| {
+            b.iter(|| {
+                black_box(
+                    subspace_iteration(&op, v0.clone(), 4e-3, 40, deg).expect("subspace solve"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_degree);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation (§III-F, Eq. 13): χ⁰ application with and without the
+//! Galerkin initial guess, at the hard smallest frequency where the guess
+//! deflates the problematic negative-real-part eigendirections.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbrpa_bench::prepare_ladder_system;
+use mbrpa_core::{frequency_quadrature, DielectricOperator, SternheimerSettings};
+use mbrpa_linalg::Mat;
+use std::hint::black_box;
+
+fn bench_guess(c: &mut Criterion) {
+    let setup = prepare_ladder_system(1, 6);
+    let psi = setup.ks.occupied_orbitals();
+    let energies = setup.ks.occupied_energies().to_vec();
+    let n = setup.ham.dim();
+    let omega = frequency_quadrature(8)[7].omega; // hardest frequency
+    let v = Mat::from_fn(n, 4, |i, j| ((i * 11 + j * 3) % 71) as f64 * 1e-2 - 0.35);
+
+    let mut group = c.benchmark_group("ablation_galerkin_guess");
+    group.sample_size(10);
+    for (label, use_guess) in [("with_eq13_guess", true), ("zero_guess", false)] {
+        let op = DielectricOperator::new(
+            &setup.ham,
+            &psi,
+            &energies,
+            &setup.coulomb,
+            omega,
+            SternheimerSettings {
+                use_galerkin_guess: use_guess,
+                ..SternheimerSettings::default()
+            },
+            1,
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(op.apply_chi0_block(black_box(&v))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_guess);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation (§III-F): subspace iteration at a mid-ladder frequency warm-
+//! started from the neighbouring frequency's converged eigenvectors vs
+//! cold-started from a random block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbrpa_bench::prepare_ladder_system;
+use mbrpa_core::{
+    frequency_quadrature, random_orthonormal_block, subspace_iteration, DielectricOperator,
+    SternheimerSettings,
+};
+use std::hint::black_box;
+
+fn bench_warm_start(c: &mut Criterion) {
+    let setup = prepare_ladder_system(1, 6);
+    let psi = setup.ks.occupied_orbitals();
+    let energies = setup.ks.occupied_energies().to_vec();
+    let n = setup.ham.dim();
+    let n_eig = 24;
+    let quad = frequency_quadrature(8);
+    let settings = SternheimerSettings::default();
+
+    // converge at ω₄ once; benchmark solving ω₅ from either start
+    let op_prev = DielectricOperator::new(
+        &setup.ham,
+        &psi,
+        &energies,
+        &setup.coulomb,
+        quad[3].omega,
+        settings,
+        1,
+    );
+    let v_rand = random_orthonormal_block(n, n_eig, 11);
+    let warm = subspace_iteration(&op_prev, v_rand.clone(), 5e-4, 30, 2)
+        .expect("previous-frequency solve")
+        .vectors;
+
+    let mut group = c.benchmark_group("ablation_warm_start");
+    group.sample_size(10);
+    for (label, v0) in [("warm_from_prev_omega", &warm), ("cold_random", &v_rand)] {
+        let op = DielectricOperator::new(
+            &setup.ham,
+            &psi,
+            &energies,
+            &setup.coulomb,
+            quad[4].omega,
+            settings,
+            1,
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    subspace_iteration(&op, v0.clone(), 5e-4, 30, 2).expect("subspace solve"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_start);
+criterion_main!(benches);

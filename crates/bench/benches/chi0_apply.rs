@@ -1,0 +1,39 @@
+//! The headline kernel: one `ν½χ⁰ν½` block application (Algorithm 7) at an
+//! easy and a hard quadrature frequency — the dominant cost of the whole
+//! calculation (Figure 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbrpa_bench::prepare_ladder_system;
+use mbrpa_core::{frequency_quadrature, DielectricOperator, SternheimerSettings};
+use mbrpa_linalg::Mat;
+use std::hint::black_box;
+
+fn bench_chi0(c: &mut Criterion) {
+    let setup = prepare_ladder_system(1, 6);
+    let psi = setup.ks.occupied_orbitals();
+    let energies = setup.ks.occupied_energies().to_vec();
+    let n = setup.ham.dim();
+    let quad = frequency_quadrature(8);
+    let v = Mat::from_fn(n, 8, |i, j| ((i * 13 + j * 5) % 89) as f64 * 1e-2 - 0.4);
+
+    let mut group = c.benchmark_group("dielectric_apply");
+    group.sample_size(10);
+    for (label, omega) in [("omega_large", quad[0].omega), ("omega_small", quad[7].omega)] {
+        let op = DielectricOperator::new(
+            &setup.ham,
+            &psi,
+            &energies,
+            &setup.coulomb,
+            omega,
+            SternheimerSettings::default(),
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new(label, 8), &8, |b, _| {
+            b.iter(|| black_box(op.apply_dielectric_block(black_box(&v))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chi0);
+criterion_main!(benches);

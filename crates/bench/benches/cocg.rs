@@ -1,0 +1,58 @@
+//! §III-B bench: block COCG across block sizes on real Sternheimer
+//! matrices of both difficulty extremes — the `(1,1)` easy pair and the
+//! `(n_s, ℓ)` hard pair of Eq. 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbrpa_bench::prepare_ladder_system;
+use mbrpa_core::frequency_quadrature;
+use mbrpa_dft::{SternheimerLinOp, SternheimerOperator};
+use mbrpa_linalg::{Mat, C64};
+use mbrpa_solver::{block_cocg, CocgOptions};
+use std::hint::black_box;
+
+fn rhs(n: usize, s: usize, seed: u64) -> Mat<C64> {
+    let mut state = seed | 1;
+    Mat::from_fn(n, s, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let re = (state as f64 / u64::MAX as f64) - 0.5;
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        C64::new(re, (state as f64 / u64::MAX as f64) - 0.5)
+    })
+}
+
+fn bench_cocg(c: &mut Criterion) {
+    let setup = prepare_ladder_system(1, 6);
+    let n = setup.ham.dim();
+    let n_s = setup.ks.n_occupied;
+    let quad = frequency_quadrature(8);
+
+    let cases = [
+        ("easy_1_1", setup.ks.energies[0], quad[0].omega),
+        ("hard_ns_l", setup.ks.energies[n_s - 1], quad[7].omega),
+    ];
+    let opts = CocgOptions {
+        tol: 1e-2, // the paper's production tolerance
+        max_iters: 2000,
+        ..CocgOptions::default()
+    };
+
+    let mut group = c.benchmark_group("block_cocg");
+    group.sample_size(15);
+    for (label, lambda, omega) in cases {
+        let op = SternheimerLinOp::new(SternheimerOperator::new(&setup.ham, lambda, omega));
+        for s in [1usize, 2, 4, 8] {
+            let b = rhs(n, s, 99);
+            group.bench_with_input(BenchmarkId::new(label, s), &s, |bch, _| {
+                bch.iter(|| black_box(block_cocg(&op, black_box(&b), None, &opts)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cocg);
+criterion_main!(benches);

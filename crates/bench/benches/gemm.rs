@@ -1,0 +1,30 @@
+//! Dense kernel bench: the tall-and-skinny GEMM shapes dominating the
+//! Rayleigh–Ritz stage (`V·Q` updates and `VᵀW` Gram products), the
+//! paper's "matmult" kernel of Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbrpa_linalg::{matmul, matmul_tn, Mat};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tall_skinny_gemm");
+    group.sample_size(15);
+    for &(n_d, n_eig) in &[(3375usize, 64usize), (6750, 128)] {
+        let v = Mat::from_fn(n_d, n_eig, |i, j| ((i + j * 7) % 101) as f64 * 1e-2);
+        let q = Mat::from_fn(n_eig, n_eig, |i, j| ((i * 3 + j) % 53) as f64 * 1e-2);
+        group.bench_with_input(
+            BenchmarkId::new("rotate_VQ", format!("{n_d}x{n_eig}")),
+            &n_d,
+            |b, _| b.iter(|| black_box(matmul(black_box(&v), black_box(&q)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gram_VtV", format!("{n_d}x{n_eig}")),
+            &n_d,
+            |b, _| b.iter(|| black_box(matmul_tn(black_box(&v), black_box(&v)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

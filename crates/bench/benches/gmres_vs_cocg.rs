@@ -1,0 +1,55 @@
+//! §III-B baseline bench: short-term-recurrence COCG vs long-recurrence
+//! restarted GMRES on a hard Sternheimer system. COCG's per-iteration cost
+//! is constant; GMRES orthogonalizes against its whole basis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbrpa_bench::prepare_ladder_system;
+use mbrpa_core::frequency_quadrature;
+use mbrpa_dft::{SternheimerLinOp, SternheimerOperator};
+use mbrpa_linalg::C64;
+use mbrpa_solver::{cocg, gmres, CocgOptions, GmresOptions};
+use std::hint::black_box;
+
+fn bench_baseline(c: &mut Criterion) {
+    let setup = prepare_ladder_system(1, 6);
+    let n = setup.ham.dim();
+    let n_s = setup.ks.n_occupied;
+    let quad = frequency_quadrature(8);
+    let op = SternheimerLinOp::new(SternheimerOperator::new(
+        &setup.ham,
+        setup.ks.energies[n_s - 1],
+        quad[7].omega,
+    ));
+    let b: Vec<C64> = (0..n)
+        .map(|i| {
+            C64::new(
+                ((i * 29) % 83) as f64 * 1e-2 - 0.4,
+                ((i * 7) % 31) as f64 * 1e-2,
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("solver_baselines_hard_system");
+    group.sample_size(12);
+    group.bench_function("cocg", |bch| {
+        let opts = CocgOptions {
+            tol: 1e-4,
+            max_iters: 5000,
+            ..CocgOptions::default()
+        };
+        bch.iter(|| black_box(cocg(&op, black_box(&b), None, &opts)))
+    });
+    group.bench_function("gmres_restart40", |bch| {
+        let opts = GmresOptions {
+            tol: 1e-4,
+            restart: 40,
+            max_matvecs: 20_000,
+            track_residuals: false,
+        };
+        bch.iter(|| black_box(gmres(&op, black_box(&b), None, &opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Grid kernel bench: spectral Poisson solves and `ν½` applications via
+//! the Kronecker eigenbasis — the machinery behind `ν = −4π(∇²)⁻¹` whose
+//! cheapness the paper relies on (§III-A: "the multiplications by ν½
+//! contribute only a small fraction of the overall time").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbrpa_grid::{Boundary, CoulombOperator, Grid3, SpectralLaplacian};
+use std::hint::black_box;
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_laplacian");
+    group.sample_size(20);
+    for &npts in &[15usize, 24] {
+        let g = Grid3::cubic(npts, 0.69, Boundary::Periodic);
+        let spec = SpectralLaplacian::new(g, 4).unwrap();
+        let nu = CoulombOperator::new(spec.clone());
+        let n = g.len();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 211) as f64 * 1e-2 - 1.0).collect();
+        let mut out = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("poisson_solve", npts), &npts, |b, _| {
+            b.iter(|| {
+                spec.solve_poisson(black_box(&v), &mut out);
+                black_box(&out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nu_sqrt_apply", npts), &npts, |b, _| {
+            b.iter(|| {
+                nu.apply_nu_sqrt(black_box(&v), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poisson);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §III-C bench: stencil application one-vector-at-a-time vs
+//! simultaneously across `s` vectors. The paper's arithmetic-intensity
+//! analysis predicts the one-at-a-time variant wins because the fast
+//! memory budget per vector shrinks by `1/s` in the simultaneous layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbrpa_grid::{Boundary, Grid3, Laplacian};
+use mbrpa_linalg::Mat;
+use std::hint::black_box;
+
+fn bench_stencil(c: &mut Criterion) {
+    let g = Grid3::cubic(24, 0.69, Boundary::Periodic);
+    let lap = Laplacian::new(g, 4); // high-order stencil, (6·4+1) points
+    let n = g.len();
+
+    let mut group = c.benchmark_group("stencil_layouts");
+    group.sample_size(20);
+    for s in [1usize, 4, 8] {
+        let v = Mat::from_fn(n, s, |i, j| ((i * 31 + j * 17) % 997) as f64 * 1e-3);
+        let mut out = Mat::zeros(n, s);
+        group.bench_with_input(BenchmarkId::new("one_vector_at_a_time", s), &s, |b, _| {
+            b.iter(|| {
+                lap.apply_block(black_box(&v), &mut out);
+                black_box(&out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simultaneous", s), &s, |b, _| {
+            b.iter(|| {
+                lap.apply_block_simultaneous(black_box(&v), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stencil);
+criterion_main!(benches);

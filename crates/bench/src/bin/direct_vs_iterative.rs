@@ -1,0 +1,101 @@
+//! Regenerates the **§IV-C direct-vs-iterative comparison** (the paper's
+//! ABINIT stand-in): time-to-solution of the explicit Adler–Wiser direct
+//! method vs the Krylov-subspace iterative method on the smallest systems,
+//! plus the energy agreement between the two.
+//!
+//! Expected shape: the iterative/direct time ratio grows steeply with
+//! `n_d` (direct is quartic-dominated, iterative cubic), so the iterative
+//! method takes over and the gap keeps widening. On the paper's substrate
+//! (n_d = 3375, MKL dense kernels) the crossover is already passed at the
+//! smallest system (40× for Si₈); at this harness's laptop-scale sizes the
+//! crossover is extrapolated from the fitted exponents and reported.
+
+use mbrpa_bench::{ladder_config, loglog_slope, prepare_ladder_system, print_table, HarnessOptions};
+use mbrpa_core::{direct_rpa_energy, frequency_quadrature};
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let max_cells = opts.cells.unwrap_or(2);
+    let workers = opts
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+
+    let quad = frequency_quadrature(8);
+    let mut rows = Vec::new();
+    let mut iter_points = Vec::new();
+    let mut direct_points = Vec::new();
+    for cells in 1..=max_cells {
+        let setup = prepare_ladder_system(cells, opts.points_per_cell());
+        let atoms = setup.crystal.atoms.len();
+        let label = setup.crystal.label.clone();
+
+        eprintln!("{label}: iterative…");
+        let config = ladder_config(atoms, opts.eig_per_atom(), workers);
+        let t0 = Instant::now();
+        let iterative = setup.run(&config).expect("iterative RPA failed");
+        let t_iter = t0.elapsed().as_secs_f64();
+
+        eprintln!("{label}: direct (full spectrum + explicit chi0)…");
+        let t0 = Instant::now();
+        let direct = direct_rpa_energy(
+            &setup.ham.to_dense(),
+            setup.ks.n_occupied,
+            &setup.coulomb,
+            &quad,
+        )
+        .expect("direct RPA failed");
+        let t_direct = t0.elapsed().as_secs_f64();
+
+        iter_points.push((setup.crystal.n_grid() as f64, t_iter));
+        direct_points.push((setup.crystal.n_grid() as f64, t_direct));
+        let captured = iterative.total_energy / direct.total;
+        rows.push(vec![
+            label,
+            setup.crystal.n_grid().to_string(),
+            format!("{t_iter:.2}"),
+            format!("{t_direct:.2}"),
+            format!("{:.1}x", t_direct / t_iter),
+            format!("{:.5}", iterative.total_energy),
+            format!("{:.5}", direct.total),
+            format!("{:.1}%", 100.0 * captured),
+        ]);
+    }
+
+    println!("\n§IV-C: direct vs iterative time-to-solution\n");
+    print_table(
+        &[
+            "System",
+            "n_d",
+            "iterative (s)",
+            "direct (s)",
+            "speedup",
+            "E iter (Ha)",
+            "E direct (Ha)",
+            "captured",
+        ],
+        &rows,
+    );
+    if iter_points.len() >= 2 {
+        let p_iter = loglog_slope(&iter_points);
+        let p_direct = loglog_slope(&direct_points);
+        println!();
+        println!("fitted scaling: iterative ~ n_d^{p_iter:.2}, direct ~ n_d^{p_direct:.2}");
+        if p_direct > p_iter {
+            // extrapolate t_iter(n) = t_direct(n): solve in log space from
+            // the last measured point
+            let (n0, ti) = *iter_points.last().unwrap();
+            let (_, td) = *direct_points.last().unwrap();
+            let cross = n0 * (ti / td).powf(1.0 / (p_direct - p_iter));
+            println!(
+                "extrapolated crossover at n_d ≈ {cross:.0} (paper substrate: already \
+                 passed at n_d = 3375, 40x for Si8)"
+            );
+        }
+    }
+    println!(
+        "\n(the iterative energy captures the trace over its n_eig lowest eigenvalues;\n\
+         the salient reproduction target is the growth of the ratio with n_d — the\n\
+         direct method's steeper exponent — not the absolute crossover point)"
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Figure 2** of the paper: `log₁₀|V₇ᴴV₈|`, the overlap of
+//! the exact lowest eigenvectors of `νχ⁰(iω₇)` and `νχ⁰(iω₈)` — whose
+//! diagonal dominance justifies warm-starting subspace iteration across
+//! quadrature points (§III-F).
+
+use mbrpa_bench::{prepare_ladder_system, HarnessOptions};
+use mbrpa_core::{dielectric_eigenpairs, frequency_quadrature, full_spectrum};
+use mbrpa_linalg::matmul_tn;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let setup = prepare_ladder_system(1, opts.points_per_cell());
+    let n_eig = setup.crystal.atoms.len() * opts.eig_per_atom();
+    eprintln!(
+        "system {}: n_d = {}, lowest {} eigenvectors",
+        setup.crystal.label,
+        setup.crystal.n_grid(),
+        n_eig
+    );
+
+    let eig_h = full_spectrum(&setup.ham.to_dense()).expect("dense spectrum of H");
+    let quad = frequency_quadrature(8);
+    let (w7, w8) = (quad[6].omega, quad[7].omega);
+
+    let e7 = dielectric_eigenpairs(&eig_h, setup.ks.n_occupied, w7, &setup.coulomb).unwrap();
+    let e8 = dielectric_eigenpairs(&eig_h, setup.ks.n_occupied, w8, &setup.coulomb).unwrap();
+    let v7 = e7.vectors.columns(0, n_eig.min(e7.vectors.cols()));
+    let v8 = e8.vectors.columns(0, n_eig.min(e8.vectors.cols()));
+
+    let overlap = matmul_tn(&v7, &v8);
+    let m = overlap.rows();
+
+    println!("# Figure 2: log10 |V7^H V8| ({m} x {m}); CSV");
+    for i in 0..m {
+        let row: Vec<String> = (0..m)
+            .map(|j| format!("{:.2}", overlap[(i, j)].abs().max(1e-300).log10()))
+            .collect();
+        println!("{}", row.join(","));
+    }
+
+    // headline statistics. Two levels:
+    // (a) per-vector diagonal dominance — the paper's Figure 2 statistic;
+    //     on small substrates individual eigenvectors rotate within
+    //     near-degenerate clusters, so also report
+    // (b) subspace capture ‖V₇ᵀV₈‖²_F / n_eig — the quantity warm-started
+    //     *subspace* iteration actually needs (1.0 = identical span).
+    let mut diag_hi = 0usize;
+    for i in 0..m {
+        if overlap[(i, i)].abs() > 0.5 {
+            diag_hi += 1;
+        }
+    }
+    let capture = overlap.fro_norm().powi(2) / m as f64;
+    // principal angles between the two spans (SVD of the overlap)
+    let cosines = mbrpa_linalg::principal_cosines(&v7, &v8).unwrap_or_default();
+    let min_cos = cosines.last().copied().unwrap_or(0.0);
+    eprintln!();
+    eprintln!(
+        "omega_7 = {w7:.3}, omega_8 = {w8:.3} over the lowest {m} eigenvectors:"
+    );
+    eprintln!(
+        "  per-vector: {diag_hi}/{m} diagonal entries above 0.5 (paper's Fig. 2 view)"
+    );
+    eprintln!(
+        "  subspace capture ||V7^T V8||_F^2 / n_eig = {capture:.4} (1.0 = same span)"
+    );
+    eprintln!("  smallest principal cosine = {min_cos:.4}");
+    eprintln!(
+        "(individual vectors may rotate inside near-degenerate clusters; the warm\n\
+         start of SIII-F needs only the span, which the capture measures)"
+    );
+}

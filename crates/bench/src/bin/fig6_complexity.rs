@@ -1,0 +1,57 @@
+//! Regenerates **Figure 6** of the paper: total solve time vs the number
+//! of grid points `n_d` across the ladder, at two thread counts, with a
+//! log–log least-squares fit of the complexity exponent.
+//!
+//! Expected shape: sub-cubic fitted exponents (the paper reports
+//! `O(n_d^2.95)` at 24 cores and `O(n_d^2.87)` at 192 cores).
+
+use mbrpa_bench::{
+    ladder_config, loglog_slope, prepare_ladder_system, print_table, with_threads, HarnessOptions,
+};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let max_cells = opts.cells.unwrap_or(4);
+    let max_threads = opts
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+    let thread_counts = if max_threads >= 4 {
+        vec![1usize, max_threads]
+    } else {
+        vec![1usize]
+    };
+
+    println!("Figure 6: time vs n_d (complexity fit)\n");
+    let mut rows = Vec::new();
+    let mut fits = Vec::new();
+    for &threads in &thread_counts {
+        let mut points = Vec::new();
+        for cells in 1..=max_cells {
+            let setup = prepare_ladder_system(cells, opts.points_per_cell());
+            let atoms = setup.crystal.atoms.len();
+            if atoms * opts.eig_per_atom() / threads < 4 {
+                continue;
+            }
+            let config = ladder_config(atoms, opts.eig_per_atom(), threads);
+            eprintln!("{} @ {threads} thread(s)…", setup.crystal.label);
+            let result = with_threads(threads, || setup.run(&config).expect("RPA failed"));
+            let t = result.wall_time.as_secs_f64();
+            points.push((setup.crystal.n_grid() as f64, t));
+            rows.push(vec![
+                setup.crystal.label.clone(),
+                threads.to_string(),
+                setup.crystal.n_grid().to_string(),
+                format!("{t:.2}"),
+            ]);
+        }
+        if points.len() >= 2 {
+            fits.push((threads, loglog_slope(&points)));
+        }
+    }
+    print_table(&["System", "threads", "n_d", "time (s)"], &rows);
+    println!();
+    for (threads, slope) in fits {
+        println!("fit @ {threads} thread(s): time ~ n_d^{slope:.2}");
+    }
+    println!("(paper: n_d^2.95 at 24 cores, n_d^2.87 at 192 cores)");
+}

@@ -1,0 +1,82 @@
+//! Mesh (discretization) convergence study: `E_RPA` per atom vs the grid
+//! spacing, substantiating the paper's Table I mesh of 0.69 Bohr — chosen
+//! as "the loosest … necessary to achieve chemical accuracy in energy
+//! differences".
+//!
+//! Uses the direct (exact-trace) path on a fixed physical cell with an
+//! increasingly fine grid, so discretization is the only error source.
+//! The convergence target is the energy *difference* between the perturbed
+//! crystal and its vacancy companion (the paper's §IV-A observable).
+
+use mbrpa_bench::print_table;
+use mbrpa_core::{direct_rpa_energy, frequency_quadrature, KsSolver, RpaSetup};
+use mbrpa_dft::{PotentialParams, SiliconSpec};
+
+fn delta_e_per_atom(points: usize) -> (usize, f64, f64) {
+    // fixed physical lattice constant: a = 15 · 0.69/… scaled to the
+    // 6-point default cell (a = 4.14 Bohr here); finer grids divide it
+    let a = 6.0 * 0.69;
+    let spec = SiliconSpec {
+        points_per_cell: points,
+        mesh: a / points as f64,
+        perturbation: 0.03,
+        seed: 21,
+        ..SiliconSpec::default()
+    };
+    let quad = frequency_quadrature(8);
+    let run = |vacancy: Option<usize>| -> f64 {
+        let crystal = match vacancy {
+            Some(site) => spec.build_with_vacancy(site),
+            None => spec.build(),
+        };
+        let atoms = crystal.atoms.len() as f64;
+        let setup = RpaSetup::prepare(
+            crystal,
+            &PotentialParams::default(),
+            2,
+            KsSolver::Dense { extra: 0 },
+        )
+        .expect("setup");
+        direct_rpa_energy(
+            &setup.ham.to_dense(),
+            setup.ks.n_occupied,
+            &setup.coulomb,
+            &quad,
+        )
+        .expect("direct")
+        .total
+            / atoms
+    };
+    let pristine = run(None);
+    let vacancy = run(Some(4));
+    (points, pristine, pristine - vacancy)
+}
+
+fn main() {
+    println!("Mesh convergence of E_RPA (direct path, fixed cell, 8-atom crystal)\n");
+    let meshes = [5usize, 6, 7, 8];
+    let results: Vec<(usize, f64, f64)> = meshes.iter().map(|&p| delta_e_per_atom(p)).collect();
+    let reference = results.last().unwrap().2;
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(p, e, de)| {
+            let h = 6.0 * 0.69 / p as f64;
+            vec![
+                format!("{p}³"),
+                format!("{h:.3}"),
+                format!("{e:.6}"),
+                format!("{de:+.6}"),
+                format!("{:.2e}", (de - reference).abs()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["grid", "h (Bohr)", "E/atom (Ha)", "ΔE vac (Ha/atom)", "|ΔΔE| vs finest"],
+        &rows,
+    );
+    println!(
+        "\n(the paper tunes its 0.69 Bohr mesh the same way: the loosest spacing\n\
+         whose energy *differences* stay within chemical accuracy, 1.6e-3 Ha/atom)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Table III** of the paper: the experimental system ladder
+//! (`n_d`, `n_s`, `n_eig` per system), at both the paper scale and the
+//! scaled defaults used by the other harnesses.
+
+use mbrpa_bench::{print_table, HarnessOptions};
+use mbrpa_dft::{silicon_ladder, SiliconSpec};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let max_cells = opts.cells.unwrap_or(5);
+
+    println!("Table III (paper scale: 15³ points/cell, 96 eigs/atom)\n");
+    let paper_ladder = silicon_ladder(SiliconSpec::paper_scale(1), max_cells);
+    let rows: Vec<Vec<String>> = paper_ladder
+        .iter()
+        .map(|c| {
+            vec![
+                c.label.clone(),
+                c.n_grid().to_string(),
+                c.n_occupied().to_string(),
+                (c.atoms.len() * 96).to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["System", "n_d", "n_s", "n_eig"], &rows);
+
+    println!(
+        "\nScaled ladder used by the default harness runs ({}³ points/cell, {} eigs/atom)\n",
+        opts.points_per_cell(),
+        opts.eig_per_atom()
+    );
+    let scaled = silicon_ladder(
+        SiliconSpec {
+            points_per_cell: opts.points_per_cell(),
+            ..SiliconSpec::default()
+        },
+        max_cells,
+    );
+    let rows: Vec<Vec<String>> = scaled
+        .iter()
+        .map(|c| {
+            vec![
+                c.label.clone(),
+                c.n_grid().to_string(),
+                c.n_occupied().to_string(),
+                (c.atoms.len() * opts.eig_per_atom()).to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["System", "n_d", "n_s", "n_eig"], &rows);
+}

@@ -1,0 +1,74 @@
+//! Regenerates **Table IV** of the paper: dynamic block-size selection
+//! frequencies, summed over all workers and all Sternheimer solves, for
+//! the smallest three ladder systems — plus a dynamic-vs-fixed wall-time
+//! ablation of Algorithm 4.
+
+use mbrpa_bench::{ladder_config, prepare_ladder_system, print_table, HarnessOptions};
+use mbrpa_solver::{BlockPolicy, BlockSizeHistogram};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let max_cells = opts.cells.unwrap_or(3);
+    let workers = opts.threads.unwrap_or_else(num_workers);
+
+    let mut histograms: Vec<(String, BlockSizeHistogram)> = Vec::new();
+    let mut ablation: Vec<(String, Duration, Duration)> = Vec::new();
+
+    for cells in 1..=max_cells {
+        let setup = prepare_ladder_system(cells, opts.points_per_cell());
+        let label = setup.crystal.label.clone();
+        let atoms = setup.crystal.atoms.len();
+        let mut config = ladder_config(atoms, opts.eig_per_atom(), workers);
+        config.block_policy = BlockPolicy::DynamicTimed;
+        eprintln!("running {label} (dynamic block sizes)…");
+        let dynamic = setup.run(&config).expect("RPA failed");
+        histograms.push((label.clone(), dynamic.solver_stats.block_sizes.clone()));
+
+        config.block_policy = BlockPolicy::Fixed(1);
+        eprintln!("running {label} (fixed s = 1)…");
+        let fixed = setup.run(&config).expect("RPA failed");
+        ablation.push((label, dynamic.wall_time, fixed.wall_time));
+    }
+
+    println!("\nTable IV: dynamic block size frequencies (all workers, all solves)\n");
+    let sizes: BTreeSet<usize> = histograms
+        .iter()
+        .flat_map(|(_, h)| h.iter().map(|(s, _)| s))
+        .collect();
+    let mut headers: Vec<String> = vec!["Block size".to_string()];
+    headers.extend(histograms.iter().map(|(l, _)| l.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&s| {
+            let mut row = vec![s.to_string()];
+            row.extend(histograms.iter().map(|(_, h)| h.count(s).to_string()));
+            row
+        })
+        .collect();
+    print_table(&header_refs, &rows);
+
+    println!("\nAblation: Algorithm 4 (dynamic) vs fixed s = 1 wall time\n");
+    let rows: Vec<Vec<String>> = ablation
+        .iter()
+        .map(|(l, dyn_t, fix_t)| {
+            vec![
+                l.clone(),
+                format!("{:.2}", dyn_t.as_secs_f64()),
+                format!("{:.2}", fix_t.as_secs_f64()),
+                format!("{:.2}x", fix_t.as_secs_f64() / dyn_t.as_secs_f64()),
+            ]
+        })
+        .collect();
+    print_table(&["System", "dynamic (s)", "fixed s=1 (s)", "speedup"], &rows);
+    println!(
+        "\n(the paper's Si8/Si16 select s = 2 ~90% of the time and s = 1 dominates as\n\
+         systems grow; easy systems make s = 1 optimal since iterations barely drop)"
+    );
+}
+
+fn num_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}

@@ -1,0 +1,779 @@
+//! The dielectric operator `ν½χ⁰(iω)ν½` applied through Sternheimer solves
+//! (Algorithm 7 of the paper) with the worker partition of §III-D.
+//!
+//! One application, per worker owning a column range of `V`:
+//!
+//! 1. `V ← ν½V` (spectral Poisson machinery; no communication),
+//! 2. for each occupied orbital `j`: solve the complex-symmetric block
+//!    system `(H − λ_j I + iω I) Y_j = −V ⊙ Ψ_j` with block COCG under the
+//!    dynamic block-size policy (Algorithms 3 + 4), seeded by the Galerkin
+//!    guess of Eq. 13,
+//! 3. accumulate `χ⁰V = 4 Re Σ_j Ψ_j ⊙ Y_j` (Eq. 5),
+//! 4. `V ← ν½V`.
+//!
+//! The operator is real symmetric negative semi-definite, so the subspace
+//! iteration above it runs entirely in real arithmetic.
+
+use crate::workers::partition_columns;
+use mbrpa_dft::{Hamiltonian, ShiftedLaplacianPreconditioner, SternheimerLinOp, SternheimerOperator};
+use mbrpa_grid::CoulombOperator;
+use mbrpa_linalg::{Mat, C64};
+use mbrpa_solver::{
+    galerkin_guess, solve_multi_rhs_pre, BlockPolicy, CocgOptions, LinearOperator, Preconditioner,
+    WorkerStats,
+};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// When to apply the inverse shifted-Laplacian preconditioner (the
+/// paper's §V: "such a preconditioner … should be dynamically applied
+/// only in those cases" — the difficult Sternheimer systems).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PrecondPolicy {
+    /// Plain block COCG everywhere (the paper's evaluated configuration).
+    Never,
+    /// Precondition every Sternheimer solve.
+    Always,
+    /// Precondition only difficult `(j, k)` pairs: `ω ≤ omega_max` and the
+    /// orbital index within the top `top_orbital_frac` of the occupied
+    /// spectrum (the near-singular, highly indefinite regime of Eq. 9).
+    HardOnly {
+        /// Largest frequency still considered "difficult".
+        omega_max: f64,
+        /// Fraction of top occupied orbitals considered "difficult".
+        top_orbital_frac: f64,
+    },
+}
+
+impl PrecondPolicy {
+    /// Should the `(j, ω)` system be preconditioned?
+    pub fn applies(&self, orbital_index: usize, n_occupied: usize, omega: f64) -> bool {
+        match *self {
+            PrecondPolicy::Never => false,
+            PrecondPolicy::Always => true,
+            PrecondPolicy::HardOnly {
+                omega_max,
+                top_orbital_frac,
+            } => {
+                let cutoff = ((1.0 - top_orbital_frac) * n_occupied as f64).floor() as usize;
+                omega <= omega_max && orbital_index >= cutoff
+            }
+        }
+    }
+}
+
+/// How Sternheimer work is distributed over the thread pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkDistribution {
+    /// Static column partition over `p` workers — the paper's §III-D
+    /// layout (each rank owns `n_eig/p` columns for *all* orbitals).
+    StaticColumns,
+    /// Manager-worker style fine-grained tasks — the paper's §V proposal
+    /// for the residual load imbalance of the static partition: every
+    /// `(orbital, column-chunk)` pair becomes an independent task on a
+    /// shared work-stealing pool.
+    WorkStealing {
+        /// Columns per task.
+        chunk_width: usize,
+    },
+}
+
+/// Sternheimer solver settings shared by all workers.
+#[derive(Clone, Copy, Debug)]
+pub struct SternheimerSettings {
+    /// `τ_Sternheimer` of Eq. 10.
+    pub tol: f64,
+    /// COCG iteration cap per solve.
+    pub max_iters: usize,
+    /// Block-size policy (Algorithm 4 variants or fixed).
+    pub policy: BlockPolicy,
+    /// Use the Galerkin initial guess (Eq. 13).
+    pub use_galerkin_guess: bool,
+    /// Inverse shifted-Laplacian preconditioning policy (§V).
+    pub precondition: PrecondPolicy,
+    /// Work distribution strategy (§III-D static vs §V manager-worker).
+    pub distribution: WorkDistribution,
+}
+
+impl Default for SternheimerSettings {
+    fn default() -> Self {
+        Self {
+            tol: 1e-2,
+            max_iters: 600,
+            policy: BlockPolicy::DynamicCostModel,
+            use_galerkin_guess: true,
+            precondition: PrecondPolicy::Never,
+            distribution: WorkDistribution::StaticColumns,
+        }
+    }
+}
+
+/// One spin channel of occupied orbitals.
+///
+/// The paper's implementation carries a spin-parallelization axis
+/// (`NP_SPIN_PARAL_RPA` in its output preamble); its test systems are
+/// closed-shell, where both channels are identical and carry an orbital
+/// degeneracy of 2 (the factor folded into the `4·Re(…)` of Eq. 5). Open
+/// shells use two distinct channels of degeneracy 1 each.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinChannel<'a> {
+    /// Occupied orbitals `Ψ_σ ∈ ℝ^{n_d × n_s,σ}`.
+    pub psi: &'a Mat<f64>,
+    /// Orbital energies, ascending, matching `psi` columns.
+    pub energies: &'a [f64],
+    /// Orbital occupancy degeneracy `g_σ` (2 = spin-restricted pair,
+    /// 1 = single spin).
+    pub degeneracy: f64,
+}
+
+/// Matrix-free `ν½χ⁰(iω)ν½` at one quadrature frequency.
+pub struct DielectricOperator<'a> {
+    ham: &'a Hamiltonian,
+    /// Occupied orbitals per spin channel.
+    channels: Vec<SpinChannel<'a>>,
+    coulomb: &'a CoulombOperator,
+    omega: f64,
+    settings: SternheimerSettings,
+    n_workers: usize,
+    stats: Mutex<WorkerStats>,
+    applications: AtomicUsize,
+    time_in_apply: Mutex<Duration>,
+    /// Cumulative Sternheimer solve time per logical worker (static
+    /// partition only): the per-rank load profile behind the paper's
+    /// load-imbalance discussion (§III-D, §V).
+    worker_load: Mutex<Vec<Duration>>,
+}
+
+impl<'a> DielectricOperator<'a> {
+    /// Build the spin-restricted operator for frequency `ω > 0` (one
+    /// channel of doubly-occupied orbitals — the paper's configuration).
+    pub fn new(
+        ham: &'a Hamiltonian,
+        psi: &'a Mat<f64>,
+        energies: &'a [f64],
+        coulomb: &'a CoulombOperator,
+        omega: f64,
+        settings: SternheimerSettings,
+        n_workers: usize,
+    ) -> Self {
+        Self::with_channels(
+            ham,
+            vec![SpinChannel {
+                psi,
+                energies,
+                degeneracy: 2.0,
+            }],
+            coulomb,
+            omega,
+            settings,
+            n_workers,
+        )
+    }
+
+    /// Build with explicit spin channels (spin-polarized systems).
+    pub fn with_channels(
+        ham: &'a Hamiltonian,
+        channels: Vec<SpinChannel<'a>>,
+        coulomb: &'a CoulombOperator,
+        omega: f64,
+        settings: SternheimerSettings,
+        n_workers: usize,
+    ) -> Self {
+        assert!(!channels.is_empty(), "need at least one spin channel");
+        for ch in &channels {
+            assert_eq!(ch.psi.rows(), ham.dim(), "orbital grid mismatch");
+            assert_eq!(ch.psi.cols(), ch.energies.len(), "orbital count mismatch");
+            assert!(ch.degeneracy > 0.0, "degeneracy must be positive");
+        }
+        assert!(omega > 0.0, "ω must be positive (ω → 0 is singular)");
+        assert!(n_workers >= 1);
+        Self {
+            ham,
+            channels,
+            coulomb,
+            omega,
+            settings,
+            n_workers,
+            stats: Mutex::new(WorkerStats::new()),
+            applications: AtomicUsize::new(0),
+            time_in_apply: Mutex::new(Duration::ZERO),
+            worker_load: Mutex::new(vec![Duration::ZERO; n_workers]),
+        }
+    }
+
+    /// Frequency `ω`.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Total occupied orbitals summed over spin channels.
+    pub fn n_occupied(&self) -> usize {
+        self.channels.iter().map(|c| c.energies.len()).sum()
+    }
+
+    /// Number of spin channels.
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Snapshot of the merged worker statistics accumulated so far.
+    pub fn stats_snapshot(&self) -> WorkerStats {
+        self.stats.lock().expect("stats mutex poisoned").clone()
+    }
+
+    /// Total single-column operator applications so far.
+    pub fn applications(&self) -> usize {
+        self.applications.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent inside applications (the paper's `ν½χ⁰ν½` kernel of
+    /// Figure 5).
+    pub fn time_in_apply(&self) -> Duration {
+        *self.time_in_apply.lock().expect("time mutex poisoned")
+    }
+
+    /// Cumulative Sternheimer solve time per logical worker (meaningful
+    /// for the static partition; the §III-D load-imbalance profile).
+    pub fn worker_load_snapshot(&self) -> Vec<Duration> {
+        self.worker_load.lock().expect("load mutex poisoned").clone()
+    }
+
+    /// One orbital's contribution to `χ⁰V` for a set of columns
+    /// (one line of Eq. 6 plus its share of Eq. 5): solves
+    /// `(H − λ_j + iω) Y_j = −V ⊙ Ψ_j` and returns
+    /// `2·g_σ·Re(Ψ_j ⊙ Y_j)` (with `g_σ = 2` this is the paper's `4·Re`).
+    fn orbital_contribution(
+        &self,
+        channel: usize,
+        j: usize,
+        v: &Mat<f64>,
+        stats: &mut WorkerStats,
+    ) -> Mat<f64> {
+        let ch = &self.channels[channel];
+        let n = self.ham.dim();
+        let w = v.cols();
+        let n_s = ch.energies.len();
+        let cocg_opts = CocgOptions {
+            tol: self.settings.tol,
+            max_iters: self.settings.max_iters,
+            ..CocgOptions::default()
+        };
+        let psi_j = ch.psi.col(j);
+        // B = −V ⊙ Ψ_j
+        let mut b = Mat::<C64>::zeros(n, w);
+        for c in 0..w {
+            let vc = v.col(c);
+            let bc = b.col_mut(c);
+            for i in 0..n {
+                bc[i] = C64::new(-vc[i] * psi_j[i], 0.0);
+            }
+        }
+        let guess = if self.settings.use_galerkin_guess {
+            Some(galerkin_guess(
+                ch.psi,
+                ch.energies,
+                ch.energies[j],
+                self.omega,
+                &b,
+            ))
+        } else {
+            None
+        };
+        let stern = SternheimerLinOp::new(SternheimerOperator::new(
+            self.ham,
+            ch.energies[j],
+            self.omega,
+        ));
+        let precond = if self.settings.precondition.applies(j, n_s, self.omega) {
+            Some(ShiftedLaplacianPreconditioner::for_sternheimer(
+                self.ham,
+                self.coulomb.spectral().clone(),
+                ch.energies[j],
+                self.omega,
+            ))
+        } else {
+            None
+        };
+        let out = solve_multi_rhs_pre(
+            &stern,
+            &b,
+            guess.as_ref(),
+            &cocg_opts,
+            self.settings.policy,
+            precond.as_ref().map(|p| p as &dyn Preconditioner),
+            stats,
+        );
+        // 2·g_σ·Re(Ψ_j ⊙ Y_j): the ± iω conjugate-pair combination gives
+        // the 2, the channel degeneracy the g_σ (= 4·Re for closed shells)
+        let factor = 2.0 * ch.degeneracy;
+        let mut acc = Mat::zeros(n, w);
+        for c in 0..w {
+            let yc = out.solution.col(c);
+            let ac = acc.col_mut(c);
+            for i in 0..n {
+                ac[i] = factor * psi_j[i] * yc[i].re;
+            }
+        }
+        acc
+    }
+
+    /// `χ⁰V` for one worker's columns (Algorithm 7 lines 3–6); `v` already
+    /// contains `ν½V` when called from the dielectric product.
+    fn chi0_columns(&self, v: &Mat<f64>, stats: &mut WorkerStats) -> Mat<f64> {
+        let n = self.ham.dim();
+        let w = v.cols();
+        let mut acc = Mat::zeros(n, w);
+        for (sigma, ch) in self.channels.iter().enumerate() {
+            for j in 0..ch.energies.len() {
+                let contrib = self.orbital_contribution(sigma, j, v, stats);
+                acc.axpy(1.0, &contrib);
+            }
+        }
+        acc
+    }
+
+    /// `χ⁰V` over the worker partition (no `ν½` factors). Used by the
+    /// direct-comparison tests and the `νχ⁰` spectrum figure.
+    pub fn apply_chi0_block(&self, v: &Mat<f64>) -> Mat<f64> {
+        self.partitioned_apply(v, false)
+    }
+
+    /// `(ν½χ⁰ν½)V` over the worker partition (Algorithm 7 complete).
+    pub fn apply_dielectric_block(&self, v: &Mat<f64>) -> Mat<f64> {
+        self.partitioned_apply(v, true)
+    }
+
+    fn partitioned_apply(&self, v: &Mat<f64>, with_nu_sqrt: bool) -> Mat<f64> {
+        let t0 = Instant::now();
+        let n = self.ham.dim();
+        assert_eq!(v.rows(), n);
+        let cols = v.cols();
+
+        let mut result = match self.settings.distribution {
+            WorkDistribution::StaticColumns => {
+                let p = self.n_workers.min(cols.max(1));
+                let ranges = partition_columns(cols.max(1), p);
+                let pieces: Vec<(usize, usize, Mat<f64>, WorkerStats)> = ranges
+                    .par_iter()
+                    .enumerate()
+                    .map(|(widx, range)| {
+                        let mut stats = WorkerStats::new();
+                        let mut local = v.columns(range.start, range.count);
+                        if with_nu_sqrt {
+                            self.coulomb.apply_nu_sqrt_block(&mut local);
+                        }
+                        let out = self.chi0_columns(&local, &mut stats);
+                        (widx, range.start, out, stats)
+                    })
+                    .collect();
+                let mut result = Mat::zeros(n, cols);
+                let mut merged = self.stats.lock().expect("stats mutex poisoned");
+                let mut load = self.worker_load.lock().expect("load mutex poisoned");
+                for (widx, start, piece, stats) in &pieces {
+                    result.set_columns(*start, piece);
+                    merged.merge(stats);
+                    if *widx < load.len() {
+                        load[*widx] += stats.solve_time;
+                    }
+                }
+                result
+            }
+            WorkDistribution::WorkStealing { chunk_width } => {
+                // fine-grained (orbital, chunk) tasks: no worker is pinned
+                // to a difficulty class, so the slowest-orbital imbalance
+                // of the static partition disappears (§V)
+                let width = chunk_width.max(1).min(cols.max(1));
+                let n_chunks = cols.div_ceil(width).max(1);
+                // pre-apply ν½ per chunk (cheap, parallel)
+                let chunks: Vec<(usize, Mat<f64>)> = (0..n_chunks)
+                    .into_par_iter()
+                    .map(|c| {
+                        let start = c * width;
+                        let count = width.min(cols - start);
+                        let mut local = v.columns(start, count);
+                        if with_nu_sqrt {
+                            self.coulomb.apply_nu_sqrt_block(&mut local);
+                        }
+                        (start, local)
+                    })
+                    .collect();
+                let tasks: Vec<(usize, usize, usize)> = (0..n_chunks)
+                    .flat_map(|c| {
+                        self.channels.iter().enumerate().flat_map(move |(sigma, ch)| {
+                            (0..ch.energies.len()).map(move |j| (c, sigma, j))
+                        })
+                    })
+                    .collect();
+                let pieces: Vec<(usize, Mat<f64>, WorkerStats)> = tasks
+                    .par_iter()
+                    .map(|&(c, sigma, j)| {
+                        let mut stats = WorkerStats::new();
+                        let contrib =
+                            self.orbital_contribution(sigma, j, &chunks[c].1, &mut stats);
+                        (chunks[c].0, contrib, stats)
+                    })
+                    .collect();
+                let mut result = Mat::zeros(n, cols);
+                let mut merged = self.stats.lock().expect("stats mutex poisoned");
+                for (start, piece, stats) in &pieces {
+                    for jc in 0..piece.cols() {
+                        mbrpa_linalg::vecops::axpy(1.0, piece.col(jc), result.col_mut(start + jc));
+                    }
+                    merged.merge(stats);
+                }
+                result
+            }
+        };
+
+        if with_nu_sqrt {
+            self.coulomb.apply_nu_sqrt_block(&mut result);
+        }
+        self.applications.fetch_add(cols, Ordering::Relaxed);
+        *self.time_in_apply.lock().expect("time mutex poisoned") += t0.elapsed();
+        result
+    }
+}
+
+impl LinearOperator<f64> for DielectricOperator<'_> {
+    fn dim(&self) -> usize {
+        self.ham.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let xm = Mat::col_vector(x.to_vec());
+        let out = self.apply_dielectric_block(&xm);
+        y.copy_from_slice(out.col(0));
+    }
+
+    fn apply_block(&self, x: &Mat<f64>, y: &mut Mat<f64>) {
+        let out = self.apply_dielectric_block(x);
+        *y = out;
+    }
+
+    fn apply_flops(&self) -> usize {
+        // dominated by the Sternheimer solves: n_s systems × iterations;
+        // a rough per-column estimate for scheduling heuristics only
+        self.n_occupied() * 20 * self.ham.apply_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbrpa_dft::{solve_occupied_dense, PotentialParams, SiliconSpec};
+    use mbrpa_grid::SpectralLaplacian;
+
+    /// Small fixture shared by the operator tests: a 2-atom-scale crystal
+    /// is too big; use a 5³ grid with a handful of orbitals.
+    struct Fixture {
+        ham: Hamiltonian,
+        psi: Mat<f64>,
+        energies: Vec<f64>,
+        coulomb: CoulombOperator,
+    }
+
+    fn fixture() -> Fixture {
+        let crystal = SiliconSpec {
+            points_per_cell: 5,
+            perturbation: 0.03,
+            seed: 11,
+            ..SiliconSpec::default()
+        }
+        .build();
+        let ham = Hamiltonian::new(&crystal, 2, &PotentialParams::default());
+        let n_s = 6; // fewer than the physical 16 to keep the test fast
+        let ks = solve_occupied_dense(&ham, n_s, 0).unwrap();
+        let spec = SpectralLaplacian::new(crystal.grid, 2).unwrap();
+        Fixture {
+            psi: ks.occupied_orbitals(),
+            energies: ks.occupied_energies().to_vec(),
+            ham,
+            coulomb: CoulombOperator::new(spec),
+        }
+    }
+
+    fn op<'a>(f: &'a Fixture, omega: f64, workers: usize) -> DielectricOperator<'a> {
+        DielectricOperator::new(
+            &f.ham,
+            &f.psi,
+            &f.energies,
+            &f.coulomb,
+            omega,
+            SternheimerSettings {
+                tol: 1e-8,
+                ..SternheimerSettings::default()
+            },
+            workers,
+        )
+    }
+
+    #[test]
+    fn chi0_output_is_real_and_finite() {
+        let f = fixture();
+        let d = op(&f, 1.0, 1);
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 2, |i, j| ((i * 7 + j) % 13) as f64 * 0.1 - 0.6);
+        let out = d.apply_chi0_block(&v);
+        assert_eq!(out.shape(), (n, 2));
+        assert!(!out.has_bad_values());
+        assert!(out.fro_norm() > 0.0);
+    }
+
+    #[test]
+    fn operator_is_symmetric() {
+        // uᵀ(ν½χ⁰ν½)v == vᵀ(ν½χ⁰ν½)u
+        let f = fixture();
+        let d = op(&f, 0.8, 1);
+        let n = f.ham.dim();
+        let u = Mat::from_fn(n, 1, |i, _| ((i % 17) as f64 - 8.0) * 0.07);
+        let v = Mat::from_fn(n, 1, |i, _| ((i % 11) as f64 - 5.0) * 0.09);
+        let au = d.apply_dielectric_block(&u);
+        let av = d.apply_dielectric_block(&v);
+        let uav: f64 = u.col(0).iter().zip(av.col(0)).map(|(a, b)| a * b).sum();
+        let vau: f64 = v.col(0).iter().zip(au.col(0)).map(|(a, b)| a * b).sum();
+        assert!(
+            (uav - vau).abs() < 1e-6 * (1.0 + uav.abs()),
+            "{uav} vs {vau}"
+        );
+    }
+
+    #[test]
+    fn operator_is_negative_semidefinite() {
+        let f = fixture();
+        let d = op(&f, 0.5, 1);
+        let n = f.ham.dim();
+        for seed in 0..3u64 {
+            let v = Mat::from_fn(n, 1, |i, _| {
+                (((i as u64).wrapping_mul(seed * 2 + 13) % 29) as f64 - 14.0) * 0.03
+            });
+            let av = d.apply_dielectric_block(&v);
+            let quad: f64 = v.col(0).iter().zip(av.col(0)).map(|(a, b)| a * b).sum();
+            assert!(quad <= 1e-8, "vᵀAv = {quad} must be ≤ 0");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_result() {
+        let f = fixture();
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 4, |i, j| ((i * 3 + j * 5) % 19) as f64 * 0.05 - 0.45);
+        let d1 = op(&f, 0.7, 1);
+        let d4 = op(&f, 0.7, 4);
+        let o1 = d1.apply_dielectric_block(&v);
+        let o4 = d4.apply_dielectric_block(&v);
+        assert!(
+            o1.max_abs_diff(&o4) < 1e-7,
+            "partition must not change the math: {}",
+            o1.max_abs_diff(&o4)
+        );
+    }
+
+    #[test]
+    fn galerkin_guess_reduces_solver_work() {
+        let f = fixture();
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 2, |i, j| ((i + j * 7) % 23) as f64 * 0.04 - 0.4);
+        let with = DielectricOperator::new(
+            &f.ham,
+            &f.psi,
+            &f.energies,
+            &f.coulomb,
+            0.3,
+            SternheimerSettings {
+                tol: 1e-6,
+                use_galerkin_guess: true,
+                ..SternheimerSettings::default()
+            },
+            1,
+        );
+        let without = DielectricOperator::new(
+            &f.ham,
+            &f.psi,
+            &f.energies,
+            &f.coulomb,
+            0.3,
+            SternheimerSettings {
+                tol: 1e-6,
+                use_galerkin_guess: false,
+                ..SternheimerSettings::default()
+            },
+            1,
+        );
+        let _ = with.apply_dielectric_block(&v);
+        let _ = without.apply_dielectric_block(&v);
+        let iters_with = with.stats_snapshot().iterations;
+        let iters_without = without.stats_snapshot().iterations;
+        assert!(
+            iters_with <= iters_without,
+            "Eq. 13 guess should not increase iterations: {iters_with} vs {iters_without}"
+        );
+    }
+
+    #[test]
+    fn stats_and_counters_accumulate() {
+        let f = fixture();
+        let d = op(&f, 1.2, 2);
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 3, |i, j| ((i + j) % 7) as f64 * 0.1);
+        let _ = d.apply_dielectric_block(&v);
+        assert_eq!(d.applications(), 3);
+        let s = d.stats_snapshot();
+        // n_s block systems per worker, 2 workers
+        assert_eq!(s.block_sizes.total(), 3 * f.energies.len());
+        assert!(d.time_in_apply() > Duration::ZERO);
+        let _ = d.apply_dielectric_block(&v);
+        assert_eq!(d.applications(), 6);
+    }
+
+    #[test]
+    fn work_stealing_matches_static_partition() {
+        let f = fixture();
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 5, |i, j| ((i * 3 + j * 11) % 29) as f64 * 0.03 - 0.4);
+        let make = |dist: WorkDistribution| {
+            DielectricOperator::new(
+                &f.ham,
+                &f.psi,
+                &f.energies,
+                &f.coulomb,
+                0.6,
+                SternheimerSettings {
+                    tol: 1e-9,
+                    distribution: dist,
+                    ..SternheimerSettings::default()
+                },
+                2,
+            )
+        };
+        let stat = make(WorkDistribution::StaticColumns);
+        let steal = make(WorkDistribution::WorkStealing { chunk_width: 2 });
+        let a = stat.apply_dielectric_block(&v);
+        let b = steal.apply_dielectric_block(&v);
+        assert!(
+            a.max_abs_diff(&b) < 1e-8,
+            "distribution must not change the math: {}",
+            a.max_abs_diff(&b)
+        );
+        // same number of Sternheimer systems recorded
+        assert_eq!(
+            stat.stats_snapshot().block_sizes.total(),
+            steal.stats_snapshot().block_sizes.total()
+        );
+    }
+
+    #[test]
+    fn preconditioned_apply_matches_plain() {
+        let f = fixture();
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 2, |i, j| ((i * 7 + j * 13) % 19) as f64 * 0.05 - 0.45);
+        let make = |policy: PrecondPolicy| {
+            DielectricOperator::new(
+                &f.ham,
+                &f.psi,
+                &f.energies,
+                &f.coulomb,
+                0.4,
+                SternheimerSettings {
+                    tol: 1e-9,
+                    precondition: policy,
+                    ..SternheimerSettings::default()
+                },
+                1,
+            )
+        };
+        let plain = make(PrecondPolicy::Never);
+        let pre = make(PrecondPolicy::Always);
+        let hard = make(PrecondPolicy::HardOnly {
+            omega_max: 1.0,
+            top_orbital_frac: 0.5,
+        });
+        let a = plain.apply_chi0_block(&v);
+        let b = pre.apply_chi0_block(&v);
+        let c = hard.apply_chi0_block(&v);
+        assert!(a.max_abs_diff(&b) < 1e-6 * a.max_abs().max(1.0));
+        assert!(a.max_abs_diff(&c) < 1e-6 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn two_identical_channels_equal_one_restricted_channel() {
+        // spin-polarized with two identical g=1 channels must reproduce the
+        // spin-restricted g=2 single-channel result exactly
+        let f = fixture();
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 2, |i, j| ((i * 5 + j * 17) % 23) as f64 * 0.04 - 0.4);
+        let settings = SternheimerSettings {
+            tol: 1e-9,
+            ..SternheimerSettings::default()
+        };
+        let restricted = DielectricOperator::new(
+            &f.ham, &f.psi, &f.energies, &f.coulomb, 0.7, settings, 1,
+        );
+        let polarized = DielectricOperator::with_channels(
+            &f.ham,
+            vec![
+                SpinChannel {
+                    psi: &f.psi,
+                    energies: &f.energies,
+                    degeneracy: 1.0,
+                },
+                SpinChannel {
+                    psi: &f.psi,
+                    energies: &f.energies,
+                    degeneracy: 1.0,
+                },
+            ],
+            &f.coulomb,
+            0.7,
+            settings,
+            1,
+        );
+        assert_eq!(polarized.n_channels(), 2);
+        assert_eq!(polarized.n_occupied(), 2 * f.energies.len());
+        let a = restricted.apply_chi0_block(&v);
+        let b = polarized.apply_chi0_block(&v);
+        assert!(
+            a.max_abs_diff(&b) < 1e-8 * a.max_abs().max(1.0),
+            "spin decomposition changed χ⁰: {}",
+            a.max_abs_diff(&b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one spin channel")]
+    fn rejects_empty_channel_list() {
+        let f = fixture();
+        let _ = DielectricOperator::with_channels(
+            &f.ham,
+            vec![],
+            &f.coulomb,
+            0.5,
+            SternheimerSettings::default(),
+            1,
+        );
+    }
+
+    #[test]
+    fn precond_policy_predicate() {
+        let hard = PrecondPolicy::HardOnly {
+            omega_max: 0.5,
+            top_orbital_frac: 0.25,
+        };
+        // 16 orbitals, top quarter = indices >= 12
+        assert!(!hard.applies(0, 16, 0.1));
+        assert!(!hard.applies(11, 16, 0.1));
+        assert!(hard.applies(12, 16, 0.1));
+        assert!(hard.applies(15, 16, 0.5));
+        assert!(!hard.applies(15, 16, 0.6), "large omega is easy");
+        assert!(PrecondPolicy::Always.applies(0, 16, 99.0));
+        assert!(!PrecondPolicy::Never.applies(15, 16, 0.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "ω must be positive")]
+    fn rejects_zero_omega() {
+        let f = fixture();
+        let _ = op(&f, 0.0, 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Gauss–Legendre quadrature for the semi-infinite frequency integral
+//! (Eq. 1 / Eq. 3 and Table II of the paper).
+//!
+//! Nodes `x_k` of the `ℓ`-point Gauss–Legendre rule on `(0, 1)` are mapped
+//! to `ω_k = (1 − x_k)/x_k ∈ (0, ∞)` with weights `w_k = w_k^{GL}/x_k²`
+//! (the ABINIT-style transformation). Frequencies are returned **largest
+//! first** (`ω_1 > ω_2 > … > ω_ℓ > 0`), the ordering §III-F relies on for
+//! warm-started subspace iteration.
+
+/// One quadrature point of the transformed rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyPoint {
+    /// Frequency `ω_k` on `(0, ∞)`.
+    pub omega: f64,
+    /// Transformed weight `w_k`.
+    pub weight: f64,
+    /// The underlying Gauss–Legendre node on `(0, 1)` (the paper's
+    /// "0~1 value" column).
+    pub unit_node: f64,
+}
+
+/// Legendre polynomial `P_n(x)` and its derivative by the three-term
+/// recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    let mut p1 = x;
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    // P'_n(x) = n (x P_n − P_{n−1}) / (x² − 1)
+    let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+    (p1, dp)
+}
+
+/// Gauss–Legendre nodes and weights on `[-1, 1]`, by Newton iteration from
+/// the Chebyshev initial guesses (Golub–Welsch-accurate at double
+/// precision for any practical `n`).
+pub fn gauss_legendre(n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 1, "need at least one quadrature point");
+    let mut out = Vec::with_capacity(n);
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Chebyshev-style initial guess for the i-th positive-side root
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            let (p, dp) = legendre_and_derivative(n, x);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let (_, dp) = legendre_and_derivative(n, x);
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        out.push((x, w));
+        if 2 * (i + 1) <= n && !(n % 2 == 1 && i == m - 1 && x.abs() < 1e-12) {
+            out.push((-x, w));
+        }
+    }
+    // odd n: the middle root x = 0 appears once
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    out.truncate(n);
+    out
+}
+
+/// The paper's Table II rule: `ℓ` transformed points with `ω` descending.
+///
+/// ```
+/// use mbrpa_core::frequency_quadrature;
+/// let pts = frequency_quadrature(8);
+/// assert!((pts[0].omega - 49.365).abs() < 1e-3);  // Table II, k = 1
+/// assert!((pts[7].omega - 0.0203).abs() < 1e-3);  // Table II, k = 8
+/// ```
+pub fn frequency_quadrature(ell: usize) -> Vec<FrequencyPoint> {
+    let gl = gauss_legendre(ell);
+    let mut pts: Vec<FrequencyPoint> = gl
+        .into_iter()
+        .map(|(x, w)| {
+            // map [-1,1] → (0,1)
+            let u = 0.5 * (x + 1.0);
+            let wu = 0.5 * w;
+            FrequencyPoint {
+                omega: (1.0 - u) / u,
+                weight: wu / (u * u),
+                unit_node: u,
+            }
+        })
+        .collect();
+    // ascending u means descending ω already; sort defensively
+    pts.sort_by(|a, b| b.omega.partial_cmp(&a.omega).unwrap());
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gl_nodes_symmetric_and_weights_sum_to_two() {
+        for n in [1, 2, 3, 5, 8, 16] {
+            let gl = gauss_legendre(n);
+            assert_eq!(gl.len(), n);
+            let wsum: f64 = gl.iter().map(|p| p.1).sum();
+            assert!((wsum - 2.0).abs() < 1e-13, "n={n}: Σw = {wsum}");
+            for (x, _) in &gl {
+                assert!(x.abs() < 1.0);
+            }
+            // symmetry
+            for i in 0..n {
+                let (x_lo, w_lo) = gl[i];
+                let (x_hi, w_hi) = gl[n - 1 - i];
+                assert!((x_lo + x_hi).abs() < 1e-13);
+                assert!((w_lo - w_hi).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn gl_exact_for_polynomials() {
+        // n-point GL is exact for degree ≤ 2n−1
+        let n = 6;
+        let gl = gauss_legendre(n);
+        for deg in 0..=(2 * n - 1) {
+            let quad: f64 = gl.iter().map(|(x, w)| w * x.powi(deg as i32)).sum();
+            let exact = if deg % 2 == 1 {
+                0.0
+            } else {
+                2.0 / (deg as f64 + 1.0)
+            };
+            assert!(
+                (quad - exact).abs() < 1e-12,
+                "degree {deg}: {quad} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table_ii() {
+        // Table II of the paper, 8 points (values printed to 3–4 digits)
+        let expect = [
+            (49.36, 128.4),
+            (8.836, 10.76),
+            (3.215, 2.787),
+            (1.449, 1.088),
+            (0.690, 0.518),
+            (0.311, 0.270),
+            (0.113, 0.138),
+            (0.020, 0.053),
+        ];
+        let pts = frequency_quadrature(8);
+        assert_eq!(pts.len(), 8);
+        for (pt, &(omega, weight)) in pts.iter().zip(expect.iter()) {
+            assert!(
+                (pt.omega - omega).abs() < 0.01 * omega.max(0.05),
+                "ω: {} vs {omega}",
+                pt.omega
+            );
+            assert!(
+                (pt.weight - weight).abs() < 0.01 * weight.max(0.05),
+                "w: {} vs {weight}",
+                pt.weight
+            );
+        }
+    }
+
+    #[test]
+    fn frequencies_descend_strictly() {
+        let pts = frequency_quadrature(8);
+        for pair in pts.windows(2) {
+            assert!(pair[0].omega > pair[1].omega);
+        }
+        assert!(pts.last().unwrap().omega > 0.0);
+    }
+
+    #[test]
+    fn unit_nodes_match_paper_output_column() {
+        // the sample Si8.out lists "0~1 value" 0.020, 0.102, 0.237, 0.408,
+        // 0.592, 0.763, 0.898, 0.980
+        let expect = [0.020, 0.102, 0.237, 0.408, 0.592, 0.763, 0.898, 0.980];
+        let pts = frequency_quadrature(8);
+        for (pt, &u) in pts.iter().zip(expect.iter()) {
+            assert!((pt.unit_node - u).abs() < 5e-4, "{} vs {u}", pt.unit_node);
+        }
+    }
+
+    #[test]
+    fn transformed_rule_integrates_decaying_function() {
+        // ∫₀^∞ e^{-ω} dω = 1; the rational map handles the tail
+        let pts = frequency_quadrature(24);
+        let quad: f64 = pts.iter().map(|p| p.weight * (-p.omega).exp()).sum();
+        assert!((quad - 1.0).abs() < 1e-3, "integral {quad}");
+        // ∫₀^∞ 1/(1+ω²) dω = π/2 — exactly representable by the map
+        let quad2: f64 = pts
+            .iter()
+            .map(|p| p.weight / (1.0 + p.omega * p.omega))
+            .sum();
+        assert!((quad2 - std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_point_rule() {
+        let pts = frequency_quadrature(1);
+        assert_eq!(pts.len(), 1);
+        // single GL node at u = 1/2 → ω = 1, weight = 1/u² = 4
+        assert!((pts[0].omega - 1.0).abs() < 1e-12);
+        assert!((pts[0].weight - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Column partition of the `n_eig` eigenvector block over workers (§III-D).
+//!
+//! The paper parallelizes only across the `n_eig` dielectric eigenvectors:
+//! each MPI rank owns every row of `n_eig/p` columns, solves all `n_s`
+//! Sternheimer block systems for its columns, and selects its own COCG
+//! block size. We mirror that with rayon tasks; a partition is a list of
+//! `(start, count)` column ranges.
+
+/// A contiguous range of block columns owned by one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnRange {
+    /// First column index.
+    pub start: usize,
+    /// Number of columns.
+    pub count: usize,
+}
+
+/// Split `n_cols` columns over `p` workers as evenly as possible (the first
+/// `n_cols mod p` workers get one extra column).
+pub fn partition_columns(n_cols: usize, p: usize) -> Vec<ColumnRange> {
+    assert!(p >= 1, "need at least one worker");
+    assert!(
+        p <= n_cols,
+        "§III-D requires p <= n_eig so no worker is empty (p = {p}, n = {n_cols})"
+    );
+    let base = n_cols / p;
+    let rem = n_cols % p;
+    let mut ranges = Vec::with_capacity(p);
+    let mut start = 0;
+    for w in 0..p {
+        let count = base + usize::from(w < rem);
+        ranges.push(ColumnRange { start, count });
+        start += count;
+    }
+    debug_assert_eq!(start, n_cols);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let r = partition_columns(8, 4);
+        assert_eq!(r.len(), 4);
+        for (w, range) in r.iter().enumerate() {
+            assert_eq!(range.count, 2);
+            assert_eq!(range.start, 2 * w);
+        }
+    }
+
+    #[test]
+    fn uneven_split_front_loads_remainder() {
+        let r = partition_columns(10, 3);
+        assert_eq!(
+            r,
+            vec![
+                ColumnRange { start: 0, count: 4 },
+                ColumnRange { start: 4, count: 3 },
+                ColumnRange { start: 7, count: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn covers_all_columns_exactly_once() {
+        for n in [1usize, 5, 17, 96, 768] {
+            for p in [1usize, 2, 3, 5] {
+                if p > n {
+                    continue;
+                }
+                let r = partition_columns(n, p);
+                let total: usize = r.iter().map(|x| x.count).sum();
+                assert_eq!(total, n);
+                let mut next = 0;
+                for range in &r {
+                    assert_eq!(range.start, next);
+                    assert!(range.count >= 1);
+                    next += range.count;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p <= n_eig")]
+    fn rejects_more_workers_than_columns() {
+        let _ = partition_columns(3, 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the core RPA machinery: quadrature, worker
+//! partitions, trace terms, and input parsing.
+
+use mbrpa_core::{
+    frequency_quadrature, gauss_legendre, parse_rpa_input, partition_columns, trace_term,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GL rules of any order integrate low-degree polynomials exactly.
+    #[test]
+    fn gl_exactness(n in 2usize..20, deg in 0usize..4) {
+        let gl = gauss_legendre(n);
+        let quad: f64 = gl.iter().map(|(x, w)| w * x.powi(deg as i32)).sum();
+        let exact = if deg % 2 == 1 { 0.0 } else { 2.0 / (deg as f64 + 1.0) };
+        prop_assert!((quad - exact).abs() < 1e-10);
+    }
+
+    /// Transformed frequency rules: positive descending frequencies,
+    /// positive weights, for any point count.
+    #[test]
+    fn frequency_rule_invariants(ell in 1usize..32) {
+        let pts = frequency_quadrature(ell);
+        prop_assert_eq!(pts.len(), ell);
+        for pair in pts.windows(2) {
+            prop_assert!(pair[0].omega > pair[1].omega);
+        }
+        for pt in &pts {
+            prop_assert!(pt.omega > 0.0);
+            prop_assert!(pt.weight > 0.0);
+            prop_assert!(pt.unit_node > 0.0 && pt.unit_node < 1.0);
+            // the map is self-consistent: ω = (1−u)/u
+            prop_assert!((pt.omega - (1.0 - pt.unit_node) / pt.unit_node).abs() < 1e-12);
+        }
+    }
+
+    /// The transformed rule converges on ∫₀^∞ e^{−ω} dω = 1 as ℓ grows.
+    #[test]
+    fn frequency_rule_integrates_exponentials(ell in 16usize..40) {
+        let pts = frequency_quadrature(ell);
+        let quad: f64 = pts.iter().map(|p| p.weight * (-p.omega).exp()).sum();
+        prop_assert!((quad - 1.0).abs() < 5e-3, "ℓ={ell}: {quad}");
+    }
+
+    /// Worker partitions cover all columns exactly once, non-empty.
+    #[test]
+    fn partition_invariants(n in 1usize..512, p_raw in 1usize..64) {
+        let p = p_raw.min(n);
+        let ranges = partition_columns(n, p);
+        prop_assert_eq!(ranges.len(), p);
+        let mut next = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.count >= 1);
+            next += r.count;
+        }
+        prop_assert_eq!(next, n);
+        // balanced within 1
+        let min = ranges.iter().map(|r| r.count).min().unwrap();
+        let max = ranges.iter().map(|r| r.count).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// The trace term is ≤ 0, monotone in each eigenvalue, and zero at 0.
+    #[test]
+    fn trace_term_properties(mus in proptest::collection::vec(-5.0f64..0.0, 1..20)) {
+        let t = trace_term(&mus);
+        prop_assert!(t <= 1e-15);
+        // adding one more negative eigenvalue only decreases the sum
+        let mut more = mus.clone();
+        more.push(-0.5);
+        prop_assert!(trace_term(&more) <= t + 1e-15);
+        // f(0) = 0
+        prop_assert_eq!(trace_term(&[0.0]), 0.0);
+    }
+
+    /// The input parser round-trips integer and float keys it understands.
+    #[test]
+    fn parser_roundtrip(n_eig in 1usize..4096, n_omega in 1usize..32, tol in 1e-6f64..1e-1) {
+        let text = format!(
+            "N_NUCHI_EIGS: {n_eig}\nN_OMEGA: {n_omega}\nTOL_STERN_RES: {tol:e}\n"
+        );
+        let input = parse_rpa_input(&text).unwrap();
+        prop_assert_eq!(input.config.n_eig, n_eig);
+        prop_assert_eq!(input.config.n_omega, n_omega);
+        prop_assert!((input.config.tol_sternheimer - tol).abs() < 1e-15 * tol.abs());
+    }
+
+    /// Garbage lines never panic the parser — they error with a line number.
+    #[test]
+    fn parser_never_panics(text in "[ -~\\n]{0,200}") {
+        let _ = parse_rpa_input(&text);
+    }
+}

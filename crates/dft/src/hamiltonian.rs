@@ -1,0 +1,337 @@
+//! The Kohn–Sham Hamiltonian `H = −½∇² + V_loc + 𝒳Γ𝒳ᵀ` and the shifted
+//! complex-symmetric Sternheimer operator `A_{j,k} = H − λ_j I + iω_k I`.
+
+use crate::potential::{local_potential, NonlocalProjectors, PotentialParams};
+use crate::system::Crystal;
+use mbrpa_grid::Laplacian;
+use mbrpa_linalg::{Mat, Scalar, C64};
+
+/// Real symmetric grid Hamiltonian.
+///
+/// The operator is partially matrix-free: the kinetic term is the radius-`r`
+/// stencil (never assembled), the local potential is a diagonal, and the
+/// non-local term is the sparse outer product the paper calls `𝒳𝒳ᴴ`.
+#[derive(Clone, Debug)]
+pub struct Hamiltonian {
+    lap: Laplacian,
+    vloc: Vec<f64>,
+    nonlocal: Option<NonlocalProjectors>,
+}
+
+impl Hamiltonian {
+    /// Assemble the model Hamiltonian for a crystal.
+    pub fn new(crystal: &Crystal, radius: usize, params: &PotentialParams) -> Self {
+        let lap = Laplacian::new(crystal.grid, radius);
+        let vloc = local_potential(crystal, params);
+        let nonlocal = if params.nonlocal_strength != 0.0 {
+            Some(NonlocalProjectors::build(crystal, params))
+        } else {
+            None
+        };
+        Self {
+            lap,
+            vloc,
+            nonlocal,
+        }
+    }
+
+    /// Build from explicit parts (used by tests and synthetic problems).
+    pub fn from_parts(
+        lap: Laplacian,
+        vloc: Vec<f64>,
+        nonlocal: Option<NonlocalProjectors>,
+    ) -> Self {
+        assert_eq!(vloc.len(), lap.grid().len());
+        if let Some(nl) = &nonlocal {
+            assert_eq!(nl.dim(), vloc.len());
+        }
+        Self {
+            lap,
+            vloc,
+            nonlocal,
+        }
+    }
+
+    /// Grid dimension `n_d`.
+    pub fn dim(&self) -> usize {
+        self.vloc.len()
+    }
+
+    /// The kinetic stencil.
+    pub fn laplacian(&self) -> &Laplacian {
+        &self.lap
+    }
+
+    /// The diagonal local potential.
+    pub fn vloc(&self) -> &[f64] {
+        &self.vloc
+    }
+
+    /// The non-local projector term, if present.
+    pub fn nonlocal(&self) -> Option<&NonlocalProjectors> {
+        self.nonlocal.as_ref()
+    }
+
+    /// `out = H v` for one vector (real or complex).
+    pub fn apply<T: Scalar>(&self, v: &[T], out: &mut [T]) {
+        // kinetic: out = ∇² v, then scale by −½ while adding V_loc ⊙ v
+        self.lap.apply(v, out);
+        for ((o, &x), &p) in out.iter_mut().zip(v.iter()).zip(self.vloc.iter()) {
+            *o = o.scale(-0.5) + x.scale(p);
+        }
+        if let Some(nl) = &self.nonlocal {
+            nl.apply_add(v, out);
+        }
+    }
+
+    /// `out = H V` column by column (stencil applied one vector at a time,
+    /// per §III-C of the paper).
+    pub fn apply_block<T: Scalar>(&self, v: &Mat<T>, out: &mut Mat<T>) {
+        assert_eq!(v.shape(), out.shape());
+        assert_eq!(v.rows(), self.dim());
+        for j in 0..v.cols() {
+            self.apply(v.col(j), out.col_mut(j));
+        }
+    }
+
+    /// Assemble the dense matrix (test oracle / direct baseline; small
+    /// grids only).
+    pub fn to_dense(&self) -> Mat<f64> {
+        let n = self.dim();
+        let mut m = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        let mut col = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            self.apply(&e, &mut col);
+            m.col_mut(j).copy_from_slice(&col);
+            e[j] = 0.0;
+        }
+        m
+    }
+
+    /// Deterministic upper bound on `λ_max(H)` (Weyl + Gershgorin):
+    /// `½·λ_max(−∇²) + max V_loc + Σγ_a`. Used as the safe Chebyshev
+    /// filter endpoint — clipping the true spectrum would make the filter
+    /// amplify the top states instead of the wanted bottom ones.
+    pub fn spectral_upper_bound(&self) -> f64 {
+        let r = self.lap.radius();
+        let w = mbrpa_grid::second_derivative_weights(r);
+        let per_axis = |h: f64| -> f64 {
+            (w[0].abs() + 2.0 * w[1..].iter().map(|c| c.abs()).sum::<f64>()) / (h * h)
+        };
+        let g = self.lap.grid();
+        let lap_max = per_axis(g.hx) + per_axis(g.hy) + per_axis(g.hz);
+        let vmax = self
+            .vloc
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let nl = self.nonlocal.as_ref().map_or(0.0, |n| n.strength_sum());
+        0.5 * lap_max + vmax + nl
+    }
+
+    /// Deterministic lower bound on `λ_min(H)`: `min V_loc` (kinetic and
+    /// the PSD non-local term only raise the spectrum).
+    pub fn spectral_lower_bound(&self) -> f64 {
+        self.vloc
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// FLOP estimate of one `H·v` application (used by the deterministic
+    /// block-size cost model).
+    pub fn apply_flops(&self) -> usize {
+        let stencil = self.dim() * (6 * self.lap.radius() + 1) * 2;
+        let diag = self.dim() * 2;
+        let nl = self.nonlocal.as_ref().map_or(0, |n| 4 * n.nnz());
+        stencil + diag + nl
+    }
+}
+
+/// The complex-symmetric Sternheimer coefficient matrix
+/// `A = H − λ I + iω I` (Eq. 8 of the paper). Its spectrum is
+/// `λ(H) − λ + iω` (Eq. 9): indefinite for high orbital index `λ = λ_j`,
+/// and approaching singularity as `ω → 0`.
+#[derive(Clone, Debug)]
+pub struct SternheimerOperator<'a> {
+    ham: &'a Hamiltonian,
+    /// Real shift `−λ_j`.
+    pub lambda: f64,
+    /// Imaginary shift `ω_k > 0`.
+    pub omega: f64,
+}
+
+impl<'a> SternheimerOperator<'a> {
+    /// Wrap `H` with the `(j, k)` shift pair.
+    pub fn new(ham: &'a Hamiltonian, lambda: f64, omega: f64) -> Self {
+        Self { ham, lambda, omega }
+    }
+
+    /// Grid dimension.
+    pub fn dim(&self) -> usize {
+        self.ham.dim()
+    }
+
+    /// The underlying Hamiltonian.
+    pub fn hamiltonian(&self) -> &Hamiltonian {
+        self.ham
+    }
+
+    /// `out = (H − λ + iω) v`.
+    pub fn apply(&self, v: &[C64], out: &mut [C64]) {
+        self.ham.apply(v, out);
+        let shift = C64::new(-self.lambda, self.omega);
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o += shift * x;
+        }
+    }
+
+    /// Block application, one column at a time.
+    pub fn apply_block(&self, v: &Mat<C64>, out: &mut Mat<C64>) {
+        assert_eq!(v.shape(), out.shape());
+        for j in 0..v.cols() {
+            self.apply(v.col(j), out.col_mut(j));
+        }
+    }
+
+    /// FLOPs of one application to one vector.
+    pub fn apply_flops(&self) -> usize {
+        // complex arithmetic ≈ 4× real per multiply-add on the real stencil
+        2 * self.ham.apply_flops() + 8 * self.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SiliconSpec;
+    use mbrpa_linalg::symmetric_eig;
+
+    fn small_ham() -> (Crystal, Hamiltonian) {
+        let c = SiliconSpec {
+            points_per_cell: 7,
+            ..SiliconSpec::default()
+        }
+        .build();
+        let h = Hamiltonian::new(&c, 2, &PotentialParams::default());
+        (c, h)
+    }
+
+    #[test]
+    fn hamiltonian_is_symmetric() {
+        let (_, h) = small_ham();
+        let dense = h.to_dense();
+        let diff = dense.max_abs_diff(&dense.transpose());
+        assert!(diff < 1e-10, "asymmetry {diff}");
+    }
+
+    #[test]
+    fn spectrum_is_bounded_below_and_gapped() {
+        let (c, h) = small_ham();
+        let eig = symmetric_eig(&h.to_dense()).unwrap();
+        let n_s = c.n_occupied();
+        // bounded below by the potential depth bound
+        assert!(eig.values[0] > -(c.atoms.len() as f64) * 10.0);
+        // spectrum increases and the occupied block exists
+        assert!(eig.values[n_s - 1] < eig.values[eig.values.len() - 1]);
+        // kinetic term dominates at the top: top of spectrum positive
+        assert!(*eig.values.last().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sternheimer_shift_spectrum() {
+        // Eq. 9: λ(A) = λ(H) − λ_j + iω
+        let (_, h) = small_ham();
+        let dense = h.to_dense();
+        let eig = symmetric_eig(&dense).unwrap();
+        let (lam, om) = (eig.values[3], 0.25);
+        let op = SternheimerOperator::new(&h, lam, om);
+        // apply A to the 4th eigenvector: result must be iω times it
+        let n = h.dim();
+        let v: Vec<C64> = eig.vectors.col(3).iter().map(|&x| C64::new(x, 0.0)).collect();
+        let mut av = vec![C64::new(0.0, 0.0); n];
+        op.apply(&v, &mut av);
+        for (a, x) in av.iter().zip(v.iter()) {
+            let expect = C64::new(0.0, om) * x;
+            assert!((a - expect).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sternheimer_is_complex_symmetric_not_hermitian() {
+        let (_, h) = small_ham();
+        let op = SternheimerOperator::new(&h, 0.5, 0.3);
+        let n = h.dim();
+        // A = Aᵀ: xᵀAy == yᵀAx for random complex x, y
+        let mut state = 77u64;
+        let mut rand_c = |n: usize| -> Vec<C64> {
+            (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let re = (state as f64 / u64::MAX as f64) - 0.5;
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let im = (state as f64 / u64::MAX as f64) - 0.5;
+                    C64::new(re, im)
+                })
+                .collect()
+        };
+        let x = rand_c(n);
+        let y = rand_c(n);
+        let mut ax = vec![C64::new(0.0, 0.0); n];
+        let mut ay = vec![C64::new(0.0, 0.0); n];
+        op.apply(&x, &mut ax);
+        op.apply(&y, &mut ay);
+        let xt_ay: C64 = x.iter().zip(ay.iter()).map(|(a, b)| a * b).sum();
+        let yt_ax: C64 = y.iter().zip(ax.iter()).map(|(a, b)| a * b).sum();
+        assert!((xt_ay - yt_ax).norm() < 1e-9, "A must equal Aᵀ");
+        // but xᴴAy != (yᴴAx)* in general would hold for Hermitian; verify
+        // A is NOT Hermitian: xᴴAx has nonzero imaginary part (= ω‖x‖²)
+        let xh_ax: C64 = x.iter().zip(ax.iter()).map(|(a, b)| a.conj() * b).sum();
+        assert!(xh_ax.im.abs() > 1e-6);
+    }
+
+    #[test]
+    fn block_apply_matches_vector_apply() {
+        let (_, h) = small_ham();
+        let n = h.dim();
+        let v = Mat::from_fn(n, 3, |i, j| ((i * 13 + j * 29) % 23) as f64 * 0.07 - 0.7);
+        let mut out = Mat::zeros(n, 3);
+        h.apply_block(&v, &mut out);
+        for j in 0..3 {
+            let mut expect = vec![0.0; n];
+            h.apply(v.col(j), &mut expect);
+            for (a, b) in out.col(j).iter().zip(expect.iter()) {
+                assert!((a - b).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn flops_estimates_positive() {
+        let (_, h) = small_ham();
+        assert!(h.apply_flops() > h.dim() * 10);
+        let op = SternheimerOperator::new(&h, 0.0, 0.1);
+        assert!(op.apply_flops() > h.apply_flops());
+    }
+
+    #[test]
+    fn no_nonlocal_when_strength_zero() {
+        let c = SiliconSpec {
+            points_per_cell: 7,
+            ..SiliconSpec::default()
+        }
+        .build();
+        let params = PotentialParams {
+            nonlocal_strength: 0.0,
+            ..PotentialParams::default()
+        };
+        let h = Hamiltonian::new(&c, 2, &params);
+        assert!(h.nonlocal().is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Orbital occupations: integer filling and Fermi–Dirac smearing.
+//!
+//! The paper motivates RPA precisely for "small-gap and metallic systems
+//! where other exchange-correlation functionals readily break down"; its
+//! own evaluation uses gapped silicon with integer (double) occupations.
+//! This module provides both: the integer filling the Sternheimer path
+//! assumes, and Fermi–Dirac fractional occupations consumed by the direct
+//! Adler–Wiser oracle (Eq. 2 holds for any `g_m − g_n`).
+
+/// Occupations `g_j ∈ [0, 2]` for a set of orbital energies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Occupations {
+    /// Per-orbital occupation, matching the energy ordering.
+    pub g: Vec<f64>,
+    /// Chemical potential (Fermi level) used.
+    pub fermi_level: f64,
+}
+
+impl Occupations {
+    /// Total electron count `Σ g_j`.
+    pub fn electrons(&self) -> f64 {
+        self.g.iter().sum()
+    }
+
+    /// True if every occupation is (numerically) 0 or 2.
+    pub fn is_integer(&self, tol: f64) -> bool {
+        self.g
+            .iter()
+            .all(|&g| g.abs() < tol || (g - 2.0).abs() < tol)
+    }
+}
+
+/// Integer filling: the lowest `n_electrons/2` orbitals doubly occupied
+/// (the paper's configuration).
+pub fn integer_occupations(energies: &[f64], n_electrons: usize) -> Occupations {
+    assert!(n_electrons.is_multiple_of(2), "closed-shell filling only");
+    let n_occ = n_electrons / 2;
+    assert!(n_occ <= energies.len(), "not enough orbitals to fill");
+    let g: Vec<f64> = (0..energies.len())
+        .map(|j| if j < n_occ { 2.0 } else { 0.0 })
+        .collect();
+    let fermi_level = if n_occ == 0 {
+        f64::NEG_INFINITY
+    } else if n_occ < energies.len() {
+        0.5 * (energies[n_occ - 1] + energies[n_occ])
+    } else {
+        energies[n_occ - 1]
+    };
+    Occupations { g, fermi_level }
+}
+
+/// Fermi–Dirac occupations `g(ε) = 2/(1 + exp((ε − μ)/T))` with the
+/// chemical potential `μ` solved by bisection to match `n_electrons`.
+/// `temperature` is in Hartree (k_B·T); `T → 0` recovers integer filling
+/// for gapped spectra.
+pub fn fermi_dirac_occupations(
+    energies: &[f64],
+    n_electrons: f64,
+    temperature: f64,
+) -> Occupations {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert!(!energies.is_empty(), "need at least one orbital");
+    assert!(
+        n_electrons >= 0.0 && n_electrons <= 2.0 * energies.len() as f64,
+        "electron count outside [0, 2·n_orbitals]"
+    );
+    let count = |mu: f64| -> f64 {
+        energies
+            .iter()
+            .map(|&e| 2.0 / (1.0 + ((e - mu) / temperature).exp()))
+            .sum()
+    };
+    // bracket the chemical potential
+    let e_min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+    let e_max = energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut lo = e_min - 60.0 * temperature - 1.0;
+    let mut hi = e_max + 60.0 * temperature + 1.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if count(mid) < n_electrons {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mu = 0.5 * (lo + hi);
+    let g: Vec<f64> = energies
+        .iter()
+        .map(|&e| 2.0 / (1.0 + ((e - mu) / temperature).exp()))
+        .collect();
+    Occupations {
+        g,
+        fermi_level: mu,
+    }
+}
+
+/// Electron density `ρ(r) = Σ_j g_j |Ψ_j(r)|²` on the grid — one of the
+/// SPARC outputs the paper's workflow consumes.
+pub fn electron_density(orbitals: &mbrpa_linalg::Mat<f64>, occupations: &[f64]) -> Vec<f64> {
+    assert_eq!(orbitals.cols(), occupations.len(), "orbital count mismatch");
+    let n = orbitals.rows();
+    let mut rho = vec![0.0; n];
+    for (j, &g) in occupations.iter().enumerate() {
+        if g == 0.0 {
+            continue;
+        }
+        for (r, &psi) in rho.iter_mut().zip(orbitals.col(j).iter()) {
+            *r += g * psi * psi;
+        }
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_filling_counts() {
+        let energies = [-2.0, -1.0, 0.0, 1.0];
+        let occ = integer_occupations(&energies, 4);
+        assert_eq!(occ.g, vec![2.0, 2.0, 0.0, 0.0]);
+        assert!((occ.electrons() - 4.0).abs() < 1e-15);
+        assert!((occ.fermi_level + 0.5).abs() < 1e-15); // midgap
+        assert!(occ.is_integer(1e-12));
+    }
+
+    #[test]
+    fn fermi_dirac_matches_electron_count() {
+        let energies: Vec<f64> = (0..20).map(|i| -3.0 + 0.3 * i as f64).collect();
+        for electrons in [2.0, 8.0, 14.5, 26.0] {
+            let occ = fermi_dirac_occupations(&energies, electrons, 0.05);
+            assert!(
+                (occ.electrons() - electrons).abs() < 1e-9,
+                "Σg = {} vs {electrons}",
+                occ.electrons()
+            );
+            // occupations monotone non-increasing in energy
+            for w in occ.g.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cold_limit_recovers_integer_filling_for_gapped_spectrum() {
+        let energies = [-5.0, -4.9, -4.8, -1.0, -0.9]; // big gap after 3
+        let occ = fermi_dirac_occupations(&energies, 6.0, 1e-3);
+        assert!(occ.is_integer(1e-9), "{:?}", occ.g);
+        assert!((occ.g[0] - 2.0).abs() < 1e-9);
+        assert!(occ.g[3].abs() < 1e-9);
+        // Fermi level sits in the gap
+        assert!(occ.fermi_level > -4.8 && occ.fermi_level < -1.0);
+    }
+
+    #[test]
+    fn hot_metallic_spectrum_is_fractional() {
+        // closely spaced levels at half filling: smearing must spread
+        let energies: Vec<f64> = (0..10).map(|i| 0.01 * i as f64).collect();
+        let occ = fermi_dirac_occupations(&energies, 10.0, 0.05);
+        assert!(!occ.is_integer(1e-3), "{:?}", occ.g);
+        let partial = occ.g.iter().filter(|&&g| g > 0.1 && g < 1.9).count();
+        assert!(partial >= 4, "expected several fractional levels: {:?}", occ.g);
+    }
+
+    #[test]
+    fn density_sums_to_electron_count_for_orthonormal_orbitals() {
+        use mbrpa_linalg::{orthonormalize_columns, Mat};
+        let mut psi = Mat::from_fn(50, 4, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+        orthonormalize_columns(&mut psi);
+        let occ = [2.0, 2.0, 1.5, 0.0];
+        let rho = electron_density(&psi, &occ);
+        assert!(rho.iter().all(|&x| x >= 0.0), "density must be non-negative");
+        let total: f64 = rho.iter().sum();
+        assert!((total - 5.5).abs() < 1e-10, "∫ρ = {total}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Orbital file I/O — the SPARC interface substitution.
+//!
+//! The paper's RPA code does not run DFT itself: it **reads** the occupied
+//! Kohn–Sham orbitals, orbital energies, and electron density written by a
+//! prior SPARC calculation ("all output files required from SPARC are
+//! already provided in the artifact"). This module reproduces that
+//! workflow boundary with a self-describing text format, so the KS stage
+//! can be computed once and reused across RPA parameter sweeps — exactly
+//! how the artifact's experiments are organized.
+//!
+//! Format (`.orb`): a header line, dimensions, then one orbital per block:
+//!
+//! ```text
+//! mbrpa-orbitals v1
+//! n_d <n> n_occupied <n_s> n_stored <k>
+//! energy <λ_1>
+//! <Ψ_1[0]>
+//! …
+//! ```
+
+use crate::eigensolve::KsSolution;
+use mbrpa_linalg::Mat;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Magic first line of the format.
+const MAGIC: &str = "mbrpa-orbitals v1";
+
+/// Errors reading or writing orbital files.
+#[derive(Debug)]
+pub enum OrbitalIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not an orbital file or is corrupt.
+    Format {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for OrbitalIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbitalIoError::Io(e) => write!(f, "orbital file I/O error: {e}"),
+            OrbitalIoError::Format { message } => {
+                write!(f, "orbital file format error: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrbitalIoError {}
+
+impl From<std::io::Error> for OrbitalIoError {
+    fn from(e: std::io::Error) -> Self {
+        OrbitalIoError::Io(e)
+    }
+}
+
+fn format_err(message: impl Into<String>) -> OrbitalIoError {
+    OrbitalIoError::Format {
+        message: message.into(),
+    }
+}
+
+/// Write a [`KsSolution`] to `path` (full double precision via hex floats
+/// would be unreadable; `{:.17e}` round-trips f64 exactly).
+pub fn save_orbitals(path: &Path, ks: &KsSolution) -> Result<(), OrbitalIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let n = ks.orbitals.rows();
+    let k = ks.orbitals.cols();
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "n_d {n} n_occupied {} n_stored {k}", ks.n_occupied)?;
+    for j in 0..k {
+        writeln!(w, "energy {:.17e}", ks.energies[j])?;
+        for &x in ks.orbitals.col(j) {
+            writeln!(w, "{x:.17e}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a [`KsSolution`] written by [`save_orbitals`].
+pub fn load_orbitals(path: &Path) -> Result<KsSolution, OrbitalIoError> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = BufReader::new(file).lines();
+    let mut next_line = || -> Result<String, OrbitalIoError> {
+        lines
+            .next()
+            .ok_or_else(|| format_err("unexpected end of file"))?
+            .map_err(OrbitalIoError::from)
+    };
+
+    let magic = next_line()?;
+    if magic.trim() != MAGIC {
+        return Err(format_err(format!("bad magic line `{magic}`")));
+    }
+    let header = next_line()?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() != 6 || toks[0] != "n_d" || toks[2] != "n_occupied" || toks[4] != "n_stored" {
+        return Err(format_err(format!("bad header `{header}`")));
+    }
+    let n: usize = toks[1].parse().map_err(|_| format_err("bad n_d"))?;
+    let n_occ: usize = toks[3].parse().map_err(|_| format_err("bad n_occupied"))?;
+    let k: usize = toks[5].parse().map_err(|_| format_err("bad n_stored"))?;
+    if n_occ > k {
+        return Err(format_err("n_occupied exceeds stored orbitals"));
+    }
+
+    let mut energies = Vec::with_capacity(k);
+    let mut orbitals = Mat::zeros(n, k);
+    for j in 0..k {
+        let eline = next_line()?;
+        let value = eline
+            .strip_prefix("energy ")
+            .ok_or_else(|| format_err(format!("expected `energy …`, got `{eline}`")))?;
+        energies.push(
+            value
+                .trim()
+                .parse()
+                .map_err(|_| format_err("bad energy value"))?,
+        );
+        let col = orbitals.col_mut(j);
+        for x in col.iter_mut() {
+            let line = next_line()?;
+            *x = line
+                .trim()
+                .parse()
+                .map_err(|_| format_err(format!("bad orbital value `{line}`")))?;
+        }
+    }
+    // energies must be ascending to be a valid KS solution
+    for w in energies.windows(2) {
+        if w[0] > w[1] + 1e-12 {
+            return Err(format_err("energies are not ascending"));
+        }
+    }
+    Ok(KsSolution {
+        energies,
+        orbitals,
+        n_occupied: n_occ,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigensolve::solve_occupied_dense;
+    use crate::hamiltonian::Hamiltonian;
+    use crate::potential::PotentialParams;
+    use crate::system::SiliconSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mbrpa_test_{}_{name}.orb", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let c = SiliconSpec {
+            points_per_cell: 5,
+            ..SiliconSpec::default()
+        }
+        .build();
+        let ham = Hamiltonian::new(&c, 2, &PotentialParams::default());
+        let ks = solve_occupied_dense(&ham, c.n_occupied(), 2).unwrap();
+        let path = tmp("roundtrip");
+        save_orbitals(&path, &ks).unwrap();
+        let back = load_orbitals(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.n_occupied, ks.n_occupied);
+        assert_eq!(back.energies.len(), ks.energies.len());
+        for (a, b) in back.energies.iter().zip(ks.energies.iter()) {
+            assert_eq!(a, b, "f64 round-trip must be exact");
+        }
+        assert_eq!(back.orbitals.max_abs_diff(&ks.orbitals), 0.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not an orbital file\n").unwrap();
+        let err = load_orbitals(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, OrbitalIoError::Format { .. }));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let path = tmp("truncated");
+        std::fs::write(
+            &path,
+            format!("{MAGIC}\nn_d 4 n_occupied 1 n_stored 1\nenergy 1.0\n0.5\n"),
+        )
+        .unwrap();
+        let err = load_orbitals(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("end of file"));
+    }
+
+    #[test]
+    fn rejects_unsorted_energies() {
+        let path = tmp("unsorted");
+        let mut body = format!("{MAGIC}\nn_d 2 n_occupied 2 n_stored 2\n");
+        body.push_str("energy 2.0\n0.0\n1.0\n");
+        body.push_str("energy 1.0\n1.0\n0.0\n");
+        std::fs::write(&path, body).unwrap();
+        let err = load_orbitals(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("ascending"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_orbitals(Path::new("/nonexistent/mbrpa.orb")).unwrap_err();
+        assert!(matches!(err, OrbitalIoError::Io(_)));
+    }
+}

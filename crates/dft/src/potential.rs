@@ -1,0 +1,331 @@
+//! Model pseudopotential: local Gaussian wells plus Kleinman–Bylander-style
+//! non-local projectors.
+//!
+//! **Substitution note (see DESIGN.md):** the paper obtains its Hamiltonian
+//! from a SPARC Kohn–Sham calculation with real silicon pseudopotentials.
+//! The RPA stage only needs a real symmetric grid Hamiltonian of the form
+//! `−½∇² + V_loc + 𝒳Γ𝒳ᵀ` with a gapped low spectrum, so we synthesize one:
+//! a local potential of attractive Gaussians at the (perturbed) atom sites
+//! and an optional low-rank non-local term built from localized projector
+//! functions. Both pieces exercise exactly the kernels the paper analyzes
+//! (stencil + diagonal + sparse outer product `𝒳𝒳ᴴ`).
+
+use crate::system::Crystal;
+use mbrpa_grid::Grid3;
+use mbrpa_linalg::{Mat, Scalar};
+
+/// Shape parameters of the model pseudopotential.
+#[derive(Clone, Copy, Debug)]
+pub struct PotentialParams {
+    /// Depth of each local Gaussian well (Hartree).
+    pub depth: f64,
+    /// Gaussian width σ of the local wells (Bohr).
+    pub sigma: f64,
+    /// Non-local projector strength γ (Hartree); 0 disables the term.
+    pub nonlocal_strength: f64,
+    /// Non-local projector Gaussian width (Bohr).
+    pub nonlocal_sigma: f64,
+    /// Support cutoff radius of each projector (Bohr); beyond it the
+    /// projector is exactly zero, making `𝒳` sparse.
+    pub nonlocal_cutoff: f64,
+}
+
+impl Default for PotentialParams {
+    fn default() -> Self {
+        Self {
+            depth: 3.0,
+            sigma: 1.1,
+            nonlocal_strength: 0.8,
+            nonlocal_sigma: 0.9,
+            nonlocal_cutoff: 2.7,
+        }
+    }
+}
+
+/// Sum over periodic images within the minimum-image convention plus the
+/// nearest shell, adequate for wells much narrower than the cell.
+fn image_displacement(grid: &Grid3, d: (f64, f64, f64)) -> f64 {
+    let (lx, ly, lz) = grid.lengths();
+    let dx = grid.min_image(d.0, lx);
+    let dy = grid.min_image(d.1, ly);
+    let dz = grid.min_image(d.2, lz);
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
+/// Evaluate the local potential on every grid point.
+pub fn local_potential(crystal: &Crystal, params: &PotentialParams) -> Vec<f64> {
+    let grid = &crystal.grid;
+    let inv_two_sigma2 = 1.0 / (2.0 * params.sigma * params.sigma);
+    let mut v = vec![0.0; grid.len()];
+    for idx in 0..grid.len() {
+        let (i, j, k) = grid.coords(idx);
+        let p = grid.position(i, j, k);
+        let mut acc = 0.0;
+        for atom in &crystal.atoms {
+            let r = image_displacement(
+                grid,
+                (
+                    p.0 - atom.position.0,
+                    p.1 - atom.position.1,
+                    p.2 - atom.position.2,
+                ),
+            );
+            acc -= params.depth * (-r * r * inv_two_sigma2).exp();
+        }
+        v[idx] = acc;
+    }
+    v
+}
+
+/// A sparse localized projector: the non-zero grid indices and values of
+/// one Kleinman–Bylander-style channel.
+#[derive(Clone, Debug)]
+pub struct Projector {
+    /// Grid indices inside the support ball.
+    pub indices: Vec<u32>,
+    /// Projector values at those indices (unit l₂ norm).
+    pub values: Vec<f64>,
+    /// Channel strength γ.
+    pub strength: f64,
+}
+
+/// The non-local term `V_nl = Σ_a γ_a |p_a⟩⟨p_a| = 𝒳 Γ 𝒳ᵀ` with sparse,
+/// atom-centered columns of `𝒳`.
+#[derive(Clone, Debug)]
+pub struct NonlocalProjectors {
+    projectors: Vec<Projector>,
+    dim: usize,
+}
+
+impl NonlocalProjectors {
+    /// Build one projector per atom.
+    pub fn build(crystal: &Crystal, params: &PotentialParams) -> Self {
+        let grid = &crystal.grid;
+        let inv_two_sigma2 = 1.0 / (2.0 * params.nonlocal_sigma * params.nonlocal_sigma);
+        let cutoff2 = params.nonlocal_cutoff * params.nonlocal_cutoff;
+        let mut projectors = Vec::with_capacity(crystal.atoms.len());
+        for atom in &crystal.atoms {
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            for idx in 0..grid.len() {
+                let (i, j, k) = grid.coords(idx);
+                let p = grid.position(i, j, k);
+                let dx = grid.min_image(p.0 - atom.position.0, grid.lengths().0);
+                let dy = grid.min_image(p.1 - atom.position.1, grid.lengths().1);
+                let dz = grid.min_image(p.2 - atom.position.2, grid.lengths().2);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 <= cutoff2 {
+                    indices.push(idx as u32);
+                    values.push((-r2 * inv_two_sigma2).exp());
+                }
+            }
+            // normalize to unit l2 norm so γ directly sets the channel scale
+            let norm: f64 = values.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                values.iter_mut().for_each(|x| *x /= norm);
+            }
+            projectors.push(Projector {
+                indices,
+                values,
+                strength: params.nonlocal_strength,
+            });
+        }
+        Self {
+            projectors,
+            dim: grid.len(),
+        }
+    }
+
+    /// Number of projector channels.
+    pub fn len(&self) -> usize {
+        self.projectors.len()
+    }
+
+    /// True when no channels exist.
+    pub fn is_empty(&self) -> bool {
+        self.projectors.is_empty()
+    }
+
+    /// Grid dimension the projectors act on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total stored non-zeros across channels.
+    pub fn nnz(&self) -> usize {
+        self.projectors.iter().map(|p| p.indices.len()).sum()
+    }
+
+    /// Sum of channel strengths `Σ γ_a`: an upper bound on `λ_max(V_nl)`
+    /// (each channel is a unit-norm rank-1 PSD term of norm `γ_a`).
+    pub fn strength_sum(&self) -> f64 {
+        self.projectors.iter().map(|p| p.strength.max(0.0)).sum()
+    }
+
+    /// `y += Σ_a γ_a p_a (p_aᵀ x)` for one vector (sparse gather + scatter).
+    pub fn apply_add<T: Scalar>(&self, x: &[T], y: &mut [T]) {
+        debug_assert_eq!(x.len(), self.dim);
+        debug_assert_eq!(y.len(), self.dim);
+        for proj in &self.projectors {
+            let mut dot = T::zero();
+            for (&i, &v) in proj.indices.iter().zip(proj.values.iter()) {
+                dot += x[i as usize].scale(v);
+            }
+            let coeff = dot.scale(proj.strength);
+            for (&i, &v) in proj.indices.iter().zip(proj.values.iter()) {
+                y[i as usize] += coeff.scale(v);
+            }
+        }
+    }
+
+    /// Block version: applied column by column; the paper treats this term
+    /// as a sparse-dense matmul (`𝒳ᵀ P` then `𝒳 · …`) for higher arithmetic
+    /// intensity, which this layout mirrors by keeping each channel's
+    /// gather/scatter contiguous.
+    pub fn apply_add_block<T: Scalar>(&self, x: &Mat<T>, y: &mut Mat<T>) {
+        assert_eq!(x.shape(), y.shape());
+        for j in 0..x.cols() {
+            self.apply_add(x.col(j), y.col_mut(j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SiliconSpec;
+    use mbrpa_linalg::C64;
+
+    fn small_crystal() -> Crystal {
+        SiliconSpec {
+            points_per_cell: 7,
+            perturbation: 0.0,
+            ..SiliconSpec::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn local_potential_is_negative_and_bounded() {
+        let c = small_crystal();
+        let v = local_potential(&c, &PotentialParams::default());
+        assert_eq!(v.len(), c.n_grid());
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max <= 0.0, "attractive wells must be non-positive");
+        // wells can overlap, but not beyond atoms × depth
+        assert!(min >= -(c.atoms.len() as f64) * 3.0);
+        assert!(min < -1.0, "potential should be meaningfully deep, got {min}");
+    }
+
+    #[test]
+    fn potential_deepest_near_atoms() {
+        let c = small_crystal();
+        let params = PotentialParams::default();
+        let v = local_potential(&c, &params);
+        // the grid point nearest to atom 0 must be deeper than the cell
+        // center region far from all atoms
+        let g = &c.grid;
+        let (ax, ay, az) = c.atoms[0].position;
+        let near = g.index(
+            (ax / g.hx).round() as usize % g.nx,
+            (ay / g.hy).round() as usize % g.ny,
+            (az / g.hz).round() as usize % g.nz,
+        );
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(v[near] < mean);
+    }
+
+    #[test]
+    fn projectors_are_sparse_and_normalized() {
+        let c = small_crystal();
+        let nl = NonlocalProjectors::build(&c, &PotentialParams::default());
+        assert_eq!(nl.len(), 8);
+        assert!(nl.nnz() > 0);
+        assert!(nl.nnz() < 8 * c.n_grid(), "projectors must be localized");
+        for p in 0..nl.len() {
+            let norm: f64 = nl.projectors[p].values.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nonlocal_apply_is_symmetric_positive() {
+        let c = small_crystal();
+        let nl = NonlocalProjectors::build(&c, &PotentialParams::default());
+        let n = c.n_grid();
+        let mut state = 123u64;
+        let mut rand_vec = || -> Vec<f64> {
+            (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state as f64 / u64::MAX as f64) - 0.5
+                })
+                .collect()
+        };
+        let x = rand_vec();
+        let y = rand_vec();
+        let mut vx = vec![0.0; n];
+        let mut vy = vec![0.0; n];
+        nl.apply_add(&x, &mut vx);
+        nl.apply_add(&y, &mut vy);
+        let xv_y: f64 = x.iter().zip(vy.iter()).map(|(a, b)| a * b).sum();
+        let yv_x: f64 = y.iter().zip(vx.iter()).map(|(a, b)| a * b).sum();
+        assert!((xv_y - yv_x).abs() < 1e-10, "V_nl must be symmetric");
+        let quad: f64 = x.iter().zip(vx.iter()).map(|(a, b)| a * b).sum();
+        assert!(quad >= -1e-12, "V_nl with γ>0 must be PSD");
+    }
+
+    #[test]
+    fn nonlocal_rank_bounded_by_channels() {
+        let c = small_crystal();
+        let nl = NonlocalProjectors::build(&c, &PotentialParams::default());
+        // applying to a vector orthogonal to all projectors gives zero
+        let n = c.n_grid();
+        // build a vector supported on a single point far from all supports —
+        // if that point is inside some support, fall back to checking rank
+        // via image dimension: the image of 9 random vectors must span ≤ 8.
+        let mut images = Mat::zeros(n, 9);
+        let mut state = 9u64;
+        for j in 0..9 {
+            let x: Vec<f64> = (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state as f64 / u64::MAX as f64) - 0.5
+                })
+                .collect();
+            let mut y = vec![0.0; n];
+            nl.apply_add(&x, &mut y);
+            images.col_mut(j).copy_from_slice(&y);
+        }
+        let qr = mbrpa_linalg::thin_qr(&images);
+        assert!(
+            !qr.deficient.is_empty(),
+            "9 images of a rank-8 operator must be dependent"
+        );
+    }
+
+    #[test]
+    fn complex_apply_matches_componentwise() {
+        let c = small_crystal();
+        let nl = NonlocalProjectors::build(&c, &PotentialParams::default());
+        let n = c.n_grid();
+        let re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let im: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let xc: Vec<C64> = re.iter().zip(im.iter()).map(|(&a, &b)| C64::new(a, b)).collect();
+        let mut yc = vec![C64::new(0.0, 0.0); n];
+        nl.apply_add(&xc, &mut yc);
+        let mut yr = vec![0.0; n];
+        let mut yi = vec![0.0; n];
+        nl.apply_add(&re, &mut yr);
+        nl.apply_add(&im, &mut yi);
+        for i in 0..n {
+            assert!((yc[i].re - yr[i]).abs() < 1e-12);
+            assert!((yc[i].im - yi[i]).abs() < 1e-12);
+        }
+    }
+}

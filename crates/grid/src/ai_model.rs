@@ -1,0 +1,138 @@
+//! The fast–slow memory arithmetic-intensity model of §III-C (Eqs. 11–12
+//! of the paper), used to justify applying the stencil to **one vector at
+//! a time**.
+//!
+//! For a six-axis `(6r+1)`-point stencil over an `m × n × k` output block,
+//! the input domain needs `mnk + 2r(mn + mk + nk)` grid points; fitting
+//! input and output in a fast memory of `C` words bounds the block size,
+//! and the attainable intensity is
+//!
+//! ```text
+//! I₁(m,n,k) = 2(6r+1)mnk / (2mnk + 2r(mn+mk+nk))      (Eq. 11)
+//! Iₛ(m,n,k) = I₁(m,n,k)   for s simultaneous vectors   (Eq. 12)
+//! ```
+//!
+//! — identical *as functions of the block*, but the `s`-vector variant
+//! must fit `s` copies in cache, shrinking the feasible block edge to
+//! `≈ 1/s^(1/3)` of the single-vector one. Since `max I₁(m) = (6r+1)m/(m+3r)`
+//! increases monotonically in `m`, the single-vector layout always attains
+//! the higher intensity.
+
+/// Words needed to hold the input + output domains of an `m×n×k` block at
+/// stencil radius `r`.
+pub fn block_words(m: usize, n: usize, k: usize, r: usize) -> usize {
+    2 * m * n * k + 2 * r * (m * n + m * k + n * k)
+}
+
+/// Eq. 11: arithmetic intensity of a single-vector stencil over an
+/// `m×n×k` block (FLOPs per word moved).
+pub fn intensity(m: usize, n: usize, k: usize, r: usize) -> f64 {
+    let flops = 2.0 * (6 * r + 1) as f64 * (m * n * k) as f64;
+    flops / block_words(m, n, k, r) as f64
+}
+
+/// `max I₁(m) = (6r+1)m/(m+3r)` — the cubic-block optimum of Eq. 11.
+pub fn max_intensity_cubic(m: usize, r: usize) -> f64 {
+    ((6 * r + 1) * m) as f64 / (m + 3 * r) as f64
+}
+
+/// Largest cubic block edge `m` with `s` simultaneous vectors fitting in a
+/// fast memory of `c` words (Eq. 12's constraint `s·(2m³ + 6rm²) ≤ C`).
+pub fn max_block_edge(c: usize, r: usize, s: usize) -> usize {
+    assert!(s >= 1, "need at least one vector");
+    let mut m = 1usize;
+    while s * block_words(m + 1, m + 1, m + 1, r) <= c {
+        m += 1;
+    }
+    m
+}
+
+/// The §III-C headline: attainable intensity for `s` simultaneous vectors
+/// under a cache of `c` words. Monotonically decreasing in `s`.
+pub fn attainable_intensity(c: usize, r: usize, s: usize) -> f64 {
+    max_intensity_cubic(max_block_edge(c, r, s), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_words_matches_formula() {
+        // m=n=k=4, r=2: 2·64 + 2·2·(16+16+16) = 128 + 192 = 320
+        assert_eq!(block_words(4, 4, 4, 2), 320);
+        assert_eq!(block_words(1, 1, 1, 1), 2 + 2 * 3);
+    }
+
+    #[test]
+    fn intensity_maximized_by_cubic_blocks() {
+        // at fixed volume, the cubic block beats elongated ones
+        let r = 4;
+        let cube = intensity(8, 8, 8, r);
+        let slab = intensity(32, 4, 4, r);
+        let rod = intensity(128, 2, 2, r);
+        assert!(cube > slab, "{cube} vs {slab}");
+        assert!(slab > rod, "{slab} vs {rod}");
+        // and the closed form agrees with the general formula on cubes
+        let diff = (intensity(8, 8, 8, r) - max_intensity_cubic(8, r)).abs();
+        assert!(diff < 1e-12);
+    }
+
+    #[test]
+    fn max_intensity_is_monotone_in_block_edge() {
+        let r = 4;
+        let mut last = 0.0;
+        for m in 1..100 {
+            let i = max_intensity_cubic(m, r);
+            assert!(i > last, "intensity must grow with m");
+            last = i;
+        }
+        // asymptote: → 6r+1 as m → ∞
+        assert!(max_intensity_cubic(100_000, r) < (6 * r + 1) as f64);
+        assert!(max_intensity_cubic(100_000, r) > 0.99 * (6 * r + 1) as f64);
+    }
+
+    #[test]
+    fn simultaneous_vectors_shrink_the_block() {
+        // 32 KiB L1 of f64 words
+        let c = 32 * 1024 / 8;
+        let r = 4;
+        let m1 = max_block_edge(c, r, 1);
+        let m4 = max_block_edge(c, r, 4);
+        let m8 = max_block_edge(c, r, 8);
+        assert!(m1 > m4 && m4 >= m8, "{m1} vs {m4} vs {m8}");
+        // the constraint really is tight
+        assert!(block_words(m1, m1, m1, r) <= c);
+        assert!(block_words(m1 + 1, m1 + 1, m1 + 1, r) > c);
+    }
+
+    #[test]
+    fn one_vector_at_a_time_attains_higher_intensity() {
+        // the §III-C conclusion, for typical cache sizes and radii
+        for &c in &[4096usize, 32 * 1024 / 8, 512 * 1024 / 8] {
+            for r in 1..=6 {
+                let i1 = attainable_intensity(c, r, 1);
+                for s in [2usize, 4, 8, 16] {
+                    let is = attainable_intensity(c, r, s);
+                    assert!(
+                        i1 >= is,
+                        "c={c} r={r} s={s}: single {i1} < simultaneous {is}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_example() {
+        // r = 4 (a high-order SPARC-style stencil), 32 KiB L1: the
+        // single-vector block fits m ≈ 11 and attains I ≈ 19 flops/word,
+        // while s = 8 squeezes m to ~5 and I ≈ 15 — the gap the stencil
+        // benchmark measures
+        let c = 32 * 1024 / 8;
+        let r = 4;
+        let i1 = attainable_intensity(c, r, 1);
+        let i8 = attainable_intensity(c, r, 8);
+        assert!(i1 > i8 * 1.1, "expected a >10% intensity gap: {i1} vs {i8}");
+    }
+}

@@ -1,0 +1,467 @@
+//! High-order finite-difference Laplacian stencils.
+//!
+//! The Hamiltonian's kinetic term is a six-axis `(6r+1)`-point stencil of
+//! radius `r` (§III-C of the paper). Application is organized as three
+//! axis passes whose inner loops run over contiguous x-lines, and — per the
+//! paper's arithmetic-intensity analysis — operates on **one vector at a
+//! time**; a deliberately "simultaneous" multi-vector variant is provided
+//! for the §III-C benchmark that substantiates that choice.
+
+use crate::grid::{Boundary, Grid3};
+use mbrpa_linalg::{Mat, Scalar};
+
+/// Classical central-difference second-derivative weights of radius `r`
+/// (order `2r`): returns `c[0..=r]` with
+/// `f''(0) ≈ (c₀ f(0) + Σ_t c_t (f(t·h) + f(−t·h))) / h²`.
+pub fn second_derivative_weights(r: usize) -> Vec<f64> {
+    assert!(r >= 1, "stencil radius must be at least 1");
+    assert!(r <= 10, "stencil radius beyond 10 is numerically useless");
+    let fact = |n: usize| -> f64 { (1..=n).map(|x| x as f64).product::<f64>().max(1.0) };
+    let mut c = vec![0.0; r + 1];
+    c[0] = -2.0 * (1..=r).map(|k| 1.0 / (k * k) as f64).sum::<f64>();
+    let rf = fact(r);
+    for k in 1..=r {
+        let sign = if k % 2 == 1 { 1.0 } else { -1.0 };
+        c[k] = 2.0 * sign * rf * rf / ((k * k) as f64 * fact(r - k) * fact(r + k));
+    }
+    c
+}
+
+/// Dense 1-D Laplacian matrix for the given boundary condition; the 3-D
+/// stencil operator is exactly the Kronecker sum of these (used by the
+/// spectral Kronecker solver and as the test oracle).
+pub fn dense_laplacian_1d(n: usize, h: f64, r: usize, bc: Boundary) -> Mat<f64> {
+    assert!(n >= 2 * r + 1, "need n >= 2r+1 grid points (n={n}, r={r})");
+    let w = second_derivative_weights(r);
+    let inv_h2 = 1.0 / (h * h);
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        l[(i, i)] = w[0] * inv_h2;
+        for t in 1..=r {
+            let c = w[t] * inv_h2;
+            match bc {
+                Boundary::Periodic => {
+                    l[(i, (i + t) % n)] += c;
+                    l[(i, (i + n - t) % n)] += c;
+                }
+                Boundary::Dirichlet => {
+                    if i + t < n {
+                        l[(i, i + t)] += c;
+                    }
+                    if i >= t {
+                        l[(i, i - t)] += c;
+                    }
+                }
+            }
+        }
+    }
+    l
+}
+
+/// The 3-D finite-difference Laplacian operator `∇²` on a [`Grid3`].
+#[derive(Clone, Debug)]
+pub struct Laplacian {
+    grid: Grid3,
+    radius: usize,
+    /// Off-diagonal weights divided by `h²`, per axis, index `1..=r`.
+    cx: Vec<f64>,
+    cy: Vec<f64>,
+    cz: Vec<f64>,
+    /// Sum of the three axis diagonal terms.
+    diag: f64,
+}
+
+impl Laplacian {
+    /// Build a radius-`r` stencil Laplacian on `grid`.
+    pub fn new(grid: Grid3, radius: usize) -> Self {
+        assert!(grid.nx >= 2 * radius + 1, "nx too small for radius {radius}");
+        assert!(grid.ny >= 2 * radius + 1, "ny too small for radius {radius}");
+        assert!(grid.nz >= 2 * radius + 1, "nz too small for radius {radius}");
+        let w = second_derivative_weights(radius);
+        let scale = |h: f64| -> Vec<f64> { w.iter().map(|c| c / (h * h)).collect() };
+        let cx = scale(grid.hx);
+        let cy = scale(grid.hy);
+        let cz = scale(grid.hz);
+        let diag = cx[0] + cy[0] + cz[0];
+        Self {
+            grid,
+            radius,
+            cx,
+            cy,
+            cz,
+            diag,
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// Stencil radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of stencil points, `6r + 1`.
+    pub fn points(&self) -> usize {
+        6 * self.radius + 1
+    }
+
+    /// `out = ∇² v` for a single vector (the paper's preferred mode).
+    pub fn apply<T: Scalar>(&self, v: &[T], out: &mut [T]) {
+        let n = self.grid.len();
+        assert_eq!(v.len(), n);
+        assert_eq!(out.len(), n);
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.grid.nz);
+        let periodic = self.grid.bc == Boundary::Periodic;
+
+        // Diagonal term.
+        for (o, &x) in out.iter_mut().zip(v.iter()) {
+            *o = x.scale(self.diag);
+        }
+
+        // X pass: contiguous lines of length nx.
+        for line in 0..ny * nz {
+            let base = line * nx;
+            let vl = &v[base..base + nx];
+            let ol = &mut out[base..base + nx];
+            for t in 1..=self.radius {
+                let c = self.cx[t];
+                for i in t..nx - t {
+                    ol[i] += (vl[i - t] + vl[i + t]).scale(c);
+                }
+                if periodic {
+                    for i in 0..t {
+                        ol[i] += (vl[i + nx - t] + vl[i + t]).scale(c);
+                    }
+                    for i in nx - t..nx {
+                        ol[i] += (vl[i - t] + vl[i + t - nx]).scale(c);
+                    }
+                } else {
+                    for i in 0..t {
+                        ol[i] += vl[i + t].scale(c);
+                    }
+                    for i in nx - t..nx {
+                        ol[i] += vl[i - t].scale(c);
+                    }
+                }
+            }
+        }
+
+        // Y pass: couple x-lines within each z-slice.
+        let slice = nx * ny;
+        for k in 0..nz {
+            let sbase = k * slice;
+            for t in 1..=self.radius {
+                let c = self.cy[t];
+                for j in 0..ny {
+                    let obase = sbase + j * nx;
+                    // +t neighbour
+                    if j + t < ny || periodic {
+                        let jp = (j + t) % ny;
+                        let pbase = sbase + jp * nx;
+                        for i in 0..nx {
+                            let add = v[pbase + i].scale(c);
+                            out[obase + i] += add;
+                        }
+                    }
+                    // −t neighbour
+                    if j >= t || periodic {
+                        let jm = (j + ny - t) % ny;
+                        let mbase = sbase + jm * nx;
+                        for i in 0..nx {
+                            let add = v[mbase + i].scale(c);
+                            out[obase + i] += add;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Z pass: couple z-slices.
+        for t in 1..=self.radius {
+            let c = self.cz[t];
+            for k in 0..nz {
+                let obase = k * slice;
+                if k + t < nz || periodic {
+                    let kp = (k + t) % nz;
+                    let pbase = kp * slice;
+                    for i in 0..slice {
+                        let add = v[pbase + i].scale(c);
+                        out[obase + i] += add;
+                    }
+                }
+                if k >= t || periodic {
+                    let km = (k + nz - t) % nz;
+                    let mbase = km * slice;
+                    for i in 0..slice {
+                        let add = v[mbase + i].scale(c);
+                        out[obase + i] += add;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply to every column of a block, one vector at a time (§III-C).
+    pub fn apply_block<T: Scalar>(&self, v: &Mat<T>, out: &mut Mat<T>) {
+        assert_eq!(v.shape(), out.shape());
+        assert_eq!(v.rows(), self.grid.len());
+        for j in 0..v.cols() {
+            // split borrows: columns of distinct matrices
+            let src = v.col(j);
+            let dst = out.col_mut(j);
+            self.apply(src, dst);
+        }
+    }
+
+    /// Deliberately "simultaneous" multi-vector application: iterates grid
+    /// points in the outer loops and touches all `s` columns at every point.
+    /// This is the variant the paper's arithmetic-intensity analysis argues
+    /// *against*; it exists to substantiate Figure/§III-C in a benchmark and
+    /// as a correctness cross-check.
+    pub fn apply_block_simultaneous<T: Scalar>(&self, v: &Mat<T>, out: &mut Mat<T>) {
+        assert_eq!(v.shape(), out.shape());
+        let n = self.grid.len();
+        assert_eq!(v.rows(), n);
+        let s = v.cols();
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.grid.nz);
+        let periodic = self.grid.bc == Boundary::Periodic;
+        let r = self.radius;
+
+        let vd = v.as_slice();
+        let od = out.as_mut_slice();
+        od.iter_mut()
+            .zip(vd.iter())
+            .for_each(|(o, &x)| *o = x.scale(self.diag));
+
+        let neighbour = |idx: usize, nb: usize, c: f64, od: &mut [T]| {
+            for col in 0..s {
+                od[col * n + idx] += vd[col * n + nb].scale(c);
+            }
+        };
+
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = i + nx * (j + ny * k);
+                    for t in 1..=r {
+                        // x axis
+                        if i + t < nx || periodic {
+                            neighbour(idx, (i + t) % nx + nx * (j + ny * k), self.cx[t], od);
+                        }
+                        if i >= t || periodic {
+                            neighbour(idx, (i + nx - t) % nx + nx * (j + ny * k), self.cx[t], od);
+                        }
+                        // y axis
+                        if j + t < ny || periodic {
+                            neighbour(idx, i + nx * ((j + t) % ny + ny * k), self.cy[t], od);
+                        }
+                        if j >= t || periodic {
+                            neighbour(idx, i + nx * ((j + ny - t) % ny + ny * k), self.cy[t], od);
+                        }
+                        // z axis
+                        if k + t < nz || periodic {
+                            neighbour(idx, i + nx * (j + ny * ((k + t) % nz)), self.cz[t], od);
+                        }
+                        if k >= t || periodic {
+                            neighbour(idx, i + nx * (j + ny * ((k + nz - t) % nz)), self.cz[t], od);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assemble the dense `n_d × n_d` operator (test oracle; small grids
+    /// only).
+    pub fn to_dense(&self) -> Mat<f64> {
+        let n = self.grid.len();
+        let mut m = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        let mut col = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            self.apply(&e, &mut col);
+            m.col_mut(j).copy_from_slice(&col);
+            e[j] = 0.0;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbrpa_linalg::C64;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn weights_match_classical_values() {
+        let w1 = second_derivative_weights(1);
+        assert_eq!(w1, vec![-2.0, 1.0]);
+        let w2 = second_derivative_weights(2);
+        assert!((w2[0] + 5.0 / 2.0).abs() < 1e-15);
+        assert!((w2[1] - 4.0 / 3.0).abs() < 1e-15);
+        assert!((w2[2] + 1.0 / 12.0).abs() < 1e-15);
+        let w3 = second_derivative_weights(3);
+        assert!((w3[0] + 49.0 / 18.0).abs() < 1e-14);
+        assert!((w3[1] - 3.0 / 2.0).abs() < 1e-14);
+        assert!((w3[2] + 3.0 / 20.0).abs() < 1e-14);
+        assert!((w3[3] - 1.0 / 90.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn weights_sum_to_zero() {
+        // consistency: Laplacian annihilates constants
+        for r in 1..=8 {
+            let w = second_derivative_weights(r);
+            let s: f64 = w[0] + 2.0 * w[1..].iter().sum::<f64>();
+            assert!(s.abs() < 1e-12, "r={r}: weight sum {s}");
+        }
+    }
+
+    fn test_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn kron_sum_oracle(g: &Grid3, r: usize, v: &[f64]) -> Vec<f64> {
+        // apply Lx⊗I⊗I + I⊗Ly⊗I + I⊗I⊗Lz using the dense 1-D matrices
+        let lx = dense_laplacian_1d(g.nx, g.hx, r, g.bc);
+        let ly = dense_laplacian_1d(g.ny, g.hy, r, g.bc);
+        let lz = dense_laplacian_1d(g.nz, g.hz, r, g.bc);
+        let mut out = vec![0.0; g.len()];
+        for k in 0..g.nz {
+            for j in 0..g.ny {
+                for i in 0..g.nx {
+                    let mut acc = 0.0;
+                    for p in 0..g.nx {
+                        acc += lx[(i, p)] * v[g.index(p, j, k)];
+                    }
+                    for p in 0..g.ny {
+                        acc += ly[(j, p)] * v[g.index(i, p, k)];
+                    }
+                    for p in 0..g.nz {
+                        acc += lz[(k, p)] * v[g.index(i, j, p)];
+                    }
+                    out[g.index(i, j, k)] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_kronecker_sum_periodic() {
+        let g = Grid3::new((7, 6, 5), (0.5, 0.6, 0.7), Boundary::Periodic);
+        let lap = Laplacian::new(g, 2);
+        let v = test_vec(g.len(), 9);
+        let mut out = vec![0.0; g.len()];
+        lap.apply(&v, &mut out);
+        let oracle = kron_sum_oracle(&g, 2, &v);
+        for (a, b) in out.iter().zip(oracle.iter()) {
+            assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_kronecker_sum_dirichlet() {
+        let g = Grid3::new((9, 7, 8), (0.4, 0.5, 0.45), Boundary::Dirichlet);
+        let lap = Laplacian::new(g, 3);
+        let v = test_vec(g.len(), 13);
+        let mut out = vec![0.0; g.len()];
+        lap.apply(&v, &mut out);
+        let oracle = kron_sum_oracle(&g, 3, &v);
+        for (a, b) in out.iter().zip(oracle.iter()) {
+            assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn annihilates_constants_periodic() {
+        let g = Grid3::cubic(8, 0.69, Boundary::Periodic);
+        let lap = Laplacian::new(g, 3);
+        let v = vec![3.7; g.len()];
+        let mut out = vec![0.0; g.len()];
+        lap.apply(&v, &mut out);
+        for o in &out {
+            assert!(o.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn plane_wave_is_eigenvector() {
+        // cos(2πx/L) is an eigenvector of the periodic stencil with
+        // eigenvalue given by the stencil symbol.
+        let n = 12;
+        let h = 0.7;
+        let r = 3;
+        let g = Grid3::new((n, 7, 7), (h, h, h), Boundary::Periodic);
+        let lap = Laplacian::new(g, r);
+        let kx = 2.0 * PI / (n as f64 * h);
+        let v: Vec<f64> = (0..g.len())
+            .map(|idx| {
+                let (i, _, _) = g.coords(idx);
+                (kx * i as f64 * h).cos()
+            })
+            .collect();
+        let w = second_derivative_weights(r);
+        let symbol: f64 = (w[0]
+            + 2.0 * (1..=r).map(|t| w[t] * (kx * t as f64 * h).cos()).sum::<f64>())
+            / (h * h);
+        let mut out = vec![0.0; g.len()];
+        lap.apply(&v, &mut out);
+        for (o, vi) in out.iter().zip(v.iter()) {
+            assert!((o - symbol * vi).abs() < 1e-10, "{o} vs {}", symbol * vi);
+        }
+        // and the symbol approximates the continuum eigenvalue −kx²
+        assert!((symbol + kx * kx).abs() < 1e-3 * kx * kx);
+    }
+
+    #[test]
+    fn complex_apply_acts_componentwise() {
+        let g = Grid3::cubic(6, 0.5, Boundary::Periodic);
+        let lap = Laplacian::new(g, 2);
+        let re = test_vec(g.len(), 3);
+        let im = test_vec(g.len(), 4);
+        let vc: Vec<C64> = re.iter().zip(im.iter()).map(|(&a, &b)| C64::new(a, b)).collect();
+        let mut oc = vec![C64::new(0.0, 0.0); g.len()];
+        lap.apply(&vc, &mut oc);
+        let mut or_ = vec![0.0; g.len()];
+        let mut oi = vec![0.0; g.len()];
+        lap.apply(&re, &mut or_);
+        lap.apply(&im, &mut oi);
+        for i in 0..g.len() {
+            assert!((oc[i].re - or_[i]).abs() < 1e-12);
+            assert!((oc[i].im - oi[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_and_simultaneous_agree() {
+        let g = Grid3::new((7, 7, 9), (0.5, 0.5, 0.5), Boundary::Periodic);
+        let lap = Laplacian::new(g, 2);
+        let v = Mat::from_fn(g.len(), 3, |i, j| ((i * 31 + j * 17) % 101) as f64 * 0.01 - 0.5);
+        let mut a = Mat::zeros(g.len(), 3);
+        let mut b = Mat::zeros(g.len(), 3);
+        lap.apply_block(&v, &mut a);
+        lap.apply_block_simultaneous(&v, &mut b);
+        assert!(a.max_abs_diff(&b) < 1e-11);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_undersized_grid() {
+        let g = Grid3::cubic(4, 0.5, Boundary::Periodic);
+        let _ = Laplacian::new(g, 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the grid substrate.
+#![allow(clippy::needless_range_loop)]
+
+use mbrpa_grid::{Boundary, Grid3, Laplacian, SpectralLaplacian};
+use proptest::prelude::*;
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Laplacian is linear: L(a·u + b·v) = a·Lu + b·Lv.
+    #[test]
+    fn laplacian_linearity(
+        u in vec_strategy(6 * 6 * 6),
+        v in vec_strategy(6 * 6 * 6),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let g = Grid3::cubic(6, 0.6, Boundary::Periodic);
+        let lap = Laplacian::new(g, 2);
+        let n = g.len();
+        let combo: Vec<f64> = u.iter().zip(v.iter()).map(|(&x, &y)| a * x + b * y).collect();
+        let mut lc = vec![0.0; n];
+        lap.apply(&combo, &mut lc);
+        let mut lu = vec![0.0; n];
+        let mut lv = vec![0.0; n];
+        lap.apply(&u, &mut lu);
+        lap.apply(&v, &mut lv);
+        for i in 0..n {
+            let expect = a * lu[i] + b * lv[i];
+            prop_assert!((lc[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Periodic translation equivariance: shifting the input cyclically
+    /// along x shifts the output identically.
+    #[test]
+    fn laplacian_translation_equivariance(v in vec_strategy(7 * 5 * 5), shift in 1usize..6) {
+        let g = Grid3::new((7, 5, 5), (0.5, 0.5, 0.5), Boundary::Periodic);
+        let lap = Laplacian::new(g, 2);
+        let n = g.len();
+        // shift along x
+        let mut vs = vec![0.0; n];
+        for idx in 0..n {
+            let (i, j, k) = g.coords(idx);
+            vs[g.index((i + shift) % g.nx, j, k)] = v[idx];
+        }
+        let mut lv = vec![0.0; n];
+        let mut lvs = vec![0.0; n];
+        lap.apply(&v, &mut lv);
+        lap.apply(&vs, &mut lvs);
+        for idx in 0..n {
+            let (i, j, k) = g.coords(idx);
+            let expect = lv[idx];
+            let got = lvs[g.index((i + shift) % g.nx, j, k)];
+            prop_assert!((got - expect).abs() < 1e-10);
+        }
+    }
+
+    /// The Laplacian is symmetric: uᵀLv == vᵀLu.
+    #[test]
+    fn laplacian_symmetry(u in vec_strategy(5 * 6 * 7), v in vec_strategy(5 * 6 * 7)) {
+        let g = Grid3::new((5, 6, 7), (0.4, 0.5, 0.6), Boundary::Dirichlet);
+        let lap = Laplacian::new(g, 2);
+        let n = g.len();
+        let mut lu = vec![0.0; n];
+        let mut lv = vec![0.0; n];
+        lap.apply(&u, &mut lu);
+        lap.apply(&v, &mut lv);
+        let ul_v: f64 = u.iter().zip(lv.iter()).map(|(a, b)| a * b).sum();
+        let vl_u: f64 = v.iter().zip(lu.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((ul_v - vl_u).abs() < 1e-8 * (1.0 + ul_v.abs()));
+    }
+
+    /// The Laplacian is negative semi-definite: vᵀLv ≤ 0.
+    #[test]
+    fn laplacian_negative_semidefinite(v in vec_strategy(6 * 6 * 6)) {
+        let g = Grid3::cubic(6, 0.7, Boundary::Periodic);
+        let lap = Laplacian::new(g, 2);
+        let mut lv = vec![0.0; g.len()];
+        lap.apply(&v, &mut lv);
+        let quad: f64 = v.iter().zip(lv.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!(quad <= 1e-9);
+    }
+
+    /// Spectral f(L) with f = id agrees with the stencil for random fields.
+    #[test]
+    fn spectral_identity_matches_stencil(v in vec_strategy(5 * 5 * 5)) {
+        let g = Grid3::cubic(5, 0.69, Boundary::Periodic);
+        let spec = SpectralLaplacian::new(g, 2).unwrap();
+        let lap = Laplacian::new(g, 2);
+        let mut a = vec![0.0; g.len()];
+        let mut b = vec![0.0; g.len()];
+        spec.apply_function(&|lam| lam, &v, &mut a);
+        lap.apply(&v, &mut b);
+        for i in 0..g.len() {
+            prop_assert!((a[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Poisson pseudo-inverse: L(L⁺v) equals the zero-mean projection of v.
+    #[test]
+    fn poisson_projects_zero_mode(v in vec_strategy(6 * 6 * 6)) {
+        let g = Grid3::cubic(6, 0.6, Boundary::Periodic);
+        let spec = SpectralLaplacian::new(g, 2).unwrap();
+        let lap = Laplacian::new(g, 2);
+        let n = g.len();
+        let mut u = vec![0.0; n];
+        spec.solve_poisson(&v, &mut u);
+        let mut back = vec![0.0; n];
+        lap.apply(&u, &mut back);
+        let mean: f64 = v.iter().sum::<f64>() / n as f64;
+        for i in 0..n {
+            prop_assert!((back[i] - (v[i] - mean)).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Real Cholesky factorization.
+//!
+//! Used to reduce the Rayleigh–Ritz generalized symmetric-definite problem
+//! `H_s Q = M_s Q D` (with `M_s = VᵀV ≻ 0`) to a standard symmetric problem,
+//! exactly as a LAPACK `sygv`-style driver would.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+
+/// Lower-triangular Cholesky factor `A = L·Lᵀ` of a real SPD matrix.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Mat<f64>,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix (only the lower triangle
+    /// of `a` is referenced).
+    pub fn factor(a: &Mat<f64>) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if n != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square".into(),
+                got: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat<f64> {
+        &self.l
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `L X = B` (forward substitution), column by column.
+    pub fn solve_lower(&self, b: &Mat<f64>) -> Mat<f64> {
+        let n = self.order();
+        assert_eq!(b.rows(), n);
+        let mut x = b.clone();
+        for j in 0..x.cols() {
+            let xj = x.col_mut(j);
+            for i in 0..n {
+                let mut acc = xj[i];
+                for k in 0..i {
+                    acc -= self.l[(i, k)] * xj[k];
+                }
+                xj[i] = acc / self.l[(i, i)];
+            }
+        }
+        x
+    }
+
+    /// Solve `Lᵀ X = B` (back substitution), column by column.
+    pub fn solve_lower_t(&self, b: &Mat<f64>) -> Mat<f64> {
+        let n = self.order();
+        assert_eq!(b.rows(), n);
+        let mut x = b.clone();
+        for j in 0..x.cols() {
+            let xj = x.col_mut(j);
+            for i in (0..n).rev() {
+                let mut acc = xj[i];
+                for k in i + 1..n {
+                    acc -= self.l[(k, i)] * xj[k];
+                }
+                xj[i] = acc / self.l[(i, i)];
+            }
+        }
+        x
+    }
+
+    /// Solve the full system `A X = L Lᵀ X = B`.
+    pub fn solve(&self, b: &Mat<f64>) -> Mat<f64> {
+        self.solve_lower_t(&self.solve_lower(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn spd_matrix(n: usize, seed: u64) -> Mat<f64> {
+        let mut state = seed | 1;
+        let g = Mat::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        });
+        let mut a = matmul(&g.transpose(), &g);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        let a = spd_matrix(8, 42);
+        let ch = Cholesky::factor(&a).unwrap();
+        let llt = matmul(ch.l(), &ch.l().transpose());
+        assert!(llt.max_abs_diff(&a) < 1e-11);
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = spd_matrix(10, 7);
+        let b = Mat::from_fn(10, 3, |i, j| (i + j) as f64);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        let ax = matmul(&a, &x);
+        assert!(ax.max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn triangular_solves_invert_each_other() {
+        let a = spd_matrix(6, 3);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Mat::from_fn(6, 2, |i, j| (2 * i + j) as f64 * 0.1);
+        let y = ch.solve_lower(&b);
+        let ly = matmul(ch.l(), &y);
+        assert!(ly.max_abs_diff(&b) < 1e-12);
+        let z = ch.solve_lower_t(&b);
+        let ltz = matmul(&ch.l().transpose(), &z);
+        assert!(ltz.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = Mat::<f64>::identity(3);
+        a[(2, 2)] = -1.0;
+        match Cholesky::factor(&a) {
+            Err(LinalgError::NotPositiveDefinite { pivot: 2 }) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Mat::<f64>::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the dense linear algebra layer.
+
+use std::fmt;
+
+/// Failure modes of dense factorizations and eigensolvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// A pivot vanished during LU elimination (matrix numerically singular).
+    Singular {
+        /// Elimination step at which the pivot column vanished.
+        pivot: usize,
+    },
+    /// A non-positive diagonal was met during Cholesky.
+    NotPositiveDefinite {
+        /// Diagonal index with the non-positive reduced entry.
+        pivot: usize,
+    },
+    /// An iterative eigensolver failed to converge within its sweep limit.
+    NoConvergence {
+        /// Which algorithm gave up.
+        what: &'static str,
+        /// Its iteration cap.
+        iters: usize,
+    },
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// Shape the operation required.
+        expected: String,
+        /// Shape it was given.
+        got: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is numerically singular (zero pivot at {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NoConvergence { what, iters } => {
+                write!(f, "{what} did not converge within {iters} iterations")
+            }
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::Singular { pivot: 3 };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::NotPositiveDefinite { pivot: 0 };
+        assert!(e.to_string().contains("positive definite"));
+        let e = LinalgError::NoConvergence {
+            what: "QL sweep",
+            iters: 30,
+        };
+        assert!(e.to_string().contains("QL sweep"));
+        let e = LinalgError::DimensionMismatch {
+            expected: "3x3".into(),
+            got: "2x3".into(),
+        };
+        assert!(e.to_string().contains("expected 3x3"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Blocked, rayon-parallel dense matrix multiplication.
+//!
+//! The dominant shapes in the RPA pipeline are tall-and-skinny: `n_d × n_eig`
+//! blocks of grid vectors multiplied by small `n_eig × n_eig` subspace
+//! matrices (`V·Q`, `P·β`), and Gram products `VᵀW` reducing the long grid
+//! dimension. The kernels below block over the long (row) dimension so each
+//! row panel is streamed once per output column block, and parallelize over
+//! row panels, which keeps threads independent without atomics.
+
+use crate::dense::Mat;
+use crate::scalar::Scalar;
+use crate::vecops;
+use rayon::prelude::*;
+
+/// Row-panel height for the blocked kernels. 512 rows × 8–16 B scalars keeps
+/// a panel column in L1 while amortizing the loop overhead.
+const PANEL: usize = 512;
+
+/// Work threshold (in scalar multiply-adds) below which the serial kernel is
+/// used; spawning rayon tasks for tiny products costs more than it saves.
+const PAR_THRESHOLD: usize = 1 << 16;
+
+/// `C = A · B`.
+///
+/// ```
+/// use mbrpa_linalg::{matmul, Mat};
+/// let a = Mat::from_fn(2, 2, |i, j| (i * 2 + j) as f64); // [[0,1],[2,3]]
+/// let c = matmul(&a, &Mat::identity(2));
+/// assert_eq!(c, a);
+/// ```
+pub fn matmul<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    matmul_into(T::one(), a, b, T::zero(), &mut c);
+    c
+}
+
+/// `C = alpha · A · B + beta · C`.
+pub fn matmul_into<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
+    assert_eq!(c.shape(), (m, n), "output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let work = m * n * k;
+    let a_data = a.as_slice();
+    let b_ref = b;
+
+    let panel_op = |row0: usize, c_panel: &mut [T]| {
+        // c_panel is a row-panel of C stored column-major with leading dim = h
+        let h = c_panel.len() / n;
+        for j in 0..n {
+            let cj = &mut c_panel[j * h..(j + 1) * h];
+            if beta == T::zero() {
+                cj.iter_mut().for_each(|x| *x = T::zero());
+            } else if beta != T::one() {
+                vecops::scal(beta, cj);
+            }
+            for l in 0..k {
+                let blj = alpha * b_ref[(l, j)];
+                if blj == T::zero() {
+                    continue;
+                }
+                let al = &a_data[l * m + row0..l * m + row0 + h];
+                vecops::axpy(blj, al, cj);
+            }
+        }
+    };
+
+    if work < PAR_THRESHOLD || m < 2 * PANEL {
+        // Serial path operating on C in place, one row panel at a time.
+        let mut scratch = vec![T::zero(); PANEL.min(m) * n];
+        let mut row0 = 0;
+        while row0 < m {
+            let h = PANEL.min(m - row0);
+            // gather panel of C
+            for j in 0..n {
+                for i in 0..h {
+                    scratch[j * h + i] = c[(row0 + i, j)];
+                }
+            }
+            panel_op(row0, &mut scratch[..h * n]);
+            for j in 0..n {
+                for i in 0..h {
+                    c[(row0 + i, j)] = scratch[j * h + i];
+                }
+            }
+            row0 += h;
+        }
+        return;
+    }
+
+    // Parallel path: split C into row panels; each panel owned by one task.
+    let n_panels = m.div_ceil(PANEL);
+    let mut panels: Vec<Vec<T>> = (0..n_panels)
+        .into_par_iter()
+        .map(|p| {
+            let row0 = p * PANEL;
+            let h = PANEL.min(m - row0);
+            let mut panel = vec![T::zero(); h * n];
+            if beta != T::zero() {
+                for j in 0..n {
+                    for i in 0..h {
+                        panel[j * h + i] = c[(row0 + i, j)];
+                    }
+                }
+            }
+            panel_op(row0, &mut panel);
+            panel
+        })
+        .collect();
+
+    for (p, panel) in panels.drain(..).enumerate() {
+        let row0 = p * PANEL;
+        let h = PANEL.min(m - row0);
+        for j in 0..n {
+            for i in 0..h {
+                c[(row0 + i, j)] = panel[j * h + i];
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B` (no conjugation; the COCG bilinear Gram product).
+pub fn matmul_tn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+    gram_impl(a, b, false)
+}
+
+/// `C = Aᴴ · B` (conjugated; Rayleigh–Ritz projections).
+pub fn matmul_hn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+    gram_impl(a, b, true)
+}
+
+fn gram_impl<T: Scalar>(a: &Mat<T>, b: &Mat<T>, conj: bool) -> Mat<T> {
+    let (m, k) = a.shape();
+    let (mb, n) = b.shape();
+    assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
+    let work = m * n * k;
+
+    let chunk_contrib = |row0: usize, h: usize| -> Mat<T> {
+        let mut local = Mat::zeros(k, n);
+        for j in 0..n {
+            let bj = &b.col(j)[row0..row0 + h];
+            for i in 0..k {
+                let ai = &a.col(i)[row0..row0 + h];
+                let d = if conj {
+                    vecops::dot_h(ai, bj)
+                } else {
+                    vecops::dot_t(ai, bj)
+                };
+                local[(i, j)] += d;
+            }
+        }
+        local
+    };
+
+    if work < PAR_THRESHOLD || m < 2 * PANEL {
+        return chunk_contrib(0, m);
+    }
+
+    let n_panels = m.div_ceil(PANEL);
+    (0..n_panels)
+        .into_par_iter()
+        .map(|p| {
+            let row0 = p * PANEL;
+            let h = PANEL.min(m - row0);
+            chunk_contrib(row0, h)
+        })
+        .reduce(
+            || Mat::zeros(k, n),
+            |mut acc, x| {
+                acc.axpy(T::one(), &x);
+                acc
+            },
+        )
+}
+
+/// `C = A · Bᵀ` (no conjugation).
+pub fn matmul_nt<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
+    let mut c = Mat::zeros(m, n);
+    for j in 0..n {
+        let cj = c.col_mut(j);
+        for l in 0..k {
+            let blj = b[(j, l)];
+            if blj == T::zero() {
+                continue;
+            }
+            vecops::axpy(blj, a.col(l), cj);
+        }
+    }
+    c
+}
+
+/// Raw-slice GEMM `C = A · B` on tight column-major buffers:
+/// `A` is `m×k`, `B` is `k×n`, `C` is `m×n`. Used by the grid crate's
+/// Kronecker tensor contractions, which multiply sub-buffers in place.
+pub fn gemm_nn_slices<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    for j in 0..n {
+        let cj = &mut c[j * m..(j + 1) * m];
+        cj.iter_mut().for_each(|x| *x = T::zero());
+        for l in 0..k {
+            let blj = b[j * k + l];
+            if blj == T::zero() {
+                continue;
+            }
+            vecops::axpy(blj, &a[l * m..(l + 1) * m], cj);
+        }
+    }
+}
+
+/// Raw-slice GEMM `C = Aᵀ · B` on tight column-major buffers:
+/// `A` is `m×k`, `B` is `m×n`, `C` is `k×n`.
+pub fn gemm_tn_slices<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), m * n);
+    assert_eq!(c.len(), k * n);
+    for j in 0..n {
+        let bj = &b[j * m..(j + 1) * m];
+        for i in 0..k {
+            c[j * k + i] = vecops::dot_t(&a[i * m..(i + 1) * m], bj);
+        }
+    }
+}
+
+/// Mixed-field product `C = A · B` with real `A` and complex `B`
+/// (the Galerkin initial guess `Y₀ = Ψ(E − λI + iωI)⁻¹ΨᴴB` multiplies the
+/// real orbital block into complex coefficient matrices).
+pub fn matmul_rc(a: &Mat<f64>, b: &Mat<num_complex::Complex64>) -> Mat<num_complex::Complex64> {
+    use num_complex::Complex64;
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
+    let mut c = Mat::zeros(m, n);
+    for j in 0..n {
+        let cj = c.col_mut(j);
+        for l in 0..k {
+            let blj: Complex64 = b[(l, j)];
+            if blj == Complex64::new(0.0, 0.0) {
+                continue;
+            }
+            for (ci, &ai) in cj.iter_mut().zip(a.col(l).iter()) {
+                *ci += blj.scale(ai);
+            }
+        }
+    }
+    c
+}
+
+/// Mixed-field Gram product `C = Aᵀ · B` with real `A` and complex `B`.
+pub fn matmul_tn_rc(a: &Mat<f64>, b: &Mat<num_complex::Complex64>) -> Mat<num_complex::Complex64> {
+    use num_complex::Complex64;
+    let (m, k) = a.shape();
+    let (mb, n) = b.shape();
+    assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
+    let mut c = Mat::zeros(k, n);
+    for j in 0..n {
+        let bj = b.col(j);
+        for i in 0..k {
+            let ai = a.col(i);
+            let mut acc = Complex64::new(0.0, 0.0);
+            for (&x, &y) in ai.iter().zip(bj.iter()) {
+                acc += y.scale(x);
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// `y = A · x` for a single vector.
+pub fn mat_vec<T: Scalar>(a: &Mat<T>, x: &[T]) -> Vec<T> {
+    let (m, k) = a.shape();
+    assert_eq!(k, x.len(), "dimension mismatch");
+    let mut y = vec![T::zero(); m];
+    for l in 0..k {
+        if x[l] == T::zero() {
+            continue;
+        }
+        vecops::axpy(x[l], a.col(l), &mut y);
+    }
+    y
+}
+
+/// `y = Aᵀ · x` for a single vector.
+pub fn mat_tvec<T: Scalar>(a: &Mat<T>, x: &[T]) -> Vec<T> {
+    let (m, k) = a.shape();
+    assert_eq!(m, x.len(), "dimension mismatch");
+    (0..k).map(|i| vecops::dot_t(a.col(i), x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_complex::Complex64;
+
+    fn naive_matmul(a: &Mat<f64>, b: &Mat<f64>) -> Mat<f64> {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        Mat::from_fn(m, n, |i, j| (0..k).map(|l| a[(i, l)] * b[(l, j)]).sum())
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = pseudo_random(7, 5, 1);
+        let b = pseudo_random(5, 4, 2);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-13);
+    }
+
+    #[test]
+    fn matmul_matches_naive_tall_parallel_path() {
+        let a = pseudo_random(2100, 13, 3);
+        let b = pseudo_random(13, 9, 4);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_into_alpha_beta() {
+        let a = pseudo_random(6, 6, 5);
+        let b = pseudo_random(6, 6, 6);
+        let c0 = pseudo_random(6, 6, 7);
+        let mut c = c0.clone();
+        matmul_into(2.0, &a, &b, 0.5, &mut c);
+        let mut expect = naive_matmul(&a, &b);
+        expect.scale_assign(2.0);
+        expect.axpy(0.5, &c0);
+        assert!(c.max_abs_diff(&expect) < 1e-13);
+    }
+
+    #[test]
+    fn gram_tn_matches_transpose_matmul() {
+        let a = pseudo_random(1200, 6, 8);
+        let b = pseudo_random(1200, 5, 9);
+        let c = matmul_tn(&a, &b);
+        let expect = naive_matmul(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn gram_hn_conjugates_complex() {
+        let a = Mat::from_fn(30, 2, |i, j| Complex64::new(i as f64 * 0.1, (j + 1) as f64));
+        let b = Mat::from_fn(30, 3, |i, j| Complex64::new((j + i) as f64 * 0.05, -1.0));
+        let c_h = matmul_hn(&a, &b);
+        let c_t = matmul_tn(&a, &b);
+        // Check against explicit conj-transpose product
+        let expect = matmul(&a.conj_transpose(), &b);
+        assert!(c_h.max_abs_diff(&expect) < 1e-12);
+        // And that the unconjugated version differs (imaginary parts present)
+        assert!(c_h.max_abs_diff(&c_t) > 1e-8);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = pseudo_random(8, 5, 10);
+        let b = pseudo_random(7, 5, 11);
+        let c = matmul_nt(&a, &b);
+        let expect = naive_matmul(&a, &b.transpose());
+        assert!(c.max_abs_diff(&expect) < 1e-13);
+    }
+
+    #[test]
+    fn mat_vec_and_tvec() {
+        let a = pseudo_random(6, 4, 12);
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let y = mat_vec(&a, &x);
+        for i in 0..6 {
+            let expect: f64 = (0..4).map(|l| a[(i, l)] * x[l]).sum();
+            assert!((y[i] - expect).abs() < 1e-14);
+        }
+        let z = vec![1.0; 6];
+        let w = mat_tvec(&a, &z);
+        for j in 0..4 {
+            let expect: f64 = (0..6).map(|i| a[(i, j)]).sum();
+            assert!((w[j] - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn mixed_real_complex_products() {
+        let a = pseudo_random(12, 4, 20);
+        let b = Mat::from_fn(4, 3, |i, j| Complex64::new(i as f64 - 1.0, j as f64 + 0.5));
+        let ac = a.map(|x| Complex64::new(x, 0.0));
+        let fast = matmul_rc(&a, &b);
+        let slow = matmul(&ac, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-13);
+
+        let b2 = Mat::from_fn(12, 3, |i, j| Complex64::new(0.1 * i as f64, -0.2 * j as f64));
+        let fast2 = matmul_tn_rc(&a, &b2);
+        let slow2 = matmul(&ac.conj_transpose(), &b2);
+        assert!(fast2.max_abs_diff(&slow2) < 1e-12);
+    }
+
+    #[test]
+    fn slice_gemm_kernels() {
+        let a = pseudo_random(6, 4, 30);
+        let b = pseudo_random(4, 3, 31);
+        let mut c = vec![0.0; 6 * 3];
+        gemm_nn_slices(6, 4, 3, a.as_slice(), b.as_slice(), &mut c);
+        let expect = naive_matmul(&a, &b);
+        let cm = Mat::from_col_major(6, 3, c);
+        assert!(cm.max_abs_diff(&expect) < 1e-13);
+
+        let b2 = pseudo_random(6, 2, 32);
+        let mut c2 = vec![0.0; 4 * 2];
+        gemm_tn_slices(6, 4, 2, a.as_slice(), b2.as_slice(), &mut c2);
+        let expect2 = naive_matmul(&a.transpose(), &b2);
+        let cm2 = Mat::from_col_major(4, 2, c2);
+        assert!(cm2.max_abs_diff(&expect2) < 1e-13);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = pseudo_random(40, 40, 13);
+        let i = Mat::<f64>::identity(40);
+        assert!(matmul(&a, &i).max_abs_diff(&a) < 1e-14);
+        assert!(matmul(&i, &a).max_abs_diff(&a) < 1e-14);
+    }
+}

@@ -1,0 +1,48 @@
+//! # mbrpa-linalg
+//!
+//! Pure-Rust dense linear algebra substrate for the `mbrpa` workspace: the
+//! RPA pipeline of the paper needs a handful of dense kernels that MKL and
+//! ScaLAPACK provided in the original code —
+//!
+//! * tall-and-skinny GEMM (`V·Q`, Gram products `VᵀW`) — [`gemm`],
+//! * small complex LU solves for block COCG's `s×s` systems — [`lu`],
+//! * Cholesky + symmetric/generalized-symmetric eigensolvers for
+//!   Rayleigh–Ritz — [`chol`], [`symeig`],
+//! * thin QR for basis orthonormalization — [`qr`],
+//!
+//! all generic over real/complex scalars through [`scalar::Scalar`].
+
+// Index-heavy numerical kernels read better with explicit loop indices and
+// the domain-meaningful `2r + 1` stencil-count forms.
+#![allow(clippy::needless_range_loop, clippy::int_plus_one)]
+#![warn(missing_docs)]
+
+pub mod chol;
+pub mod dense;
+pub mod error;
+pub mod gemm;
+pub mod lu;
+pub mod qr;
+pub mod scalar;
+pub mod svd;
+pub mod symeig;
+pub mod vecops;
+
+pub use chol::Cholesky;
+pub use dense::Mat;
+pub use error::LinalgError;
+pub use gemm::{
+    mat_tvec, mat_vec, matmul, matmul_hn, matmul_into, matmul_nt, matmul_rc, matmul_tn,
+    matmul_tn_rc,
+};
+pub use lu::{inverse, solve, Lu};
+pub use qr::{orthonormalize_columns, thin_qr, ThinQr};
+pub use scalar::Scalar;
+pub use svd::{principal_cosines, thin_svd, Svd};
+pub use symeig::{
+    eig_residual, generalized_sym_eig, sym_matrix_function, symmetric_eig, symmetric_eigvals,
+    SymEig,
+};
+
+/// Complex double-precision scalar used across the workspace.
+pub type C64 = num_complex::Complex64;

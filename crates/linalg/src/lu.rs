@@ -1,0 +1,257 @@
+//! LU factorization with partial pivoting, generic over real/complex scalars.
+//!
+//! Used for the `s × s` complex-symmetric solves inside block COCG
+//! (`α = μ⁻¹ρ`, `β = ρ⁻¹ρ₊`) and for small auxiliary systems. Sizes are
+//! small (the block size), so a straightforward right-looking factorization
+//! is appropriate; no blocking or parallelism is needed here.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::scalar::Scalar;
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+#[derive(Clone, Debug)]
+pub struct Lu<T: Scalar> {
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Mat<T>,
+    /// Row permutation: row `i` of `PA` is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Smallest pivot modulus met during elimination.
+    min_pivot: f64,
+    /// Largest pivot modulus met during elimination.
+    max_pivot: f64,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factor a square matrix. Fails with [`LinalgError::Singular`] when a
+    /// pivot column is exactly zero.
+    pub fn factor(a: &Mat<T>) -> Result<Self, LinalgError> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square".into(),
+                got: format!("{n}x{m}"),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut min_pivot = f64::INFINITY;
+        let mut max_pivot: f64 = 0.0;
+
+        for kcol in 0..n {
+            // pivot search in column kcol, rows kcol..
+            let mut best = kcol;
+            let mut best_abs = lu[(kcol, kcol)].abs();
+            for i in kcol + 1..n {
+                let v = lu[(i, kcol)].abs();
+                if v > best_abs {
+                    best = i;
+                    best_abs = v;
+                }
+            }
+            if best_abs == 0.0 {
+                return Err(LinalgError::Singular { pivot: kcol });
+            }
+            min_pivot = min_pivot.min(best_abs);
+            max_pivot = max_pivot.max(best_abs);
+            if best != kcol {
+                perm.swap(kcol, best);
+                for j in 0..n {
+                    let tmp = lu[(kcol, j)];
+                    lu[(kcol, j)] = lu[(best, j)];
+                    lu[(best, j)] = tmp;
+                }
+            }
+            let pivot = lu[(kcol, kcol)];
+            for i in kcol + 1..n {
+                let lik = lu[(i, kcol)] / pivot;
+                lu[(i, kcol)] = lik;
+                if lik != T::zero() {
+                    for j in kcol + 1..n {
+                        let ukj = lu[(kcol, j)];
+                        lu[(i, j)] -= lik * ukj;
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            lu,
+            perm,
+            min_pivot,
+            max_pivot,
+        })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Crude reciprocal-condition estimate `min|pivot| / max|pivot|`; used to
+    /// detect near-breakdown of the COCG block Gram matrices.
+    pub fn rcond_estimate(&self) -> f64 {
+        if self.max_pivot == 0.0 {
+            0.0
+        } else {
+            self.min_pivot / self.max_pivot
+        }
+    }
+
+    /// Solve `A x = b` for a single right-hand side, in place.
+    pub fn solve_vec(&self, b: &[T]) -> Vec<T> {
+        let n = self.order();
+        assert_eq!(b.len(), n);
+        // apply permutation
+        let mut x: Vec<T> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // forward substitution with unit lower L
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // back substitution with U
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `A X = B` for a block of right-hand sides.
+    pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
+        assert_eq!(b.rows(), self.order());
+        let mut x = Mat::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let xj = self.solve_vec(b.col(j));
+            x.col_mut(j).copy_from_slice(&xj);
+        }
+        x
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> T {
+        let n = self.order();
+        // sign of permutation
+        let mut visited = vec![false; n];
+        let mut sign_neg = false;
+        for i in 0..n {
+            if visited[i] {
+                continue;
+            }
+            let mut j = i;
+            let mut cycle = 0;
+            while !visited[j] {
+                visited[j] = true;
+                j = self.perm[j];
+                cycle += 1;
+            }
+            if cycle % 2 == 0 {
+                sign_neg = !sign_neg;
+            }
+        }
+        let mut d = if sign_neg { -T::one() } else { T::one() };
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Convenience: solve `A X = B` with a one-shot factorization.
+pub fn solve<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Result<Mat<T>, LinalgError> {
+    Ok(Lu::factor(a)?.solve_mat(b))
+}
+
+/// Explicit inverse (for small matrices only, e.g. the Galerkin guess core).
+pub fn inverse<T: Scalar>(a: &Mat<T>) -> Result<Mat<T>, LinalgError> {
+    let n = a.rows();
+    solve(a, &Mat::identity(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use num_complex::Complex64;
+
+    #[test]
+    fn solves_known_real_system() {
+        let a = Mat::from_col_major(2, 2, vec![2.0, 1.0, 1.0, 3.0]); // [[2,1],[1,3]]
+        let b = Mat::col_vector(vec![5.0, 10.0]);
+        let x = solve(&a, &b).unwrap();
+        // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complex_symmetric_solve_roundtrip() {
+        // A = S + i*w*I with S symmetric: the COCG Gram matrix shape
+        let n = 6;
+        let s = Mat::from_fn(n, n, |i, j| ((i * j + i + j) % 7) as f64 * 0.3);
+        let sym = Mat::from_fn(n, n, |i, j| {
+            Complex64::new(s[(i, j)] + s[(j, i)] + if i == j { 4.0 } else { 0.0 }, 0.0)
+        });
+        let a = Mat::from_fn(n, n, |i, j| {
+            sym[(i, j)] + if i == j { Complex64::new(0.0, 0.9) } else { Complex64::new(0.0, 0.0) }
+        });
+        let b = Mat::from_fn(n, 3, |i, j| Complex64::new(i as f64 - j as f64, 0.5 * j as f64));
+        let x = solve(&a, &b).unwrap();
+        let r = {
+            let mut ax = matmul(&a, &x);
+            ax.axpy(-Complex64::new(1.0, 0.0), &b);
+            ax
+        };
+        assert!(r.max_abs() < 1e-12, "residual {}", r.max_abs());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_col_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]); // antidiagonal
+        let b = Mat::col_vector(vec![2.0, 3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-14);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Mat::from_col_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]); // rank 1
+        match Lu::factor(&a) {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn determinant_with_permutation_sign() {
+        let a = Mat::from_col_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-14); // det = -1
+        let i = Mat::<f64>::identity(3);
+        assert!((Lu::factor(&i).unwrap().det() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_of_identity_like() {
+        let a = Mat::from_col_major(2, 2, vec![2.0, 0.0, 0.0, 4.0]);
+        let inv = inverse(&a).unwrap();
+        assert!((inv[(0, 0)] - 0.5).abs() < 1e-14);
+        assert!((inv[(1, 1)] - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rcond_estimate_reflects_scaling() {
+        let a = Mat::from_col_major(2, 2, vec![1.0, 0.0, 0.0, 1e-8]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(lu.rcond_estimate() < 1e-7);
+        let i = Mat::<f64>::identity(4);
+        assert!((Lu::factor(&i).unwrap().rcond_estimate() - 1.0).abs() < 1e-14);
+    }
+}

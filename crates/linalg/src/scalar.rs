@@ -1,0 +1,176 @@
+//! Scalar abstraction over `f64` and `Complex64`.
+//!
+//! The RPA pipeline mixes real arithmetic (subspace iteration over the real
+//! symmetric operator `ν½χ⁰ν½`, the Kohn–Sham eigenproblem) with complex
+//! arithmetic (the complex-symmetric Sternheimer systems). A single scalar
+//! trait lets the grid stencils, GEMM kernels, and Krylov solvers be written
+//! once and instantiated for both fields.
+
+use num_complex::Complex64;
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A field scalar usable in dense kernels: `f64` or `Complex64`.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Complex conjugate (identity for `f64`).
+    fn conj(self) -> Self;
+    /// Real part.
+    fn re(self) -> f64;
+    /// Imaginary part (0 for `f64`).
+    fn im(self) -> f64;
+    /// Modulus `|x|`.
+    fn abs(self) -> f64;
+    /// Squared modulus `|x|²`.
+    fn abs_sq(self) -> f64;
+    /// Embed a real number.
+    fn from_re(x: f64) -> Self;
+    /// Multiply by a real scalar.
+    fn scale(self, s: f64) -> Self;
+    /// True if any component is NaN or infinite.
+    fn is_bad(self) -> bool;
+}
+
+impl Scalar for f64 {
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline(always)]
+    fn re(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn im(self) -> f64 {
+        0.0
+    }
+    #[inline(always)]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn abs_sq(self) -> f64 {
+        self * self
+    }
+    #[inline(always)]
+    fn from_re(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        self * s
+    }
+    #[inline(always)]
+    fn is_bad(self) -> bool {
+        !self.is_finite()
+    }
+}
+
+impl Scalar for Complex64 {
+    #[inline(always)]
+    fn zero() -> Self {
+        Complex64::new(0.0, 0.0)
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        Complex64::new(1.0, 0.0)
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        Complex64::conj(&self)
+    }
+    #[inline(always)]
+    fn re(self) -> f64 {
+        self.re
+    }
+    #[inline(always)]
+    fn im(self) -> f64 {
+        self.im
+    }
+    #[inline(always)]
+    fn abs(self) -> f64 {
+        self.norm()
+    }
+    #[inline(always)]
+    fn abs_sq(self) -> f64 {
+        self.norm_sqr()
+    }
+    #[inline(always)]
+    fn from_re(x: f64) -> Self {
+        Complex64::new(x, 0.0)
+    }
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+    #[inline(always)]
+    fn is_bad(self) -> bool {
+        !self.re.is_finite() || !self.im.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_scalar_ops() {
+        assert_eq!(<f64 as Scalar>::zero(), 0.0);
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!(3.0_f64.conj(), 3.0);
+        assert_eq!((-2.5_f64).abs_sq(), 6.25);
+        assert_eq!(Scalar::re(-2.5_f64), -2.5);
+        assert_eq!(Scalar::im(-2.5_f64), 0.0);
+        assert_eq!(2.0_f64.scale(1.5), 3.0);
+        assert!(f64::NAN.is_bad());
+        assert!(f64::INFINITY.is_bad());
+        assert!(!1.0_f64.is_bad());
+    }
+
+    #[test]
+    fn complex_scalar_ops() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(Scalar::conj(z), Complex64::new(3.0, 4.0));
+        assert_eq!(Scalar::abs(z), 5.0);
+        assert_eq!(z.abs_sq(), 25.0);
+        assert_eq!(Scalar::re(z), 3.0);
+        assert_eq!(Scalar::im(z), -4.0);
+        assert_eq!(
+            <Complex64 as Scalar>::from_re(2.0),
+            Complex64::new(2.0, 0.0)
+        );
+        assert_eq!(z.scale(2.0), Complex64::new(6.0, -8.0));
+        assert!(Complex64::new(f64::NAN, 0.0).is_bad());
+        assert!(!z.is_bad());
+    }
+}

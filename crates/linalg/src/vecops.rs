@@ -1,0 +1,146 @@
+//! Slice-level vector kernels shared by the dense and iterative layers.
+
+use crate::scalar::Scalar;
+
+/// Unconjugated dot product `xᵀ y` (the bilinear form used by COCG).
+#[inline]
+pub fn dot_t<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = T::zero();
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Conjugated dot product `xᴴ y` (the sesquilinear inner product).
+#[inline]
+pub fn dot_h<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = T::zero();
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        acc += a.conj() * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+#[inline]
+pub fn axpby<T: Scalar>(alpha: T, x: &[T], beta: T, y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Elementwise (Hadamard) product `z = x ⊙ y`.
+#[inline]
+pub fn hadamard<T: Scalar>(x: &[T], y: &[T], z: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), z.len());
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x.iter()).zip(y.iter()) {
+        *zi = xi * yi;
+    }
+}
+
+/// In-place Hadamard: `y ⊙= x`.
+#[inline]
+pub fn hadamard_assign<T: Scalar>(x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi *= xi;
+    }
+}
+
+/// Mixed-field Hadamard used by the Sternheimer right-hand sides:
+/// `z = x ⊙ y` with real `x` scaling a `T`-valued `y`.
+#[inline]
+pub fn hadamard_real<T: Scalar>(x: &[f64], y: &[T], z: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), z.len());
+    for ((zi, &xi), &yi) in z.iter_mut().zip(x.iter()).zip(y.iter()) {
+        *zi = yi.scale(xi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_complex::Complex64;
+
+    #[test]
+    fn dot_products_differ_for_complex() {
+        let x = [Complex64::new(0.0, 1.0), Complex64::new(2.0, 0.0)];
+        let y = [Complex64::new(0.0, 1.0), Complex64::new(1.0, 1.0)];
+        // xᵀy = (i)(i) + 2(1+i) = -1 + 2 + 2i = 1 + 2i
+        assert_eq!(dot_t(&x, &y), Complex64::new(1.0, 2.0));
+        // xᴴy = (-i)(i) + 2(1+i) = 1 + 2 + 2i = 3 + 2i
+        assert_eq!(dot_h(&x, &y), Complex64::new(3.0, 2.0));
+    }
+
+    #[test]
+    fn real_dots_agree() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        assert_eq!(dot_t(&x, &y), 32.0);
+        assert_eq!(dot_h(&x, &y), 32.0);
+        assert!((norm2(&x) - 14.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_axpby_scal() {
+        let x = [1.0, -1.0];
+        let mut y = [10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 8.0]);
+        axpby(1.0, &x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 3.0]);
+        scal(2.0, &mut y);
+        assert_eq!(y, [14.0, 6.0]);
+    }
+
+    #[test]
+    fn hadamard_variants() {
+        let x = [2.0, 3.0];
+        let y = [
+            Complex64::new(1.0, 1.0),
+            Complex64::new(0.0, -1.0),
+        ];
+        let mut z = [Complex64::new(0.0, 0.0); 2];
+        hadamard_real(&x, &y, &mut z);
+        assert_eq!(z[0], Complex64::new(2.0, 2.0));
+        assert_eq!(z[1], Complex64::new(0.0, -3.0));
+
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let mut c = [0.0; 2];
+        hadamard(&a, &b, &mut c);
+        assert_eq!(c, [3.0, 8.0]);
+        let mut d = [5.0, 6.0];
+        hadamard_assign(&a, &mut d);
+        assert_eq!(d, [5.0, 12.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the dense linear algebra substrate.
+
+use mbrpa_linalg::{
+    matmul, matmul_hn, matmul_tn, symmetric_eig, thin_qr, Cholesky, Lu, Mat, C64,
+};
+use proptest::prelude::*;
+
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Mat::from_col_major(rows, cols, v))
+}
+
+fn cmat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat<C64>> {
+    proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), rows * cols).prop_map(move |v| {
+        Mat::from_col_major(
+            rows,
+            cols,
+            v.into_iter().map(|(re, im)| C64::new(re, im)).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)·C == A·(B·C) up to roundoff.
+    #[test]
+    fn gemm_associative(a in mat_strategy(6, 5), b in mat_strategy(5, 4), c in mat_strategy(4, 3)) {
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    /// A·(B+C) == A·B + A·C.
+    #[test]
+    fn gemm_distributive(a in mat_strategy(5, 5), b in mat_strategy(5, 4), c in mat_strategy(5, 4)) {
+        let mut bc = b.clone();
+        bc.axpy(1.0, &c);
+        let left = matmul(&a, &bc);
+        let mut right = matmul(&a, &b);
+        right.axpy(1.0, &matmul(&a, &c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+
+    /// The Gram kernel agrees with explicit transposition.
+    #[test]
+    fn gram_tn_consistent(a in mat_strategy(30, 4), b in mat_strategy(30, 3)) {
+        let fast = matmul_tn(&a, &b);
+        let slow = matmul(&a.transpose(), &b);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-10);
+    }
+
+    /// (AᴴB)ᴴ == BᴴA for complex blocks.
+    #[test]
+    fn gram_hn_adjoint_symmetry(a in cmat_strategy(20, 3), b in cmat_strategy(20, 4)) {
+        let ab = matmul_hn(&a, &b);
+        let ba = matmul_hn(&b, &a);
+        prop_assert!(ab.conj_transpose().max_abs_diff(&ba) < 1e-10);
+    }
+
+    /// LU solve returns a vector with small residual for well-conditioned A.
+    #[test]
+    fn lu_solve_residual(seed in mat_strategy(6, 6), b in mat_strategy(6, 2)) {
+        // diagonally dominate to guarantee invertibility
+        let n = 6;
+        let mut a = seed;
+        for i in 0..n {
+            a[(i, i)] += 50.0;
+        }
+        let x = Lu::factor(&a).unwrap().solve_mat(&b);
+        let mut r = matmul(&a, &x);
+        r.axpy(-1.0, &b);
+        prop_assert!(r.max_abs() < 1e-9);
+    }
+
+    /// Complex LU: P·A = L·U reconstruction via solve on identity.
+    #[test]
+    fn complex_lu_inverse(seed in cmat_strategy(5, 5)) {
+        let n = 5;
+        let mut a = seed;
+        for i in 0..n {
+            a[(i, i)] += C64::new(30.0, 5.0);
+        }
+        let inv = mbrpa_linalg::inverse(&a).unwrap();
+        let prod = matmul(&a, &inv);
+        prop_assert!(prod.max_abs_diff(&Mat::identity(n)) < 1e-9);
+    }
+
+    /// Cholesky reconstructs GᵀG + cI.
+    #[test]
+    fn cholesky_reconstruction(g in mat_strategy(7, 7)) {
+        let mut a = matmul(&g.transpose(), &g);
+        for i in 0..7 {
+            a[(i, i)] += 7.0;
+        }
+        let ch = Cholesky::factor(&a).unwrap();
+        let llt = matmul(ch.l(), &ch.l().transpose());
+        prop_assert!(llt.max_abs_diff(&a) < 1e-9);
+    }
+
+    /// Symmetric eigensolver: orthogonality, ordering, reconstruction.
+    #[test]
+    fn symeig_invariants(g in mat_strategy(10, 10)) {
+        let a = Mat::from_fn(10, 10, |i, j| 0.5 * (g[(i, j)] + g[(j, i)]));
+        let eig = symmetric_eig(&a).unwrap();
+        // ordering
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        // orthogonality
+        let qtq = matmul(&eig.vectors.transpose(), &eig.vectors);
+        prop_assert!(qtq.max_abs_diff(&Mat::identity(10)) < 1e-9);
+        // reconstruction A = Q D Qᵀ
+        let mut qd = eig.vectors.clone();
+        for j in 0..10 {
+            let lam = eig.values[j];
+            for v in qd.col_mut(j) {
+                *v *= lam;
+            }
+        }
+        let back = matmul(&qd, &eig.vectors.transpose());
+        prop_assert!(back.max_abs_diff(&a) < 1e-8);
+    }
+
+    /// Thin QR: QᴴQ = I and QR = A for full-rank random tall blocks.
+    #[test]
+    fn qr_invariants(a in mat_strategy(25, 5)) {
+        let qr = thin_qr(&a);
+        prop_assume!(qr.deficient.is_empty());
+        let qtq = matmul_hn(&qr.q, &qr.q);
+        prop_assert!(qtq.max_abs_diff(&Mat::identity(5)) < 1e-10);
+        let back = matmul(&qr.q, &qr.r);
+        prop_assert!(back.max_abs_diff(&a) < 1e-9);
+    }
+
+    /// Frobenius norm is unitarily invariant under the QR orthogonal factor:
+    /// ‖QᵀA‖_F == ‖A‖_F when Q has full column span of A.
+    #[test]
+    fn fro_norm_unitary_invariance(a in mat_strategy(20, 4)) {
+        let qr = thin_qr(&a);
+        prop_assume!(qr.deficient.is_empty());
+        prop_assert!((qr.r.fro_norm() - a.fro_norm()).abs() < 1e-9 * (1.0 + a.fro_norm()));
+    }
+}

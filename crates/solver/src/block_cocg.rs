@@ -1,0 +1,558 @@
+//! Block conjugate orthogonal conjugate gradient (block COCG) —
+//! Algorithm 3 of the paper.
+//!
+//! COCG exploits complex symmetry `A = Aᵀ` to run a three-term recurrence
+//! using the *unconjugated* bilinear form `⟨x, y⟩ = xᵀy`, giving a
+//! short-term-recurrence Krylov method for the Sternheimer matrices
+//! `H − λI + iωI` where GMRES would grow its basis without bound. This
+//! block extension treats `s` right-hand sides simultaneously: per
+//! iteration it costs one block operator application (line 6), five
+//! `O(n·s²)` matrix-matrix products (lines 5, 7, 9, 10, 11), and two
+//! `O(s³)` solves (lines 8, 12), exactly the cost model of §III-B.
+//!
+//! COCG has no optimality property in residual or error norms (§III-B), so
+//! the Gram matrices `μ = PᵀAP` and `ρ = WᵀW` can become numerically
+//! singular ("breakdown"). We detect this through the LU pivot-ratio
+//! estimate and perform a restart from the current iterate; optional column
+//! deflation narrows the block when some right-hand sides converge early,
+//! the practical answer to the deflation caveat the paper raises in §II.
+
+use crate::operator::LinearOperator;
+use crate::stats::SolveReport;
+use mbrpa_linalg::{matmul, matmul_into, matmul_tn, Lu, Mat, C64};
+
+/// Options for [`block_cocg`].
+#[derive(Clone, Copy, Debug)]
+pub struct CocgOptions {
+    /// Relative Frobenius tolerance `τ_Sternheimer` (Eq. 10).
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Pivot-ratio threshold under which a Gram matrix is declared broken.
+    pub breakdown_rcond: f64,
+    /// Restarts allowed before giving up.
+    pub max_breakdowns: usize,
+    /// Narrow the block by dropping columns that have individually
+    /// converged (`‖w_j‖ ≤ tol·‖b_j‖`), restarting the recurrence.
+    pub deflate: bool,
+    /// Record the relative residual after every iteration into
+    /// [`SolveReport::residual_history`] (convergence studies only).
+    pub track_residuals: bool,
+}
+
+impl Default for CocgOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-2, // the paper's production Sternheimer tolerance
+            max_iters: 500,
+            breakdown_rcond: 1e-13,
+            max_breakdowns: 4,
+            deflate: false,
+            track_residuals: false,
+        }
+    }
+}
+
+impl CocgOptions {
+    /// Same options with a different tolerance.
+    pub fn with_tol(tol: f64) -> Self {
+        Self {
+            tol,
+            ..Self::default()
+        }
+    }
+}
+
+/// Solve the `s×s` system `G X = R` after symmetric diagonal equilibration
+/// `G̃ = S G S` with `S = diag(1/√|g_jj|)`: block residual columns converge
+/// at different rates, so raw Gram matrices are badly scaled long before
+/// they are genuinely rank-deficient. Returns `None` on a true breakdown.
+fn equilibrated_solve(g: &Mat<C64>, r: &Mat<C64>, rcond_floor: f64) -> Option<Mat<C64>> {
+    let s = g.rows();
+    let mut scale = vec![1.0f64; s];
+    for (j, sc) in scale.iter_mut().enumerate() {
+        let d = g[(j, j)].norm();
+        if d > 0.0 {
+            *sc = 1.0 / d.sqrt();
+        }
+    }
+    let g_tilde = Mat::from_fn(s, s, |i, j| g[(i, j)].scale(scale[i] * scale[j]));
+    let lu = Lu::factor(&g_tilde).ok()?;
+    if lu.rcond_estimate() <= rcond_floor {
+        return None;
+    }
+    // X = S · G̃⁻¹ · (S R)
+    let mut sr = r.clone();
+    for j in 0..sr.cols() {
+        for (i, v) in sr.col_mut(j).iter_mut().enumerate() {
+            *v = v.scale(scale[i]);
+        }
+    }
+    let mut x = lu.solve_mat(&sr);
+    for j in 0..x.cols() {
+        for (i, v) in x.col_mut(j).iter_mut().enumerate() {
+            *v = v.scale(scale[i]);
+        }
+    }
+    Some(x)
+}
+
+/// Solve `A Y = B` for a block of right-hand sides with block COCG.
+/// Returns the iterate and a [`SolveReport`]. A `None` initial guess means
+/// `Y₀ = 0`.
+///
+/// ```
+/// use mbrpa_linalg::{Mat, C64};
+/// use mbrpa_solver::{block_cocg, CocgOptions, DenseOperator};
+/// // a small complex-symmetric system A = diag(2+i, 3+i)
+/// let a = Mat::from_fn(2, 2, |i, j| if i == j {
+///     C64::new(2.0 + i as f64, 1.0)
+/// } else {
+///     C64::new(0.0, 0.0)
+/// });
+/// let op = DenseOperator::new(a);
+/// let b = Mat::from_fn(2, 1, |_, _| C64::new(1.0, 0.0));
+/// let (y, report) = block_cocg(&op, &b, None, &CocgOptions::with_tol(1e-12));
+/// assert!(report.converged);
+/// assert!((y[(0, 0)] - C64::new(1.0, 0.0) / C64::new(2.0, 1.0)).norm() < 1e-10);
+/// ```
+pub fn block_cocg(
+    op: &dyn LinearOperator<C64>,
+    b: &Mat<C64>,
+    x0: Option<&Mat<C64>>,
+    opts: &CocgOptions,
+) -> (Mat<C64>, SolveReport) {
+    let n = op.dim();
+    let s_total = b.cols();
+    assert_eq!(b.rows(), n, "rhs dimension mismatch");
+    let mut report = SolveReport::new();
+
+    let b_fro = b.fro_norm();
+    if b_fro == 0.0 || s_total == 0 {
+        report.converged = true;
+        report.relative_residual = 0.0;
+        return (
+            x0.cloned().unwrap_or_else(|| Mat::zeros(n, s_total)),
+            report,
+        );
+    }
+    let b_col_norms = b.col_norms();
+
+    // Full-width solution; the active working set may narrow under
+    // deflation.
+    let mut x_full = match x0 {
+        Some(g) => {
+            assert_eq!(g.shape(), (n, s_total), "initial guess shape mismatch");
+            g.clone()
+        }
+        None => Mat::zeros(n, s_total),
+    };
+
+    // Active column bookkeeping.
+    let mut active: Vec<usize> = (0..s_total).collect();
+    let mut b_a = b.clone();
+    let mut x_a = x_full.clone();
+
+    // W = B − A·X (skip the operator application for a zero guess).
+    let mut w = if x0.is_some() {
+        let mut ax = Mat::zeros(n, s_total);
+        op.apply_block(&x_a, &mut ax);
+        report.matvecs += s_total;
+        let mut w = b_a.clone();
+        w.axpy(-C64::new(1.0, 0.0), &ax);
+        w
+    } else {
+        b_a.clone()
+    };
+
+    let mut rho = matmul_tn(&w, &w);
+    let mut p: Mat<C64> = Mat::zeros(n, 0);
+    let mut restart = true; // first iteration: P = W
+
+    let one = C64::new(1.0, 0.0);
+
+    loop {
+        // Global convergence check (Eq. 10 over the full block: deflated
+        // columns already satisfy their per-column bound).
+        let res = w.fro_norm() / b_fro;
+        report.relative_residual = res;
+        if opts.track_residuals {
+            report.residual_history.push(res);
+        }
+        if res <= opts.tol {
+            report.converged = true;
+            break;
+        }
+        if report.iterations >= opts.max_iters {
+            break;
+        }
+
+        // Optional deflation: retire individually-converged columns.
+        if opts.deflate && active.len() > 1 {
+            let w_norms = w.col_norms();
+            let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+            for (local, &global) in active.iter().enumerate() {
+                if w_norms[local] <= opts.tol * b_col_norms[global].max(f64::MIN_POSITIVE) {
+                    x_full.set_columns(global, &x_a.columns(local, 1));
+                } else {
+                    keep.push(local);
+                }
+            }
+            if keep.len() < active.len() {
+                if keep.is_empty() {
+                    report.converged = true;
+                    report.relative_residual = res;
+                    return (x_full, report);
+                }
+                let select = |m: &Mat<C64>| -> Mat<C64> {
+                    let mut out = Mat::zeros(n, keep.len());
+                    for (newj, &oldj) in keep.iter().enumerate() {
+                        out.col_mut(newj).copy_from_slice(m.col(oldj));
+                    }
+                    out
+                };
+                b_a = select(&b_a);
+                x_a = select(&x_a);
+                w = select(&w);
+                active = keep.iter().map(|&l| active[l]).collect();
+                rho = matmul_tn(&w, &w);
+                restart = true;
+            }
+        }
+
+        // Line 5: P ← W + P·β (β folded into `p` before this point; after
+        // a restart, P = W).
+        if restart {
+            p = w.clone();
+            restart = false;
+        }
+
+        // Line 6: U = A·P.
+        let mut u = Mat::zeros(n, p.cols());
+        op.apply_block(&p, &mut u);
+        report.matvecs += p.cols();
+
+        // Line 7: μ = UᵀP (= PᵀAP, complex symmetric).
+        let mu = matmul_tn(&u, &p);
+
+        // Line 8: α = μ⁻¹ρ, guarded against breakdown.
+        let alpha = match equilibrated_solve(&mu, &rho, opts.breakdown_rcond) {
+            Some(a) => a,
+            None => {
+                report.breakdowns += 1;
+                report.iterations += 1;
+                if report.breakdowns > opts.max_breakdowns {
+                    break;
+                }
+                // restart: fresh residual from the current iterate
+                let mut ax = Mat::zeros(n, x_a.cols());
+                op.apply_block(&x_a, &mut ax);
+                report.matvecs += x_a.cols();
+                w = b_a.clone();
+                w.axpy(-one, &ax);
+                rho = matmul_tn(&w, &w);
+                restart = true;
+                continue;
+            }
+        };
+
+        // Line 9: Y ← Y + P·α.
+        matmul_into(one, &p, &alpha, one, &mut x_a);
+        // Line 10: W ← W − U·α.
+        matmul_into(-one, &u, &alpha, one, &mut w);
+
+        // Line 11: ρ₊ = WᵀW.
+        let rho_next = matmul_tn(&w, &w);
+
+        // Line 12: β = ρ⁻¹ρ₊, then fold into P for the next iteration.
+        match equilibrated_solve(&rho, &rho_next, opts.breakdown_rcond) {
+            Some(beta) => {
+                // P ← W + P·β for the next round (line 5, precomputed)
+                let mut p_next = matmul(&p, &beta);
+                p_next.axpy(one, &w);
+                p = p_next;
+            }
+            None => {
+                report.breakdowns += 1;
+                if report.breakdowns > opts.max_breakdowns {
+                    report.iterations += 1;
+                    break;
+                }
+                restart = true;
+            }
+        }
+        rho = rho_next;
+        report.iterations += 1;
+
+        if w.has_bad_values() || x_a.has_bad_values() {
+            // numerical blow-up: surface as non-convergence
+            report.converged = false;
+            break;
+        }
+    }
+
+    // scatter the active block back into the full solution
+    for (local, &global) in active.iter().enumerate() {
+        x_full.set_columns(global, &x_a.columns(local, 1));
+    }
+
+    // Persistent breakdowns with s > 1 mean the block residuals became
+    // linearly dependent faster than the recurrence could use them: split
+    // the block in half and finish each part from the current iterate
+    // (width-1 COCG cannot block-break down).
+    if !report.converged && report.breakdowns > opts.max_breakdowns && s_total > 1 {
+        let remaining = opts.max_iters.saturating_sub(report.iterations);
+        if remaining > 0 {
+            let half = s_total / 2;
+            let sub_opts = CocgOptions {
+                max_iters: remaining,
+                ..*opts
+            };
+            let mut converged_all = true;
+            let mut worst_res: f64 = 0.0;
+            for (start, count) in [(0, half), (half, s_total - half)] {
+                let b_sub = b.columns(start, count);
+                let g_sub = x_full.columns(start, count);
+                let (x_sub, rep) = block_cocg(op, &b_sub, Some(&g_sub), &sub_opts);
+                x_full.set_columns(start, &x_sub);
+                report.iterations += rep.iterations;
+                report.matvecs += rep.matvecs;
+                report.breakdowns += rep.breakdowns;
+                converged_all &= rep.converged;
+                worst_res = worst_res.max(rep.relative_residual);
+            }
+            report.converged = converged_all;
+            // sub-solves report per-half relative residuals; keep the worst
+            report.relative_residual = worst_res;
+        }
+    }
+    (x_full, report)
+}
+
+/// Single right-hand-side COCG (the `s = 1` reduction of Algorithm 3).
+pub fn cocg(
+    op: &dyn LinearOperator<C64>,
+    b: &[C64],
+    x0: Option<&[C64]>,
+    opts: &CocgOptions,
+) -> (Vec<C64>, SolveReport) {
+    let bm = Mat::col_vector(b.to_vec());
+    let x0m = x0.map(|g| Mat::col_vector(g.to_vec()));
+    let (x, report) = block_cocg(op, &bm, x0m.as_ref(), opts);
+    (x.into_vec(), report)
+}
+
+/// True relative residual `‖B − AX‖_F / ‖B‖_F` (verification helper; one
+/// extra block application).
+pub fn true_relative_residual(
+    op: &dyn LinearOperator<C64>,
+    b: &Mat<C64>,
+    x: &Mat<C64>,
+) -> f64 {
+    let mut ax = Mat::zeros(b.rows(), b.cols());
+    op.apply_block(x, &mut ax);
+    ax.axpy(-C64::new(1.0, 0.0), b);
+    let b_fro = b.fro_norm();
+    if b_fro == 0.0 {
+        0.0
+    } else {
+        ax.fro_norm() / b_fro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::DenseOperator;
+
+    /// Random complex-symmetric, diagonally shifted test matrix
+    /// `A = S + (d + iω)I` mimicking the Sternheimer structure.
+    fn test_operator(n: usize, diag: f64, omega: f64, seed: u64) -> DenseOperator<C64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let g = Mat::from_fn(n, n, |_, _| next());
+        let a = Mat::from_fn(n, n, |i, j| {
+            let sym = 0.5 * (g[(i, j)] + g[(j, i)]);
+            let mut z = C64::new(sym, 0.0);
+            if i == j {
+                z += C64::new(diag, omega);
+            }
+            z
+        });
+        DenseOperator::new(a)
+    }
+
+    fn rand_rhs(n: usize, s: usize, seed: u64) -> Mat<C64> {
+        let mut state = seed | 1;
+        Mat::from_fn(n, s, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let re = (state as f64 / u64::MAX as f64) - 0.5;
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let im = (state as f64 / u64::MAX as f64) - 0.5;
+            C64::new(re, im)
+        })
+    }
+
+    #[test]
+    fn solves_well_conditioned_block() {
+        let op = test_operator(40, 5.0, 1.0, 1);
+        let b = rand_rhs(40, 4, 2);
+        let opts = CocgOptions::with_tol(1e-10);
+        let (x, report) = block_cocg(&op, &b, None, &opts);
+        assert!(report.converged, "report: {report:?}");
+        let res = true_relative_residual(&op, &b, &x);
+        assert!(res < 1e-8, "true residual {res}");
+    }
+
+    #[test]
+    fn single_rhs_cocg_matches_block_width_one() {
+        let op = test_operator(30, 4.0, 0.5, 3);
+        let b = rand_rhs(30, 1, 4);
+        let opts = CocgOptions::with_tol(1e-10);
+        let (xb, _) = block_cocg(&op, &b, None, &opts);
+        let (xv, report) = cocg(&op, b.col(0), None, &opts);
+        assert!(report.converged);
+        for (a, c) in xb.col(0).iter().zip(xv.iter()) {
+            assert!((a - c).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn initial_guess_accelerates() {
+        let op = test_operator(50, 3.0, 0.8, 5);
+        let b = rand_rhs(50, 2, 6);
+        let opts = CocgOptions::with_tol(1e-8);
+        let (x, r1) = block_cocg(&op, &b, None, &opts);
+        // restarting from the solution converges immediately (looser
+        // tolerance guards against recurrence-vs-true residual drift)
+        let (_, r2) = block_cocg(&op, &b, Some(&x), &CocgOptions::with_tol(1e-6));
+        assert!(r2.converged);
+        assert_eq!(r2.iterations, 0, "exact guess should converge at once");
+        assert!(r1.iterations > 0);
+    }
+
+    #[test]
+    fn indefinite_system_still_converges() {
+        // shift the spectrum to straddle zero (hard (j,k) pair regime) —
+        // only the imaginary shift keeps it nonsingular
+        let op = test_operator(60, 0.0, 0.05, 7);
+        let b = rand_rhs(60, 3, 8);
+        let opts = CocgOptions {
+            tol: 1e-8,
+            max_iters: 2000,
+            ..CocgOptions::default()
+        };
+        let (x, report) = block_cocg(&op, &b, None, &opts);
+        assert!(report.converged, "report: {report:?}");
+        assert!(true_relative_residual(&op, &b, &x) < 1e-6);
+    }
+
+    #[test]
+    fn larger_block_does_not_need_more_iterations() {
+        // O'Leary-style behaviour: block size grows → iteration count
+        // (weakly) shrinks for a fixed matrix
+        let op = test_operator(80, 0.2, 0.1, 9);
+        let opts = CocgOptions {
+            tol: 1e-6,
+            max_iters: 4000,
+            ..CocgOptions::default()
+        };
+        let b4 = rand_rhs(80, 4, 10);
+        let (_, r4) = block_cocg(&op, &b4, None, &opts);
+        let b1 = b4.columns(0, 1);
+        let (_, r1) = block_cocg(&op, &b1, None, &opts);
+        assert!(r4.converged && r1.converged);
+        assert!(
+            r4.iterations <= r1.iterations + 2,
+            "block {} vs single {}",
+            r4.iterations,
+            r1.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_trivially_converged() {
+        let op = test_operator(10, 2.0, 0.3, 11);
+        let b = Mat::zeros(10, 2);
+        let (x, report) = block_cocg(&op, &b, None, &CocgOptions::default());
+        assert!(report.converged);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(x.fro_norm(), 0.0);
+    }
+
+    #[test]
+    fn iteration_cap_reports_nonconvergence() {
+        let op = test_operator(50, 0.0, 0.01, 13);
+        let b = rand_rhs(50, 2, 14);
+        let opts = CocgOptions {
+            tol: 1e-14,
+            max_iters: 2,
+            ..CocgOptions::default()
+        };
+        let (_, report) = block_cocg(&op, &b, None, &opts);
+        assert!(!report.converged);
+        assert!(report.iterations <= 3);
+        assert!(report.relative_residual > 1e-14);
+    }
+
+    #[test]
+    fn deflation_matches_plain_solution() {
+        let op = test_operator(40, 4.0, 0.7, 15);
+        let b = rand_rhs(40, 5, 16);
+        let tol = 1e-9;
+        let plain = CocgOptions::with_tol(tol);
+        let defl = CocgOptions {
+            deflate: true,
+            ..plain
+        };
+        let (x1, r1) = block_cocg(&op, &b, None, &plain);
+        let (x2, r2) = block_cocg(&op, &b, None, &defl);
+        assert!(r1.converged && r2.converged);
+        assert!(true_relative_residual(&op, &b, &x1) < 1e-7);
+        assert!(true_relative_residual(&op, &b, &x2) < 1e-7);
+    }
+
+    #[test]
+    fn residual_history_records_the_descent() {
+        let op = test_operator(30, 4.0, 0.6, 21);
+        let b = rand_rhs(30, 2, 22);
+        let opts = CocgOptions {
+            tol: 1e-9,
+            track_residuals: true,
+            ..CocgOptions::default()
+        };
+        let (_, rep) = block_cocg(&op, &b, None, &opts);
+        assert!(rep.converged);
+        // one entry per convergence check (iterations + final check)
+        assert_eq!(rep.residual_history.len(), rep.iterations + 1);
+        assert!(rep.residual_history[0] > rep.residual_history[rep.iterations]);
+        assert!(*rep.residual_history.last().unwrap() <= opts.tol);
+        // off by default
+        let (_, rep2) = block_cocg(&op, &b, None, &CocgOptions::with_tol(1e-9));
+        assert!(rep2.residual_history.is_empty());
+    }
+
+    #[test]
+    fn recurrence_residual_tracks_true_residual() {
+        let op = test_operator(35, 2.0, 0.4, 17);
+        let b = rand_rhs(35, 3, 18);
+        let opts = CocgOptions::with_tol(1e-9);
+        let (x, report) = block_cocg(&op, &b, None, &opts);
+        let true_res = true_relative_residual(&op, &b, &x);
+        assert!(
+            (true_res - report.relative_residual).abs() < 1e-6,
+            "recurrence {} vs true {}",
+            report.relative_residual,
+            true_res
+        );
+    }
+}

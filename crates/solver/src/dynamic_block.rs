@@ -1,0 +1,340 @@
+//! Dynamic block size selection — Algorithm 4 of the paper.
+//!
+//! Each worker owns `n_eig/p` right-hand sides per Sternheimer block system
+//! and must pick the COCG block size `s` that balances fewer iterations
+//! (larger `s`) against the extra `O(n·s²)` matrix-matrix work. The optimal
+//! `s` depends on the `(j, k)` index pair and cannot be chosen a priori, so
+//! the worker probes geometrically increasing sizes and keeps doubling while
+//! doubling the block less than doubles the cost of a chunk.
+//!
+//! Two cost oracles are provided: wall-clock timing (the paper's method)
+//! and a deterministic FLOP model (for reproducible tests and CI).
+
+use crate::block_cocg::{block_cocg, CocgOptions};
+use crate::operator::LinearOperator;
+use crate::precond::{block_pcocg, Preconditioner};
+use crate::stats::{SolveReport, WorkerStats};
+use mbrpa_linalg::{Mat, C64};
+use std::time::Instant;
+
+/// How a worker chooses its COCG block size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockPolicy {
+    /// Always use block size `s` (the `s = 1` setting reproduces the
+    /// paper's Figure 3 configuration).
+    Fixed(usize),
+    /// Algorithm 4 with wall-clock chunk timings.
+    DynamicTimed,
+    /// Algorithm 4 with a deterministic FLOP cost model: reproducible
+    /// selection for tests and for machines with noisy clocks.
+    DynamicCostModel,
+}
+
+/// Cost model of one block-COCG chunk solve (per §III-B): per iteration,
+/// one operator application on `s` vectors, five `O(n·s²)` products, and
+/// two `O(s³)` solves.
+fn model_cost(op: &dyn LinearOperator<C64>, s: usize, report: &SolveReport) -> f64 {
+    let n = op.dim() as f64;
+    let sf = s as f64;
+    let per_iter = op.apply_flops() as f64 * sf + 10.0 * n * sf * sf + 4.0 * sf * sf * sf;
+    (report.iterations.max(1) as f64) * per_iter
+}
+
+/// Outcome of [`solve_multi_rhs`].
+#[derive(Clone, Debug)]
+pub struct MultiRhsOutcome {
+    /// Solutions, one column per right-hand side.
+    pub solution: Mat<C64>,
+    /// Block size in effect when the final chunk was solved.
+    pub final_block_size: usize,
+    /// Whether every chunk met the tolerance.
+    pub all_converged: bool,
+}
+
+/// Solve `A X = B` for `B` with many columns, choosing the COCG block size
+/// per `policy` and accumulating per-worker statistics.
+pub fn solve_multi_rhs(
+    op: &dyn LinearOperator<C64>,
+    b: &Mat<C64>,
+    guess: Option<&Mat<C64>>,
+    opts: &CocgOptions,
+    policy: BlockPolicy,
+    stats: &mut WorkerStats,
+) -> MultiRhsOutcome {
+    solve_multi_rhs_pre(op, b, guess, opts, policy, None, stats)
+}
+
+/// [`solve_multi_rhs`] with an optional preconditioner (the §V
+/// "dynamically applied" inverse-Laplacian path); `None` runs plain block
+/// COCG.
+pub fn solve_multi_rhs_pre(
+    op: &dyn LinearOperator<C64>,
+    b: &Mat<C64>,
+    guess: Option<&Mat<C64>>,
+    opts: &CocgOptions,
+    policy: BlockPolicy,
+    precond: Option<&dyn Preconditioner>,
+    stats: &mut WorkerStats,
+) -> MultiRhsOutcome {
+    let nrhs = b.cols();
+    let n = b.rows();
+    let mut solution = Mat::zeros(n, nrhs);
+    let mut all_converged = true;
+
+    let solve_chunk = |start: usize,
+                           width: usize,
+                           solution: &mut Mat<C64>,
+                           stats: &mut WorkerStats|
+     -> (f64, bool) {
+        let chunk_b = b.columns(start, width);
+        let chunk_g = guess.map(|g| g.columns(start, width));
+        let t0 = Instant::now();
+        let (x, report) = match precond {
+            Some(m) => block_pcocg(op, m, &chunk_b, chunk_g.as_ref(), opts),
+            None => block_cocg(op, &chunk_b, chunk_g.as_ref(), opts),
+        };
+        let elapsed = t0.elapsed();
+        solution.set_columns(start, &x);
+        let cost = match policy {
+            BlockPolicy::DynamicCostModel => model_cost(op, width, &report),
+            _ => elapsed.as_secs_f64(),
+        };
+        let ok = report.converged;
+        stats.absorb(width, width, &report, elapsed);
+        (cost, ok)
+    };
+
+    match policy {
+        BlockPolicy::Fixed(s) => {
+            let s = s.max(1);
+            let mut start = 0;
+            while start < nrhs {
+                let width = s.min(nrhs - start);
+                let (_, ok) = solve_chunk(start, width, &mut solution, stats);
+                all_converged &= ok;
+                start += width;
+            }
+            MultiRhsOutcome {
+                solution,
+                final_block_size: s,
+                all_converged,
+            }
+        }
+        BlockPolicy::DynamicTimed | BlockPolicy::DynamicCostModel => {
+            // Algorithm 4. Lines 1–2: probe s = 1 then s = 2.
+            let mut start = 0;
+            let mut s = 1usize;
+            let (mut t_old, ok) = solve_chunk(start, 1.min(nrhs), &mut solution, stats);
+            all_converged &= ok;
+            start += 1;
+            if start >= nrhs {
+                return MultiRhsOutcome {
+                    solution,
+                    final_block_size: s,
+                    all_converged,
+                };
+            }
+            s = 2;
+            let width = s.min(nrhs - start);
+            let (mut t_new, ok) = solve_chunk(start, width, &mut solution, stats);
+            all_converged &= ok;
+            start += width;
+            let probe_was_full = width == s;
+
+            // Lines 3–12: double while the bigger block is worth it.
+            if probe_was_full {
+                while start < nrhs {
+                    if t_new <= 2.0 * t_old {
+                        s *= 2;
+                        t_old = t_new;
+                        let width = s.min(nrhs - start);
+                        let (t, ok) = solve_chunk(start, width, &mut solution, stats);
+                        all_converged &= ok;
+                        start += width;
+                        if width < s {
+                            // partial probe: no comparable timing, stop here
+                            s = width.max(1);
+                            break;
+                        }
+                        t_new = t;
+                    } else {
+                        s /= 2;
+                        break;
+                    }
+                }
+            } else {
+                s = width.max(1);
+            }
+            let s = s.max(1);
+
+            // Line 13: solve the remainder at the selected size.
+            while start < nrhs {
+                let width = s.min(nrhs - start);
+                let (_, ok) = solve_chunk(start, width, &mut solution, stats);
+                all_converged &= ok;
+                start += width;
+            }
+            MultiRhsOutcome {
+                solution,
+                final_block_size: s,
+                all_converged,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_cocg::true_relative_residual;
+    use crate::operator::DenseOperator;
+
+    fn test_operator(n: usize, diag: f64, omega: f64, seed: u64) -> DenseOperator<C64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let g = Mat::from_fn(n, n, |_, _| next());
+        let a = Mat::from_fn(n, n, |i, j| {
+            let mut z = C64::new(0.5 * (g[(i, j)] + g[(j, i)]), 0.0);
+            if i == j {
+                z += C64::new(diag, omega);
+            }
+            z
+        });
+        DenseOperator::new(a)
+    }
+
+    fn rand_rhs(n: usize, s: usize, seed: u64) -> Mat<C64> {
+        let mut state = seed | 1;
+        Mat::from_fn(n, s, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let re = (state as f64 / u64::MAX as f64) - 0.5;
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            C64::new(re, (state as f64 / u64::MAX as f64) - 0.5)
+        })
+    }
+
+    #[test]
+    fn fixed_policy_solves_all_columns() {
+        let op = test_operator(30, 4.0, 0.5, 1);
+        let b = rand_rhs(30, 7, 2);
+        let mut stats = WorkerStats::new();
+        let out = solve_multi_rhs(
+            &op,
+            &b,
+            None,
+            &CocgOptions::with_tol(1e-9),
+            BlockPolicy::Fixed(3),
+            &mut stats,
+        );
+        assert!(out.all_converged);
+        assert!(true_relative_residual(&op, &b, &out.solution) < 1e-7);
+        // chunks: 3 + 3 + 1
+        assert_eq!(stats.block_sizes.count(3), 6);
+        assert_eq!(stats.block_sizes.count(1), 1);
+        assert_eq!(stats.block_sizes.total(), 7);
+    }
+
+    #[test]
+    fn cost_model_policy_is_deterministic_and_correct() {
+        let op = test_operator(40, 1.0, 0.2, 3);
+        let b = rand_rhs(40, 12, 4);
+        let opts = CocgOptions::with_tol(1e-8);
+        let mut s1 = WorkerStats::new();
+        let out1 = solve_multi_rhs(&op, &b, None, &opts, BlockPolicy::DynamicCostModel, &mut s1);
+        let mut s2 = WorkerStats::new();
+        let out2 = solve_multi_rhs(&op, &b, None, &opts, BlockPolicy::DynamicCostModel, &mut s2);
+        assert_eq!(out1.final_block_size, out2.final_block_size);
+        assert_eq!(s1.block_sizes, s2.block_sizes);
+        assert!(out1.all_converged);
+        assert!(true_relative_residual(&op, &b, &out1.solution) < 1e-6);
+        assert_eq!(s1.block_sizes.total(), 12);
+    }
+
+    #[test]
+    fn timed_policy_solves_everything() {
+        let op = test_operator(35, 2.0, 0.4, 5);
+        let b = rand_rhs(35, 9, 6);
+        let mut stats = WorkerStats::new();
+        let out = solve_multi_rhs(
+            &op,
+            &b,
+            None,
+            &CocgOptions::with_tol(1e-8),
+            BlockPolicy::DynamicTimed,
+            &mut stats,
+        );
+        assert!(out.all_converged);
+        assert!(true_relative_residual(&op, &b, &out.solution) < 1e-6);
+        assert_eq!(stats.block_sizes.total(), 9);
+        assert!(out.final_block_size >= 1);
+    }
+
+    #[test]
+    fn single_rhs_short_circuits() {
+        let op = test_operator(20, 3.0, 0.3, 7);
+        let b = rand_rhs(20, 1, 8);
+        let mut stats = WorkerStats::new();
+        let out = solve_multi_rhs(
+            &op,
+            &b,
+            None,
+            &CocgOptions::with_tol(1e-9),
+            BlockPolicy::DynamicCostModel,
+            &mut stats,
+        );
+        assert!(out.all_converged);
+        assert_eq!(out.final_block_size, 1);
+        assert_eq!(stats.block_sizes.count(1), 1);
+    }
+
+    #[test]
+    fn guess_columns_are_respected() {
+        let op = test_operator(25, 4.0, 0.6, 9);
+        let b = rand_rhs(25, 4, 10);
+        let opts = CocgOptions::with_tol(1e-9);
+        let mut stats = WorkerStats::new();
+        // first solve to get the exact answer, then re-solve with it as guess
+        let out = solve_multi_rhs(&op, &b, None, &opts, BlockPolicy::Fixed(2), &mut stats);
+        let mut stats2 = WorkerStats::new();
+        let out2 = solve_multi_rhs(
+            &op,
+            &b,
+            Some(&out.solution),
+            &CocgOptions::with_tol(1e-6),
+            BlockPolicy::Fixed(2),
+            &mut stats2,
+        );
+        assert!(out2.all_converged);
+        assert_eq!(stats2.iterations, 0, "exact guesses should not iterate");
+    }
+
+    #[test]
+    fn histogram_powers_of_two_for_dynamic() {
+        let op = test_operator(30, 0.5, 0.1, 11);
+        let b = rand_rhs(30, 20, 12);
+        let mut stats = WorkerStats::new();
+        let out = solve_multi_rhs(
+            &op,
+            &b,
+            None,
+            &CocgOptions::with_tol(1e-7),
+            BlockPolicy::DynamicCostModel,
+            &mut stats,
+        );
+        assert!(out.all_converged);
+        // every recorded size is a power of two or a remainder chunk
+        for (s, _) in stats.block_sizes.iter() {
+            assert!((1..=20).contains(&s));
+        }
+        assert_eq!(stats.block_sizes.total(), 20);
+    }
+}

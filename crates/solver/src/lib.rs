@@ -1,0 +1,40 @@
+//! # mbrpa-solver
+//!
+//! Krylov subspace solvers for the complex-symmetric Sternheimer systems:
+//!
+//! * **Block COCG** ([`block_cocg`]) — the paper's short-term-recurrence
+//!   block solver (Algorithm 3),
+//! * **Dynamic block size selection** ([`dynamic_block`]) — Algorithm 4,
+//! * **Restarted GMRES** ([`gmres`]) — the long-recurrence baseline,
+//! * **Scaled Chebyshev filters** ([`chebyshev`]) — subspace iteration
+//!   acceleration shared by CheFSI and the RPA dielectric eigensolver,
+//! * **Galerkin initial guesses** ([`initial_guess`]) — Eq. 13,
+//!
+//! all behind the matrix-free [`LinearOperator`] trait.
+
+// Index-heavy numerical kernels read better with explicit loop indices and
+// the domain-meaningful `2r + 1` stencil-count forms.
+#![allow(clippy::needless_range_loop, clippy::int_plus_one)]
+#![warn(missing_docs)]
+
+pub mod block_cocg;
+pub mod chebyshev;
+pub mod dynamic_block;
+pub mod gmres;
+pub mod initial_guess;
+pub mod operator;
+pub mod precond;
+pub mod qmr;
+pub mod seed;
+pub mod stats;
+
+pub use block_cocg::{block_cocg, cocg, true_relative_residual, CocgOptions};
+pub use chebyshev::chebyshev_filter;
+pub use dynamic_block::{solve_multi_rhs, solve_multi_rhs_pre, BlockPolicy, MultiRhsOutcome};
+pub use gmres::{gmres, gmres_block, GmresOptions};
+pub use initial_guess::galerkin_guess;
+pub use operator::{DenseOperator, LinearOperator};
+pub use precond::{block_pcocg, IdentityPreconditioner, Preconditioner};
+pub use qmr::{qmr_sym, QmrOptions};
+pub use seed::{seed_cocg, SeedReport};
+pub use stats::{BlockSizeHistogram, SolveReport, WorkerStats};

@@ -1,0 +1,199 @@
+//! Solver statistics: iteration counts, operator applications, and the
+//! block-size histogram behind the paper's Table IV.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Outcome of one (block) linear solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveReport {
+    /// Krylov iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖W‖_F / ‖B‖_F`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was met within the iteration cap.
+    pub converged: bool,
+    /// Single-vector operator applications (`matvec` count; a block
+    /// application of width `s` counts `s`).
+    pub matvecs: usize,
+    /// Gram-matrix breakdown restarts performed.
+    pub breakdowns: usize,
+    /// Relative residual after every iteration (populated only when
+    /// [`crate::CocgOptions::track_residuals`] /
+    /// [`crate::GmresOptions::track_residuals`] is set — convergence-curve
+    /// studies only; empty in production runs).
+    pub residual_history: Vec<f64>,
+}
+
+impl SolveReport {
+    /// A fresh, empty report.
+    pub fn new() -> Self {
+        Self {
+            iterations: 0,
+            relative_residual: f64::INFINITY,
+            converged: false,
+            matvecs: 0,
+            breakdowns: 0,
+            residual_history: Vec::new(),
+        }
+    }
+}
+
+impl Default for SolveReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Frequency table of block sizes chosen by the dynamic selection
+/// (Algorithm 4), accumulated per worker and merged for Table IV.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockSizeHistogram {
+    counts: BTreeMap<usize, usize>,
+}
+
+impl BlockSizeHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that one block system was solved with block size `s`.
+    pub fn record(&mut self, s: usize, systems: usize) {
+        *self.counts.entry(s).or_insert(0) += systems;
+    }
+
+    /// Merge another histogram (worker reduction).
+    pub fn merge(&mut self, other: &BlockSizeHistogram) {
+        for (&s, &c) in &other.counts {
+            *self.counts.entry(s).or_insert(0) += c;
+        }
+    }
+
+    /// Iterate `(block_size, count)` in ascending block-size order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// Count for one block size.
+    pub fn count(&self, s: usize) -> usize {
+        self.counts.get(&s).copied().unwrap_or(0)
+    }
+
+    /// Total systems recorded.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Fraction of systems solved at block size `s`.
+    pub fn fraction(&self, s: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(s) as f64 / t as f64
+        }
+    }
+}
+
+/// Accumulated statistics of all Sternheimer solves done by one worker.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Block-size selection frequencies.
+    pub block_sizes: BlockSizeHistogram,
+    /// Total Krylov iterations.
+    pub iterations: usize,
+    /// Total single-vector operator applications.
+    pub matvecs: usize,
+    /// Wall time in the linear solver.
+    pub solve_time: Duration,
+    /// Systems that failed to reach tolerance.
+    pub unconverged: usize,
+}
+
+impl WorkerStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge a peer worker's statistics.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.block_sizes.merge(&other.block_sizes);
+        self.iterations += other.iterations;
+        self.matvecs += other.matvecs;
+        self.solve_time += other.solve_time;
+        self.unconverged += other.unconverged;
+    }
+
+    /// Fold in one solve report at block size `s` covering `systems`
+    /// right-hand sides.
+    pub fn absorb(&mut self, s: usize, systems: usize, report: &SolveReport, elapsed: Duration) {
+        self.block_sizes.record(s, systems);
+        self.iterations += report.iterations;
+        self.matvecs += report.matvecs;
+        self.solve_time += elapsed;
+        if !report.converged {
+            self.unconverged += systems;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut h = BlockSizeHistogram::new();
+        h.record(1, 3);
+        h.record(2, 10);
+        h.record(2, 5);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(2), 15);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.total(), 18);
+        assert!((h.fraction(2) - 15.0 / 18.0).abs() < 1e-15);
+
+        let mut other = BlockSizeHistogram::new();
+        other.record(4, 2);
+        other.record(1, 1);
+        h.merge(&other);
+        assert_eq!(h.count(4), 2);
+        assert_eq!(h.count(1), 4);
+        let sizes: Vec<usize> = h.iter().map(|(s, _)| s).collect();
+        assert_eq!(sizes, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn worker_stats_absorb_and_merge() {
+        let mut w = WorkerStats::new();
+        let mut r = SolveReport::new();
+        r.iterations = 7;
+        r.matvecs = 14;
+        r.converged = true;
+        w.absorb(2, 2, &r, Duration::from_millis(5));
+        assert_eq!(w.iterations, 7);
+        assert_eq!(w.unconverged, 0);
+
+        let mut r2 = SolveReport::new();
+        r2.iterations = 3;
+        r2.matvecs = 3;
+        r2.converged = false;
+        let mut w2 = WorkerStats::new();
+        w2.absorb(1, 1, &r2, Duration::from_millis(2));
+        assert_eq!(w2.unconverged, 1);
+
+        w.merge(&w2);
+        assert_eq!(w.iterations, 10);
+        assert_eq!(w.matvecs, 17);
+        assert_eq!(w.block_sizes.total(), 3);
+        assert_eq!(w.solve_time, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        let h = BlockSizeHistogram::new();
+        assert_eq!(h.fraction(1), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the Krylov solvers on random well-conditioned
+//! complex-symmetric systems of the Sternheimer shape.
+
+use mbrpa_linalg::{matmul, Mat, C64};
+use mbrpa_solver::{
+    block_cocg, block_pcocg, cocg, gmres, qmr_sym, seed_cocg, true_relative_residual,
+    CocgOptions, DenseOperator, GmresOptions, IdentityPreconditioner, QmrOptions,
+};
+use proptest::prelude::*;
+
+/// Random complex-symmetric `A = S + (d + iω)I`, diagonally dominated so
+/// every draw is solvable.
+fn operator_strategy(n: usize) -> impl Strategy<Value = DenseOperator<C64>> {
+    (
+        proptest::collection::vec(-0.5f64..0.5, n * n),
+        2.0f64..6.0,
+        0.1f64..1.0,
+    )
+        .prop_map(move |(entries, diag, omega)| {
+            let g = Mat::from_col_major(n, n, entries);
+            let a = Mat::from_fn(n, n, |i, j| {
+                let mut z = C64::new(0.5 * (g[(i, j)] + g[(j, i)]), 0.0);
+                if i == j {
+                    z += C64::new(diag, omega);
+                }
+                z
+            });
+            DenseOperator::new(a)
+        })
+}
+
+fn rhs_strategy(n: usize, s: usize) -> impl Strategy<Value = Mat<C64>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n * s).prop_map(move |v| {
+        Mat::from_col_major(
+            n,
+            s,
+            v.into_iter().map(|(re, im)| C64::new(re, im)).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Block COCG residuals actually meet the requested tolerance.
+    #[test]
+    fn block_cocg_meets_tolerance(op in operator_strategy(20), b in rhs_strategy(20, 3)) {
+        let opts = CocgOptions::with_tol(1e-8);
+        let (x, rep) = block_cocg(&op, &b, None, &opts);
+        prop_assume!(rep.converged);
+        prop_assert!(true_relative_residual(&op, &b, &x) < 1e-6);
+    }
+
+    /// The solution is actually A⁻¹B: verify against a direct dense solve.
+    #[test]
+    fn block_cocg_matches_direct_solve(op in operator_strategy(16), b in rhs_strategy(16, 2)) {
+        let opts = CocgOptions::with_tol(1e-11);
+        let (x, rep) = block_cocg(&op, &b, None, &opts);
+        prop_assume!(rep.converged);
+        let x_direct = mbrpa_linalg::solve(op.matrix(), &b).unwrap();
+        prop_assert!(x.max_abs_diff(&x_direct) < 1e-7);
+    }
+
+    /// Linearity: solving for B1+B2 equals the sum of the solutions.
+    #[test]
+    fn solver_linearity(op in operator_strategy(14), b1 in rhs_strategy(14, 1), b2 in rhs_strategy(14, 1)) {
+        let opts = CocgOptions::with_tol(1e-11);
+        let (x1, r1) = cocg(&op, b1.col(0), None, &opts);
+        let (x2, r2) = cocg(&op, b2.col(0), None, &opts);
+        prop_assume!(r1.converged && r2.converged);
+        let mut bsum = b1.clone();
+        bsum.axpy(C64::new(1.0, 0.0), &b2);
+        let (xs, rs) = cocg(&op, bsum.col(0), None, &opts);
+        prop_assume!(rs.converged);
+        for i in 0..14 {
+            prop_assert!((xs[i] - (x1[i] + x2[i])).norm() < 1e-6);
+        }
+    }
+
+    /// GMRES and COCG agree on complex-symmetric systems.
+    #[test]
+    fn gmres_cocg_agree(op in operator_strategy(15), b in rhs_strategy(15, 1)) {
+        let (xc, rc) = cocg(&op, b.col(0), None, &CocgOptions::with_tol(1e-11));
+        let (xg, rg) = gmres(&op, b.col(0), None, &GmresOptions {
+            tol: 1e-11,
+            restart: 30,
+            max_matvecs: 3000,
+            track_residuals: false,
+        });
+        prop_assume!(rc.converged && rg.converged);
+        for (a, c) in xg.iter().zip(xc.iter()) {
+            prop_assert!((a - c).norm() < 1e-7);
+        }
+    }
+
+    /// QMR agrees with COCG on complex-symmetric systems.
+    #[test]
+    fn qmr_cocg_agree(op in operator_strategy(14), b in rhs_strategy(14, 1)) {
+        let (xc, rc) = cocg(&op, b.col(0), None, &CocgOptions::with_tol(1e-11));
+        let (xq, rq) = qmr_sym(&op, b.col(0), None, &QmrOptions {
+            tol: 1e-11,
+            max_iters: 2000,
+            ..QmrOptions::default()
+        });
+        prop_assume!(rc.converged && rq.converged);
+        for (a, c) in xq.iter().zip(xc.iter()) {
+            prop_assert!((a - c).norm() < 1e-7);
+        }
+    }
+
+    /// Identity preconditioning changes nothing.
+    #[test]
+    fn identity_precond_is_neutral(op in operator_strategy(12), b in rhs_strategy(12, 2)) {
+        let opts = CocgOptions::with_tol(1e-10);
+        let (x1, r1) = block_cocg(&op, &b, None, &opts);
+        let (x2, r2) = block_pcocg(&op, &IdentityPreconditioner::new(12), &b, None, &opts);
+        prop_assume!(r1.converged && r2.converged);
+        prop_assert!(x1.max_abs_diff(&x2) < 1e-8);
+    }
+
+    /// The seed method solves every column correctly.
+    #[test]
+    fn seed_method_is_correct(op in operator_strategy(18), b in rhs_strategy(18, 3)) {
+        let opts = CocgOptions::with_tol(1e-9);
+        let (x, rep) = seed_cocg(&op, &b, &opts);
+        prop_assume!(rep.total.converged);
+        prop_assert!(true_relative_residual(&op, &b, &x) < 1e-6);
+    }
+
+    /// Solving with the exact solution as guess converges immediately.
+    #[test]
+    fn exact_guess_converges_at_once(op in operator_strategy(12), b in rhs_strategy(12, 2)) {
+        let opts = CocgOptions::with_tol(1e-10);
+        let (x, rep) = block_cocg(&op, &b, None, &opts);
+        prop_assume!(rep.converged);
+        let (_, rep2) = block_cocg(&op, &b, Some(&x), &CocgOptions::with_tol(1e-7));
+        prop_assert!(rep2.converged);
+        prop_assert_eq!(rep2.iterations, 0);
+    }
+
+    /// Solution of A(x) scaled: A(αB) has solution αX.
+    #[test]
+    fn scaling_equivariance(op in operator_strategy(12), b in rhs_strategy(12, 1), scale in 0.5f64..3.0) {
+        let opts = CocgOptions::with_tol(1e-11);
+        let (x, r) = cocg(&op, b.col(0), None, &opts);
+        prop_assume!(r.converged);
+        let bs: Vec<C64> = b.col(0).iter().map(|z| z.scale(scale)).collect();
+        let (xs, rs) = cocg(&op, &bs, None, &opts);
+        prop_assume!(rs.converged);
+        for i in 0..12 {
+            prop_assert!((xs[i] - x[i].scale(scale)).norm() < 1e-6 * (1.0 + x[i].norm()));
+        }
+    }
+
+    /// Residual reported by the recurrence is close to the true residual.
+    #[test]
+    fn reported_residual_is_honest(op in operator_strategy(16), b in rhs_strategy(16, 2)) {
+        let opts = CocgOptions::with_tol(1e-7);
+        let (x, rep) = block_cocg(&op, &b, None, &opts);
+        prop_assume!(rep.converged);
+        let true_res = true_relative_residual(&op, &b, &x);
+        prop_assert!((true_res - rep.relative_residual).abs() < 1e-4);
+    }
+}
+
+/// matmul sanity used by the strategies (kept here to exercise the public
+/// API from an integration-test context).
+#[test]
+fn dense_operator_is_its_matrix() {
+    let a = Mat::from_fn(5, 5, |i, j| C64::new((i + 2 * j) as f64, (j as f64) - 1.0));
+    let op = DenseOperator::new(a.clone());
+    let b = Mat::from_fn(5, 2, |i, j| C64::new(i as f64, j as f64));
+    let mut out = Mat::zeros(5, 2);
+    use mbrpa_solver::LinearOperator;
+    op.apply_block(&b, &mut out);
+    let expect = matmul(&a, &b);
+    assert!(out.max_abs_diff(&expect) < 1e-12);
+}

@@ -1,0 +1,86 @@
+//! Isolated-cluster RPA under Dirichlet boundary conditions.
+//!
+//! The paper motivates real-space approaches partly because they are "more
+//! amenable than reciprocal space approaches to Dirichlet boundary
+//! conditions (for simulating molecules, wires, and surfaces)" — something
+//! plane-wave RPA codes cannot do without supercell tricks. This example
+//! runs the identical pipeline on an isolated tetrahedral cluster: only
+//! the boundary condition changes; every operator (stencil, ν, ν½,
+//! Sternheimer solves) adapts automatically.
+//!
+//! Run with `cargo run --release --example isolated_cluster`.
+
+use mbrpa::dft::Atom;
+use mbrpa::prelude::*;
+
+fn main() {
+    // A tetrahedral 4-atom cluster centred in a hard-wall box.
+    let n = 11;
+    let h = 0.8;
+    let grid = Grid3::cubic(n, h, Boundary::Dirichlet);
+    let box_len = (n + 1) as f64 * h;
+    let c = 0.5 * box_len;
+    let d = 0.16 * box_len;
+    let atoms = vec![
+        Atom { position: (c + d, c + d, c + d), valence: 4 },
+        Atom { position: (c - d, c - d, c + d), valence: 4 },
+        Atom { position: (c - d, c + d, c - d), valence: 4 },
+        Atom { position: (c + d, c - d, c - d), valence: 4 },
+    ];
+    let crystal = Crystal {
+        grid,
+        atoms,
+        label: "Si4-tetrahedron".into(),
+    };
+    println!(
+        "system: {} — {} atoms in a {:.1}³ Bohr box, n_d = {}, n_s = {}",
+        crystal.label,
+        crystal.atoms.len(),
+        box_len,
+        crystal.n_grid(),
+        crystal.n_occupied()
+    );
+
+    let setup = RpaSetup::prepare(
+        crystal,
+        &PotentialParams::default(),
+        2,
+        KsSolver::Chefsi(ChefsiOptions {
+            tol: 1e-8,
+            ..ChefsiOptions::default()
+        }),
+    )
+    .expect("KS stage");
+    println!(
+        "occupied energies: {:?}",
+        setup
+            .ks
+            .occupied_energies()
+            .iter()
+            .map(|e| (e * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
+
+    let config = RpaConfig {
+        n_eig: 4 * 12,
+        n_omega: 8,
+        n_workers: 4,
+        ..RpaConfig::default()
+    };
+    let result = setup.run(&config).expect("RPA stage");
+
+    println!();
+    for rep in &result.per_omega {
+        println!(
+            "omega {:>7.3}: E_k = {:>10.5} Ha, ncheb = {}, err = {:.1e}",
+            rep.omega, rep.energy_term, rep.filter_rounds, rep.error
+        );
+    }
+    println!();
+    println!(
+        "E_RPA = {:.6} Ha ({:.6} Ha/atom) in {:.2} s — Dirichlet BCs, no supercell needed",
+        result.total_energy,
+        result.energy_per_atom,
+        result.wall_time.as_secs_f64()
+    );
+}

@@ -1,0 +1,61 @@
+//! Mini scaling study (the Figure 6 shape): total RPA solve time vs the
+//! number of grid points across the replicated-cell ladder, with a
+//! log–log least-squares fit of the complexity exponent.
+//!
+//! Run with `cargo run --release --example scaling_study`.
+//! The full-size sweep lives in `crates/bench/src/bin/fig6_complexity.rs`.
+
+use mbrpa::prelude::*;
+
+fn main() {
+    let mut rows = Vec::new();
+    for cells in 1..=3usize {
+        let crystal = SiliconSpec {
+            points_per_cell: 6,
+            cells_z: cells,
+            perturbation: 0.02,
+            seed: 5,
+            ..SiliconSpec::default()
+        }
+        .build();
+        let label = crystal.label.clone();
+        let atoms = crystal.atoms.len();
+        let n_d = crystal.n_grid();
+        let setup = RpaSetup::prepare(
+            crystal,
+            &PotentialParams::default(),
+            2,
+            KsSolver::Chefsi(ChefsiOptions {
+                tol: 1e-7,
+                ..ChefsiOptions::default()
+            }),
+        )
+        .expect("setup");
+        let config = RpaConfig {
+            n_eig: atoms * 8,
+            n_omega: 8,
+            n_workers: 4,
+            ..RpaConfig::default()
+        };
+        let result = setup.run(&config).expect("rpa");
+        println!(
+            "{label:>5}: n_d = {n_d:>5}  n_s = {:>3}  n_eig = {:>4}  E = {:+.5} Ha  t = {:>7.2} s",
+            result.n_s,
+            result.n_eig,
+            result.total_energy,
+            result.wall_time.as_secs_f64()
+        );
+        rows.push((n_d as f64, result.wall_time.as_secs_f64()));
+    }
+
+    // least-squares slope of log t vs log n_d
+    let n = rows.len() as f64;
+    let (sx, sy, sxx, sxy) = rows.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, &(x, y)| {
+        let (lx, ly) = (x.ln(), y.ln());
+        (acc.0 + lx, acc.1 + ly, acc.2 + lx * lx, acc.3 + lx * ly)
+    });
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    println!();
+    println!("fitted complexity: time ~ n_d^{slope:.2}");
+    println!("(the paper reports O(n_d^2.95) on 24 cores and O(n_d^2.87) on 192 cores)");
+}

@@ -1,0 +1,153 @@
+//! `rpacalc` — the command-line driver, mirroring the paper's artifact
+//! usage:
+//!
+//! ```text
+//! rpacalc -name Si8            # reads Si8.rpa, writes Si8.out
+//! rpacalc -name tests/Si16     # paths are allowed
+//! rpacalc -name Si8 -stdout    # print the report instead of writing it
+//! ```
+//!
+//! The input format is documented in [`mbrpa::core::io`]; a sample lives
+//! in `inputs/Si8.rpa`.
+
+use mbrpa::core::{io as rpaio, report, KsSolver, RpaSetup};
+use mbrpa::dft::{load_orbitals, save_orbitals, ChefsiOptions, PotentialParams};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rpacalc -name <basename> [-stdout] [-threads N] [-save-ks] [-load-ks]");
+    eprintln!("  reads <basename>.rpa and writes <basename>.out");
+    eprintln!("  -save-ks / -load-ks persist the KS orbitals as <basename>.orb");
+    eprintln!("  (mirrors the artifact workflow of reading precomputed SPARC outputs)");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut name: Option<String> = None;
+    let mut to_stdout = false;
+    let mut threads: Option<usize> = None;
+    let mut save_ks = false;
+    let mut load_ks = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-name" | "--name" => name = it.next().cloned(),
+            "-stdout" | "--stdout" => to_stdout = true,
+            "-threads" | "--threads" => threads = it.next().and_then(|v| v.parse().ok()),
+            "-save-ks" | "--save-ks" => save_ks = true,
+            "-load-ks" | "--load-ks" => load_ks = true,
+            "-h" | "--help" => return usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let Some(name) = name else { return usage() };
+
+    if let Some(t) = threads {
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(t).build_global() {
+            eprintln!("warning: could not size the thread pool: {e}");
+        }
+    }
+
+    let input_path = format!("{name}.rpa");
+    let text = match std::fs::read_to_string(&input_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = match rpaio::parse_rpa_input(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{input_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for key in &input.ignored_keys {
+        eprintln!("note: ignoring artifact key `{key}` (not needed by this formulation)");
+    }
+
+    let crystal = match input.vacancy {
+        Some(site) => input.system.build_with_vacancy(site),
+        None => input.system.build(),
+    };
+    eprintln!(
+        "system {}: n_d = {}, n_s = {}",
+        crystal.label,
+        crystal.n_grid(),
+        crystal.n_occupied()
+    );
+
+    // KS stage: load from a prior run, or dense for small grids / CheFSI
+    // beyond (mirroring the artifact's precomputed-SPARC-output workflow)
+    let orb_path = format!("{name}.orb");
+    let solver = if crystal.n_grid() <= 1000 {
+        KsSolver::Dense { extra: 4 }
+    } else {
+        KsSolver::Chefsi(ChefsiOptions::default())
+    };
+    let mut setup = match RpaSetup::prepare(crystal, &PotentialParams::default(), 2, solver) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("KS stage failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if load_ks {
+        match load_orbitals(Path::new(&orb_path)) {
+            Ok(ks) => {
+                if ks.orbitals.rows() != setup.ham.dim()
+                    || ks.n_occupied != setup.crystal.n_occupied()
+                {
+                    eprintln!("{orb_path}: dimensions do not match the input system");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("loaded KS orbitals from {orb_path}");
+                setup.ks = ks;
+            }
+            Err(e) => {
+                eprintln!("cannot load {orb_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if save_ks {
+        if let Err(e) = save_orbitals(Path::new(&orb_path), &setup.ks) {
+            eprintln!("cannot save {orb_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("saved KS orbitals to {orb_path}");
+    }
+
+    let result = match setup.run(&input.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("RPA stage failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = report::full_report(&input.config, &result);
+    if to_stdout {
+        print!("{doc}");
+    } else {
+        let out_path = format!("{name}.out");
+        if let Err(e) = std::fs::write(&out_path, &doc) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out_path}");
+    }
+    eprintln!(
+        "Total RPA correlation energy: {:.5E} Ha ({:.5E} Ha/atom) in {:.3} s",
+        result.total_energy,
+        result.energy_per_atom,
+        result.wall_time.as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

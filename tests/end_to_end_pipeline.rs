@@ -1,0 +1,217 @@
+//! End-to-end pipeline tests: crystal → KS solve → RPA energy, exercising
+//! the configuration axes the paper varies (warm start, Galerkin guess,
+//! worker count, block policy, KS solver choice).
+
+use mbrpa::prelude::*;
+use mbrpa::solver::BlockPolicy;
+
+fn tiny_setup(seed: u64) -> RpaSetup {
+    let crystal = SiliconSpec {
+        points_per_cell: 5,
+        perturbation: 0.03,
+        seed,
+        ..SiliconSpec::default()
+    }
+    .build();
+    RpaSetup::prepare(
+        crystal,
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 2 },
+    )
+    .unwrap()
+}
+
+fn tiny_config() -> RpaConfig {
+    RpaConfig {
+        n_eig: 20,
+        n_omega: 4,
+        tol_sternheimer: 1e-3,
+        max_filter_iters: 20,
+        n_workers: 1,
+        seed: 17,
+        ..RpaConfig::default()
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let setup = tiny_setup(9);
+    let config = tiny_config();
+    let e1 = setup.run(&config).unwrap().total_energy;
+    let e2 = setup.run(&config).unwrap().total_energy;
+    assert_eq!(e1, e2, "same seed must give bitwise-identical energies");
+}
+
+#[test]
+fn warm_start_matches_cold_start_energy() {
+    let setup = tiny_setup(9);
+    let mut config = tiny_config();
+    config.warm_start = true;
+    let warm = setup.run(&config).unwrap();
+    config.warm_start = false;
+    config.max_filter_iters = 40;
+    let cold = setup.run(&config).unwrap();
+    let rel = ((warm.total_energy - cold.total_energy) / cold.total_energy).abs();
+    assert!(
+        rel < 2e-2,
+        "warm-start energy drifted: {} vs {} ({rel})",
+        warm.total_energy,
+        cold.total_energy
+    );
+    // and the warm path does less filtering overall
+    let warm_rounds: usize = warm.per_omega.iter().map(|r| r.filter_rounds).sum();
+    let cold_rounds: usize = cold.per_omega.iter().map(|r| r.filter_rounds).sum();
+    assert!(
+        warm_rounds <= cold_rounds,
+        "warm {warm_rounds} vs cold {cold_rounds} filter rounds"
+    );
+}
+
+#[test]
+fn galerkin_guess_config_does_not_move_energy() {
+    let setup = tiny_setup(11);
+    let mut config = tiny_config();
+    config.use_galerkin_guess = true;
+    let on = setup.run(&config).unwrap().total_energy;
+    config.use_galerkin_guess = false;
+    let off = setup.run(&config).unwrap().total_energy;
+    let rel = ((on - off) / off).abs();
+    assert!(rel < 1e-2, "guess flag changed physics: {on} vs {off}");
+}
+
+#[test]
+fn block_policies_agree_on_energy() {
+    let setup = tiny_setup(13);
+    let mut config = tiny_config();
+    let mut energies = Vec::new();
+    for policy in [
+        BlockPolicy::Fixed(1),
+        BlockPolicy::Fixed(4),
+        BlockPolicy::DynamicCostModel,
+    ] {
+        config.block_policy = policy;
+        energies.push(setup.run(&config).unwrap().total_energy);
+    }
+    for e in &energies[1..] {
+        let rel = ((e - energies[0]) / energies[0]).abs();
+        assert!(rel < 1e-2, "policy changed physics: {energies:?}");
+    }
+}
+
+#[test]
+fn chefsi_ks_path_matches_dense_ks_path() {
+    let crystal = SiliconSpec {
+        points_per_cell: 5,
+        perturbation: 0.03,
+        seed: 9,
+        ..SiliconSpec::default()
+    }
+    .build();
+    let dense = RpaSetup::prepare(
+        crystal.clone(),
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 2 },
+    )
+    .unwrap();
+    let chefsi = RpaSetup::prepare(
+        crystal,
+        &PotentialParams::default(),
+        2,
+        KsSolver::Chefsi(ChefsiOptions {
+            tol: 1e-10,
+            max_iters: 300,
+            ..ChefsiOptions::default()
+        }),
+    )
+    .unwrap();
+    let config = tiny_config();
+    let e_dense = dense.run(&config).unwrap().total_energy;
+    let e_chefsi = chefsi.run(&config).unwrap().total_energy;
+    let rel = ((e_dense - e_chefsi) / e_dense).abs();
+    assert!(
+        rel < 1e-2,
+        "KS solver choice changed the RPA energy: {e_dense} vs {e_chefsi}"
+    );
+}
+
+#[test]
+fn vacancy_system_runs_and_differs() {
+    let spec = SiliconSpec {
+        points_per_cell: 5,
+        perturbation: 0.03,
+        seed: 5,
+        ..SiliconSpec::default()
+    };
+    let pristine = RpaSetup::prepare(
+        spec.build(),
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 2 },
+    )
+    .unwrap();
+    let vacancy = RpaSetup::prepare(
+        spec.build_with_vacancy(2),
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 2 },
+    )
+    .unwrap();
+    assert_eq!(vacancy.crystal.atoms.len(), 7);
+    assert_eq!(vacancy.ks.n_occupied, 14);
+    let config = tiny_config();
+    let e8 = pristine.run(&config).unwrap();
+    let e7 = vacancy
+        .run(&RpaConfig {
+            n_eig: 18,
+            ..config
+        })
+        .unwrap();
+    assert!(e8.total_energy < 0.0 && e7.total_energy < 0.0);
+    assert!(
+        (e8.total_energy - e7.total_energy).abs() > 1e-6,
+        "removing an atom must change the correlation energy"
+    );
+}
+
+#[test]
+fn dirichlet_boundary_pipeline_runs() {
+    // isolated-cluster variant: same pipeline under Dirichlet BCs
+    use mbrpa::dft::Atom;
+    let grid = Grid3::cubic(7, 0.8, Boundary::Dirichlet);
+    let a = 7.0 * 0.8;
+    let atoms = vec![
+        Atom {
+            position: (0.3 * a, 0.3 * a, 0.3 * a),
+            valence: 4,
+        },
+        Atom {
+            position: (0.6 * a, 0.6 * a, 0.6 * a),
+            valence: 4,
+        },
+    ];
+    let crystal = Crystal {
+        grid,
+        atoms,
+        label: "Si2-cluster".into(),
+    };
+    let setup = RpaSetup::prepare(
+        crystal,
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 2 },
+    )
+    .unwrap();
+    let config = RpaConfig {
+        n_eig: 12,
+        n_omega: 4,
+        tol_sternheimer: 1e-3,
+        max_filter_iters: 20,
+        n_workers: 1,
+        ..RpaConfig::default()
+    };
+    let result = setup.run(&config).unwrap();
+    assert!(result.total_energy < 0.0);
+    assert!(result.total_energy.is_finite());
+}

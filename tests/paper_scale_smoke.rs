@@ -1,0 +1,70 @@
+//! Paper-scale smoke tests — `#[ignore]`d by default (minutes to hours);
+//! run explicitly with
+//!
+//! ```text
+//! cargo test --release --test paper_scale_smoke -- --ignored
+//! ```
+//!
+//! These drive the exact Table I / Table III configuration of the paper
+//! (15³ grid points per cell, 96 `νχ⁰` eigenvalues per atom, ℓ = 8,
+//! `τ_Stern = 1e-2`) on the smallest system, Si₈ — the configuration whose
+//! artifact run takes ~72 s on 24 Xeon cores.
+
+use mbrpa::prelude::*;
+
+#[test]
+#[ignore = "paper-scale configuration: long runtime, run with -- --ignored"]
+fn si8_paper_configuration_end_to_end() {
+    let crystal = SiliconSpec::paper_scale(1).build();
+    assert_eq!(crystal.n_grid(), 3375);
+    assert_eq!(crystal.n_occupied(), 16);
+
+    let setup = RpaSetup::prepare(
+        crystal,
+        &PotentialParams::default(),
+        4, // the paper uses high-order stencils
+        KsSolver::Chefsi(ChefsiOptions {
+            tol: 1e-8,
+            ..ChefsiOptions::default()
+        }),
+    )
+    .expect("KS stage at paper scale");
+
+    let config = RpaConfig::for_system(8, 96); // n_eig = 768, Table III
+    let result = setup.run(&config).expect("RPA stage at paper scale");
+
+    assert!(result.total_energy < 0.0);
+    assert_eq!(result.n_eig, 768);
+    assert_eq!(result.n_d, 3375);
+    for rep in &result.per_omega {
+        assert!(rep.converged, "ω = {} unconverged", rep.omega);
+    }
+    eprintln!(
+        "paper-scale Si8: E_RPA = {:.6} Ha ({:.6} Ha/atom) in {:.1} s",
+        result.total_energy,
+        result.energy_per_atom,
+        result.wall_time.as_secs_f64()
+    );
+}
+
+#[test]
+#[ignore = "paper-scale KS stage only (dense reference vs CheFSI); run with -- --ignored"]
+fn si8_paper_ks_stage_chefsi_matches_dense() {
+    let crystal = SiliconSpec::paper_scale(1).build();
+    let ham = Hamiltonian::new(&crystal, 4, &PotentialParams::default());
+    let n_s = crystal.n_occupied();
+    let dense = solve_occupied_dense(&ham, n_s, 2).expect("dense at 3375");
+    let chefsi = solve_occupied_chefsi(
+        &ham,
+        n_s,
+        &ChefsiOptions {
+            tol: 1e-9,
+            ..ChefsiOptions::default()
+        },
+    )
+    .expect("chefsi at 3375");
+    for j in 0..n_s {
+        let d = (dense.energies[j] - chefsi.energies[j]).abs();
+        assert!(d < 1e-6, "orbital {j} differs by {d}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate correctness: the perturbation-theory path (Sternheimer
+//! solves, Eqs. 4–5 of the paper) must agree with the explicit
+//! Adler–Wiser construction (Eq. 2) of χ⁰ — the central identity the whole
+//! method rests on.
+
+use mbrpa::core::{dense_chi0, dense_dielectric, full_spectrum};
+use mbrpa::prelude::*;
+
+struct Fixture {
+    ham: Hamiltonian,
+    psi: Mat<f64>,
+    energies: Vec<f64>,
+    coulomb: CoulombOperator,
+    h_dense: Mat<f64>,
+    n_occ: usize,
+}
+
+fn fixture() -> Fixture {
+    let crystal = SiliconSpec {
+        points_per_cell: 5,
+        perturbation: 0.04,
+        seed: 31,
+        ..SiliconSpec::default()
+    }
+    .build();
+    let ham = Hamiltonian::new(&crystal, 2, &PotentialParams::default());
+    let n_occ = 5;
+    let ks = solve_occupied_dense(&ham, n_occ, 0).unwrap();
+    let spectral = SpectralLaplacian::new(crystal.grid, 2).unwrap();
+    Fixture {
+        h_dense: ham.to_dense(),
+        psi: ks.occupied_orbitals(),
+        energies: ks.occupied_energies().to_vec(),
+        ham,
+        coulomb: CoulombOperator::new(spectral),
+        n_occ,
+    }
+}
+
+fn dielectric_op<'a>(f: &'a Fixture, omega: f64) -> DielectricOperator<'a> {
+    DielectricOperator::new(
+        &f.ham,
+        &f.psi,
+        &f.energies,
+        &f.coulomb,
+        omega,
+        SternheimerSettings {
+            tol: 1e-10,
+            max_iters: 3000,
+            ..SternheimerSettings::default()
+        },
+        1,
+    )
+}
+
+#[test]
+fn chi0_apply_matches_dense_adler_wiser() {
+    let f = fixture();
+    let eig = full_spectrum(&f.h_dense).unwrap();
+    for omega in [0.1, 1.0, 10.0] {
+        let chi0 = dense_chi0(&eig, f.n_occ, omega);
+        let op = dielectric_op(&f, omega);
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 2, |i, j| ((i * 13 + 7 * j) % 31) as f64 * 0.05 - 0.7);
+        let fast = op.apply_chi0_block(&v);
+        let exact = mbrpa::linalg::matmul(&chi0, &v);
+        let err = fast.max_abs_diff(&exact) / exact.max_abs().max(1e-300);
+        assert!(
+            err < 1e-6,
+            "ω = {omega}: Sternheimer path differs from Adler–Wiser by {err}"
+        );
+    }
+}
+
+#[test]
+fn dielectric_apply_matches_dense_sandwich() {
+    let f = fixture();
+    let eig = full_spectrum(&f.h_dense).unwrap();
+    let omega = 0.7;
+    let chi0 = dense_chi0(&eig, f.n_occ, omega);
+    let m = dense_dielectric(&chi0, &f.coulomb);
+    let op = dielectric_op(&f, omega);
+    let n = f.ham.dim();
+    let v = Mat::from_fn(n, 1, |i, _| ((i % 19) as f64 - 9.0) * 0.04);
+    let fast = op.apply_dielectric_block(&v);
+    let exact = mbrpa::linalg::matmul(&m, &v);
+    let err = fast.max_abs_diff(&exact) / exact.max_abs().max(1e-300);
+    assert!(err < 1e-6, "ν½χ⁰ν½ mismatch: {err}");
+}
+
+#[test]
+fn galerkin_guess_does_not_change_the_answer() {
+    let f = fixture();
+    let n = f.ham.dim();
+    let v = Mat::from_fn(n, 2, |i, j| ((i + 3 * j) % 11) as f64 * 0.08 - 0.4);
+    let with = DielectricOperator::new(
+        &f.ham,
+        &f.psi,
+        &f.energies,
+        &f.coulomb,
+        0.4,
+        SternheimerSettings {
+            tol: 1e-10,
+            max_iters: 3000,
+            use_galerkin_guess: true,
+            ..SternheimerSettings::default()
+        },
+        1,
+    );
+    let without = DielectricOperator::new(
+        &f.ham,
+        &f.psi,
+        &f.energies,
+        &f.coulomb,
+        0.4,
+        SternheimerSettings {
+            tol: 1e-10,
+            max_iters: 3000,
+            use_galerkin_guess: false,
+            ..SternheimerSettings::default()
+        },
+        1,
+    );
+    let a = with.apply_chi0_block(&v);
+    let b = without.apply_chi0_block(&v);
+    assert!(
+        a.max_abs_diff(&b) < 1e-6 * a.max_abs().max(1.0),
+        "Eq. 13 guess changed χ⁰v by {}",
+        a.max_abs_diff(&b)
+    );
+}
+
+#[test]
+fn chi0_decays_with_frequency() {
+    // large ω suppresses the response (Eq. 2 denominators grow)
+    let f = fixture();
+    let n = f.ham.dim();
+    let v = Mat::from_fn(n, 1, |i, _| ((i % 7) as f64 - 3.0) * 0.1);
+    let lo = dielectric_op(&f, 0.2).apply_chi0_block(&v).fro_norm();
+    let hi = dielectric_op(&f, 50.0).apply_chi0_block(&v).fro_norm();
+    assert!(hi < 0.05 * lo, "χ⁰ must decay with ω: {hi} vs {lo}");
+}

@@ -1,0 +1,120 @@
+//! The §V future-work path: Lanczos-quadrature trace estimation of the RPA
+//! integrand, cross-checked against the subspace-iteration trace and the
+//! exact dense trace on a small system.
+
+use mbrpa::core::{
+    dielectric_spectrum, full_spectrum, lanczos_trace, random_orthonormal_block,
+    subspace_iteration, trace_term, TraceEstimatorOptions,
+};
+use mbrpa::prelude::*;
+
+struct Fixture {
+    ham: Hamiltonian,
+    psi: Mat<f64>,
+    energies: Vec<f64>,
+    coulomb: CoulombOperator,
+    h_dense: Mat<f64>,
+    n_occ: usize,
+}
+
+fn fixture() -> Fixture {
+    let crystal = SiliconSpec {
+        points_per_cell: 5,
+        perturbation: 0.03,
+        seed: 41,
+        ..SiliconSpec::default()
+    }
+    .build();
+    let ham = Hamiltonian::new(&crystal, 2, &PotentialParams::default());
+    let n_occ = 5;
+    let ks = solve_occupied_dense(&ham, n_occ, 0).unwrap();
+    let spectral = SpectralLaplacian::new(crystal.grid, 2).unwrap();
+    Fixture {
+        h_dense: ham.to_dense(),
+        psi: ks.occupied_orbitals(),
+        energies: ks.occupied_energies().to_vec(),
+        ham,
+        coulomb: CoulombOperator::new(spectral),
+        n_occ,
+    }
+}
+
+#[test]
+fn lanczos_trace_agrees_with_exact_dense_trace() {
+    let f = fixture();
+    let omega = 0.6;
+    let op = DielectricOperator::new(
+        &f.ham,
+        &f.psi,
+        &f.energies,
+        &f.coulomb,
+        omega,
+        SternheimerSettings {
+            tol: 1e-9,
+            ..SternheimerSettings::default()
+        },
+        1,
+    );
+    let eig = full_spectrum(&f.h_dense).unwrap();
+    let exact_spectrum = dielectric_spectrum(&eig, f.n_occ, omega, &f.coulomb).unwrap();
+    let exact: f64 = exact_spectrum.iter().map(|&m| (1.0 - m).ln() + m).sum();
+
+    let est = lanczos_trace(
+        &op,
+        &|mu| {
+            let mu = mu.min(0.0);
+            (1.0 - mu).ln() + mu
+        },
+        &TraceEstimatorOptions {
+            n_probes: 20,
+            lanczos_steps: 25,
+            seed: 4,
+        },
+    )
+    .unwrap();
+    let err = (est.trace - exact).abs();
+    assert!(
+        err < 6.0 * est.std_error.max(0.01 * exact.abs()),
+        "Lanczos trace {} vs exact {exact} (stderr {})",
+        est.trace,
+        est.std_error
+    );
+}
+
+#[test]
+fn subspace_trace_is_a_lower_magnitude_bound() {
+    // the truncated subspace trace must capture most of, and never exceed,
+    // the exact magnitude (all contributions are negative)
+    let f = fixture();
+    let omega = 0.6;
+    let op = DielectricOperator::new(
+        &f.ham,
+        &f.psi,
+        &f.energies,
+        &f.coulomb,
+        omega,
+        SternheimerSettings {
+            tol: 1e-8,
+            ..SternheimerSettings::default()
+        },
+        1,
+    );
+    let n_eig = 20;
+    let v0 = random_orthonormal_block(f.ham.dim(), n_eig, 8);
+    let out = subspace_iteration(&op, v0, 1e-4, 30, 3).unwrap();
+    let truncated = trace_term(&out.eigenvalues);
+
+    let eig = full_spectrum(&f.h_dense).unwrap();
+    let spectrum = dielectric_spectrum(&eig, f.n_occ, omega, &f.coulomb).unwrap();
+    let exact: f64 = spectrum.iter().map(|&m| (1.0 - m).ln() + m).sum();
+
+    assert!(truncated < 0.0 && exact < 0.0);
+    assert!(
+        truncated.abs() <= exact.abs() * (1.0 + 1e-6),
+        "truncated {truncated} exceeds exact {exact}"
+    );
+    assert!(
+        truncated.abs() > 0.6 * exact.abs(),
+        "truncated trace too lossy: {truncated} vs {exact}"
+    );
+}
