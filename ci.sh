@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, format, lint. Run from the repo root.
+set -euo pipefail
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings

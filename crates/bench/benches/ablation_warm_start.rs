@@ -48,9 +48,7 @@ fn bench_warm_start(c: &mut Criterion) {
         );
         group.bench_function(label, |b| {
             b.iter(|| {
-                black_box(
-                    subspace_iteration(&op, v0.clone(), 5e-4, 30, 2).expect("subspace solve"),
-                )
+                black_box(subspace_iteration(&op, v0.clone(), 5e-4, 30, 2).expect("subspace solve"))
             })
         });
     }

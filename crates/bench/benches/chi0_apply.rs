@@ -18,7 +18,10 @@ fn bench_chi0(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("dielectric_apply");
     group.sample_size(10);
-    for (label, omega) in [("omega_large", quad[0].omega), ("omega_small", quad[7].omega)] {
+    for (label, omega) in [
+        ("omega_large", quad[0].omega),
+        ("omega_small", quad[7].omega),
+    ] {
         let op = DielectricOperator::new(
             &setup.ham,
             &psi,

@@ -15,7 +15,9 @@ fn bench_poisson(c: &mut Criterion) {
         let spec = SpectralLaplacian::new(g, 4).unwrap();
         let nu = CoulombOperator::new(spec.clone());
         let n = g.len();
-        let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 211) as f64 * 1e-2 - 1.0).collect();
+        let v: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 211) as f64 * 1e-2 - 1.0)
+            .collect();
         let mut out = vec![0.0; n];
         group.bench_with_input(BenchmarkId::new("poisson_solve", npts), &npts, |b, _| {
             b.iter(|| {

@@ -10,7 +10,9 @@
 //! smallest system (40× for Si₈); at this harness's laptop-scale sizes the
 //! crossover is extrapolated from the fitted exponents and reported.
 
-use mbrpa_bench::{ladder_config, loglog_slope, prepare_ladder_system, print_table, HarnessOptions};
+use mbrpa_bench::{
+    ladder_config, loglog_slope, prepare_ladder_system, print_table, HarnessOptions,
+};
 use mbrpa_core::{direct_rpa_energy, frequency_quadrature};
 use std::time::Instant;
 

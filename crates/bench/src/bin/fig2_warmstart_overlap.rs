@@ -55,15 +55,9 @@ fn main() {
     let cosines = mbrpa_linalg::principal_cosines(&v7, &v8).unwrap_or_default();
     let min_cos = cosines.last().copied().unwrap_or(0.0);
     eprintln!();
-    eprintln!(
-        "omega_7 = {w7:.3}, omega_8 = {w8:.3} over the lowest {m} eigenvectors:"
-    );
-    eprintln!(
-        "  per-vector: {diag_hi}/{m} diagonal entries above 0.5 (paper's Fig. 2 view)"
-    );
-    eprintln!(
-        "  subspace capture ||V7^T V8||_F^2 / n_eig = {capture:.4} (1.0 = same span)"
-    );
+    eprintln!("omega_7 = {w7:.3}, omega_8 = {w8:.3} over the lowest {m} eigenvectors:");
+    eprintln!("  per-vector: {diag_hi}/{m} diagonal entries above 0.5 (paper's Fig. 2 view)");
+    eprintln!("  subspace capture ||V7^T V8||_F^2 / n_eig = {capture:.4} (1.0 = same span)");
     eprintln!("  smallest principal cosine = {min_cos:.4}");
     eprintln!(
         "(individual vectors may rotate inside near-degenerate clusters; the warm\n\

@@ -12,9 +12,9 @@ use mbrpa_solver::BlockPolicy;
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let workers = opts.threads.unwrap_or_else(|| {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    });
+    let workers = opts
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
     let setup = prepare_ladder_system(1, opts.points_per_cell());
     let atoms = setup.crystal.atoms.len();
     eprintln!(

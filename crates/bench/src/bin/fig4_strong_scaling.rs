@@ -12,7 +12,9 @@
 //! ultimately caps the paper's strong scaling: wall time follows the
 //! slowest worker.
 
-use mbrpa_bench::{ladder_config, prepare_ladder_system, print_table, with_threads, HarnessOptions};
+use mbrpa_bench::{
+    ladder_config, prepare_ladder_system, print_table, with_threads, HarnessOptions,
+};
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -48,11 +50,7 @@ fn main() {
             }
             let speedup = if t1 > 0.0 { t1 / t } else { 1.0 };
             // load imbalance across logical workers: max/mean solve time
-            let loads: Vec<f64> = result
-                .worker_load
-                .iter()
-                .map(|d| d.as_secs_f64())
-                .collect();
+            let loads: Vec<f64> = result.worker_load.iter().map(|d| d.as_secs_f64()).collect();
             let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
             let max = loads.iter().cloned().fold(0.0, f64::max);
             let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
@@ -96,11 +94,7 @@ fn main() {
         }
         let config = ladder_config(atoms, opts.eig_per_atom(), p);
         let result = setup.run(&config).expect("RPA failed");
-        let loads: Vec<f64> = result
-            .worker_load
-            .iter()
-            .map(|d| d.as_secs_f64())
-            .collect();
+        let loads: Vec<f64> = result.worker_load.iter().map(|d| d.as_secs_f64()).collect();
         let mean = loads.iter().sum::<f64>() / loads.len() as f64;
         let max = loads.iter().cloned().fold(0.0, f64::max);
         let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -112,10 +106,7 @@ fn main() {
             format!("{:.2}", if mean > 0.0 { max / mean } else { 1.0 }),
         ]);
     }
-    print_table(
-        &["p", "mean (s)", "min (s)", "max (s)", "max/mean"],
-        &rows,
-    );
+    print_table(&["p", "mean (s)", "min (s)", "max (s)", "max/mean"], &rows);
     println!(
         "\n(the paper: \"the time to perform ν½χ⁰ν½V is governed by the slowest\n\
          processor, and this slowest time scales with poor parallel efficiency as\n\

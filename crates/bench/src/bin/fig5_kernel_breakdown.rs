@@ -7,7 +7,9 @@
 //! dense eigensolve and the tall-skinny matmults scale poorly and
 //! eventually cap the overall parallel efficiency.
 
-use mbrpa_bench::{ladder_config, prepare_ladder_system, print_table, with_threads, HarnessOptions};
+use mbrpa_bench::{
+    ladder_config, prepare_ladder_system, print_table, with_threads, HarnessOptions,
+};
 
 fn main() {
     let opts = HarnessOptions::from_args();

@@ -72,7 +72,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["grid", "h (Bohr)", "E/atom (Ha)", "ΔE vac (Ha/atom)", "|ΔΔE| vs finest"],
+        &[
+            "grid",
+            "h (Bohr)",
+            "E/atom (Ha)",
+            "ΔE vac (Ha/atom)",
+            "|ΔΔE| vs finest",
+        ],
         &rows,
     );
     println!(

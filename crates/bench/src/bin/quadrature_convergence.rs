@@ -52,7 +52,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["ℓ", "E_RPA (Ha)", "|error| (Ha)", "per atom", "< chem. acc."],
+        &[
+            "ℓ",
+            "E_RPA (Ha)",
+            "|error| (Ha)",
+            "per atom",
+            "< chem. acc.",
+        ],
         &rows,
     );
     println!("\n(the paper runs ℓ = 8; chemical accuracy threshold 1.6e-3 Ha/atom)");

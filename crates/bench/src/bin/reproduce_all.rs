@@ -57,7 +57,10 @@ fn main() {
                 if out.status.success() {
                     println!("    wrote {out_path}");
                 } else {
-                    eprintln!("    FAILED (status {:?}); see {log_path}", out.status.code());
+                    eprintln!(
+                        "    FAILED (status {:?}); see {log_path}",
+                        out.status.code()
+                    );
                     failures.push(*name);
                 }
             }

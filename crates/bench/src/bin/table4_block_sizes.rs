@@ -62,7 +62,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["System", "dynamic (s)", "fixed s=1 (s)", "speedup"], &rows);
+    print_table(
+        &["System", "dynamic (s)", "fixed s=1 (s)", "speedup"],
+        &rows,
+    );
     println!(
         "\n(the paper's Si8/Si16 select s = 2 ~90% of the time and s = 1 dominates as\n\
          systems grow; easy systems make s = 1 optimal since iterations barely drop)"

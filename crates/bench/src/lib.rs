@@ -163,10 +163,12 @@ mod tests {
 
     #[test]
     fn loglog_slope_recovers_cubic() {
-        let pts: Vec<(f64, f64)> = (1..6).map(|i| {
-            let x = i as f64 * 100.0;
-            (x, 2.5 * x.powi(3))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..6)
+            .map(|i| {
+                let x = i as f64 * 100.0;
+                (x, 2.5 * x.powi(3))
+            })
+            .collect();
         let slope = loglog_slope(&pts);
         assert!((slope - 3.0).abs() < 1e-10);
     }

@@ -1,0 +1,504 @@
+//! The versioned binary snapshot format.
+//!
+//! Frame layout (all integers little-endian, all floats as raw IEEE-754
+//! bits so decoding is bit-exact):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "MBRPACKP"
+//! 8       4     format version (u32)
+//! 12      8     payload length (u64)
+//! 20      L     payload
+//! 20+L    4     CRC32 over bytes [0, 20+L)
+//! ```
+//!
+//! Payload:
+//!
+//! ```text
+//! fingerprint u64 · sequence u64 · completed u64 · n_omega_total u64
+//! accumulated_energy f64
+//! warm_start: rows u64 · cols u64 · rows·cols f64 (column-major)
+//! n_summaries u64, then per summary:
+//!   omega, weight, unit_node, energy_term, contribution  f64 ×5
+//!   filter_rounds u64 · error f64 · converged u8
+//!   n_eigs u64 · eigenvalues f64 ×n
+//!   timings (apply, matmult, eigensolve, eval_error seconds) f64 ×4
+//!   n_history u64, then per row:
+//!     ncheb u64 · energy_term f64 · error f64 · edge_eigs f64 ×4 · elapsed_s f64
+//! ```
+//!
+//! Any truncation or bit flip anywhere in the frame fails the CRC; a
+//! malformed-but-checksummed payload (impossible from this writer, but
+//! cheap to guard) fails the structural checks below.
+
+use crate::crc32::crc32;
+use crate::{corrupt, CkptError};
+use mbrpa_linalg::Mat;
+
+/// First eight bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"MBRPACKP";
+
+/// Format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything needed to resume an RPA run at a frequency boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Opaque hash of the run configuration; a resume must see the same
+    /// fingerprint or the warm-start block is meaningless.
+    pub fingerprint: u64,
+    /// Monotone write counter, stamped by the store on save; the loader
+    /// picks the valid slot with the highest sequence.
+    pub sequence: u64,
+    /// Quadrature frequencies completed so far (resume starts here).
+    pub completed: u64,
+    /// Total quadrature frequencies of the run.
+    pub n_omega_total: u64,
+    /// Energy accumulated over the completed frequencies (exact bits).
+    pub accumulated_energy: f64,
+    /// The `n_d × n_eig` eigenvector block that warm-starts the next
+    /// frequency.
+    pub warm_start: Mat<f64>,
+    /// Per-frequency report summaries for the completed frequencies.
+    pub omega: Vec<OmegaSummary>,
+}
+
+/// A compact, serializable image of one frequency's `OmegaReport`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OmegaSummary {
+    /// Frequency `ω_k`.
+    pub omega: f64,
+    /// Quadrature weight `w_k`.
+    pub weight: f64,
+    /// Gauss–Legendre node on (0,1).
+    pub unit_node: f64,
+    /// `E_k = Σ ln(1 − μ) + μ`.
+    pub energy_term: f64,
+    /// `w_k E_k / 2π`.
+    pub contribution: f64,
+    /// Chebyshev filter applications used.
+    pub filter_rounds: u64,
+    /// Final Eq. 7 error.
+    pub error: f64,
+    /// Whether τ_SI was met.
+    pub converged: bool,
+    /// Computed eigenvalues (ascending).
+    pub eigenvalues: Vec<f64>,
+    /// Kernel seconds: apply, matmult, eigensolve, eval_error.
+    pub timings_s: [f64; 4],
+    /// Per-iteration history rows.
+    pub history: Vec<IterRow>,
+}
+
+/// One serialized subspace-iteration history row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterRow {
+    /// Filter applications so far.
+    pub ncheb: u64,
+    /// Trace term at this iteration.
+    pub energy_term: f64,
+    /// Eq. 7 residual.
+    pub error: f64,
+    /// First two and last two Ritz values.
+    pub edge_eigs: [f64; 4],
+    /// Iteration wall seconds.
+    pub elapsed_s: f64,
+}
+
+const HEADER_LEN: usize = 8 + 4 + 8;
+const CRC_LEN: usize = 4;
+
+/// Encode a snapshot into a self-checking byte frame.
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(
+        8 * 5 + 16 + 8 * snap.warm_start.as_slice().len() + 256 * snap.omega.len(),
+    );
+    put_u64(&mut payload, snap.fingerprint);
+    put_u64(&mut payload, snap.sequence);
+    put_u64(&mut payload, snap.completed);
+    put_u64(&mut payload, snap.n_omega_total);
+    put_f64(&mut payload, snap.accumulated_energy);
+    put_u64(&mut payload, snap.warm_start.rows() as u64);
+    put_u64(&mut payload, snap.warm_start.cols() as u64);
+    for &x in snap.warm_start.as_slice() {
+        put_f64(&mut payload, x);
+    }
+    put_u64(&mut payload, snap.omega.len() as u64);
+    for s in &snap.omega {
+        put_f64(&mut payload, s.omega);
+        put_f64(&mut payload, s.weight);
+        put_f64(&mut payload, s.unit_node);
+        put_f64(&mut payload, s.energy_term);
+        put_f64(&mut payload, s.contribution);
+        put_u64(&mut payload, s.filter_rounds);
+        put_f64(&mut payload, s.error);
+        payload.push(u8::from(s.converged));
+        put_u64(&mut payload, s.eigenvalues.len() as u64);
+        for &mu in &s.eigenvalues {
+            put_f64(&mut payload, mu);
+        }
+        for &t in &s.timings_s {
+            put_f64(&mut payload, t);
+        }
+        put_u64(&mut payload, s.history.len() as u64);
+        for row in &s.history {
+            put_u64(&mut payload, row.ncheb);
+            put_f64(&mut payload, row.energy_term);
+            put_f64(&mut payload, row.error);
+            for &e in &row.edge_eigs {
+                put_f64(&mut payload, e);
+            }
+            put_f64(&mut payload, row.elapsed_s);
+        }
+    }
+
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let crc = crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Decode a frame produced by [`encode_snapshot`], verifying the magic,
+/// version, length, and checksum before trusting any field.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, CkptError> {
+    if bytes.len() < HEADER_LEN + CRC_LEN {
+        return Err(corrupt(format!(
+            "file too short for a snapshot header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(corrupt("bad magic (not a snapshot file)"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CkptError::UnsupportedVersion { found: version });
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let expected_total = HEADER_LEN
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(CRC_LEN))
+        .ok_or_else(|| corrupt("payload length overflows"))?;
+    if bytes.len() != expected_total {
+        return Err(corrupt(format!(
+            "truncated or padded: header claims {expected_total} bytes, file has {}",
+            bytes.len()
+        )));
+    }
+    let body = &bytes[..bytes.len() - CRC_LEN];
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - CRC_LEN..].try_into().unwrap());
+    let actual_crc = crc32(body);
+    if stored_crc != actual_crc {
+        return Err(corrupt(format!(
+            "checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+        )));
+    }
+
+    let mut r = Reader {
+        buf: &body[HEADER_LEN..],
+        pos: 0,
+    };
+    let fingerprint = r.u64()?;
+    let sequence = r.u64()?;
+    let completed = r.u64()?;
+    let n_omega_total = r.u64()?;
+    let accumulated_energy = r.f64()?;
+    let rows = r.usize_checked("warm-start rows")?;
+    let cols = r.usize_checked("warm-start cols")?;
+    let n_entries = rows
+        .checked_mul(cols)
+        .ok_or_else(|| corrupt("warm-start dims overflow"))?;
+    r.fits(n_entries, 8, "warm-start block")?;
+    let mut data = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        data.push(r.f64()?);
+    }
+    let warm_start = Mat::from_col_major(rows, cols, data);
+
+    let n_summaries = r.usize_checked("summary count")?;
+    r.fits(n_summaries, 8 * 13 + 1, "summaries")?;
+    let mut omega = Vec::with_capacity(n_summaries);
+    for _ in 0..n_summaries {
+        let omega_v = r.f64()?;
+        let weight = r.f64()?;
+        let unit_node = r.f64()?;
+        let energy_term = r.f64()?;
+        let contribution = r.f64()?;
+        let filter_rounds = r.u64()?;
+        let error = r.f64()?;
+        let converged = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(corrupt(format!("bad converged flag {other}"))),
+        };
+        let n_eigs = r.usize_checked("eigenvalue count")?;
+        r.fits(n_eigs, 8, "eigenvalues")?;
+        let mut eigenvalues = Vec::with_capacity(n_eigs);
+        for _ in 0..n_eigs {
+            eigenvalues.push(r.f64()?);
+        }
+        let mut timings_s = [0.0; 4];
+        for t in &mut timings_s {
+            *t = r.f64()?;
+        }
+        let n_history = r.usize_checked("history count")?;
+        r.fits(n_history, 8 * 8, "history rows")?;
+        let mut history = Vec::with_capacity(n_history);
+        for _ in 0..n_history {
+            let ncheb = r.u64()?;
+            let energy_term = r.f64()?;
+            let error = r.f64()?;
+            let mut edge_eigs = [0.0; 4];
+            for e in &mut edge_eigs {
+                *e = r.f64()?;
+            }
+            let elapsed_s = r.f64()?;
+            history.push(IterRow {
+                ncheb,
+                energy_term,
+                error,
+                edge_eigs,
+                elapsed_s,
+            });
+        }
+        omega.push(OmegaSummary {
+            omega: omega_v,
+            weight,
+            unit_node,
+            energy_term,
+            contribution,
+            filter_rounds,
+            error,
+            converged,
+            eigenvalues,
+            timings_s,
+            history,
+        });
+    }
+    if r.pos != r.buf.len() {
+        return Err(corrupt(format!(
+            "trailing garbage: {} unread payload bytes",
+            r.buf.len() - r.pos
+        )));
+    }
+    if completed as usize != omega.len() {
+        return Err(corrupt(format!(
+            "frequency index {completed} disagrees with {} stored summaries",
+            omega.len()
+        )));
+    }
+    Ok(Snapshot {
+        fingerprint,
+        sequence,
+        completed,
+        n_omega_total,
+        accumulated_energy,
+        warm_start,
+        omega,
+    })
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CkptError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt("payload ends mid-field"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` that must fit in `usize` (sanity for counts and dims).
+    fn usize_checked(&mut self, what: &str) -> Result<usize, CkptError> {
+        usize::try_from(self.u64()?).map_err(|_| corrupt(format!("{what} exceeds usize")))
+    }
+
+    /// Reject counts that claim more elements than the remaining bytes can
+    /// hold, so a forged count cannot trigger a huge allocation.
+    fn fits(&self, count: usize, min_elem_bytes: usize, what: &str) -> Result<(), CkptError> {
+        let need = count.checked_mul(min_elem_bytes);
+        match need {
+            Some(n) if n <= self.buf.len() - self.pos => Ok(()),
+            _ => Err(corrupt(format!("{what} count {count} exceeds payload"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            sequence: 7,
+            completed: 2,
+            n_omega_total: 8,
+            accumulated_energy: -1.704_473_21e0,
+            warm_start: Mat::from_fn(5, 3, |i, j| (i as f64 + 1.0) * 0.5 - j as f64 / 7.0),
+            omega: vec![
+                OmegaSummary {
+                    omega: 49.365,
+                    weight: 128.4,
+                    unit_node: 0.02,
+                    energy_term: -0.00373,
+                    contribution: -5.937e-4,
+                    filter_rounds: 3,
+                    error: 3.7e-4,
+                    converged: true,
+                    eigenvalues: vec![-0.0119, -0.0112, -0.003],
+                    timings_s: [1.0, 0.25, 0.125, 0.0625],
+                    history: vec![IterRow {
+                        ncheb: 0,
+                        energy_term: -0.0037,
+                        error: 3.7e-4,
+                        edge_eigs: [-0.0119, -0.0112, -0.003, -0.0025],
+                        elapsed_s: 5.14,
+                    }],
+                },
+                OmegaSummary {
+                    omega: 12.1,
+                    weight: 30.0,
+                    unit_node: 0.1,
+                    energy_term: -0.01,
+                    contribution: -4.7e-4,
+                    filter_rounds: 0,
+                    error: 1.1e-4,
+                    converged: false,
+                    eigenvalues: vec![],
+                    timings_s: [0.0; 4],
+                    history: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+        // bit-exactness of the energy and warm-start block, specifically
+        assert_eq!(
+            back.accumulated_energy.to_bits(),
+            snap.accumulated_energy.to_bits()
+        );
+        for (a, b) in back
+            .warm_start
+            .as_slice()
+            .iter()
+            .zip(snap.warm_start.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trips_non_finite_and_negative_zero() {
+        let mut snap = sample();
+        snap.accumulated_energy = -0.0;
+        snap.warm_start =
+            Mat::from_col_major(2, 2, vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0]);
+        let back = decode_snapshot(&encode_snapshot(&snap)).unwrap();
+        for (a, b) in back
+            .warm_start
+            .as_slice()
+            .iter()
+            .zip(snap.warm_start.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.accumulated_energy.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(CkptError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(CkptError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn rejects_every_truncation_length() {
+        let bytes = encode_snapshot(&sample());
+        for len in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..len]).is_err(),
+                "accepted truncation to {len} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_every_single_byte_corruption() {
+        let bytes = encode_snapshot(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            assert!(
+                decode_snapshot(&bad).is_err(),
+                "accepted corruption at byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_run_snapshot_round_trips() {
+        let snap = Snapshot {
+            fingerprint: 1,
+            sequence: 0,
+            completed: 0,
+            n_omega_total: 4,
+            accumulated_energy: 0.0,
+            warm_start: Mat::zeros(0, 0),
+            omega: vec![],
+        };
+        assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
+    }
+}

@@ -1,0 +1,350 @@
+//! Two-slot atomic snapshot store.
+//!
+//! The journaling discipline:
+//!
+//! 1. every save encodes the snapshot, writes it to a temp file in the
+//!    checkpoint directory, and `fsync`s the file,
+//! 2. the temp file is renamed over the slot **not** holding the newest
+//!    valid snapshot (slots alternate A → B → A → …),
+//! 3. the directory itself is fsynced so the rename is durable.
+//!
+//! A crash before the rename leaves both slots untouched; a crash during
+//! the rename is resolved by the filesystem (rename is atomic on POSIX);
+//! a torn write can only ever damage the slot being replaced — the other
+//! slot still holds the previous complete snapshot. The loader decodes
+//! both slots, discards any that fail the CRC or structural checks, and
+//! returns the survivor with the highest write sequence.
+
+use crate::codec::{decode_snapshot, encode_snapshot, Snapshot};
+use crate::CkptError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The two alternating snapshot slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// `slot_a.ckpt`.
+    A,
+    /// `slot_b.ckpt`.
+    B,
+}
+
+impl Slot {
+    /// File name of this slot inside the checkpoint directory.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Slot::A => "slot_a.ckpt",
+            Slot::B => "slot_b.ckpt",
+        }
+    }
+
+    fn other(self) -> Slot {
+        match self {
+            Slot::A => Slot::B,
+            Slot::B => Slot::A,
+        }
+    }
+}
+
+/// What the loader found in one slot.
+#[derive(Debug)]
+pub enum SlotState {
+    /// The slot file does not exist.
+    Absent,
+    /// The slot decoded cleanly; the sequence is reported.
+    Valid(u64),
+    /// The slot exists but failed validation.
+    Corrupt(CkptError),
+}
+
+/// A successfully loaded snapshot plus provenance.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// The decoded snapshot.
+    pub snapshot: Snapshot,
+    /// Which slot it came from.
+    pub slot: Slot,
+    /// True when the *other* slot held a newer-looking or corrupt file
+    /// that failed validation — i.e. this load fell back to the older
+    /// surviving snapshot.
+    pub recovered_from_fallback: bool,
+}
+
+/// Journaled two-slot checkpoint store rooted at one directory.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// Slot the next save will overwrite.
+    next_slot: Slot,
+    /// Sequence number the next save will stamp.
+    next_seq: u64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the checkpoint directory and scan the
+    /// slots to position the write cursor after the newest valid snapshot.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut store = Self {
+            dir,
+            next_slot: Slot::A,
+            next_seq: 0,
+        };
+        let (a, b) = (store.read_slot(Slot::A), store.read_slot(Slot::B));
+        let newest = match (&a, &b) {
+            (Ok(sa), Ok(sb)) => Some(if sa.sequence >= sb.sequence {
+                (Slot::A, sa.sequence)
+            } else {
+                (Slot::B, sb.sequence)
+            }),
+            (Ok(sa), Err(_)) => Some((Slot::A, sa.sequence)),
+            (Err(_), Ok(sb)) => Some((Slot::B, sb.sequence)),
+            (Err(_), Err(_)) => None,
+        };
+        if let Some((slot, seq)) = newest {
+            store.next_slot = slot.other();
+            store.next_seq = seq + 1;
+        }
+        Ok(store)
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Full path of a slot file.
+    pub fn slot_path(&self, slot: Slot) -> PathBuf {
+        self.dir.join(slot.file_name())
+    }
+
+    /// Atomically persist a snapshot, stamping its write sequence.
+    ///
+    /// The snapshot's `sequence` field is overwritten with the store's
+    /// monotone counter so the loader can order the two slots.
+    pub fn save(&mut self, snap: &mut Snapshot) -> Result<(), CkptError> {
+        snap.sequence = self.next_seq;
+        let bytes = encode_snapshot(snap);
+        let target = self.slot_path(self.next_slot);
+        let tmp = self.dir.join(format!("{}.tmp", self.next_slot.file_name()));
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &target)?;
+        sync_dir(&self.dir)?;
+        self.next_slot = self.next_slot.other();
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Decode one slot.
+    fn read_slot(&self, slot: Slot) -> Result<Snapshot, CkptError> {
+        let bytes = fs::read(self.slot_path(slot))?;
+        decode_snapshot(&bytes)
+    }
+
+    /// Report the state of both slots (A then B) without loading fully.
+    pub fn slot_states(&self) -> [SlotState; 2] {
+        [Slot::A, Slot::B].map(|slot| match self.read_slot(slot) {
+            Ok(s) => SlotState::Valid(s.sequence),
+            Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => SlotState::Absent,
+            Err(e) => SlotState::Corrupt(e),
+        })
+    }
+
+    /// Load the newest valid snapshot, falling back to the older slot when
+    /// the newer one is missing, truncated, or corrupt. `Ok(None)` means no
+    /// slot holds a valid snapshot (fresh directory, or both damaged).
+    pub fn load_latest(&self) -> Result<Option<LoadedSnapshot>, CkptError> {
+        let mut best: Option<(Slot, Snapshot)> = None;
+        let mut any_invalid_file = false;
+        for slot in [Slot::A, Slot::B] {
+            match self.read_slot(slot) {
+                Ok(snap) => {
+                    let newer = best
+                        .as_ref()
+                        .is_none_or(|(_, cur)| snap.sequence > cur.sequence);
+                    if newer {
+                        best = Some((slot, snap));
+                    }
+                }
+                Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => any_invalid_file = true,
+            }
+        }
+        Ok(best.map(|(slot, snapshot)| LoadedSnapshot {
+            snapshot,
+            slot,
+            recovered_from_fallback: any_invalid_file,
+        }))
+    }
+}
+
+/// Durably record the rename by fsyncing the directory (POSIX requires
+/// this for the new directory entry to survive power loss).
+fn sync_dir(dir: &Path) -> Result<(), CkptError> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbrpa_linalg::Mat;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mbrpa-ckpt-store-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn snap(completed: u64) -> Snapshot {
+        Snapshot {
+            fingerprint: 42,
+            sequence: 0,
+            completed,
+            n_omega_total: 8,
+            accumulated_energy: -0.5 * completed as f64,
+            warm_start: Mat::from_fn(4, 2, |i, j| completed as f64 + i as f64 - j as f64),
+            omega: (0..completed)
+                .map(|k| crate::OmegaSummary {
+                    omega: 10.0 - k as f64,
+                    weight: 1.0,
+                    unit_node: 0.1,
+                    energy_term: -0.1,
+                    contribution: -0.01,
+                    filter_rounds: 1,
+                    error: 1e-4,
+                    converged: true,
+                    eigenvalues: vec![-0.1, -0.05],
+                    timings_s: [0.0; 4],
+                    history: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.save(&mut snap(1)).unwrap();
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.snapshot.completed, 1);
+        assert!(!loaded.recovered_from_fallback);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slots_alternate_and_latest_wins() {
+        let dir = scratch_dir("alternate");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.save(&mut snap(1)).unwrap();
+        store.save(&mut snap(2)).unwrap();
+        store.save(&mut snap(3)).unwrap();
+        // both slot files exist
+        assert!(store.slot_path(Slot::A).exists());
+        assert!(store.slot_path(Slot::B).exists());
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.snapshot.completed, 3);
+        assert_eq!(loaded.snapshot.sequence, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_sequence_and_alternation() {
+        let dir = scratch_dir("reopen");
+        {
+            let mut store = CheckpointStore::open(&dir).unwrap();
+            store.save(&mut snap(1)).unwrap(); // seq 0 → slot A
+        }
+        {
+            let mut store = CheckpointStore::open(&dir).unwrap();
+            store.save(&mut snap(2)).unwrap(); // must go to slot B, seq 1
+            let loaded = store.load_latest().unwrap().unwrap();
+            assert_eq!(loaded.snapshot.completed, 2);
+            assert_eq!(loaded.snapshot.sequence, 1);
+            assert_eq!(loaded.slot, Slot::B);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_older_slot() {
+        let dir = scratch_dir("fallback");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.save(&mut snap(1)).unwrap();
+        store.save(&mut snap(2)).unwrap();
+        let latest_slot = store.load_latest().unwrap().unwrap().slot;
+        // flip one byte in the newest slot
+        let path = store.slot_path(latest_slot);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.slot, latest_slot.other());
+        assert_eq!(loaded.snapshot.completed, 1);
+        assert!(loaded.recovered_from_fallback);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_latest_falls_back_to_older_slot() {
+        let dir = scratch_dir("truncate");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.save(&mut snap(1)).unwrap();
+        store.save(&mut snap(2)).unwrap();
+        let latest_slot = store.load_latest().unwrap().unwrap().slot;
+        let path = store.slot_path(latest_slot);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.snapshot.completed, 1);
+        assert!(loaded.recovered_from_fallback);
+
+        // a fresh store must not overwrite the sole valid snapshot next
+        let store2 = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store2.next_slot, loaded.slot.other());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn both_slots_damaged_loads_none() {
+        let dir = scratch_dir("bothbad");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.save(&mut snap(1)).unwrap();
+        store.save(&mut snap(2)).unwrap();
+        for slot in [Slot::A, Slot::B] {
+            fs::write(store.slot_path(slot), b"not a snapshot").unwrap();
+        }
+        assert!(store.load_latest().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_loads_none() {
+        let dir = scratch_dir("empty");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

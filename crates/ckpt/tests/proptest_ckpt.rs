@@ -1,0 +1,227 @@
+//! Property-based tests for the checkpoint codec and the two-slot store:
+//! arbitrary snapshots round-trip bit-exactly, and injected faults
+//! (truncation, bit flips) never produce a wrong snapshot — they either
+//! fall back to the older slot or load nothing.
+
+use mbrpa_ckpt::{
+    decode_snapshot, encode_snapshot, CheckpointStore, IterRow, OmegaSummary, Snapshot,
+};
+use mbrpa_linalg::Mat;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mbrpa-ckpt-prop-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Finite or non-finite, negative zero included — the codec must carry
+/// every bit pattern the solver can produce.
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1e12f64..1e12,
+        1 => Just(-0.0f64),
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn iter_row() -> impl Strategy<Value = IterRow> {
+    (
+        0u64..100,
+        any_f64(),
+        any_f64(),
+        (any_f64(), any_f64(), any_f64(), any_f64()),
+        0.0f64..1e4,
+    )
+        .prop_map(
+            |(ncheb, energy_term, error, (e0, e1, e2, e3), elapsed_s)| IterRow {
+                ncheb,
+                energy_term,
+                error,
+                edge_eigs: [e0, e1, e2, e3],
+                elapsed_s,
+            },
+        )
+}
+
+fn omega_summary() -> impl Strategy<Value = OmegaSummary> {
+    (
+        (any_f64(), any_f64(), any_f64(), any_f64(), any_f64()),
+        0u64..50,
+        any_f64(),
+        any::<bool>(),
+        proptest::collection::vec(any_f64(), 0..12),
+        (0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e4, 0.0f64..1e4),
+        proptest::collection::vec(iter_row(), 0..4),
+    )
+        .prop_map(
+            |(
+                (omega, weight, unit_node, energy_term, contribution),
+                filter_rounds,
+                error,
+                converged,
+                eigenvalues,
+                (t0, t1, t2, t3),
+                history,
+            )| OmegaSummary {
+                omega,
+                weight,
+                unit_node,
+                energy_term,
+                contribution,
+                filter_rounds,
+                error,
+                converged,
+                eigenvalues,
+                timings_s: [t0, t1, t2, t3],
+                history,
+            },
+        )
+}
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        (0usize..8, 1usize..6),
+        proptest::collection::vec(any_f64(), 0..64),
+        proptest::collection::vec(omega_summary(), 0..4),
+    )
+        .prop_map(|(fingerprint, sequence, (rows, cols), data, omega)| {
+            let mut values = data;
+            values.resize(rows * cols, 0.0);
+            Snapshot {
+                fingerprint,
+                sequence,
+                completed: omega.len() as u64,
+                n_omega_total: (omega.len() as u64) + 2,
+                accumulated_energy: omega.iter().map(|o| o.contribution).sum(),
+                warm_start: Mat::from_col_major(rows, cols, values),
+                omega,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity, bit for bit, for any snapshot —
+    /// including NaN, ±∞, and −0.0 payloads.
+    #[test]
+    fn codec_round_trip_is_bit_exact(snap in snapshot()) {
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(back.fingerprint, snap.fingerprint);
+        prop_assert_eq!(back.sequence, snap.sequence);
+        prop_assert_eq!(back.completed, snap.completed);
+        prop_assert_eq!(
+            back.accumulated_energy.to_bits(),
+            snap.accumulated_energy.to_bits()
+        );
+        prop_assert_eq!(back.warm_start.rows(), snap.warm_start.rows());
+        prop_assert_eq!(back.warm_start.cols(), snap.warm_start.cols());
+        for (a, b) in back
+            .warm_start
+            .as_slice()
+            .iter()
+            .zip(snap.warm_start.as_slice())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(back.omega.len(), snap.omega.len());
+        for (a, b) in back.omega.iter().zip(&snap.omega) {
+            prop_assert_eq!(a.energy_term.to_bits(), b.energy_term.to_bits());
+            prop_assert_eq!(a.eigenvalues.len(), b.eigenvalues.len());
+            for (x, y) in a.eigenvalues.iter().zip(&b.eigenvalues) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            prop_assert_eq!(a.history.len(), b.history.len());
+        }
+    }
+
+    /// Any truncation of a valid frame is rejected — never misdecoded.
+    #[test]
+    fn truncation_never_decodes(snap in snapshot(), cut in 0.0f64..1.0) {
+        let bytes = encode_snapshot(&snap);
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        prop_assert!(keep < bytes.len());
+        prop_assert!(decode_snapshot(&bytes[..keep]).is_err());
+    }
+
+    /// Any single flipped bit is caught by the CRC (or the structural
+    /// checks) — never silently accepted as different data.
+    #[test]
+    fn bit_flip_never_decodes_differently(
+        snap in snapshot(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_snapshot(&snap);
+        let idx = (((bytes.len() - 1) as f64) * pos) as usize;
+        bytes[idx] ^= 1 << bit;
+        match decode_snapshot(&bytes) {
+            Err(_) => {}
+            Ok(back) => prop_assert_eq!(back, snap, "corruption decoded as different data"),
+        }
+    }
+
+    /// Fault injection on the store: damage the newest slot any way
+    /// (truncate or flip a bit) and the load falls back to the older
+    /// snapshot instead of failing or returning garbage.
+    #[test]
+    fn damaged_latest_slot_falls_back(
+        snap in snapshot(),
+        truncate in any::<bool>(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let dir = scratch_dir();
+        let mut store = CheckpointStore::open(dir.clone()).unwrap();
+        let mut older = snap.clone();
+        let mut newer = snap.clone();
+        newer.accumulated_energy += 1.0;
+        store.save(&mut older).unwrap(); // stamps sequence 0
+        store.save(&mut newer).unwrap(); // stamps sequence 1
+
+        let latest = store.load_latest().unwrap().unwrap();
+        prop_assert_eq!(latest.snapshot.sequence, newer.sequence);
+        let victim = store.slot_path(latest.slot);
+        let bytes = std::fs::read(&victim).unwrap();
+        let damaged = if truncate {
+            let keep = (((bytes.len() - 1) as f64) * pos) as usize;
+            bytes[..keep].to_vec()
+        } else {
+            let mut b = bytes;
+            let idx = (((b.len() - 1) as f64) * pos) as usize;
+            b[idx] ^= 1 << bit;
+            b
+        };
+        std::fs::write(&victim, &damaged).unwrap();
+
+        let reopened = CheckpointStore::open(dir.clone()).unwrap();
+        match reopened.load_latest().unwrap() {
+            Some(loaded) => {
+                // either the damage was caught (fallback to the older
+                // snapshot) or — only possible for an undamaging flip —
+                // the newest still decodes to exactly what was written
+                if loaded.recovered_from_fallback {
+                    prop_assert_eq!(loaded.snapshot.completed, older.completed);
+                    prop_assert_eq!(loaded.snapshot.sequence, older.sequence);
+                } else {
+                    prop_assert_eq!(&loaded.snapshot, &newer);
+                }
+            }
+            None => prop_assert!(false, "older slot should have survived"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,557 @@
+//! Crash-safe checkpoint/restart for the RPA frequency loop.
+//!
+//! The frequency loop dominates walltime (thousands of CPU-seconds per
+//! quadrature point at production scale) while the state needed to resume
+//! is compact: the warm-start eigenvector block, the accumulated energy,
+//! and the per-frequency summaries. [`compute_rpa_energy_resumable`] wraps
+//! the loop of [`crate::rpa::compute_rpa_energy`] with a journaled
+//! snapshot (via [`mbrpa_ckpt`]) after each quadrature frequency, and on
+//! startup resumes from the last completed frequency — reproducing the
+//! uninterrupted run's total energy **bit for bit**, because the snapshot
+//! stores every `f64` as raw IEEE-754 bits and the loop is deterministic
+//! for a fixed configuration.
+//!
+//! A [config fingerprint](config_fingerprint) guards the resume: grid
+//! dimension, eigencount, quadrature order, tolerances, seed, worker
+//! count, and every solver policy are hashed into the snapshot, and a
+//! mismatch aborts rather than silently mixing incompatible state.
+//! (`n_workers` is included deliberately: the dynamic block-size policy
+//! partitions work per worker, so a different worker count can change the
+//! floating-point summation order and break bit-reproducibility.)
+
+use crate::config::RpaConfig;
+use crate::rpa::{
+    frequency_loop, FrequencyProgress, LoopOutcome, OmegaReport, ResumeSeed, RpaResult,
+};
+use crate::subspace::{SubspaceIterRecord, SubspaceTimings};
+use mbrpa_ckpt::{CheckpointStore, CkptError, IterRow, OmegaSummary, Snapshot};
+use mbrpa_dft::{Crystal, Hamiltonian, KsSolution};
+use mbrpa_grid::CoulombOperator;
+use mbrpa_linalg::LinalgError;
+use mbrpa_solver::BlockPolicy;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors of a resumable RPA run: numerical failures, checkpoint I/O, or
+/// an attempt to resume state written under a different configuration.
+#[derive(Debug)]
+pub enum RpaRunError {
+    /// The numerical pipeline failed.
+    Linalg(LinalgError),
+    /// Reading or writing the checkpoint store failed.
+    Checkpoint(CkptError),
+    /// The snapshot was written by a run with a different configuration;
+    /// resuming it would not be bit-for-bit reproducible.
+    ConfigMismatch {
+        /// Fingerprint stored in the snapshot.
+        saved: u64,
+        /// Fingerprint of the current configuration.
+        current: u64,
+    },
+    /// The snapshot is internally valid but cannot seed this run (wrong
+    /// dimensions or frequency count).
+    IncompatibleSnapshot {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RpaRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpaRunError::Linalg(e) => write!(f, "{e}"),
+            RpaRunError::Checkpoint(e) => write!(f, "{e}"),
+            RpaRunError::ConfigMismatch { saved, current } => write!(
+                f,
+                "checkpoint belongs to a different run configuration \
+                 (saved fingerprint {saved:#018x}, current {current:#018x}); \
+                 start a fresh checkpoint directory or restore the original settings"
+            ),
+            RpaRunError::IncompatibleSnapshot { reason } => {
+                write!(f, "checkpoint cannot seed this run: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpaRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpaRunError::Linalg(e) => Some(e),
+            RpaRunError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for RpaRunError {
+    fn from(e: LinalgError) -> Self {
+        RpaRunError::Linalg(e)
+    }
+}
+
+impl From<CkptError> for RpaRunError {
+    fn from(e: CkptError) -> Self {
+        RpaRunError::Checkpoint(e)
+    }
+}
+
+/// How a resumable run uses its checkpoint store.
+#[derive(Clone, Copy, Debug)]
+pub struct ResumePolicy {
+    /// Snapshot after every `every`-th completed frequency (the final
+    /// frequency of a call always snapshots). `1` journals every boundary.
+    pub every: usize,
+    /// Load existing state from the store before computing. With `false`
+    /// the run starts from scratch (existing slots are overwritten as the
+    /// new run progresses).
+    pub resume: bool,
+    /// Compute at most this many *new* frequencies, then checkpoint and
+    /// return [`ResumableOutcome::Checkpointed`]. Time-slices a long run
+    /// across job allocations; `None` runs to completion.
+    pub stop_after: Option<usize>,
+}
+
+impl Default for ResumePolicy {
+    fn default() -> Self {
+        Self {
+            every: 1,
+            resume: true,
+            stop_after: None,
+        }
+    }
+}
+
+/// Result of a resumable run.
+#[derive(Debug)]
+pub enum ResumableOutcome {
+    /// All frequencies done; the result is equivalent (bit-for-bit in the
+    /// energy) to an uninterrupted [`crate::rpa::compute_rpa_energy`].
+    Complete(Box<RpaResult>),
+    /// The run stopped at a frequency boundary per
+    /// [`ResumePolicy::stop_after`]; state is journaled in the store.
+    Checkpointed {
+        /// Frequencies completed so far (across all runs).
+        completed: usize,
+        /// Total frequencies of the full calculation.
+        n_omega: usize,
+    },
+}
+
+/// FNV-1a hash of every configuration field that affects the numerical
+/// trajectory of the run, plus the grid dimension. Two runs with equal
+/// fingerprints walk identical floating-point paths frequency by
+/// frequency, which is what makes a resumed run bit-for-bit identical to
+/// an uninterrupted one.
+pub fn config_fingerprint(config: &RpaConfig, n_d: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(FINGERPRINT_SCHEMA);
+    h.u64(n_d as u64);
+    h.u64(config.n_eig as u64);
+    h.u64(config.n_omega as u64);
+    h.u64(config.tol_eig.len() as u64);
+    for &tol in &config.tol_eig {
+        h.u64(tol.to_bits());
+    }
+    h.u64(config.tol_sternheimer.to_bits());
+    h.u64(config.max_filter_iters as u64);
+    h.u64(config.cheb_degree as u64);
+    h.u64(u64::from(config.use_galerkin_guess));
+    h.u64(u64::from(config.warm_start));
+    match config.block_policy {
+        BlockPolicy::Fixed(s) => {
+            h.u64(1);
+            h.u64(s as u64);
+        }
+        BlockPolicy::DynamicTimed => h.u64(2),
+        BlockPolicy::DynamicCostModel => h.u64(3),
+    }
+    h.u64(config.n_workers as u64);
+    h.u64(config.cocg_max_iters as u64);
+    match config.precondition {
+        crate::chi0::PrecondPolicy::Never => h.u64(1),
+        crate::chi0::PrecondPolicy::Always => h.u64(2),
+        crate::chi0::PrecondPolicy::HardOnly {
+            omega_max,
+            top_orbital_frac,
+        } => {
+            h.u64(3);
+            h.u64(omega_max.to_bits());
+            h.u64(top_orbital_frac.to_bits());
+        }
+    }
+    match config.distribution {
+        crate::chi0::WorkDistribution::StaticColumns => h.u64(1),
+        crate::chi0::WorkDistribution::WorkStealing { chunk_width } => {
+            h.u64(2);
+            h.u64(chunk_width as u64);
+        }
+    }
+    h.u64(config.seed);
+    h.finish()
+}
+
+/// Bump when the fingerprint's field set or encoding changes, so stale
+/// snapshots from older builds are rejected instead of misread.
+const FINGERPRINT_SCHEMA: u64 = 1;
+
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Self(0xCBF2_9CE4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Serialize one frequency's report into its snapshot form. Timings are
+/// stored as seconds; everything numerical keeps exact bits.
+pub fn summary_of(rep: &OmegaReport) -> OmegaSummary {
+    OmegaSummary {
+        omega: rep.omega,
+        weight: rep.weight,
+        unit_node: rep.unit_node,
+        energy_term: rep.energy_term,
+        contribution: rep.contribution,
+        filter_rounds: rep.filter_rounds as u64,
+        error: rep.error,
+        converged: rep.converged,
+        eigenvalues: rep.eigenvalues.clone(),
+        timings_s: [
+            rep.timings.apply.as_secs_f64(),
+            rep.timings.matmult.as_secs_f64(),
+            rep.timings.eigensolve.as_secs_f64(),
+            rep.timings.eval_error.as_secs_f64(),
+        ],
+        history: rep
+            .history
+            .iter()
+            .map(|row| IterRow {
+                ncheb: row.ncheb as u64,
+                energy_term: row.energy_term,
+                error: row.error,
+                edge_eigs: row.edge_eigs,
+                elapsed_s: row.elapsed.as_secs_f64(),
+            })
+            .collect(),
+    }
+}
+
+/// Rebuild a report from its snapshot form.
+pub fn report_of(s: &OmegaSummary) -> OmegaReport {
+    OmegaReport {
+        omega: s.omega,
+        weight: s.weight,
+        unit_node: s.unit_node,
+        energy_term: s.energy_term,
+        contribution: s.contribution,
+        filter_rounds: s.filter_rounds as usize,
+        error: s.error,
+        converged: s.converged,
+        eigenvalues: s.eigenvalues.clone(),
+        timings: SubspaceTimings {
+            apply: duration_s(s.timings_s[0]),
+            matmult: duration_s(s.timings_s[1]),
+            eigensolve: duration_s(s.timings_s[2]),
+            eval_error: duration_s(s.timings_s[3]),
+        },
+        history: s
+            .history
+            .iter()
+            .map(|row| SubspaceIterRecord {
+                ncheb: row.ncheb as usize,
+                energy_term: row.energy_term,
+                error: row.error,
+                edge_eigs: row.edge_eigs,
+                elapsed: duration_s(row.elapsed_s),
+            })
+            .collect(),
+    }
+}
+
+/// Seconds → `Duration`, tolerating garbage (negative/NaN) as zero rather
+/// than panicking on a hand-edited snapshot.
+fn duration_s(s: f64) -> Duration {
+    Duration::try_from_secs_f64(s).unwrap_or(Duration::ZERO)
+}
+
+/// Resumable variant of [`crate::rpa::compute_rpa_energy`].
+///
+/// Journals a snapshot into `store` at frequency boundaries per `policy`,
+/// and (when `policy.resume`) seeds the loop from the newest valid
+/// snapshot. A resumed run reproduces the uninterrupted run's
+/// `total_energy` bit for bit; [`RpaResult::n_restored`] reports how many
+/// frequencies came from the checkpoint instead of being recomputed.
+pub fn compute_rpa_energy_resumable(
+    crystal: &Crystal,
+    ham: &Hamiltonian,
+    ks: &KsSolution,
+    coulomb: &CoulombOperator,
+    config: &RpaConfig,
+    store: &mut CheckpointStore,
+    policy: &ResumePolicy,
+) -> Result<ResumableOutcome, RpaRunError> {
+    let n_d = ham.dim();
+    config.validate(n_d);
+    let fingerprint = config_fingerprint(config, n_d);
+
+    let seed = if policy.resume {
+        match store.load_latest()? {
+            Some(loaded) => Some(seed_from_snapshot(
+                loaded.snapshot,
+                fingerprint,
+                config,
+                n_d,
+            )?),
+            None => None,
+        }
+    } else {
+        None
+    };
+
+    let every = policy.every.max(1);
+    let mut sink = |p: FrequencyProgress<'_>| -> Result<(), CkptError> {
+        if !(p.final_of_call || p.completed.is_multiple_of(every)) {
+            return Ok(());
+        }
+        let mut snap = Snapshot {
+            fingerprint,
+            sequence: 0, // stamped by the store
+            completed: p.completed as u64,
+            n_omega_total: p.n_omega as u64,
+            accumulated_energy: p.accumulated_energy,
+            warm_start: p.warm_start.clone(),
+            omega: p.per_omega.iter().map(summary_of).collect(),
+        };
+        store.save(&mut snap)
+    };
+
+    match frequency_loop(
+        crystal,
+        ham,
+        ks,
+        coulomb,
+        config,
+        seed,
+        policy.stop_after,
+        Some(&mut sink),
+    )? {
+        LoopOutcome::Complete(result) => Ok(ResumableOutcome::Complete(result)),
+        LoopOutcome::Partial { completed } => Ok(ResumableOutcome::Checkpointed {
+            completed,
+            n_omega: config.n_omega,
+        }),
+    }
+}
+
+/// Validate a loaded snapshot against the current run and convert it into
+/// loop seed state.
+fn seed_from_snapshot(
+    snap: Snapshot,
+    fingerprint: u64,
+    config: &RpaConfig,
+    n_d: usize,
+) -> Result<ResumeSeed, RpaRunError> {
+    if snap.fingerprint != fingerprint {
+        return Err(RpaRunError::ConfigMismatch {
+            saved: snap.fingerprint,
+            current: fingerprint,
+        });
+    }
+    if snap.n_omega_total as usize != config.n_omega {
+        return Err(RpaRunError::IncompatibleSnapshot {
+            reason: format!(
+                "snapshot covers {} quadrature frequencies, run wants {}",
+                snap.n_omega_total, config.n_omega
+            ),
+        });
+    }
+    if snap.completed > snap.n_omega_total {
+        return Err(RpaRunError::IncompatibleSnapshot {
+            reason: format!(
+                "snapshot claims {} of {} frequencies completed",
+                snap.completed, snap.n_omega_total
+            ),
+        });
+    }
+    if snap.completed > 0
+        && (snap.warm_start.rows() != n_d || snap.warm_start.cols() != config.n_eig)
+    {
+        return Err(RpaRunError::IncompatibleSnapshot {
+            reason: format!(
+                "warm-start block is {}×{}, run wants {n_d}×{}",
+                snap.warm_start.rows(),
+                snap.warm_start.cols(),
+                config.n_eig
+            ),
+        });
+    }
+    Ok(ResumeSeed {
+        start_k: snap.completed as usize,
+        warm_start: snap.warm_start,
+        accumulated_energy: snap.accumulated_energy,
+        restored: snap.omega.iter().map(report_of).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subspace::SubspaceTimings;
+
+    fn base_config() -> RpaConfig {
+        RpaConfig {
+            n_eig: 8,
+            n_omega: 4,
+            ..RpaConfig::default()
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_equal_configs() {
+        let a = config_fingerprint(&base_config(), 125);
+        let b = config_fingerprint(&base_config(), 125);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_sees_every_tracked_field() {
+        let reference = config_fingerprint(&base_config(), 125);
+        let variants: Vec<RpaConfig> = vec![
+            RpaConfig {
+                n_eig: 9,
+                ..base_config()
+            },
+            RpaConfig {
+                n_omega: 5,
+                ..base_config()
+            },
+            RpaConfig {
+                tol_eig: vec![1e-3],
+                ..base_config()
+            },
+            RpaConfig {
+                tol_sternheimer: 1e-5,
+                ..base_config()
+            },
+            RpaConfig {
+                max_filter_iters: 11,
+                ..base_config()
+            },
+            RpaConfig {
+                cheb_degree: 3,
+                ..base_config()
+            },
+            RpaConfig {
+                use_galerkin_guess: false,
+                ..base_config()
+            },
+            RpaConfig {
+                warm_start: false,
+                ..base_config()
+            },
+            RpaConfig {
+                block_policy: BlockPolicy::Fixed(2),
+                ..base_config()
+            },
+            RpaConfig {
+                n_workers: 2,
+                ..base_config()
+            },
+            RpaConfig {
+                cocg_max_iters: 601,
+                ..base_config()
+            },
+            RpaConfig {
+                precondition: crate::chi0::PrecondPolicy::Always,
+                ..base_config()
+            },
+            RpaConfig {
+                distribution: crate::chi0::WorkDistribution::WorkStealing { chunk_width: 4 },
+                ..base_config()
+            },
+            RpaConfig {
+                seed: 2025,
+                ..base_config()
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(
+                config_fingerprint(v, 125),
+                reference,
+                "variant {i} did not change the fingerprint"
+            );
+        }
+        // the grid dimension is tracked too
+        assert_ne!(config_fingerprint(&base_config(), 126), reference);
+    }
+
+    #[test]
+    fn tol_list_boundary_shifts_are_distinct() {
+        // [a, b] vs [a] then b elsewhere must not collide: the length is
+        // hashed before the entries
+        let a = RpaConfig {
+            tol_eig: vec![1e-3, 2e-3],
+            ..base_config()
+        };
+        let b = RpaConfig {
+            tol_eig: vec![1e-3],
+            ..base_config()
+        };
+        assert_ne!(config_fingerprint(&a, 125), config_fingerprint(&b, 125));
+    }
+
+    #[test]
+    fn summary_round_trip_preserves_report() {
+        let rep = OmegaReport {
+            omega: 49.365,
+            weight: 128.4,
+            unit_node: 0.02,
+            energy_term: -0.003_730_000_000_000_1,
+            contribution: -5.937e-4,
+            filter_rounds: 3,
+            error: 3.7e-4,
+            converged: true,
+            eigenvalues: vec![-0.0119, -0.0112, -0.003],
+            timings: SubspaceTimings {
+                apply: Duration::from_millis(1500),
+                matmult: Duration::from_millis(250),
+                eigensolve: Duration::from_micros(125),
+                eval_error: Duration::ZERO,
+            },
+            history: vec![SubspaceIterRecord {
+                ncheb: 2,
+                energy_term: -0.0037,
+                error: 3.7e-4,
+                edge_eigs: [-0.0119, -0.0112, -0.003, -0.0025],
+                elapsed: Duration::from_millis(5140),
+            }],
+        };
+        let back = report_of(&summary_of(&rep));
+        assert_eq!(back.omega.to_bits(), rep.omega.to_bits());
+        assert_eq!(back.energy_term.to_bits(), rep.energy_term.to_bits());
+        assert_eq!(back.contribution.to_bits(), rep.contribution.to_bits());
+        assert_eq!(back.filter_rounds, rep.filter_rounds);
+        assert_eq!(back.converged, rep.converged);
+        assert_eq!(back.eigenvalues, rep.eigenvalues);
+        assert_eq!(back.timings.apply, rep.timings.apply);
+        assert_eq!(back.history.len(), 1);
+        assert_eq!(back.history[0].ncheb, 2);
+        assert_eq!(back.history[0].elapsed, rep.history[0].elapsed);
+    }
+
+    #[test]
+    fn garbage_durations_clamp_to_zero() {
+        assert_eq!(duration_s(-1.0), Duration::ZERO);
+        assert_eq!(duration_s(f64::NAN), Duration::ZERO);
+        assert_eq!(duration_s(2.5), Duration::from_secs_f64(2.5));
+    }
+}

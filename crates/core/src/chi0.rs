@@ -15,7 +15,9 @@
 //! iteration above it runs entirely in real arithmetic.
 
 use crate::workers::partition_columns;
-use mbrpa_dft::{Hamiltonian, ShiftedLaplacianPreconditioner, SternheimerLinOp, SternheimerOperator};
+use mbrpa_dft::{
+    Hamiltonian, ShiftedLaplacianPreconditioner, SternheimerLinOp, SternheimerOperator,
+};
 use mbrpa_grid::CoulombOperator;
 use mbrpa_linalg::{Mat, C64};
 use mbrpa_solver::{
@@ -237,7 +239,10 @@ impl<'a> DielectricOperator<'a> {
     /// Cumulative Sternheimer solve time per logical worker (meaningful
     /// for the static partition; the §III-D load-imbalance profile).
     pub fn worker_load_snapshot(&self) -> Vec<Duration> {
-        self.worker_load.lock().expect("load mutex poisoned").clone()
+        self.worker_load
+            .lock()
+            .expect("load mutex poisoned")
+            .clone()
     }
 
     /// One orbital's contribution to `χ⁰V` for a set of columns
@@ -401,17 +406,19 @@ impl<'a> DielectricOperator<'a> {
                     .collect();
                 let tasks: Vec<(usize, usize, usize)> = (0..n_chunks)
                     .flat_map(|c| {
-                        self.channels.iter().enumerate().flat_map(move |(sigma, ch)| {
-                            (0..ch.energies.len()).map(move |j| (c, sigma, j))
-                        })
+                        self.channels
+                            .iter()
+                            .enumerate()
+                            .flat_map(move |(sigma, ch)| {
+                                (0..ch.energies.len()).map(move |j| (c, sigma, j))
+                            })
                     })
                     .collect();
                 let pieces: Vec<(usize, Mat<f64>, WorkerStats)> = tasks
                     .par_iter()
                     .map(|&(c, sigma, j)| {
                         let mut stats = WorkerStats::new();
-                        let contrib =
-                            self.orbital_contribution(sigma, j, &chunks[c].1, &mut stats);
+                        let contrib = self.orbital_contribution(sigma, j, &chunks[c].1, &mut stats);
                         (chunks[c].0, contrib, stats)
                     })
                     .collect();
@@ -707,9 +714,8 @@ mod tests {
             tol: 1e-9,
             ..SternheimerSettings::default()
         };
-        let restricted = DielectricOperator::new(
-            &f.ham, &f.psi, &f.energies, &f.coulomb, 0.7, settings, 1,
-        );
+        let restricted =
+            DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.7, settings, 1);
         let polarized = DielectricOperator::with_channels(
             &f.ham,
             vec![

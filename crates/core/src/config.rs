@@ -98,12 +98,10 @@ impl RpaConfig {
         assert!(self.n_omega >= 1, "need at least one quadrature point");
         assert!(!self.tol_eig.is_empty(), "tol_eig must be non-empty");
         assert!(self.tol_sternheimer > 0.0, "tolerance must be positive");
-        assert!(
-            self.n_workers >= 1 && self.n_workers <= self.n_eig,
-            "worker count must satisfy 1 <= p <= n_eig (p = {}, n_eig = {})",
-            self.n_workers,
-            self.n_eig
-        );
+        assert!(self.n_workers >= 1, "need at least one worker");
+        // p > n_eig is allowed: partition_columns clamps so the surplus
+        // workers simply idle (§III-D's p <= n_eig is a load-balance
+        // guideline, not a hard precondition)
     }
 }
 
@@ -152,10 +150,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker count")]
-    fn validate_rejects_too_many_workers() {
+    fn validate_tolerates_oversubscribed_workers() {
+        // more workers than eigenvectors is wasteful but valid: the
+        // column partition clamps and the surplus workers idle
         let mut c = RpaConfig::for_system(1, 4);
         c.n_workers = 8;
+        c.validate(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn validate_rejects_zero_workers() {
+        let mut c = RpaConfig::for_system(1, 4);
+        c.n_workers = 0;
         c.validate(1000);
     }
 }

@@ -117,10 +117,7 @@ pub fn dense_chi0_occupations(eig: &SymEig, pair_occupations: &[f64], omega: f64
 }
 
 /// Dense symmetric `ν½χ⁰ν½` (same spectrum as `νχ⁰`).
-pub fn dense_dielectric(
-    chi0: &Mat<f64>,
-    coulomb: &CoulombOperator,
-) -> Mat<f64> {
+pub fn dense_dielectric(chi0: &Mat<f64>, coulomb: &CoulombOperator) -> Mat<f64> {
     let n = chi0.rows();
     // apply ν½ to the columns, then to the rows (by symmetry: columns of
     // the transpose)
@@ -374,7 +371,9 @@ mod tests {
     fn integer_occupations_reduce_to_plain_chi0() {
         let f = fixture();
         let n = f.h_dense.rows();
-        let occ: Vec<f64> = (0..n).map(|j| if j < f.n_occ { 1.0 } else { 0.0 }).collect();
+        let occ: Vec<f64> = (0..n)
+            .map(|j| if j < f.n_occ { 1.0 } else { 0.0 })
+            .collect();
         let weighted = dense_chi0_occupations(&f.eig, &occ, 0.8);
         let plain = dense_chi0(&f.eig, f.n_occ, 0.8);
         assert!(
@@ -411,7 +410,9 @@ mod tests {
         // nudging the occupations slightly nudges χ⁰ slightly
         let f = fixture();
         let n = f.h_dense.rows();
-        let base: Vec<f64> = (0..n).map(|j| if j < f.n_occ { 1.0 } else { 0.0 }).collect();
+        let base: Vec<f64> = (0..n)
+            .map(|j| if j < f.n_occ { 1.0 } else { 0.0 })
+            .collect();
         let mut nudged = base.clone();
         nudged[f.n_occ - 1] = 0.99;
         nudged[f.n_occ] = 0.01;

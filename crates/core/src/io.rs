@@ -95,8 +95,7 @@ pub fn parse_rpa_input(text: &str) -> Result<RpaInput, ParseError> {
             "N_NUCHI_EIGS" => config.n_eig = parse_usize(value)?,
             "N_OMEGA" => config.n_omega = parse_usize(value)?,
             "TOL_EIG" => {
-                let tols: Result<Vec<f64>, _> =
-                    value.split_whitespace().map(parse_f64).collect();
+                let tols: Result<Vec<f64>, _> = value.split_whitespace().map(parse_f64).collect();
                 config.tol_eig = tols?;
                 if config.tol_eig.is_empty() {
                     return Err(err(lineno, "`TOL_EIG` needs at least one value"));
@@ -114,9 +113,9 @@ pub fn parse_rpa_input(text: &str) -> Result<RpaInput, ParseError> {
                     "dynamic" | "dynamic_timed" => BlockPolicy::DynamicTimed,
                     "cost_model" | "dynamic_cost_model" => BlockPolicy::DynamicCostModel,
                     other => {
-                        let s = other.strip_prefix("fixed").and_then(|s| {
-                            s.trim_start_matches(['_', ' ']).parse::<usize>().ok()
-                        });
+                        let s = other
+                            .strip_prefix("fixed")
+                            .and_then(|s| s.trim_start_matches(['_', ' ']).parse::<usize>().ok());
                         match s {
                             Some(n) if n >= 1 => BlockPolicy::Fixed(n),
                             _ => {
@@ -155,7 +154,13 @@ pub fn parse_rpa_input(text: &str) -> Result<RpaInput, ParseError> {
                         let w = other
                             .strip_prefix("work_stealing")
                             .map(|s| s.trim_start_matches(['_', ' ']))
-                            .and_then(|s| if s.is_empty() { Some(4) } else { s.parse().ok() });
+                            .and_then(|s| {
+                                if s.is_empty() {
+                                    Some(4)
+                                } else {
+                                    s.parse().ok()
+                                }
+                            });
                         match w {
                             Some(width) if width >= 1 => {
                                 WorkDistribution::WorkStealing { chunk_width: width }
@@ -263,9 +268,12 @@ BLOCK_POLICY: fixed_2
 
     #[test]
     fn precond_and_distribution_keys() {
-        let input = parse_rpa_input("PRECOND: hard
+        let input = parse_rpa_input(
+            "PRECOND: hard
 DISTRIBUTION: work_stealing_8
-").unwrap();
+",
+        )
+        .unwrap();
         assert!(matches!(
             input.config.precondition,
             PrecondPolicy::HardOnly { .. }
@@ -274,9 +282,12 @@ DISTRIBUTION: work_stealing_8
             input.config.distribution,
             WorkDistribution::WorkStealing { chunk_width: 8 }
         );
-        let input = parse_rpa_input("PRECOND: never
+        let input = parse_rpa_input(
+            "PRECOND: never
 DISTRIBUTION: static
-").unwrap();
+",
+        )
+        .unwrap();
         assert_eq!(input.config.precondition, PrecondPolicy::Never);
         assert_eq!(input.config.distribution, WorkDistribution::StaticColumns);
         assert!(parse_rpa_input("PRECOND: maybe").is_err());

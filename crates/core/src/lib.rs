@@ -24,6 +24,7 @@
 #![allow(clippy::needless_range_loop, clippy::int_plus_one)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod chi0;
 pub mod config;
 pub mod direct;
@@ -36,11 +37,16 @@ pub mod subspace;
 pub mod trace_est;
 pub mod workers;
 
-pub use chi0::{DielectricOperator, PrecondPolicy, SpinChannel, SternheimerSettings, WorkDistribution};
+pub use checkpoint::{
+    compute_rpa_energy_resumable, config_fingerprint, ResumableOutcome, ResumePolicy, RpaRunError,
+};
+pub use chi0::{
+    DielectricOperator, PrecondPolicy, SpinChannel, SternheimerSettings, WorkDistribution,
+};
 pub use config::RpaConfig;
 pub use direct::{
-    dense_chi0, dense_chi0_occupations, dense_dielectric, dielectric_eigenpairs, dielectric_spectrum, direct_rpa_energy,
-    exact_trace_term, full_spectrum, DirectRpaResult,
+    dense_chi0, dense_chi0_occupations, dense_dielectric, dielectric_eigenpairs,
+    dielectric_spectrum, direct_rpa_energy, exact_trace_term, full_spectrum, DirectRpaResult,
 };
 pub use io::{parse_rpa_input, ParseError, RpaInput};
 pub use quadrature::{frequency_quadrature, gauss_legendre, FrequencyPoint};
@@ -52,5 +58,7 @@ pub use rpa_lanczos::{compute_rpa_energy_lanczos, LanczosOmegaReport, LanczosRpa
 pub use subspace::{
     subspace_iteration, trace_term, SubspaceIterRecord, SubspaceOutcome, SubspaceTimings,
 };
-pub use trace_est::{block_lanczos_trace, lanczos_trace, BlockTraceOptions, TraceEstimate, TraceEstimatorOptions};
+pub use trace_est::{
+    block_lanczos_trace, lanczos_trace, BlockTraceOptions, TraceEstimate, TraceEstimatorOptions,
+};
 pub use workers::{partition_columns, ColumnRange};

@@ -84,6 +84,15 @@ pub fn energy_summary(result: &RpaResult) -> String {
         "Total RPA correlation energy: {:.5E} (Ha), {:.5E} (Ha/atom)",
         result.total_energy, result.energy_per_atom
     );
+    if result.n_restored > 0 {
+        let _ = writeln!(
+            s,
+            "Checkpoint restart: {} of {} frequencies restored, {} computed this run",
+            result.n_restored,
+            result.per_omega.len(),
+            result.per_omega.len() - result.n_restored
+        );
+    }
     let _ = writeln!(s, "{RULE}");
     let _ = writeln!(s, "                        Timing info");
     let _ = writeln!(s, "{RULE}");
@@ -195,6 +204,7 @@ mod tests {
             n_s: 16,
             n_eig: 768,
             n_atoms: 8,
+            n_restored: 0,
         }
     }
 
@@ -221,6 +231,18 @@ mod tests {
         let b = block_size_table(&r);
         assert!(b.contains("Block size"));
         assert!(b.contains("75.000%"));
+    }
+
+    #[test]
+    fn energy_summary_mentions_restart_only_when_resumed() {
+        let mut r = fake_result();
+        assert!(!energy_summary(&r).contains("Checkpoint restart"));
+        r.n_restored = 1;
+        let e = energy_summary(&r);
+        assert!(
+            e.contains("Checkpoint restart: 1 of 1 frequencies restored, 0 computed this run"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -5,10 +5,14 @@
 //! previous frequency's eigenvectors (§III-F), and accumulates
 //! `E_RPA = Σ_k w_k E_k / 2π` with `E_k = Σ_a ln(1 − D_aa) + D_aa`.
 
+use crate::checkpoint::{
+    compute_rpa_energy_resumable, ResumableOutcome, ResumePolicy, RpaRunError,
+};
 use crate::chi0::{DielectricOperator, SternheimerSettings};
 use crate::config::RpaConfig;
 use crate::quadrature::{frequency_quadrature, FrequencyPoint};
 use crate::subspace::{subspace_iteration, trace_term, SubspaceIterRecord, SubspaceTimings};
+use mbrpa_ckpt::{CheckpointStore, CkptError};
 use mbrpa_dft::{
     solve_occupied_chefsi, solve_occupied_dense, ChefsiOptions, Crystal, Hamiltonian, KsSolution,
     PotentialParams,
@@ -74,16 +78,77 @@ pub struct RpaResult {
     pub n_eig: usize,
     /// Atom count.
     pub n_atoms: usize,
+    /// Frequencies restored from a checkpoint rather than computed in
+    /// this process (0 for a fresh, uninterrupted run).
+    pub n_restored: usize,
 }
 
-/// Compute the RPA correlation energy for a prepared system.
-pub fn compute_rpa_energy(
+/// State restored from a checkpoint that seeds [`frequency_loop`] at a
+/// frequency boundary instead of from scratch.
+pub(crate) struct ResumeSeed {
+    /// First frequency index still to compute.
+    pub start_k: usize,
+    /// Eigenvector block after frequency `start_k - 1`, bit-exact.
+    pub warm_start: Mat<f64>,
+    /// Running `Σ w_k E_k / 2π` over the restored frequencies, bit-exact.
+    pub accumulated_energy: f64,
+    /// Reports of the restored frequencies, in solve order.
+    pub restored: Vec<OmegaReport>,
+}
+
+/// Loop state handed to the checkpoint sink after each completed
+/// frequency. Borrows the live accumulators — the sink serializes, it
+/// does not own.
+pub(crate) struct FrequencyProgress<'a> {
+    /// Frequencies completed so far (restored + computed).
+    pub completed: usize,
+    /// Total quadrature frequencies.
+    pub n_omega: usize,
+    /// Eigenvector block after the frequency just finished.
+    pub warm_start: &'a Mat<f64>,
+    /// Running `Σ w_k E_k / 2π`, bit-exact.
+    pub accumulated_energy: f64,
+    /// Reports so far, in solve order.
+    pub per_omega: &'a [OmegaReport],
+    /// Whether this is the last frequency this call will compute (either
+    /// the quadrature is exhausted or `stop_after` is reached). Sinks
+    /// must persist on this boundary or the tail work is lost.
+    pub final_of_call: bool,
+}
+
+/// Outcome of [`frequency_loop`].
+pub(crate) enum LoopOutcome {
+    /// Every quadrature frequency is done.
+    Complete(Box<RpaResult>),
+    /// Stopped early at a frequency boundary (`stop_after`).
+    Partial {
+        /// Frequencies completed (restored + computed).
+        completed: usize,
+    },
+}
+
+type ProgressSink<'s> = &'s mut dyn FnMut(FrequencyProgress<'_>) -> Result<(), CkptError>;
+
+/// The shared frequency loop behind both [`compute_rpa_energy`] and
+/// [`crate::checkpoint::compute_rpa_energy_resumable`].
+///
+/// Steps frequencies `resume.start_k..` (0 on a fresh run), optionally
+/// stopping after `stop_after` newly computed frequencies, and reports
+/// each completed frequency to `sink`. The arithmetic is identical to the
+/// historical non-resumable loop: the energy accumulates left to right in
+/// solve order, so seeding from a snapshot's `accumulated_energy` and
+/// warm-start block reproduces the uninterrupted run bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn frequency_loop(
     crystal: &Crystal,
     ham: &Hamiltonian,
     ks: &KsSolution,
     coulomb: &CoulombOperator,
     config: &RpaConfig,
-) -> Result<RpaResult, LinalgError> {
+    resume: Option<ResumeSeed>,
+    stop_after: Option<usize>,
+    mut sink: Option<ProgressSink<'_>>,
+) -> Result<LoopOutcome, RpaRunError> {
     let t_start = Instant::now();
     let n_d = ham.dim();
     config.validate(n_d);
@@ -100,14 +165,32 @@ pub fn compute_rpa_energy(
         distribution: config.distribution,
     };
 
-    let mut v = random_orthonormal_block(n_d, config.n_eig, config.seed);
-    let mut total = 0.0;
-    let mut per_omega = Vec::with_capacity(quad.len());
+    let (start_k, mut v, mut total, mut per_omega) = match resume {
+        Some(seed) if seed.start_k > 0 => (
+            seed.start_k,
+            seed.warm_start,
+            seed.accumulated_energy,
+            seed.restored,
+        ),
+        _ => (
+            0,
+            random_orthonormal_block(n_d, config.n_eig, config.seed),
+            0.0,
+            Vec::with_capacity(quad.len()),
+        ),
+    };
+    let end_k = quad
+        .len()
+        .min(start_k.saturating_add(stop_after.unwrap_or(usize::MAX)));
+
     let mut timings = SubspaceTimings::default();
+    for rep in &per_omega {
+        timings.merge(&rep.timings);
+    }
     let mut solver_stats = WorkerStats::new();
     let mut worker_load = vec![Duration::ZERO; config.n_workers];
 
-    for (k, pt) in quad.iter().enumerate() {
+    for (k, pt) in quad.iter().enumerate().take(end_k).skip(start_k) {
         let op = DielectricOperator::new(
             ham,
             &psi,
@@ -151,9 +234,23 @@ pub fn compute_rpa_energy(
             history: out.history,
         });
         v = out.vectors;
+        if let Some(sink) = sink.as_mut() {
+            sink(FrequencyProgress {
+                completed: k + 1,
+                n_omega: quad.len(),
+                warm_start: &v,
+                accumulated_energy: total,
+                per_omega: &per_omega,
+                final_of_call: k + 1 == end_k,
+            })?;
+        }
     }
 
-    Ok(RpaResult {
+    if end_k < quad.len() {
+        return Ok(LoopOutcome::Partial { completed: end_k });
+    }
+
+    Ok(LoopOutcome::Complete(Box::new(RpaResult {
         total_energy: total,
         energy_per_atom: total / crystal.atoms.len() as f64,
         per_omega,
@@ -165,7 +262,28 @@ pub fn compute_rpa_energy(
         n_s: ks.n_occupied,
         n_eig: config.n_eig,
         n_atoms: crystal.atoms.len(),
-    })
+        n_restored: start_k,
+    })))
+}
+
+/// Compute the RPA correlation energy for a prepared system.
+///
+/// For long runs that must survive preemption, see
+/// [`crate::checkpoint::compute_rpa_energy_resumable`], which wraps the
+/// same loop with journaled per-frequency snapshots.
+pub fn compute_rpa_energy(
+    crystal: &Crystal,
+    ham: &Hamiltonian,
+    ks: &KsSolution,
+    coulomb: &CoulombOperator,
+    config: &RpaConfig,
+) -> Result<RpaResult, LinalgError> {
+    match frequency_loop(crystal, ham, ks, coulomb, config, None, None, None) {
+        Ok(LoopOutcome::Complete(result)) => Ok(*result),
+        Ok(LoopOutcome::Partial { .. }) => unreachable!("no stop_after was requested"),
+        Err(RpaRunError::Linalg(e)) => Err(e),
+        Err(_) => unreachable!("no checkpoint sink was attached"),
+    }
 }
 
 /// Seeded random block with orthonormalized columns (Algorithm 6 line 4).
@@ -227,6 +345,25 @@ impl RpaSetup {
     /// Run the RPA calculation on this setup.
     pub fn run(&self, config: &RpaConfig) -> Result<RpaResult, LinalgError> {
         compute_rpa_energy(&self.crystal, &self.ham, &self.ks, &self.coulomb, config)
+    }
+
+    /// Run with crash-safe per-frequency checkpoints in `store`, resuming
+    /// any compatible prior state per `policy`.
+    pub fn run_resumable(
+        &self,
+        config: &RpaConfig,
+        store: &mut CheckpointStore,
+        policy: &ResumePolicy,
+    ) -> Result<ResumableOutcome, RpaRunError> {
+        compute_rpa_energy_resumable(
+            &self.crystal,
+            &self.ham,
+            &self.ks,
+            &self.coulomb,
+            config,
+            store,
+            policy,
+        )
     }
 }
 
@@ -369,9 +506,7 @@ mod tests {
         assert_eq!(result.n_d, 125);
         assert!(result.wall_time > Duration::ZERO);
         assert!(result.solver_stats.block_sizes.total() > 0);
-        assert!(
-            (result.energy_per_atom * 8.0 - result.total_energy).abs() < 1e-12
-        );
+        assert!((result.energy_per_atom * 8.0 - result.total_energy).abs() < 1e-12);
         // contributions sum to the total
         let sum: f64 = result.per_omega.iter().map(|r| r.contribution).sum();
         assert!((sum - result.total_energy).abs() < 1e-12);

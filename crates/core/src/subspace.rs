@@ -308,16 +308,14 @@ mod tests {
             tol: 1e-9,
             ..SternheimerSettings::default()
         };
-        let op1 = DielectricOperator::new(
-            &f.ham, &f.psi, &f.energies, &f.coulomb, 0.50, settings, 1,
-        );
+        let op1 =
+            DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.50, settings, 1);
         let v0 = random_block(f.ham.dim(), 8, 5);
         let first = subspace_iteration(&op1, v0, 5e-4, 40, 4).unwrap();
         assert!(first.converged);
         // nearby frequency, warm start: expect 0 or very few filter rounds
-        let op2 = DielectricOperator::new(
-            &f.ham, &f.psi, &f.energies, &f.coulomb, 0.48, settings, 1,
-        );
+        let op2 =
+            DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.48, settings, 1);
         let second = subspace_iteration(&op2, first.vectors, 2e-3, 40, 4).unwrap();
         assert!(second.converged);
         assert!(

@@ -40,11 +40,7 @@ impl Default for TraceEstimatorOptions {
 /// returns the tridiagonal coefficients `(alpha, beta)` with
 /// `beta[i] = T[i+1, i]`. Full reorthogonalization keeps the Ritz
 /// quadrature stable for the modest step counts used here.
-fn lanczos_tridiag(
-    op: &dyn LinearOperator<f64>,
-    q0: &[f64],
-    m: usize,
-) -> (Vec<f64>, Vec<f64>) {
+fn lanczos_tridiag(op: &dyn LinearOperator<f64>, q0: &[f64], m: usize) -> (Vec<f64>, Vec<f64>) {
     let n = op.dim();
     let mut alphas = Vec::with_capacity(m);
     let mut betas = Vec::with_capacity(m.saturating_sub(1));
@@ -158,7 +154,6 @@ pub fn lanczos_trace(
         n_probes: samples.len(),
     })
 }
-
 
 /// Options for [`block_lanczos_trace`].
 #[derive(Clone, Copy, Debug)]
@@ -404,7 +399,10 @@ mod tests {
         let ritz = symmetric_eig(&t).unwrap().values;
         let (lo, hi) = (eig.values[0], *eig.values.last().unwrap());
         for r in &ritz {
-            assert!(*r >= lo - 1e-8 && *r <= hi + 1e-8, "Ritz {r} outside [{lo}, {hi}]");
+            assert!(
+                *r >= lo - 1e-8 && *r <= hi + 1e-8,
+                "Ritz {r} outside [{lo}, {hi}]"
+            );
         }
     }
 
@@ -469,11 +467,17 @@ mod tests {
             mbrpa_linalg::thin_qr(&z).q
         };
         let t = block_lanczos_band(&op, &q0, 4).unwrap();
-        assert!(t.max_abs_diff(&t.transpose()) < 1e-12, "band must be symmetric");
+        assert!(
+            t.max_abs_diff(&t.transpose()) < 1e-12,
+            "band must be symmetric"
+        );
         let ritz = symmetric_eig(&t).unwrap().values;
         let (lo, hi) = (eig_a.values[0], *eig_a.values.last().unwrap());
         for r in &ritz {
-            assert!(*r >= lo - 1e-8 && *r <= hi + 1e-8, "Ritz {r} outside [{lo}, {hi}]");
+            assert!(
+                *r >= lo - 1e-8 && *r <= hi + 1e-8,
+                "Ritz {r} outside [{lo}, {hi}]"
+            );
         }
     }
 

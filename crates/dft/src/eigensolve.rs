@@ -108,7 +108,10 @@ pub fn solve_occupied_dense(
     extra: usize,
 ) -> Result<KsSolution, LinalgError> {
     let n = ham.dim();
-    assert!(n_occupied + extra <= n, "requesting more eigenpairs than n_d");
+    assert!(
+        n_occupied + extra <= n,
+        "requesting more eigenpairs than n_d"
+    );
     let eig = symmetric_eig(&ham.to_dense())?;
     let keep = n_occupied + extra;
     Ok(KsSolution {
@@ -353,7 +356,9 @@ mod tests {
         let stern = SternheimerOperator::new(&ham, 0.3, 0.2);
         let lin = SternheimerLinOp::new(stern);
         let n = lin.dim();
-        let x: Vec<C64> = (0..n).map(|i| C64::new((i % 5) as f64, -((i % 3) as f64))).collect();
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::new((i % 5) as f64, -((i % 3) as f64)))
+            .collect();
         let mut y1 = vec![C64::new(0.0, 0.0); n];
         lin.apply(&x, &mut y1);
         let stern2 = SternheimerOperator::new(&ham, 0.3, 0.2);

@@ -122,11 +122,7 @@ impl Hamiltonian {
         };
         let g = self.lap.grid();
         let lap_max = per_axis(g.hx) + per_axis(g.hy) + per_axis(g.hz);
-        let vmax = self
-            .vloc
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let vmax = self.vloc.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let nl = self.nonlocal.as_ref().map_or(0.0, |n| n.strength_sum());
         0.5 * lap_max + vmax + nl
     }
@@ -134,10 +130,7 @@ impl Hamiltonian {
     /// Deterministic lower bound on `λ_min(H)`: `min V_loc` (kinetic and
     /// the PSD non-local term only raise the spectrum).
     pub fn spectral_lower_bound(&self) -> f64 {
-        self.vloc
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min)
+        self.vloc.iter().cloned().fold(f64::INFINITY, f64::min)
     }
 
     /// FLOP estimate of one `H·v` application (used by the deterministic
@@ -250,7 +243,12 @@ mod tests {
         let op = SternheimerOperator::new(&h, lam, om);
         // apply A to the 4th eigenvector: result must be iω times it
         let n = h.dim();
-        let v: Vec<C64> = eig.vectors.col(3).iter().map(|&x| C64::new(x, 0.0)).collect();
+        let v: Vec<C64> = eig
+            .vectors
+            .col(3)
+            .iter()
+            .map(|&x| C64::new(x, 0.0))
+            .collect();
         let mut av = vec![C64::new(0.0, 0.0); n];
         op.apply(&v, &mut av);
         for (a, x) in av.iter().zip(v.iter()) {

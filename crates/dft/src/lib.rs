@@ -29,7 +29,9 @@ pub use eigensolve::{
     SternheimerLinOp,
 };
 pub use hamiltonian::{Hamiltonian, SternheimerOperator};
-pub use occupations::{electron_density, fermi_dirac_occupations, integer_occupations, Occupations};
+pub use occupations::{
+    electron_density, fermi_dirac_occupations, integer_occupations, Occupations,
+};
 pub use orbital_io::{load_orbitals, save_orbitals, OrbitalIoError};
 pub use potential::{local_potential, NonlocalProjectors, PotentialParams, Projector};
 pub use precond::ShiftedLaplacianPreconditioner;

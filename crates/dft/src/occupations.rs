@@ -88,10 +88,7 @@ pub fn fermi_dirac_occupations(
         .iter()
         .map(|&e| 2.0 / (1.0 + ((e - mu) / temperature).exp()))
         .collect();
-    Occupations {
-        g,
-        fermi_level: mu,
-    }
+    Occupations { g, fermi_level: mu }
 }
 
 /// Electron density `ρ(r) = Σ_j g_j |Ψ_j(r)|²` on the grid — one of the
@@ -160,7 +157,11 @@ mod tests {
         let occ = fermi_dirac_occupations(&energies, 10.0, 0.05);
         assert!(!occ.is_integer(1e-3), "{:?}", occ.g);
         let partial = occ.g.iter().filter(|&&g| g > 0.1 && g < 1.9).count();
-        assert!(partial >= 4, "expected several fractional levels: {:?}", occ.g);
+        assert!(
+            partial >= 4,
+            "expected several fractional levels: {:?}",
+            occ.g
+        );
     }
 
     #[test]
@@ -170,7 +171,10 @@ mod tests {
         orthonormalize_columns(&mut psi);
         let occ = [2.0, 2.0, 1.5, 0.0];
         let rho = electron_density(&psi, &occ);
-        assert!(rho.iter().all(|&x| x >= 0.0), "density must be non-negative");
+        assert!(
+            rho.iter().all(|&x| x >= 0.0),
+            "density must be non-negative"
+        );
         let total: f64 = rho.iter().sum();
         assert!((total - 5.5).abs() < 1e-10, "∫ρ = {total}");
     }

@@ -215,7 +215,10 @@ mod tests {
         assert!(max <= 0.0, "attractive wells must be non-positive");
         // wells can overlap, but not beyond atoms × depth
         assert!(min >= -(c.atoms.len() as f64) * 3.0);
-        assert!(min < -1.0, "potential should be meaningfully deep, got {min}");
+        assert!(
+            min < -1.0,
+            "potential should be meaningfully deep, got {min}"
+        );
     }
 
     #[test]
@@ -316,7 +319,11 @@ mod tests {
         let n = c.n_grid();
         let re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let im: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
-        let xc: Vec<C64> = re.iter().zip(im.iter()).map(|(&a, &b)| C64::new(a, b)).collect();
+        let xc: Vec<C64> = re
+            .iter()
+            .zip(im.iter())
+            .map(|(&a, &b)| C64::new(a, b))
+            .collect();
         let mut yc = vec![C64::new(0.0, 0.0); n];
         nl.apply_add(&xc, &mut yc);
         let mut yr = vec![0.0; n];

@@ -49,7 +49,10 @@ impl Crystal {
     /// Number of doubly-occupied Kohn–Sham orbitals, `n_s = electrons / 2`.
     pub fn n_occupied(&self) -> usize {
         let electrons: usize = self.atoms.iter().map(|a| a.valence).sum();
-        assert!(electrons.is_multiple_of(2), "odd electron counts are not supported");
+        assert!(
+            electrons.is_multiple_of(2),
+            "odd electron counts are not supported"
+        );
         electrons / 2
     }
 
@@ -159,13 +162,7 @@ impl SiliconSpec {
 /// The Table III ladder: `Si8, Si16, …` with `cells_z = 1..=max_cells`.
 pub fn silicon_ladder(base: SiliconSpec, max_cells: usize) -> Vec<Crystal> {
     (1..=max_cells)
-        .map(|c| {
-            SiliconSpec {
-                cells_z: c,
-                ..base
-            }
-            .build()
-        })
+        .map(|c| SiliconSpec { cells_z: c, ..base }.build())
         .collect()
 }
 

@@ -400,8 +400,8 @@ mod tests {
         let spec = SpectralLaplacian::new(g, 3).unwrap();
         // Gershgorin bound per axis: |λ| <= (|c₀| + 2Σ|c_t|)/h², three axes
         let w = crate::stencil::second_derivative_weights(3);
-        let per_axis = (w[0].abs() + 2.0 * w[1..].iter().map(|c| c.abs()).sum::<f64>())
-            / (0.69 * 0.69);
+        let per_axis =
+            (w[0].abs() + 2.0 * w[1..].iter().map(|c| c.abs()).sum::<f64>()) / (0.69 * 0.69);
         assert!(spec.spectral_radius() > 0.0);
         assert!(spec.spectral_radius() <= 3.0 * per_axis + 1e-9);
     }

@@ -74,9 +74,18 @@ pub struct Laplacian {
 impl Laplacian {
     /// Build a radius-`r` stencil Laplacian on `grid`.
     pub fn new(grid: Grid3, radius: usize) -> Self {
-        assert!(grid.nx >= 2 * radius + 1, "nx too small for radius {radius}");
-        assert!(grid.ny >= 2 * radius + 1, "ny too small for radius {radius}");
-        assert!(grid.nz >= 2 * radius + 1, "nz too small for radius {radius}");
+        assert!(
+            grid.nx >= 2 * radius + 1,
+            "nx too small for radius {radius}"
+        );
+        assert!(
+            grid.ny >= 2 * radius + 1,
+            "ny too small for radius {radius}"
+        );
+        assert!(
+            grid.nz >= 2 * radius + 1,
+            "nz too small for radius {radius}"
+        );
         let w = second_derivative_weights(radius);
         let scale = |h: f64| -> Vec<f64> { w.iter().map(|c| c / (h * h)).collect() };
         let cx = scale(grid.hx);
@@ -416,7 +425,10 @@ mod tests {
             .collect();
         let w = second_derivative_weights(r);
         let symbol: f64 = (w[0]
-            + 2.0 * (1..=r).map(|t| w[t] * (kx * t as f64 * h).cos()).sum::<f64>())
+            + 2.0
+                * (1..=r)
+                    .map(|t| w[t] * (kx * t as f64 * h).cos())
+                    .sum::<f64>())
             / (h * h);
         let mut out = vec![0.0; g.len()];
         lap.apply(&v, &mut out);
@@ -433,7 +445,11 @@ mod tests {
         let lap = Laplacian::new(g, 2);
         let re = test_vec(g.len(), 3);
         let im = test_vec(g.len(), 4);
-        let vc: Vec<C64> = re.iter().zip(im.iter()).map(|(&a, &b)| C64::new(a, b)).collect();
+        let vc: Vec<C64> = re
+            .iter()
+            .zip(im.iter())
+            .map(|(&a, &b)| C64::new(a, b))
+            .collect();
         let mut oc = vec![C64::new(0.0, 0.0); g.len()];
         lap.apply(&vc, &mut oc);
         let mut or_ = vec![0.0; g.len()];
@@ -450,7 +466,9 @@ mod tests {
     fn block_and_simultaneous_agree() {
         let g = Grid3::new((7, 7, 9), (0.5, 0.5, 0.5), Boundary::Periodic);
         let lap = Laplacian::new(g, 2);
-        let v = Mat::from_fn(g.len(), 3, |i, j| ((i * 31 + j * 17) % 101) as f64 * 0.01 - 0.5);
+        let v = Mat::from_fn(g.len(), 3, |i, j| {
+            ((i * 31 + j * 17) % 101) as f64 * 0.01 - 0.5
+        });
         let mut a = Mat::zeros(g.len(), 3);
         let mut b = Mat::zeros(g.len(), 3);
         lap.apply_block(&v, &mut a);

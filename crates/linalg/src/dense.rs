@@ -242,7 +242,10 @@ impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
     type Output = T;
     #[inline(always)]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[j * self.rows + i]
     }
 }
@@ -250,7 +253,10 @@ impl<T: Scalar> Index<(usize, usize)> for Mat<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Mat<T> {
     #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[j * self.rows + i]
     }
 }

@@ -403,7 +403,9 @@ mod tests {
         let slow = matmul(&ac, &b);
         assert!(fast.max_abs_diff(&slow) < 1e-13);
 
-        let b2 = Mat::from_fn(12, 3, |i, j| Complex64::new(0.1 * i as f64, -0.2 * j as f64));
+        let b2 = Mat::from_fn(12, 3, |i, j| {
+            Complex64::new(0.1 * i as f64, -0.2 * j as f64)
+        });
         let fast2 = matmul_tn_rc(&a, &b2);
         let slow2 = matmul(&ac.conj_transpose(), &b2);
         assert!(fast2.max_abs_diff(&slow2) < 1e-12);

@@ -199,9 +199,16 @@ mod tests {
             Complex64::new(s[(i, j)] + s[(j, i)] + if i == j { 4.0 } else { 0.0 }, 0.0)
         });
         let a = Mat::from_fn(n, n, |i, j| {
-            sym[(i, j)] + if i == j { Complex64::new(0.0, 0.9) } else { Complex64::new(0.0, 0.0) }
+            sym[(i, j)]
+                + if i == j {
+                    Complex64::new(0.0, 0.9)
+                } else {
+                    Complex64::new(0.0, 0.0)
+                }
         });
-        let b = Mat::from_fn(n, 3, |i, j| Complex64::new(i as f64 - j as f64, 0.5 * j as f64));
+        let b = Mat::from_fn(n, 3, |i, j| {
+            Complex64::new(i as f64 - j as f64, 0.5 * j as f64)
+        });
         let x = solve(&a, &b).unwrap();
         let r = {
             let mut ax = matmul(&a, &x);

@@ -125,10 +125,7 @@ mod tests {
     #[test]
     fn hadamard_variants() {
         let x = [2.0, 3.0];
-        let y = [
-            Complex64::new(1.0, 1.0),
-            Complex64::new(0.0, -1.0),
-        ];
+        let y = [Complex64::new(1.0, 1.0), Complex64::new(0.0, -1.0)];
         let mut z = [Complex64::new(0.0, 0.0); 2];
         hadamard_real(&x, &y, &mut z);
         assert_eq!(z[0], Complex64::new(2.0, 2.0));

@@ -1,8 +1,6 @@
 //! Property-based tests for the dense linear algebra substrate.
 
-use mbrpa_linalg::{
-    matmul, matmul_hn, matmul_tn, symmetric_eig, thin_qr, Cholesky, Lu, Mat, C64,
-};
+use mbrpa_linalg::{matmul, matmul_hn, matmul_tn, symmetric_eig, thin_qr, Cholesky, Lu, Mat, C64};
 use proptest::prelude::*;
 
 fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat<f64>> {

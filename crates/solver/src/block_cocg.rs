@@ -344,11 +344,7 @@ pub fn cocg(
 
 /// True relative residual `‖B − AX‖_F / ‖B‖_F` (verification helper; one
 /// extra block application).
-pub fn true_relative_residual(
-    op: &dyn LinearOperator<C64>,
-    b: &Mat<C64>,
-    x: &Mat<C64>,
-) -> f64 {
+pub fn true_relative_residual(op: &dyn LinearOperator<C64>, b: &Mat<C64>, x: &Mat<C64>) -> f64 {
     let mut ax = Mat::zeros(b.rows(), b.cols());
     op.apply_block(x, &mut ax);
     ax.axpy(-C64::new(1.0, 0.0), b);

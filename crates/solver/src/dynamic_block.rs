@@ -82,9 +82,9 @@ pub fn solve_multi_rhs_pre(
     let mut all_converged = true;
 
     let solve_chunk = |start: usize,
-                           width: usize,
-                           solution: &mut Mat<C64>,
-                           stats: &mut WorkerStats|
+                       width: usize,
+                       solution: &mut Mat<C64>,
+                       stats: &mut WorkerStats|
      -> (f64, bool) {
         let chunk_b = b.columns(start, width);
         let chunk_g = guess.map(|g| g.columns(start, width));

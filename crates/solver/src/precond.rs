@@ -354,8 +354,13 @@ mod tests {
     fn zero_rhs_and_dimension_checks() {
         let op = test_operator(10, 2.0, 0.2, 9);
         let b = Mat::zeros(10, 2);
-        let (x, rep) = block_pcocg(&op, &IdentityPreconditioner::new(10), &b, None,
-            &CocgOptions::default());
+        let (x, rep) = block_pcocg(
+            &op,
+            &IdentityPreconditioner::new(10),
+            &b,
+            None,
+            &CocgOptions::default(),
+        );
         assert!(rep.converged);
         assert_eq!(x.fro_norm(), 0.0);
     }

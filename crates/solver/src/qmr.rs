@@ -124,7 +124,7 @@ pub fn qmr_sym(
         let pre = c_2 * beta_prev; // row j−1 (before rotation j−1)
         let t2 = c_1 * pre + s_1 * alpha; // row j−1 (final)
         let t4 = -s_1.conj() * pre + c_1.conj() * alpha; // row j (pre new rotation)
-        // new rotation annihilating β under t4
+                                                         // new rotation annihilating β under t4
         let denom = (t4.norm_sqr() + beta.norm_sqr()).sqrt();
         let (c_new, s_new) = if denom > 0.0 {
             if t4.norm() > 0.0 {

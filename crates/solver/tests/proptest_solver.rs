@@ -3,8 +3,8 @@
 
 use mbrpa_linalg::{matmul, Mat, C64};
 use mbrpa_solver::{
-    block_cocg, block_pcocg, cocg, gmres, qmr_sym, seed_cocg, true_relative_residual,
-    CocgOptions, DenseOperator, GmresOptions, IdentityPreconditioner, QmrOptions,
+    block_cocg, block_pcocg, cocg, gmres, qmr_sym, seed_cocg, true_relative_residual, CocgOptions,
+    DenseOperator, GmresOptions, IdentityPreconditioner, QmrOptions,
 };
 use proptest::prelude::*;
 

@@ -22,10 +22,22 @@ fn main() {
     let c = 0.5 * box_len;
     let d = 0.16 * box_len;
     let atoms = vec![
-        Atom { position: (c + d, c + d, c + d), valence: 4 },
-        Atom { position: (c - d, c - d, c + d), valence: 4 },
-        Atom { position: (c - d, c + d, c - d), valence: 4 },
-        Atom { position: (c + d, c - d, c - d), valence: 4 },
+        Atom {
+            position: (c + d, c + d, c + d),
+            valence: 4,
+        },
+        Atom {
+            position: (c - d, c - d, c + d),
+            valence: 4,
+        },
+        Atom {
+            position: (c - d, c + d, c - d),
+            valence: 4,
+        },
+        Atom {
+            position: (c + d, c - d, c - d),
+            valence: 4,
+        },
     ];
     let crystal = Crystal {
         grid,

@@ -77,6 +77,10 @@ fn main() {
     println!("|difference|               : {err:.2e} Ha/atom");
     println!(
         "chemical accuracy (1.6e-3 Ha/atom): {}",
-        if err < 1.6e-3 { "ACHIEVED" } else { "not achieved at this n_eig — raise n_eig" }
+        if err < 1.6e-3 {
+            "ACHIEVED"
+        } else {
+            "not achieved at this n_eig — raise n_eig"
+        }
     );
 }

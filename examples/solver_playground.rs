@@ -43,7 +43,9 @@ fn main() {
 
     println!("system: {} (n_d = {n}, n_s = {n_s})", crystal.label);
     println!();
-    println!("pair           ω        spectrum-shift λ_j   solver      s   iters  matvecs  residual");
+    println!(
+        "pair           ω        spectrum-shift λ_j   solver      s   iters  matvecs  residual"
+    );
 
     let cases = [
         ("(1,1) easy ", ks.energies[0], quad[0].omega),

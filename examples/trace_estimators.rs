@@ -117,9 +117,7 @@ fn main() {
     );
 
     println!();
-    println!(
-        "the subspace path truncates to the {n_eig} most-negative eigenvalues; the"
-    );
+    println!("the subspace path truncates to the {n_eig} most-negative eigenvalues; the");
     println!("Lanczos paths are unbiased estimators of the FULL trace (§V) and need no");
     println!("Rayleigh–Ritz eigensolve — the kernel the paper flags as the scaling limit.");
 }

@@ -10,16 +10,21 @@
 //! The input format is documented in [`mbrpa::core::io`]; a sample lives
 //! in `inputs/Si8.rpa`.
 
-use mbrpa::core::{io as rpaio, report, KsSolver, RpaSetup};
+use mbrpa::ckpt::CheckpointStore;
+use mbrpa::core::{io as rpaio, report, KsSolver, ResumableOutcome, ResumePolicy, RpaSetup};
 use mbrpa::dft::{load_orbitals, save_orbitals, ChefsiOptions, PotentialParams};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: rpacalc -name <basename> [-stdout] [-threads N] [-save-ks] [-load-ks]");
+    eprintln!("               [-checkpoint <dir>] [-resume] [-checkpoint-every K]");
     eprintln!("  reads <basename>.rpa and writes <basename>.out");
     eprintln!("  -save-ks / -load-ks persist the KS orbitals as <basename>.orb");
     eprintln!("  (mirrors the artifact workflow of reading precomputed SPARC outputs)");
+    eprintln!("  -checkpoint <dir>    journal per-frequency state into <dir> (two-slot)");
+    eprintln!("  -resume              continue from the newest valid snapshot in <dir>");
+    eprintln!("  -checkpoint-every K  snapshot every K-th frequency (default 1)");
     ExitCode::FAILURE
 }
 
@@ -30,14 +35,56 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut save_ks = false;
     let mut load_ks = false;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut checkpoint_every: usize = 1;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "-name" | "--name" => name = it.next().cloned(),
             "-stdout" | "--stdout" => to_stdout = true,
-            "-threads" | "--threads" => threads = it.next().and_then(|v| v.parse().ok()),
+            "-threads" | "--threads" => {
+                let Some(v) = it.next() else {
+                    eprintln!("-threads needs a value");
+                    return usage();
+                };
+                match v.parse::<usize>() {
+                    Ok(t) if t >= 1 => threads = Some(t),
+                    Ok(_) => {
+                        eprintln!("-threads must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(_) => {
+                        eprintln!("cannot parse `-threads {v}`: expected a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-save-ks" | "--save-ks" => save_ks = true,
             "-load-ks" | "--load-ks" => load_ks = true,
+            "-checkpoint" | "--checkpoint" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("-checkpoint needs a directory");
+                    return usage();
+                };
+                checkpoint_dir = Some(dir.clone());
+            }
+            "-resume" | "--resume" => resume = true,
+            "-checkpoint-every" | "--checkpoint-every" => {
+                let Some(v) = it.next() else {
+                    eprintln!("-checkpoint-every needs a value");
+                    return usage();
+                };
+                match v.parse::<usize>() {
+                    Ok(k) if k >= 1 => checkpoint_every = k,
+                    _ => {
+                        eprintln!(
+                            "cannot parse `-checkpoint-every {v}`: expected a positive integer"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-h" | "--help" => return usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -46,9 +93,16 @@ fn main() -> ExitCode {
         }
     }
     let Some(name) = name else { return usage() };
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("-resume requires -checkpoint <dir>");
+        return ExitCode::FAILURE;
+    }
 
     if let Some(t) = threads {
-        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(t).build_global() {
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+        {
             eprintln!("warning: could not size the thread pool: {e}");
         }
     }
@@ -124,11 +178,46 @@ fn main() -> ExitCode {
         eprintln!("saved KS orbitals to {orb_path}");
     }
 
-    let result = match setup.run(&input.config) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("RPA stage failed: {e}");
-            return ExitCode::FAILURE;
+    let result = if let Some(dir) = &checkpoint_dir {
+        let mut store = match CheckpointStore::open(Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open checkpoint directory {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let policy = ResumePolicy {
+            every: checkpoint_every,
+            resume,
+            stop_after: None,
+        };
+        match setup.run_resumable(&input.config, &mut store, &policy) {
+            Ok(ResumableOutcome::Complete(r)) => {
+                if r.n_restored > 0 {
+                    eprintln!(
+                        "resumed from checkpoint: {} of {} frequencies restored",
+                        r.n_restored,
+                        r.per_omega.len()
+                    );
+                }
+                *r
+            }
+            Ok(ResumableOutcome::Checkpointed { completed, n_omega }) => {
+                eprintln!("checkpointed at {completed} of {n_omega} frequencies");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("RPA stage failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match setup.run(&input.config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("RPA stage failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 

@@ -39,10 +39,12 @@
 //! | [`grid`] | finite-difference stencils, Kronecker spectral Laplacian, Coulomb operator `ν`, `ν½` |
 //! | [`dft`] | model Kohn–Sham substrate (crystals, pseudopotential, Hamiltonian, CheFSI) |
 //! | [`solver`] | block COCG, GMRES baseline, Chebyshev filters, dynamic block sizing |
+//! | [`ckpt`] | crash-safe checkpoint codec and two-slot journaled store |
 //! | [`core`] | quadrature, Sternheimer χ⁰ apply, subspace iteration, RPA driver, direct oracle |
 
 #![warn(missing_docs)]
 
+pub use mbrpa_ckpt as ckpt;
 pub use mbrpa_core as core;
 pub use mbrpa_dft as dft;
 pub use mbrpa_grid as grid;
@@ -51,10 +53,12 @@ pub use mbrpa_solver as solver;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use mbrpa_ckpt::CheckpointStore;
     pub use mbrpa_core::{
-        compute_rpa_energy, dielectric_spectrum, direct_rpa_energy, frequency_quadrature,
-        full_spectrum, lanczos_trace, subspace_iteration, DielectricOperator, KsSolver,
-        RpaConfig, RpaResult, RpaSetup, SternheimerSettings, TraceEstimatorOptions,
+        compute_rpa_energy, compute_rpa_energy_resumable, dielectric_spectrum, direct_rpa_energy,
+        frequency_quadrature, full_spectrum, lanczos_trace, subspace_iteration, DielectricOperator,
+        KsSolver, ResumableOutcome, ResumePolicy, RpaConfig, RpaResult, RpaRunError, RpaSetup,
+        SternheimerSettings, TraceEstimatorOptions,
     };
     pub use mbrpa_dft::{
         silicon_ladder, solve_occupied_chefsi, solve_occupied_dense, ChefsiOptions, Crystal,

@@ -1,0 +1,224 @@
+//! Crash/restart behaviour of the checkpointed RPA driver: a run killed
+//! after a prefix of the quadrature frequencies must resume and finish
+//! with a total energy **bit-for-bit identical** to an uninterrupted run,
+//! and a corrupted newest slot must fall back to the older snapshot.
+
+use mbrpa::ckpt::{CheckpointStore, Slot};
+use mbrpa::core::{ResumableOutcome, ResumePolicy, RpaRunError};
+use mbrpa::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mbrpa-restart-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_setup() -> RpaSetup {
+    let crystal = SiliconSpec {
+        points_per_cell: 5,
+        perturbation: 0.03,
+        seed: 11,
+        ..SiliconSpec::default()
+    }
+    .build();
+    RpaSetup::prepare(
+        crystal,
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 2 },
+    )
+    .unwrap()
+}
+
+fn tiny_config() -> RpaConfig {
+    RpaConfig {
+        n_eig: 12,
+        n_omega: 4,
+        tol_eig: vec![4e-3, 2e-3],
+        tol_sternheimer: 1e-3,
+        max_filter_iters: 20,
+        cheb_degree: 2,
+        n_workers: 1,
+        seed: 3,
+        ..RpaConfig::default()
+    }
+}
+
+/// Run `stop_after` frequencies and exit — the "killed job" stand-in.
+fn run_prefix(setup: &RpaSetup, config: &RpaConfig, dir: &Path, stop_after: usize) -> usize {
+    let mut store = CheckpointStore::open(dir).unwrap();
+    let policy = ResumePolicy {
+        every: 1,
+        resume: true,
+        stop_after: Some(stop_after),
+    };
+    match setup.run_resumable(config, &mut store, &policy).unwrap() {
+        ResumableOutcome::Checkpointed { completed, .. } => completed,
+        ResumableOutcome::Complete(_) => panic!("prefix run unexpectedly completed"),
+    }
+}
+
+fn resume_to_completion(setup: &RpaSetup, config: &RpaConfig, dir: &Path) -> RpaResult {
+    let mut store = CheckpointStore::open(dir).unwrap();
+    match setup
+        .run_resumable(config, &mut store, &ResumePolicy::default())
+        .unwrap()
+    {
+        ResumableOutcome::Complete(r) => *r,
+        ResumableOutcome::Checkpointed { completed, n_omega } => {
+            panic!("resume stopped early at {completed}/{n_omega}")
+        }
+    }
+}
+
+#[test]
+fn interrupted_run_resumes_bit_identical() {
+    let setup = tiny_setup();
+    let config = tiny_config();
+    let reference = setup.run(&config).unwrap();
+
+    // "crash" after 2 of 4 frequencies, then resume in a fresh process
+    // (fresh store handle) and finish
+    let dir = scratch_dir("bitexact");
+    let completed = run_prefix(&setup, &config, &dir, 2);
+    assert_eq!(completed, 2);
+    let resumed = resume_to_completion(&setup, &config, &dir);
+
+    assert_eq!(resumed.n_restored, 2);
+    assert_eq!(reference.n_restored, 0);
+    assert_eq!(resumed.per_omega.len(), reference.per_omega.len());
+    assert_eq!(
+        resumed.total_energy.to_bits(),
+        reference.total_energy.to_bits(),
+        "resumed energy {} differs from uninterrupted energy {}",
+        resumed.total_energy,
+        reference.total_energy
+    );
+    assert_eq!(
+        resumed.energy_per_atom.to_bits(),
+        reference.energy_per_atom.to_bits()
+    );
+    // every per-frequency record survives the round trip bit-exactly
+    for (res, refr) in resumed.per_omega.iter().zip(reference.per_omega.iter()) {
+        assert_eq!(res.energy_term.to_bits(), refr.energy_term.to_bits());
+        assert_eq!(res.contribution.to_bits(), refr.contribution.to_bits());
+        assert_eq!(res.eigenvalues, refr.eigenvalues);
+        assert_eq!(res.filter_rounds, refr.filter_rounds);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn single_frequency_slices_reach_the_same_bits() {
+    // the extreme schedule: one frequency per "job", three restarts
+    let setup = tiny_setup();
+    let config = tiny_config();
+    let reference = setup.run(&config).unwrap();
+
+    let dir = scratch_dir("slices");
+    assert_eq!(run_prefix(&setup, &config, &dir, 1), 1);
+    assert_eq!(run_prefix(&setup, &config, &dir, 1), 2);
+    assert_eq!(run_prefix(&setup, &config, &dir, 1), 3);
+    let resumed = resume_to_completion(&setup, &config, &dir);
+
+    assert_eq!(resumed.n_restored, 3);
+    assert_eq!(
+        resumed.total_energy.to_bits(),
+        reference.total_energy.to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_latest_slot_falls_back_to_older_snapshot() {
+    let setup = tiny_setup();
+    let config = tiny_config();
+    let reference = setup.run(&config).unwrap();
+
+    // two one-frequency jobs: slot A holds "1 done", slot B "2 done"
+    let dir = scratch_dir("fallback");
+    run_prefix(&setup, &config, &dir, 1);
+    run_prefix(&setup, &config, &dir, 1);
+
+    let store = CheckpointStore::open(&dir).unwrap();
+    let latest = store.load_latest().unwrap().unwrap();
+    assert_eq!(latest.snapshot.completed, 2);
+    let newest_path = store.slot_path(latest.slot);
+    assert_eq!(latest.slot, Slot::B);
+    drop(store);
+
+    // flip one byte in the middle of the newest slot — the CRC must
+    // reject it and the loader must fall back to the older snapshot
+    let mut bytes = std::fs::read(&newest_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest_path, &bytes).unwrap();
+
+    let store = CheckpointStore::open(&dir).unwrap();
+    let fallback = store.load_latest().unwrap().unwrap();
+    assert!(fallback.recovered_from_fallback);
+    assert_eq!(fallback.slot, Slot::A);
+    assert_eq!(fallback.snapshot.completed, 1);
+    drop(store);
+
+    // resuming recomputes frequencies 2..4 from the older snapshot and
+    // still lands on the exact bits
+    let resumed = resume_to_completion(&setup, &config, &dir);
+    assert_eq!(resumed.n_restored, 1);
+    assert_eq!(
+        resumed.total_energy.to_bits(),
+        reference.total_energy.to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn config_change_is_rejected_instead_of_mixing_state() {
+    let setup = tiny_setup();
+    let config = tiny_config();
+    let dir = scratch_dir("mismatch");
+    run_prefix(&setup, &config, &dir, 1);
+
+    let changed = RpaConfig {
+        seed: 4,
+        ..tiny_config()
+    };
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let err = setup
+        .run_resumable(&changed, &mut store, &ResumePolicy::default())
+        .unwrap_err();
+    match err {
+        RpaRunError::ConfigMismatch { saved, current } => assert_ne!(saved, current),
+        other => panic!("expected ConfigMismatch, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fresh_start_ignores_checkpoints_when_resume_is_off() {
+    let setup = tiny_setup();
+    let config = tiny_config();
+    let dir = scratch_dir("noresume");
+    run_prefix(&setup, &config, &dir, 2);
+
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let policy = ResumePolicy {
+        every: 1,
+        resume: false,
+        stop_after: None,
+    };
+    let result = match setup.run_resumable(&config, &mut store, &policy).unwrap() {
+        ResumableOutcome::Complete(r) => *r,
+        ResumableOutcome::Checkpointed { .. } => panic!("should have completed"),
+    };
+    assert_eq!(result.n_restored, 0);
+    assert_eq!(result.per_omega.len(), config.n_omega);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -15,7 +15,10 @@ fn tiny_ham() -> (usize, Hamiltonian) {
         ..SiliconSpec::default()
     }
     .build();
-    (c.n_occupied(), Hamiltonian::new(&c, 2, &PotentialParams::default()))
+    (
+        c.n_occupied(),
+        Hamiltonian::new(&c, 2, &PotentialParams::default()),
+    )
 }
 
 #[test]
@@ -131,7 +134,10 @@ fn unconverged_sternheimer_surfaces_in_stats() {
     );
     let v = Mat::from_fn(ham.dim(), 1, |i, _| ((i % 5) as f64) - 2.0);
     let out = op.apply_chi0_block(&v);
-    assert!(!out.has_bad_values(), "starved solves must not produce NaNs");
+    assert!(
+        !out.has_bad_values(),
+        "starved solves must not produce NaNs"
+    );
     let stats = op.stats_snapshot();
     assert!(
         stats.unconverged > 0,
