@@ -4,5 +4,7 @@ set -euo pipefail
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo test -q --workspace --doc
+cargo bench --workspace --no-run
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings

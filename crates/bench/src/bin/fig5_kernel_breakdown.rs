@@ -3,6 +3,11 @@
 //! generalized eigensolve, error evaluation) for the largest ladder system
 //! across a thread sweep.
 //!
+//! The kernel totals come from the shared `mbrpa-obs` telemetry spans — the
+//! same source of truth `rpacalc -profile` reports — by aggregating every
+//! span whose leaf name matches the kernel (`apply`, `matmult`,
+//! `eigensolve`, `eval_error`) across all frequencies.
+//!
 //! Expected shape: the `ν½χ⁰ν½` kernel dominates and scales well; the
 //! dense eigensolve and the tall-skinny matmults scale poorly and
 //! eventually cap the overall parallel efficiency.
@@ -33,6 +38,7 @@ fn main() {
         thread_counts.push(next);
     }
 
+    mbrpa_obs::set_enabled(true);
     let mut rows = Vec::new();
     for &threads in &thread_counts {
         if atoms * opts.eig_per_atom() / threads < 4 {
@@ -40,17 +46,19 @@ fn main() {
         }
         let config = ladder_config(atoms, opts.eig_per_atom(), threads);
         eprintln!("{} thread(s)…", threads);
+        mbrpa_obs::reset();
         let result = with_threads(threads, || setup.run(&config).expect("RPA failed"));
-        let t = &result.timings;
+        let report = mbrpa_obs::report();
         rows.push(vec![
             threads.to_string(),
-            format!("{:.2}", t.apply.as_secs_f64()),
-            format!("{:.3}", t.matmult.as_secs_f64()),
-            format!("{:.3}", t.eigensolve.as_secs_f64()),
-            format!("{:.4}", t.eval_error.as_secs_f64()),
+            format!("{:.2}", report.sum_leaf("apply")),
+            format!("{:.3}", report.sum_leaf("matmult")),
+            format!("{:.3}", report.sum_leaf("eigensolve")),
+            format!("{:.4}", report.sum_leaf("eval_error")),
             format!("{:.2}", result.wall_time.as_secs_f64()),
         ]);
     }
+    mbrpa_obs::set_enabled(false);
     print_table(
         &[
             "threads",

@@ -125,8 +125,11 @@ impl CheckpointStore {
     /// The snapshot's `sequence` field is overwritten with the store's
     /// monotone counter so the loader can order the two slots.
     pub fn save(&mut self, snap: &mut Snapshot) -> Result<(), CkptError> {
+        let _span = mbrpa_obs::span("ckpt.save");
         snap.sequence = self.next_seq;
         let bytes = encode_snapshot(snap);
+        mbrpa_obs::add("ckpt.bytes_written", bytes.len() as u64);
+        mbrpa_obs::add("ckpt.saves", 1);
         let target = self.slot_path(self.next_slot);
         let tmp = self.dir.join(format!("{}.tmp", self.next_slot.file_name()));
         {
@@ -164,6 +167,8 @@ impl CheckpointStore {
     /// the newer one is missing, truncated, or corrupt. `Ok(None)` means no
     /// slot holds a valid snapshot (fresh directory, or both damaged).
     pub fn load_latest(&self) -> Result<Option<LoadedSnapshot>, CkptError> {
+        let _span = mbrpa_obs::span("ckpt.load");
+        mbrpa_obs::add("ckpt.loads", 1);
         let mut best: Option<(Slot, Snapshot)> = None;
         let mut any_invalid_file = false;
         for slot in [Slot::A, Slot::B] {

@@ -301,6 +301,7 @@ impl<'a> DielectricOperator<'a> {
         } else {
             None
         };
+        let it_before = stats.iterations;
         let out = solve_multi_rhs_pre(
             &stern,
             &b,
@@ -310,6 +311,15 @@ impl<'a> DielectricOperator<'a> {
             precond.as_ref().map(|p| p as &dyn Preconditioner),
             stats,
         );
+        if mbrpa_obs::enabled() {
+            // per-occupied-orbital solve effort, labelled by the worker's
+            // frequency context (set in `partitioned_apply`)
+            mbrpa_obs::record_ctx(
+                "sternheimer.orbital_iterations",
+                (stats.iterations - it_before) as f64,
+            );
+            mbrpa_obs::add_ctx("sternheimer.solves", 1);
+        }
         // 2·g_σ·Re(Ψ_j ⊙ Y_j): the ± iω conjugate-pair combination gives
         // the 2, the channel degeneracy the g_σ (= 4·Re for closed shells)
         let factor = 2.0 * ch.degeneracy;
@@ -355,6 +365,15 @@ impl<'a> DielectricOperator<'a> {
         let n = self.ham.dim();
         assert_eq!(v.rows(), n);
         let cols = v.cols();
+        // The span lives on the calling thread (nested under the filter or
+        // projection that requested the product); worker-side metrics are
+        // flat counters/series flushed per closure.
+        let _stern_span = mbrpa_obs::span("sternheimer");
+        let obs_on = mbrpa_obs::enabled();
+        let ctx_label = format!("omega={:.4}", self.omega);
+        if obs_on {
+            mbrpa_obs::add("chi0.applications", cols as u64);
+        }
 
         let mut result = match self.settings.distribution {
             WorkDistribution::StaticColumns => {
@@ -364,12 +383,19 @@ impl<'a> DielectricOperator<'a> {
                     .par_iter()
                     .enumerate()
                     .map(|(widx, range)| {
+                        if obs_on {
+                            mbrpa_obs::set_context(&ctx_label);
+                        }
                         let mut stats = WorkerStats::new();
                         let mut local = v.columns(range.start, range.count);
                         if with_nu_sqrt {
                             self.coulomb.apply_nu_sqrt_block(&mut local);
                         }
                         let out = self.chi0_columns(&local, &mut stats);
+                        if obs_on {
+                            mbrpa_obs::clear_context();
+                            mbrpa_obs::flush_thread();
+                        }
                         (widx, range.start, out, stats)
                     })
                     .collect();
@@ -417,8 +443,15 @@ impl<'a> DielectricOperator<'a> {
                 let pieces: Vec<(usize, Mat<f64>, WorkerStats)> = tasks
                     .par_iter()
                     .map(|&(c, sigma, j)| {
+                        if obs_on {
+                            mbrpa_obs::set_context(&ctx_label);
+                        }
                         let mut stats = WorkerStats::new();
                         let contrib = self.orbital_contribution(sigma, j, &chunks[c].1, &mut stats);
+                        if obs_on {
+                            mbrpa_obs::clear_context();
+                            mbrpa_obs::flush_thread();
+                        }
                         (chunks[c].0, contrib, stats)
                     })
                     .collect();
@@ -575,6 +608,30 @@ mod tests {
             "partition must not change the math: {}",
             o1.max_abs_diff(&o4)
         );
+    }
+
+    #[test]
+    fn oversubscribed_workers_clamp_to_column_count() {
+        // far more workers than columns: the static partition must clamp
+        // to one column per active worker (idle workers get nothing),
+        // produce the single-worker answer, and keep the load ledger
+        // sized to the configured (not clamped) worker count
+        let f = fixture();
+        let n = f.ham.dim();
+        let v = Mat::from_fn(n, 2, |i, j| ((i * 5 + j * 3) % 17) as f64 * 0.06 - 0.48);
+        let d1 = op(&f, 0.9, 1);
+        let d64 = op(&f, 0.9, 64);
+        let o1 = d1.apply_dielectric_block(&v);
+        let o64 = d64.apply_dielectric_block(&v);
+        assert!(
+            o1.max_abs_diff(&o64) < 1e-7,
+            "oversubscription changed the math: {}",
+            o1.max_abs_diff(&o64)
+        );
+        let load = d64.worker_load_snapshot();
+        assert_eq!(load.len(), 64, "ledger keeps the configured width");
+        // only the clamped workers can have accrued any solve time
+        assert!(load[2..].iter().all(|d| d.is_zero()));
     }
 
     #[test]

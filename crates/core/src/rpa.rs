@@ -191,6 +191,7 @@ pub(crate) fn frequency_loop(
     let mut worker_load = vec![Duration::ZERO; config.n_workers];
 
     for (k, pt) in quad.iter().enumerate().take(end_k).skip(start_k) {
+        let _omega_span = mbrpa_obs::span(&format!("omega[{k}]"));
         let op = DielectricOperator::new(
             ham,
             &psi,
@@ -212,6 +213,19 @@ pub(crate) fn frequency_loop(
             config.max_filter_iters,
             config.cheb_degree,
         )?;
+        if mbrpa_obs::enabled() {
+            let label = format!("omega[{k}]");
+            let errors: Vec<f64> = out.history.iter().map(|h| h.error).collect();
+            mbrpa_obs::record_trace("subspace.si_error", &label, &errors);
+            mbrpa_obs::add(&format!("{label}/sternheimer.iterations"), {
+                op.stats_snapshot().iterations as u64
+            });
+            mbrpa_obs::add(
+                &format!("{label}/chi0.applications"),
+                op.applications() as u64,
+            );
+            mbrpa_obs::record("subspace.filter_rounds", out.filter_rounds as f64);
+        }
         let e_k = trace_term(&out.eigenvalues);
         let contribution = pt.weight * e_k / (2.0 * std::f64::consts::PI);
         total += contribution;

@@ -107,30 +107,44 @@ fn rayleigh_ritz(
     v: &mut Mat<f64>,
     timings: &mut SubspaceTimings,
 ) -> Result<RitzStep, LinalgError> {
+    let _rr = mbrpa_obs::span("rayleigh_ritz");
+
     // operator application
     let t = Instant::now();
-    let w = op.apply_dielectric_block(v);
+    let w = {
+        let _s = mbrpa_obs::span("apply");
+        op.apply_dielectric_block(v)
+    };
     timings.apply += t.elapsed();
 
     // projections
     let t = Instant::now();
-    let h_s = matmul_tn(v, &w);
-    let m_s = matmul_tn(v, v);
+    let (h_s, m_s) = {
+        let _s = mbrpa_obs::span("matmult");
+        (matmul_tn(v, &w), matmul_tn(v, v))
+    };
     timings.matmult += t.elapsed();
 
     // small generalized eigensolve
     let t = Instant::now();
-    let eig = generalized_sym_eig(&h_s, &m_s)?;
+    let eig = {
+        let _s = mbrpa_obs::span("eigensolve");
+        generalized_sym_eig(&h_s, &m_s)?
+    };
     timings.eigensolve += t.elapsed();
 
     // rotations
     let t = Instant::now();
-    *v = matmul(v, &eig.vectors);
-    let w_rot = matmul(&w, &eig.vectors);
+    let w_rot = {
+        let _s = mbrpa_obs::span("matmult");
+        *v = matmul(v, &eig.vectors);
+        matmul(&w, &eig.vectors)
+    };
     timings.matmult += t.elapsed();
 
     // Eq. 7: Σ_j ‖A v_j − D_jj v_j‖₂ / (n_eig √(Σ D²))
     let t = Instant::now();
+    let _ee = mbrpa_obs::span("eval_error");
     let n_eig = v.cols();
     let mut res_sum = 0.0;
     for j in 0..n_eig {
@@ -184,7 +198,10 @@ pub fn subspace_iteration(
         let a = if mu_edge < b_up { mu_edge } else { 0.5 * b_up };
 
         let t = Instant::now();
-        v = chebyshev_filter(op, &v, cheb_degree, a, b_up, mu_min);
+        {
+            let _cheb = mbrpa_obs::span("chebyshev");
+            v = chebyshev_filter(op, &v, cheb_degree, a, b_up, mu_min);
+        }
         timings.apply += t.elapsed();
 
         step = rayleigh_ritz(op, &mut v, &mut timings)?;

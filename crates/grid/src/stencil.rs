@@ -122,6 +122,7 @@ impl Laplacian {
         let n = self.grid.len();
         assert_eq!(v.len(), n);
         assert_eq!(out.len(), n);
+        mbrpa_obs::add("grid.stencil_applies", 1);
         let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.grid.nz);
         let periodic = self.grid.bc == Boundary::Periodic;
 
@@ -235,6 +236,7 @@ impl Laplacian {
         let n = self.grid.len();
         assert_eq!(v.rows(), n);
         let s = v.cols();
+        mbrpa_obs::add("grid.stencil_applies", s as u64);
         let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.grid.nz);
         let periodic = self.grid.bc == Boundary::Periodic;
         let r = self.radius;

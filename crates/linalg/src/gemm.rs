@@ -43,6 +43,7 @@ pub fn matmul_into<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut
     if m == 0 || n == 0 {
         return;
     }
+    mbrpa_obs::add("linalg.gemm_calls", 1);
 
     let work = m * n * k;
     let a_data = a.as_slice();
@@ -137,6 +138,8 @@ fn gram_impl<T: Scalar>(a: &Mat<T>, b: &Mat<T>, conj: bool) -> Mat<T> {
     let (m, k) = a.shape();
     let (mb, n) = b.shape();
     assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
+    mbrpa_obs::add("linalg.gram_calls", 1);
+    mbrpa_obs::add("linalg.dot_products", (k * n) as u64);
     let work = m * n * k;
 
     let chunk_contrib = |row0: usize, h: usize| -> Mat<T> {
@@ -182,6 +185,7 @@ pub fn matmul_nt<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
     assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
+    mbrpa_obs::add("linalg.gemm_calls", 1);
     let mut c = Mat::zeros(m, n);
     for j in 0..n {
         let cj = c.col_mut(j);
@@ -238,6 +242,7 @@ pub fn matmul_rc(a: &Mat<f64>, b: &Mat<num_complex::Complex64>) -> Mat<num_compl
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
+    mbrpa_obs::add("linalg.gemm_calls", 1);
     let mut c = Mat::zeros(m, n);
     for j in 0..n {
         let cj = c.col_mut(j);
@@ -260,6 +265,7 @@ pub fn matmul_tn_rc(a: &Mat<f64>, b: &Mat<num_complex::Complex64>) -> Mat<num_co
     let (m, k) = a.shape();
     let (mb, n) = b.shape();
     assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
+    mbrpa_obs::add("linalg.gemm_calls", 1);
     let mut c = Mat::zeros(k, n);
     for j in 0..n {
         let bj = b.col(j);

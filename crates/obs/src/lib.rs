@@ -1,0 +1,955 @@
+//! # mbrpa-obs — telemetry for the solver stack
+//!
+//! A zero-dependency observability layer shared by the whole workspace:
+//!
+//! * **Spans** — hierarchical scoped wall-clock timers. [`span`] returns a
+//!   guard; nested guards build `/`-separated paths
+//!   (`rpa/omega[3]/chebyshev/apply`) which are aggregated per path.
+//! * **Counters** — named monotonically increasing totals
+//!   (stencil applies, GEMM calls, matvecs, deflation events).
+//! * **Series** — bounded append-only lists of scalar samples
+//!   (per-orbital Sternheimer iteration counts).
+//! * **Traces** — bounded sets of per-iteration histories
+//!   (block-COCG residual descent per solve, subspace-iteration error).
+//!
+//! All sinks are **thread-aware**: each thread accumulates into a
+//! thread-local buffer which is merged into the global sink when the
+//! thread's outermost span closes, or explicitly via [`flush_thread`]
+//! (call it at the end of worker-pool closures, which never own a root
+//! span). When telemetry is disabled — the default — every entry point is
+//! a single relaxed atomic load and an early return, so instrumented hot
+//! paths cost nothing measurable.
+//!
+//! A worker thread can label its flat metrics with a *context*
+//! ([`set_context`], e.g. `omega[3]`) so that per-frequency data recorded
+//! deep inside the thread pool stays attributable to its frequency.
+//!
+//! [`report`] snapshots everything into a [`Report`], which serialises to
+//! versioned JSON ([`Report::to_json`], schema documented in DESIGN.md)
+//! and renders a human-readable summary table ([`Report::summary_table`]).
+//!
+//! ```
+//! mbrpa_obs::reset();
+//! mbrpa_obs::set_enabled(true);
+//! {
+//!     let _root = mbrpa_obs::span("work");
+//!     let _inner = mbrpa_obs::span("kernel");
+//!     mbrpa_obs::add("kernel.calls", 1);
+//! }
+//! let report = mbrpa_obs::report();
+//! assert_eq!(report.counter("kernel.calls"), 1);
+//! assert!(report.span_total("work/kernel") <= report.span_total("work"));
+//! mbrpa_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version of the JSON report layout emitted by [`Report::to_json`].
+/// Bump on any backwards-incompatible change and document it in DESIGN.md.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Maximum samples retained per series; later samples only bump a
+/// `dropped` count so unbounded loops cannot exhaust memory.
+pub const SERIES_CAP: usize = 4096;
+
+/// Maximum number of traces retained per trace name.
+pub const TRACE_CAP: usize = 8;
+
+/// Maximum points retained per individual trace (prefix is kept).
+pub const TRACE_LEN_CAP: usize = 512;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Option<Global>> = Mutex::new(None);
+
+#[derive(Default)]
+struct Sink {
+    spans: HashMap<String, SpanStat>,
+    counters: HashMap<String, u64>,
+    series: HashMap<String, Series>,
+    traces: HashMap<String, TraceSet>,
+}
+
+struct Global {
+    epoch: Instant,
+    sink: Sink,
+}
+
+#[derive(Clone, Copy, Default)]
+struct SpanStat {
+    total_ns: u128,
+    count: u64,
+}
+
+#[derive(Clone, Default)]
+struct Series {
+    values: Vec<f64>,
+    dropped: u64,
+}
+
+#[derive(Clone, Default)]
+struct TraceSet {
+    traces: Vec<Trace>,
+    dropped_traces: u64,
+}
+
+#[derive(Clone)]
+struct Trace {
+    label: String,
+    points: Vec<f64>,
+    truncated: u64,
+}
+
+#[derive(Default)]
+struct Local {
+    stack: Vec<String>,
+    context: Option<String>,
+    sink: Sink,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::default());
+}
+
+impl Sink {
+    fn merge_into(&mut self, other: &mut Sink) {
+        for (path, stat) in self.spans.drain() {
+            let e = other.spans.entry(path).or_default();
+            e.total_ns += stat.total_ns;
+            e.count += stat.count;
+        }
+        for (name, n) in self.counters.drain() {
+            *other.counters.entry(name).or_default() += n;
+        }
+        for (name, mut s) in self.series.drain() {
+            let e = other.series.entry(name).or_default();
+            for v in s.values.drain(..) {
+                if e.values.len() < SERIES_CAP {
+                    e.values.push(v);
+                } else {
+                    e.dropped += 1;
+                }
+            }
+            e.dropped += s.dropped;
+        }
+        for (name, mut set) in self.traces.drain() {
+            let e = other.traces.entry(name).or_default();
+            for t in set.traces.drain(..) {
+                if e.traces.len() < TRACE_CAP {
+                    e.traces.push(t);
+                } else {
+                    e.dropped_traces += 1;
+                }
+            }
+            e.dropped_traces += set.dropped_traces;
+        }
+    }
+}
+
+fn with_global<R>(f: impl FnOnce(&mut Global) -> R) -> R {
+    let mut guard = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    let global = guard.get_or_insert_with(|| Global {
+        epoch: Instant::now(),
+        sink: Sink::default(),
+    });
+    f(global)
+}
+
+/// Turn the telemetry sink on or off. Enabling (re)starts the wall-clock
+/// epoch used for [`Report::total_wall_s`] if no data has been recorded yet.
+pub fn set_enabled(on: bool) {
+    if on {
+        with_global(|_| ());
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the sink is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Discard all recorded data (global and this thread's buffer) and restart
+/// the wall-clock epoch. Call between independent measurement phases; other
+/// threads' buffers are already empty if they ended with [`flush_thread`].
+pub fn reset() {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        l.sink = Sink::default();
+        l.stack.clear();
+        l.context = None;
+    });
+    let mut guard = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = Some(Global {
+        epoch: Instant::now(),
+        sink: Sink::default(),
+    });
+}
+
+/// RAII guard for a scoped timer; created by [`span`]. Dropping the guard
+/// records the elapsed wall time under the span's full `/`-joined path.
+#[must_use = "a span measures the scope it is alive in; bind it to a variable"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    path: Option<String>,
+}
+
+/// Open a scoped timer named `name` nested under the innermost span still
+/// open on this thread. No-op (and allocation-free) when disabled.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            start: None,
+            path: None,
+        };
+    }
+    let path = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let path = match l.stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        l.stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+        path: Some(path),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(start), Some(path)) = (self.start, self.path.take()) else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos();
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            // Pop our own path even if an inner guard leaked past us.
+            while let Some(top) = l.stack.pop() {
+                if top == path {
+                    break;
+                }
+            }
+            let stat = l.sink.spans.entry(path).or_default();
+            stat.total_ns += elapsed;
+            stat.count += 1;
+            if l.stack.is_empty() {
+                let mut sink = std::mem::take(&mut l.sink);
+                drop(l);
+                with_global(|g| sink.merge_into(&mut g.sink));
+            }
+        });
+    }
+}
+
+/// Merge this thread's buffered data into the global sink without waiting
+/// for a root span to close. Call at the end of thread-pool worker
+/// closures, whose threads outlive any span scope.
+pub fn flush_thread() {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let mut sink = std::mem::take(&mut l.sink);
+        drop(l);
+        with_global(|g| sink.merge_into(&mut g.sink));
+    });
+}
+
+/// Label subsequently recorded *contextual* metrics ([`add_ctx`],
+/// [`record_ctx`]) on this thread with `label`, e.g. `omega[3]`.
+pub fn set_context(label: &str) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|l| l.borrow_mut().context = Some(label.to_string()));
+}
+
+/// Clear the context label set by [`set_context`].
+pub fn clear_context() {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|l| l.borrow_mut().context = None);
+}
+
+/// The current thread's context label, if any.
+pub fn context_label() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    LOCAL.with(|l| l.borrow().context.clone())
+}
+
+/// Increment counter `name` by `n`.
+pub fn add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        *l.sink.counters.entry(name.to_string()).or_default() += n;
+    });
+}
+
+/// Increment counter `name` by `n`, prefixing the thread's context label
+/// (`ctx/name`) when one is set, so per-frequency totals stay separable.
+pub fn add_ctx(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let key = match &l.context {
+            Some(c) => format!("{c}/{name}"),
+            None => name.to_string(),
+        };
+        *l.sink.counters.entry(key).or_default() += n;
+    });
+}
+
+/// Append sample `value` to the bounded series `name`.
+pub fn record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record_key(name.to_string(), value);
+}
+
+/// Append sample `value` to series `name`, prefixing the thread's context
+/// label when one is set.
+pub fn record_ctx(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let key = LOCAL.with(|l| match &l.borrow().context {
+        Some(c) => format!("{c}/{name}"),
+        None => name.to_string(),
+    });
+    record_key(key, value);
+}
+
+fn record_key(key: String, value: f64) {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let s = l.sink.series.entry(key).or_default();
+        if s.values.len() < SERIES_CAP {
+            s.values.push(value);
+        } else {
+            s.dropped += 1;
+        }
+    });
+}
+
+/// Record a complete per-iteration history under trace name `name` with a
+/// human-readable `label` (e.g. `omega[3]`). At most [`TRACE_CAP`] traces
+/// are kept per name and each keeps its first [`TRACE_LEN_CAP`] points.
+pub fn record_trace(name: &str, label: &str, points: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    let keep = points.len().min(TRACE_LEN_CAP);
+    let trace = Trace {
+        label: label.to_string(),
+        points: points[..keep].to_vec(),
+        truncated: (points.len() - keep) as u64,
+    };
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let set = l.sink.traces.entry(name.to_string()).or_default();
+        if set.traces.len() < TRACE_CAP {
+            set.traces.push(trace);
+        } else {
+            set.dropped_traces += 1;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Aggregated wall time of one span path.
+#[derive(Clone, Debug)]
+pub struct SpanEntry {
+    /// Full `/`-joined path, e.g. `rpa/omega[3]/chebyshev/apply`.
+    pub path: String,
+    /// Total (inclusive) seconds spent under this path.
+    pub total_s: f64,
+    /// Number of times the span was entered.
+    pub count: u64,
+}
+
+/// A bounded scalar series in a [`Report`].
+#[derive(Clone, Debug)]
+pub struct SeriesEntry {
+    /// Series name, context-prefixed when recorded via [`record_ctx`].
+    pub name: String,
+    /// Retained samples (at most [`SERIES_CAP`]).
+    pub values: Vec<f64>,
+    /// Samples discarded after the cap was reached.
+    pub dropped: u64,
+}
+
+/// One recorded per-iteration history in a [`Report`].
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Trace name shared by related histories, e.g. `cocg.residual`.
+    pub name: String,
+    /// Caller-supplied label distinguishing this history, e.g. `omega[3]`.
+    pub label: String,
+    /// Retained points (at most [`TRACE_LEN_CAP`], prefix of the history).
+    pub points: Vec<f64>,
+    /// Points beyond the cap that were discarded from this history.
+    pub truncated: u64,
+    /// Whole histories under `name` discarded after [`TRACE_CAP`].
+    pub dropped_traces: u64,
+}
+
+/// Immutable snapshot of everything recorded since the last [`reset`].
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Wall-clock seconds since the sink was created or [`reset`].
+    pub total_wall_s: f64,
+    /// Span aggregates sorted by path.
+    pub spans: Vec<SpanEntry>,
+    /// Counter totals sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Bounded series sorted by name.
+    pub series: Vec<SeriesEntry>,
+    /// Per-iteration histories sorted by name (insertion order within).
+    pub traces: Vec<TraceEntry>,
+}
+
+/// Snapshot the global sink (after merging this thread's buffer) into a
+/// [`Report`]. Does not clear anything; call [`reset`] for that.
+pub fn report() -> Report {
+    flush_thread();
+    with_global(|g| {
+        let mut spans: Vec<SpanEntry> = g
+            .sink
+            .spans
+            .iter()
+            .map(|(path, s)| SpanEntry {
+                path: path.clone(),
+                total_s: s.total_ns as f64 * 1e-9,
+                count: s.count,
+            })
+            .collect();
+        spans.sort_by(|a, b| a.path.cmp(&b.path));
+        let mut counters: Vec<(String, u64)> = g
+            .sink
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut series: Vec<SeriesEntry> = g
+            .sink
+            .series
+            .iter()
+            .map(|(name, s)| SeriesEntry {
+                name: name.clone(),
+                values: s.values.clone(),
+                dropped: s.dropped,
+            })
+            .collect();
+        series.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut traces: Vec<TraceEntry> = Vec::new();
+        let mut names: Vec<&String> = g.sink.traces.keys().collect();
+        names.sort();
+        for name in names {
+            let set = &g.sink.traces[name];
+            for t in &set.traces {
+                traces.push(TraceEntry {
+                    name: name.clone(),
+                    label: t.label.clone(),
+                    points: t.points.clone(),
+                    truncated: t.truncated,
+                    dropped_traces: set.dropped_traces,
+                });
+            }
+        }
+        Report {
+            schema_version: SCHEMA_VERSION,
+            total_wall_s: g.epoch.elapsed().as_secs_f64(),
+            spans,
+            counters,
+            series,
+            traces,
+        }
+    })
+}
+
+impl Report {
+    /// Total seconds recorded under the exact span path `path` (0 if absent).
+    pub fn span_total(&self, path: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.path == path)
+            .map(|s| s.total_s)
+            .sum()
+    }
+
+    /// Total seconds over every span whose **last** path segment equals
+    /// `leaf` — e.g. `sum_leaf("apply")` aggregates the apply kernel across
+    /// all frequencies and parents.
+    pub fn sum_leaf(&self, leaf: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.path.rsplit('/').next() == Some(leaf))
+            .map(|s| s.total_s)
+            .sum()
+    }
+
+    /// Total seconds over root spans (paths without `/`). Because spans are
+    /// inclusive, this is the instrumented share of [`Report::total_wall_s`].
+    pub fn top_level_total(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| !s.path.contains('/'))
+            .map(|s| s.total_s)
+            .sum()
+    }
+
+    /// Value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Serialise the report as versioned JSON (schema in DESIGN.md).
+    /// Non-finite floats are emitted as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        out.push_str(&format!("\"schema_version\":{},", self.schema_version));
+        out.push_str(&format!(
+            "\"total_wall_s\":{},",
+            json_f64(self.total_wall_s)
+        ));
+        out.push_str("\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":{},\"total_s\":{},\"count\":{}}}",
+                json_str(&s.path),
+                json_f64(s.total_s),
+                s.count
+            ));
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(k), v));
+        }
+        out.push_str("},\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"dropped\":{},\"values\":[",
+                json_str(&s.name),
+                s.dropped
+            ));
+            push_f64_list(&mut out, &s.values);
+            out.push_str("]}");
+        }
+        out.push_str("],\"traces\":[");
+        for (i, t) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"label\":{},\"truncated\":{},\"points\":[",
+                json_str(&t.name),
+                json_str(&t.label),
+                t.truncated
+            ));
+            push_f64_list(&mut out, &t.points);
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render an indented plain-text tree of spans with share-of-wall
+    /// percentages and entry counts, followed by counter totals — the
+    /// summary appended to `rpacalc` run reports under `-profile`.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry summary (schema v{}, wall {:.3} s, instrumented {:.1}%)\n",
+            self.schema_version,
+            self.total_wall_s,
+            if self.total_wall_s > 0.0 {
+                100.0 * self.top_level_total() / self.total_wall_s
+            } else {
+                0.0
+            }
+        ));
+        out.push_str(&format!(
+            "  {:<44} {:>12} {:>7} {:>9}\n",
+            "span", "total [s]", "share", "count"
+        ));
+        for s in &self.spans {
+            let depth = s.path.matches('/').count();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            let pct = if self.total_wall_s > 0.0 {
+                100.0 * s.total_s / self.total_wall_s
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<44} {:>12.4} {:>6.1}% {:>9}\n",
+                format!("{}{}", "  ".repeat(depth), name),
+                s.total_s,
+                pct,
+                s.count
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("  {:<44} {:>12}\n", "counter", "total"));
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<44} {v:>12}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_f64_list(out: &mut String, values: &[f64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_f64(*v));
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink is process-global, so every test funnels through one lock to
+    // avoid cross-talk.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let _g = exclusive();
+        reset();
+        set_enabled(false);
+        {
+            let _s = span("hidden");
+            add("hidden.counter", 5);
+            record("hidden.series", 1.0);
+            record_trace("hidden.trace", "x", &[1.0, 2.0]);
+        }
+        set_enabled(true);
+        let r = report();
+        set_enabled(false);
+        assert!(r.spans.is_empty());
+        assert_eq!(r.counter("hidden.counter"), 0);
+        assert!(r.series.is_empty());
+        assert!(r.traces.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_aggregate() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _root = span("outer");
+            let _child = span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let r = report();
+        set_enabled(false);
+        let outer = r.spans.iter().find(|s| s.path == "outer").unwrap();
+        let inner = r.spans.iter().find(|s| s.path == "outer/inner").unwrap();
+        assert_eq!(outer.count, 3);
+        assert_eq!(inner.count, 3);
+        assert!(outer.total_s >= inner.total_s);
+        assert!(r.top_level_total() > 0.0);
+        assert!((r.sum_leaf("inner") - inner.total_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_series_and_context_prefixing() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        {
+            let _root = span("ctx");
+            add("plain", 2);
+            add("plain", 3);
+            set_context("omega[7]");
+            add_ctx("iters", 4);
+            record_ctx("per_orbital", 11.0);
+            clear_context();
+            add_ctx("iters", 1);
+            record("flat_series", 9.0);
+        }
+        let r = report();
+        set_enabled(false);
+        assert_eq!(r.counter("plain"), 5);
+        assert_eq!(r.counter("omega[7]/iters"), 4);
+        assert_eq!(r.counter("iters"), 1);
+        let s = r.series.iter().find(|s| s.name == "omega[7]/per_orbital");
+        assert_eq!(s.unwrap().values, vec![11.0]);
+        let f = r.series.iter().find(|s| s.name == "flat_series").unwrap();
+        assert_eq!(f.values, vec![9.0]);
+    }
+
+    #[test]
+    fn worker_threads_merge_via_flush() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    add("worker.events", 10);
+                    record("worker.series", 1.5);
+                    flush_thread();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = report();
+        set_enabled(false);
+        assert_eq!(r.counter("worker.events"), 40);
+        let s = r.series.iter().find(|s| s.name == "worker.series").unwrap();
+        assert_eq!(s.values.len(), 4);
+    }
+
+    #[test]
+    fn series_and_traces_are_bounded() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        {
+            let _root = span("bound");
+            for i in 0..(SERIES_CAP + 100) {
+                record("big", i as f64);
+            }
+            let long: Vec<f64> = (0..(TRACE_LEN_CAP + 50)).map(|i| i as f64).collect();
+            for _ in 0..(TRACE_CAP + 3) {
+                record_trace("many", "t", &long);
+            }
+        }
+        let r = report();
+        set_enabled(false);
+        let s = r.series.iter().find(|s| s.name == "big").unwrap();
+        assert_eq!(s.values.len(), SERIES_CAP);
+        assert_eq!(s.dropped, 100);
+        let kept: Vec<_> = r.traces.iter().filter(|t| t.name == "many").collect();
+        assert_eq!(kept.len(), TRACE_CAP);
+        assert_eq!(kept[0].points.len(), TRACE_LEN_CAP);
+        assert_eq!(kept[0].truncated, 50);
+        assert_eq!(kept[0].dropped_traces, 3);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        {
+            let _root = span("json");
+            let _leaf = span("needs \"escaping\"\n");
+            add("count", 7);
+            record("series", 1e-12);
+            record_trace("trace", "omega[0]", &[1.0, f64::NAN, 0.5]);
+        }
+        let r = report();
+        set_enabled(false);
+        let text = r.to_json();
+        assert_json(&text);
+        assert!(text.contains("\"schema_version\":1"));
+        assert!(text.contains("null"), "NaN must serialise to null");
+    }
+
+    #[test]
+    fn summary_table_mentions_every_span_and_counter() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        {
+            let _root = span("table_root");
+            let _leaf = span("table_leaf");
+            add("table.counter", 3);
+        }
+        let r = report();
+        set_enabled(false);
+        let t = r.summary_table();
+        assert!(t.contains("table_root"));
+        assert!(t.contains("table_leaf"));
+        assert!(t.contains("table.counter"));
+        assert!(t.contains('%'));
+    }
+
+    /// Minimal recursive-descent JSON validator — enough to prove the
+    /// hand-rolled writer emits structurally valid documents.
+    fn assert_json(text: &str) {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        skip_value(bytes, &mut pos);
+        skip_ws(bytes, &mut pos);
+        assert_eq!(pos, bytes.len(), "trailing garbage after JSON value");
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn skip_value(b: &[u8], pos: &mut usize) {
+        skip_ws(b, pos);
+        assert!(*pos < b.len(), "unexpected end of JSON");
+        match b[*pos] {
+            b'{' => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b[*pos] == b'}' {
+                    *pos += 1;
+                    return;
+                }
+                loop {
+                    skip_string(b, pos);
+                    skip_ws(b, pos);
+                    assert_eq!(b[*pos], b':', "expected ':' in object");
+                    *pos += 1;
+                    skip_value(b, pos);
+                    skip_ws(b, pos);
+                    match b[*pos] {
+                        b',' => {
+                            *pos += 1;
+                            skip_ws(b, pos);
+                        }
+                        b'}' => {
+                            *pos += 1;
+                            return;
+                        }
+                        c => panic!("unexpected {:?} in object", c as char),
+                    }
+                }
+            }
+            b'[' => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b[*pos] == b']' {
+                    *pos += 1;
+                    return;
+                }
+                loop {
+                    skip_value(b, pos);
+                    skip_ws(b, pos);
+                    match b[*pos] {
+                        b',' => *pos += 1,
+                        b']' => {
+                            *pos += 1;
+                            return;
+                        }
+                        c => panic!("unexpected {:?} in array", c as char),
+                    }
+                }
+            }
+            b'"' => skip_string(b, pos),
+            b't' => {
+                assert!(text_at(b, *pos, "true"));
+                *pos += 4;
+            }
+            b'f' => {
+                assert!(text_at(b, *pos, "false"));
+                *pos += 5;
+            }
+            b'n' => {
+                assert!(text_at(b, *pos, "null"));
+                *pos += 4;
+            }
+            _ => skip_number(b, pos),
+        }
+    }
+
+    fn text_at(b: &[u8], pos: usize, lit: &str) -> bool {
+        b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit.as_bytes()
+    }
+
+    fn skip_string(b: &[u8], pos: &mut usize) {
+        skip_ws(b, pos);
+        assert_eq!(b[*pos], b'"', "expected string");
+        *pos += 1;
+        while b[*pos] != b'"' {
+            if b[*pos] == b'\\' {
+                *pos += 1;
+            }
+            *pos += 1;
+            assert!(*pos < b.len(), "unterminated string");
+        }
+        *pos += 1;
+    }
+
+    fn skip_number(b: &[u8], pos: &mut usize) {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        assert!(*pos > start, "expected a number at byte {start}");
+        let s = std::str::from_utf8(&b[start..*pos]).unwrap();
+        assert!(s.parse::<f64>().is_ok(), "invalid number literal {s:?}");
+    }
+}

@@ -127,6 +127,16 @@ pub fn block_cocg(
     assert_eq!(b.rows(), n, "rhs dimension mismatch");
     let mut report = SolveReport::new();
 
+    // Telemetry: counters fire at the point of occurrence (the recursive
+    // half-split path counts through its own sub-calls), and the per-solve
+    // residual descent goes to a bounded trace — deliberately separate from
+    // `report.residual_history`, which stays opt-in via `track_residuals`.
+    let obs_on = mbrpa_obs::enabled();
+    if obs_on {
+        mbrpa_obs::add("solver.cocg.solves", 1);
+    }
+    let mut obs_hist: Vec<f64> = Vec::new();
+
     let b_fro = b.fro_norm();
     if b_fro == 0.0 || s_total == 0 {
         report.converged = true;
@@ -158,6 +168,9 @@ pub fn block_cocg(
         let mut ax = Mat::zeros(n, s_total);
         op.apply_block(&x_a, &mut ax);
         report.matvecs += s_total;
+        if obs_on {
+            mbrpa_obs::add("solver.cocg.matvecs", s_total as u64);
+        }
         let mut w = b_a.clone();
         w.axpy(-C64::new(1.0, 0.0), &ax);
         w
@@ -179,6 +192,9 @@ pub fn block_cocg(
         if opts.track_residuals {
             report.residual_history.push(res);
         }
+        if obs_on {
+            obs_hist.push(res);
+        }
         if res <= opts.tol {
             report.converged = true;
             break;
@@ -199,9 +215,16 @@ pub fn block_cocg(
                 }
             }
             if keep.len() < active.len() {
+                if obs_on {
+                    mbrpa_obs::add("solver.cocg.deflations", (active.len() - keep.len()) as u64);
+                }
                 if keep.is_empty() {
                     report.converged = true;
                     report.relative_residual = res;
+                    if obs_on {
+                        let label = mbrpa_obs::context_label().unwrap_or_default();
+                        mbrpa_obs::record_trace("cocg.residual", &label, &obs_hist);
+                    }
                     return (x_full, report);
                 }
                 let select = |m: &Mat<C64>| -> Mat<C64> {
@@ -231,6 +254,9 @@ pub fn block_cocg(
         let mut u = Mat::zeros(n, p.cols());
         op.apply_block(&p, &mut u);
         report.matvecs += p.cols();
+        if obs_on {
+            mbrpa_obs::add("solver.cocg.matvecs", p.cols() as u64);
+        }
 
         // Line 7: μ = UᵀP (= PᵀAP, complex symmetric).
         let mu = matmul_tn(&u, &p);
@@ -241,6 +267,10 @@ pub fn block_cocg(
             None => {
                 report.breakdowns += 1;
                 report.iterations += 1;
+                if obs_on {
+                    mbrpa_obs::add("solver.cocg.breakdowns", 1);
+                    mbrpa_obs::add("solver.cocg.iterations", 1);
+                }
                 if report.breakdowns > opts.max_breakdowns {
                     break;
                 }
@@ -248,6 +278,9 @@ pub fn block_cocg(
                 let mut ax = Mat::zeros(n, x_a.cols());
                 op.apply_block(&x_a, &mut ax);
                 report.matvecs += x_a.cols();
+                if obs_on {
+                    mbrpa_obs::add("solver.cocg.matvecs", x_a.cols() as u64);
+                }
                 w = b_a.clone();
                 w.axpy(-one, &ax);
                 rho = matmul_tn(&w, &w);
@@ -274,8 +307,14 @@ pub fn block_cocg(
             }
             None => {
                 report.breakdowns += 1;
+                if obs_on {
+                    mbrpa_obs::add("solver.cocg.breakdowns", 1);
+                }
                 if report.breakdowns > opts.max_breakdowns {
                     report.iterations += 1;
+                    if obs_on {
+                        mbrpa_obs::add("solver.cocg.iterations", 1);
+                    }
                     break;
                 }
                 restart = true;
@@ -283,6 +322,9 @@ pub fn block_cocg(
         }
         rho = rho_next;
         report.iterations += 1;
+        if obs_on {
+            mbrpa_obs::add("solver.cocg.iterations", 1);
+        }
 
         if w.has_bad_values() || x_a.has_bad_values() {
             // numerical blow-up: surface as non-convergence
@@ -325,6 +367,10 @@ pub fn block_cocg(
             // sub-solves report per-half relative residuals; keep the worst
             report.relative_residual = worst_res;
         }
+    }
+    if obs_on && !obs_hist.is_empty() {
+        let label = mbrpa_obs::context_label().unwrap_or_default();
+        mbrpa_obs::record_trace("cocg.residual", &label, &obs_hist);
     }
     (x_full, report)
 }

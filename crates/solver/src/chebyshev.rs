@@ -31,6 +31,8 @@ pub fn chebyshev_filter<T: Scalar>(
     if degree == 0 {
         return x.clone();
     }
+    mbrpa_obs::add("solver.chebyshev.filters", 1);
+    mbrpa_obs::record("solver.chebyshev.degree", degree as f64);
 
     let e = (b - a) / 2.0;
     let c = (b + a) / 2.0;
@@ -41,7 +43,11 @@ pub fn chebyshev_filter<T: Scalar>(
 
     // Y = (A·X − c·X)·(σ₁/e)
     let mut y = Mat::zeros(n, x.cols());
-    op.apply_block(x, &mut y);
+    {
+        let _apply = mbrpa_obs::span("apply");
+        op.apply_block(x, &mut y);
+    }
+    mbrpa_obs::add("solver.chebyshev.applies", x.cols() as u64);
     let s1e = sigma1 / e;
     for (yv, xv) in y.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
         *yv = (*yv - xv.scale(c)).scale(s1e);
@@ -52,7 +58,11 @@ pub fn chebyshev_filter<T: Scalar>(
     for _ in 2..=degree {
         let sigma2 = 1.0 / (2.0 / sigma1 - sigma);
         // Y_new = 2(σ₂/e)(A·Y − c·Y) − (σ·σ₂)·X_prev
-        op.apply_block(&y, &mut work);
+        {
+            let _apply = mbrpa_obs::span("apply");
+            op.apply_block(&y, &mut work);
+        }
+        mbrpa_obs::add("solver.chebyshev.applies", y.cols() as u64);
         let s2e = 2.0 * sigma2 / e;
         let ss2 = sigma * sigma2;
         for ((wv, yv), xv) in work

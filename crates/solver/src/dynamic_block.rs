@@ -318,6 +318,75 @@ mod tests {
     }
 
     #[test]
+    fn block_size_one_sweeps_column_by_column() {
+        // the paper's Figure 3 baseline: s = 1 degenerates to nrhs
+        // independent single-vector COCG solves
+        let op = test_operator(28, 3.0, 0.4, 21);
+        let b = rand_rhs(28, 11, 22);
+        let mut stats = WorkerStats::new();
+        let out = solve_multi_rhs(
+            &op,
+            &b,
+            None,
+            &CocgOptions::with_tol(1e-9),
+            BlockPolicy::Fixed(1),
+            &mut stats,
+        );
+        assert!(out.all_converged);
+        assert_eq!(out.final_block_size, 1);
+        assert!(true_relative_residual(&op, &b, &out.solution) < 1e-7);
+        assert_eq!(stats.block_sizes.count(1), 11);
+        assert_eq!(stats.block_sizes.total(), 11);
+    }
+
+    #[test]
+    fn oversized_fixed_block_clamps_to_available_columns() {
+        // a worker handed fewer columns than its configured block size
+        // (the oversubscribed tail of a static partition) must solve them
+        // in a single clamped chunk, not panic or pad
+        let op = test_operator(26, 3.5, 0.3, 23);
+        let b = rand_rhs(26, 5, 24);
+        let mut stats = WorkerStats::new();
+        let out = solve_multi_rhs(
+            &op,
+            &b,
+            None,
+            &CocgOptions::with_tol(1e-9),
+            BlockPolicy::Fixed(16),
+            &mut stats,
+        );
+        assert!(out.all_converged);
+        assert!(true_relative_residual(&op, &b, &out.solution) < 1e-7);
+        assert_eq!(stats.block_sizes.count(5), 5, "one chunk of all 5 columns");
+        assert_eq!(stats.block_sizes.total(), 5);
+    }
+
+    #[test]
+    fn dynamic_policy_with_exact_guess_does_no_iterations() {
+        // all columns converged before the first iteration: the probe
+        // chunks and the remainder sweep must all short-circuit cleanly
+        let op = test_operator(24, 4.0, 0.5, 25);
+        let b = rand_rhs(24, 6, 26);
+        let opts = CocgOptions::with_tol(1e-9);
+        let mut stats = WorkerStats::new();
+        let exact = solve_multi_rhs(&op, &b, None, &opts, BlockPolicy::Fixed(6), &mut stats);
+        assert!(exact.all_converged);
+        let mut stats2 = WorkerStats::new();
+        let out = solve_multi_rhs(
+            &op,
+            &b,
+            Some(&exact.solution),
+            &CocgOptions::with_tol(1e-6),
+            BlockPolicy::DynamicCostModel,
+            &mut stats2,
+        );
+        assert!(out.all_converged);
+        assert_eq!(stats2.iterations, 0, "exact guesses should not iterate");
+        assert_eq!(stats2.block_sizes.total(), 6, "every column still recorded");
+        assert!(true_relative_residual(&op, &b, &out.solution) < 1e-6);
+    }
+
+    #[test]
     fn histogram_powers_of_two_for_dynamic() {
         let op = test_operator(30, 0.5, 0.1, 11);
         let b = rand_rhs(30, 20, 12);

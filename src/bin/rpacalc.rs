@@ -19,13 +19,42 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!("usage: rpacalc -name <basename> [-stdout] [-threads N] [-save-ks] [-load-ks]");
     eprintln!("               [-checkpoint <dir>] [-resume] [-checkpoint-every K]");
+    eprintln!("               [-profile <out.json>]");
     eprintln!("  reads <basename>.rpa and writes <basename>.out");
     eprintln!("  -save-ks / -load-ks persist the KS orbitals as <basename>.orb");
     eprintln!("  (mirrors the artifact workflow of reading precomputed SPARC outputs)");
     eprintln!("  -checkpoint <dir>    journal per-frequency state into <dir> (two-slot)");
     eprintln!("  -resume              continue from the newest valid snapshot in <dir>");
     eprintln!("  -checkpoint-every K  snapshot every K-th frequency (default 1)");
+    eprintln!("  -profile <out.json>  enable telemetry: write a versioned JSON report of");
+    eprintln!("                       span timings, counters, and per-frequency residual");
+    eprintln!("                       traces, and append a summary table to the run report");
     ExitCode::FAILURE
+}
+
+/// Write the telemetry JSON to `path`, and append the human-readable
+/// summary table to `doc` when the run report is still being assembled.
+fn emit_profile(path: &str, doc: Option<&mut String>) -> bool {
+    let report = mbrpa_obs::report();
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("cannot write profile {path}: {e}");
+        return false;
+    }
+    eprintln!(
+        "wrote profile {path} ({} spans, {} counters, instrumented {:.1}% of wall)",
+        report.spans.len(),
+        report.counters.len(),
+        if report.total_wall_s > 0.0 {
+            100.0 * report.top_level_total() / report.total_wall_s
+        } else {
+            0.0
+        }
+    );
+    if let Some(doc) = doc {
+        doc.push('\n');
+        doc.push_str(&report.summary_table());
+    }
+    true
 }
 
 fn main() -> ExitCode {
@@ -38,6 +67,7 @@ fn main() -> ExitCode {
     let mut checkpoint_dir: Option<String> = None;
     let mut resume = false;
     let mut checkpoint_every: usize = 1;
+    let mut profile_path: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -70,6 +100,13 @@ fn main() -> ExitCode {
                 checkpoint_dir = Some(dir.clone());
             }
             "-resume" | "--resume" => resume = true,
+            "-profile" | "--profile" => {
+                let Some(p) = it.next() else {
+                    eprintln!("-profile needs an output path");
+                    return usage();
+                };
+                profile_path = Some(p.clone());
+            }
             "-checkpoint-every" | "--checkpoint-every" => {
                 let Some(v) = it.next() else {
                     eprintln!("-checkpoint-every needs a value");
@@ -96,6 +133,10 @@ fn main() -> ExitCode {
     if resume && checkpoint_dir.is_none() {
         eprintln!("-resume requires -checkpoint <dir>");
         return ExitCode::FAILURE;
+    }
+    if profile_path.is_some() {
+        mbrpa_obs::reset();
+        mbrpa_obs::set_enabled(true);
     }
 
     if let Some(t) = threads {
@@ -139,6 +180,7 @@ fn main() -> ExitCode {
 
     // KS stage: load from a prior run, or dense for small grids / CheFSI
     // beyond (mirroring the artifact's precomputed-SPARC-output workflow)
+    let mut setup_span = Some(mbrpa_obs::span("setup"));
     let orb_path = format!("{name}.orb");
     let solver = if crystal.n_grid() <= 1000 {
         KsSolver::Dense { extra: 4 }
@@ -177,7 +219,9 @@ fn main() -> ExitCode {
         }
         eprintln!("saved KS orbitals to {orb_path}");
     }
+    drop(setup_span.take());
 
+    let mut rpa_span = Some(mbrpa_obs::span("rpa"));
     let result = if let Some(dir) = &checkpoint_dir {
         let mut store = match CheckpointStore::open(Path::new(dir)) {
             Ok(s) => s,
@@ -204,6 +248,12 @@ fn main() -> ExitCode {
             }
             Ok(ResumableOutcome::Checkpointed { completed, n_omega }) => {
                 eprintln!("checkpointed at {completed} of {n_omega} frequencies");
+                drop(rpa_span.take());
+                if let Some(p) = &profile_path {
+                    if !emit_profile(p, None) {
+                        return ExitCode::FAILURE;
+                    }
+                }
                 return ExitCode::SUCCESS;
             }
             Err(e) => {
@@ -221,7 +271,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let doc = report::full_report(&input.config, &result);
+    drop(rpa_span.take());
+
+    let mut doc = {
+        let _report_span = mbrpa_obs::span("report");
+        report::full_report(&input.config, &result)
+    };
+    if let Some(p) = &profile_path {
+        if !emit_profile(p, Some(&mut doc)) {
+            return ExitCode::FAILURE;
+        }
+    }
     if to_stdout {
         print!("{doc}");
     } else {

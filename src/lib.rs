@@ -40,6 +40,7 @@
 //! | [`dft`] | model Kohn–Sham substrate (crystals, pseudopotential, Hamiltonian, CheFSI) |
 //! | [`solver`] | block COCG, GMRES baseline, Chebyshev filters, dynamic block sizing |
 //! | [`ckpt`] | crash-safe checkpoint codec and two-slot journaled store |
+//! | [`obs`] | zero-dependency telemetry: spans, counters, residual traces, JSON reports |
 //! | [`core`] | quadrature, Sternheimer χ⁰ apply, subspace iteration, RPA driver, direct oracle |
 
 #![warn(missing_docs)]
@@ -49,6 +50,7 @@ pub use mbrpa_core as core;
 pub use mbrpa_dft as dft;
 pub use mbrpa_grid as grid;
 pub use mbrpa_linalg as linalg;
+pub use mbrpa_obs as obs;
 pub use mbrpa_solver as solver;
 
 /// One-stop imports for applications.
