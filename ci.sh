@@ -8,3 +8,9 @@ cargo test -q --workspace --doc
 cargo bench --workspace --no-run
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Kernel micro-benchmarks: smoke shapes keep this fast; the run
+# cross-checks the new kernels against in-tree pre-PR reference
+# implementations and the emitted JSON is schema-validated.
+cargo run --release -p mbrpa-bench --bin kernels_bench -- --smoke --out BENCH_kernels_smoke.json
+cargo run --release -p mbrpa-bench --bin kernels_bench -- --validate BENCH_kernels_smoke.json

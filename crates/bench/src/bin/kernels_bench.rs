@@ -1,0 +1,807 @@
+//! Micro-benchmarks of the hot kernels (fused stencil block applies,
+//! packed register-blocked GEMM) against in-tree copies of the pre-PR
+//! implementations, emitting a schema-versioned `BENCH_kernels.json`.
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny shapes (seconds, CI-friendly) instead of
+//!   paper-relevant ones,
+//! * `--out PATH` — output path (default `BENCH_kernels.json`),
+//! * `--threads N` — rayon pool size for the "new" kernels,
+//! * `--validate PATH` — parse PATH and check it against the
+//!   `mbrpa.kernels-bench/1` schema, then exit (no benchmarks run).
+//!
+//! Every case records wall seconds for the new and reference kernels, the
+//! speedup, the new kernel's scalar GFLOP/s, and full shape metadata, so
+//! regressions are attributable without rerunning.
+
+use mbrpa_dft::{Hamiltonian, PotentialParams, SiliconSpec, SternheimerOperator};
+use mbrpa_grid::{Boundary, Grid3, Laplacian};
+use mbrpa_linalg::{matmul_hn_into, matmul_into, Mat, Scalar, C64};
+use std::time::Instant;
+
+/// In-tree copies of the pre-PR kernels (multi-pass stencil apply,
+/// axpy-panel GEMM, dot-product Gram) — the baselines the packed /
+/// fused kernels replaced. Kept verbatim so the speedup column measures
+/// the kernel rewrite, not incidental drift.
+mod reference {
+    use mbrpa_grid::{Boundary, Laplacian};
+    use mbrpa_linalg::{vecops, Mat, Scalar};
+    use rayon::prelude::*;
+
+    const PANEL: usize = 512;
+    const PAR_THRESHOLD: usize = 1 << 16;
+
+    /// Stencil coefficients reconstructed from a [`Laplacian`]'s public
+    /// surface, as the pre-PR four-pass `apply` consumed them.
+    pub struct RefStencil {
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        periodic: bool,
+        radius: usize,
+        cx: Vec<f64>,
+        cy: Vec<f64>,
+        cz: Vec<f64>,
+        diag: f64,
+    }
+
+    impl RefStencil {
+        pub fn from_laplacian(lap: &Laplacian) -> Self {
+            let g = lap.grid();
+            let w = mbrpa_grid::second_derivative_weights(lap.radius());
+            let scale = |h: f64| -> Vec<f64> { w.iter().map(|c| c / (h * h)).collect() };
+            let (cx, cy, cz) = (scale(g.hx), scale(g.hy), scale(g.hz));
+            let diag = cx[0] + cy[0] + cz[0];
+            Self {
+                nx: g.nx,
+                ny: g.ny,
+                nz: g.nz,
+                periodic: g.bc == Boundary::Periodic,
+                radius: lap.radius(),
+                cx,
+                cy,
+                cz,
+                diag,
+            }
+        }
+
+        /// The pre-PR `Laplacian::apply`: one full sweep per term family
+        /// (diagonal, X, Y, Z), four-plus passes over `out`.
+        pub fn apply<T: Scalar>(&self, v: &[T], out: &mut [T]) {
+            let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+            let periodic = self.periodic;
+
+            for (o, &x) in out.iter_mut().zip(v.iter()) {
+                *o = x.scale(self.diag);
+            }
+
+            for line in 0..ny * nz {
+                let base = line * nx;
+                let vl = &v[base..base + nx];
+                let ol = &mut out[base..base + nx];
+                for t in 1..=self.radius {
+                    let c = self.cx[t];
+                    for i in t..nx - t {
+                        ol[i] += (vl[i - t] + vl[i + t]).scale(c);
+                    }
+                    if periodic {
+                        for i in 0..t {
+                            ol[i] += (vl[i + nx - t] + vl[i + t]).scale(c);
+                        }
+                        for i in nx - t..nx {
+                            ol[i] += (vl[i - t] + vl[i + t - nx]).scale(c);
+                        }
+                    } else {
+                        for i in 0..t {
+                            ol[i] += vl[i + t].scale(c);
+                        }
+                        for i in nx - t..nx {
+                            ol[i] += vl[i - t].scale(c);
+                        }
+                    }
+                }
+            }
+
+            let slice = nx * ny;
+            for k in 0..nz {
+                let sbase = k * slice;
+                for t in 1..=self.radius {
+                    let c = self.cy[t];
+                    for j in 0..ny {
+                        let obase = sbase + j * nx;
+                        if j + t < ny || periodic {
+                            let jp = (j + t) % ny;
+                            let pbase = sbase + jp * nx;
+                            for i in 0..nx {
+                                let add = v[pbase + i].scale(c);
+                                out[obase + i] += add;
+                            }
+                        }
+                        if j >= t || periodic {
+                            let jm = (j + ny - t) % ny;
+                            let mbase = sbase + jm * nx;
+                            for i in 0..nx {
+                                let add = v[mbase + i].scale(c);
+                                out[obase + i] += add;
+                            }
+                        }
+                    }
+                }
+            }
+
+            for t in 1..=self.radius {
+                let c = self.cz[t];
+                for k in 0..nz {
+                    let obase = k * slice;
+                    if k + t < nz || periodic {
+                        let kp = (k + t) % nz;
+                        let pbase = kp * slice;
+                        for i in 0..slice {
+                            let add = v[pbase + i].scale(c);
+                            out[obase + i] += add;
+                        }
+                    }
+                    if k >= t || periodic {
+                        let km = (k + nz - t) % nz;
+                        let mbase = km * slice;
+                        for i in 0..slice {
+                            let add = v[mbase + i].scale(c);
+                            out[obase + i] += add;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-PR `matmul_into`: axpy-panel kernel, k passes over each
+    /// output column panel, parallel path collecting owned panels and
+    /// copying them back serially.
+    pub fn matmul_into<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
+        let (m, k) = a.shape();
+        let (kb, n) = b.shape();
+        assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
+        assert_eq!(c.shape(), (m, n), "output shape mismatch");
+        if m == 0 || n == 0 {
+            return;
+        }
+        let work = m * n * k;
+        let a_data = a.as_slice();
+        let b_ref = b;
+
+        let panel_op = |row0: usize, c_panel: &mut [T]| {
+            let h = c_panel.len() / n;
+            for j in 0..n {
+                let cj = &mut c_panel[j * h..(j + 1) * h];
+                if beta == T::zero() {
+                    cj.iter_mut().for_each(|x| *x = T::zero());
+                } else if beta != T::one() {
+                    vecops::scal(beta, cj);
+                }
+                for l in 0..k {
+                    let blj = alpha * b_ref[(l, j)];
+                    if blj == T::zero() {
+                        continue;
+                    }
+                    let al = &a_data[l * m + row0..l * m + row0 + h];
+                    vecops::axpy(blj, al, cj);
+                }
+            }
+        };
+
+        if work < PAR_THRESHOLD || m < 2 * PANEL {
+            let mut scratch = vec![T::zero(); PANEL.min(m) * n];
+            let mut row0 = 0;
+            while row0 < m {
+                let h = PANEL.min(m - row0);
+                for j in 0..n {
+                    for i in 0..h {
+                        scratch[j * h + i] = c[(row0 + i, j)];
+                    }
+                }
+                panel_op(row0, &mut scratch[..h * n]);
+                for j in 0..n {
+                    for i in 0..h {
+                        c[(row0 + i, j)] = scratch[j * h + i];
+                    }
+                }
+                row0 += h;
+            }
+            return;
+        }
+
+        let n_panels = m.div_ceil(PANEL);
+        let mut panels: Vec<Vec<T>> = (0..n_panels)
+            .into_par_iter()
+            .map(|p| {
+                let row0 = p * PANEL;
+                let h = PANEL.min(m - row0);
+                let mut panel = vec![T::zero(); h * n];
+                if beta != T::zero() {
+                    for j in 0..n {
+                        for i in 0..h {
+                            panel[j * h + i] = c[(row0 + i, j)];
+                        }
+                    }
+                }
+                panel_op(row0, &mut panel);
+                panel
+            })
+            .collect();
+
+        for (p, panel) in panels.drain(..).enumerate() {
+            let row0 = p * PANEL;
+            let h = PANEL.min(m - row0);
+            for j in 0..n {
+                for i in 0..h {
+                    c[(row0 + i, j)] = panel[j * h + i];
+                }
+            }
+        }
+    }
+
+    /// The pre-PR conjugated Gram product `AᴴB` (dot-product panels).
+    pub fn matmul_hn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+        let (m, k) = a.shape();
+        let (mb, n) = b.shape();
+        assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
+        let work = m * n * k;
+
+        let chunk_contrib = |row0: usize, h: usize| -> Mat<T> {
+            let mut local = Mat::zeros(k, n);
+            for j in 0..n {
+                let bj = &b.col(j)[row0..row0 + h];
+                for i in 0..k {
+                    let ai = &a.col(i)[row0..row0 + h];
+                    local[(i, j)] += vecops::dot_h(ai, bj);
+                }
+            }
+            local
+        };
+
+        if work < PAR_THRESHOLD || m < 2 * PANEL {
+            return chunk_contrib(0, m);
+        }
+        let n_panels = m.div_ceil(PANEL);
+        (0..n_panels)
+            .into_par_iter()
+            .map(|p| {
+                let row0 = p * PANEL;
+                let h = PANEL.min(m - row0);
+                chunk_contrib(row0, h)
+            })
+            .reduce(
+                || Mat::zeros(k, n),
+                |mut acc, x| {
+                    acc.axpy(T::one(), &x);
+                    acc
+                },
+            )
+    }
+}
+
+/// One benchmark result row.
+struct Case {
+    name: String,
+    shape: String,
+    secs_new: f64,
+    secs_ref: f64,
+    gflops: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        if self.secs_new > 0.0 {
+            self.secs_ref / self.secs_new
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Best-of-`reps` wall time of `f` per invocation, in seconds.
+fn time_best(reps: usize, f: &mut dyn FnMut()) -> f64 {
+    f(); // warm-up: pools, pack arenas, page faults
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn filled<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Mat<T> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) - 0.5
+    };
+    Mat::from_fn(rows, cols, |_, _| T::from_re(next()))
+}
+
+fn stencil_cases(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
+    let (dims, radius) = if smoke { (10, 2) } else { (30, 4) };
+    let g = Grid3::new((dims, dims, dims), (0.45, 0.45, 0.45), Boundary::Periodic);
+    let lap = Laplacian::new(g, radius);
+    let refk = reference::RefStencil::from_laplacian(&lap);
+    let n = g.len();
+    for s in [8usize, 32] {
+        let v = filled::<f64>(n, s, 0x5eed + s as u64);
+        let mut out_new = Mat::zeros(n, s);
+        let mut out_ref = Mat::zeros(n, s);
+        let secs_new = time_best(reps, &mut || lap.apply_block(&v, &mut out_new));
+        let secs_ref = time_best(reps, &mut || {
+            for j in 0..s {
+                refk.apply(v.col(j), out_ref.col_mut(j));
+            }
+        });
+        assert_eq!(out_new, out_ref, "fused stencil diverged from reference");
+        let flops = lap.apply_flops_per_vector() as f64 * s as f64;
+        cases.push(Case {
+            name: format!("laplacian_block_f64_s{s}"),
+            shape: format!("grid={dims}x{dims}x{dims} radius={radius} s={s}"),
+            secs_new,
+            secs_ref,
+            gflops: flops / secs_new * 1e-9,
+        });
+    }
+}
+
+fn sternheimer_case(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
+    let spec = SiliconSpec {
+        points_per_cell: if smoke { 5 } else { 15 },
+        cells_z: 2,
+        perturbation: 0.02,
+        seed: 7,
+        ..SiliconSpec::default()
+    };
+    let crystal = spec.build();
+    let radius = if smoke { 2 } else { 4 };
+    let ham = Hamiltonian::new(&crystal, radius, &PotentialParams::default());
+    let (lambda, omega) = (0.3, 0.5);
+    let op = SternheimerOperator::new(&ham, lambda, omega);
+    let lap = ham.laplacian();
+    let refk = reference::RefStencil::from_laplacian(lap);
+    let g = lap.grid();
+    let n = ham.dim();
+    let s = 8usize;
+    let v = filled::<C64>(n, s, 0xabcd);
+    let mut out_new = Mat::zeros(n, s);
+    let mut out_ref = Mat::zeros(n, s);
+    let secs_new = time_best(reps, &mut || op.apply_block(&v, &mut out_new));
+    // pre-PR path: per column, four-pass stencil + Hamiltonian tail + shift
+    let shift = C64::new(-lambda, omega);
+    let secs_ref = time_best(reps, &mut || {
+        for j in 0..s {
+            let (x, o) = (v.col(j), out_ref.col_mut(j));
+            refk.apply(x, o);
+            for ((ov, &xv), &p) in o.iter_mut().zip(x.iter()).zip(ham.vloc().iter()) {
+                *ov = ov.scale(-0.5) + xv.scale(p);
+            }
+            if let Some(nl) = ham.nonlocal() {
+                nl.apply_add(x, o);
+            }
+            for (ov, &xv) in o.iter_mut().zip(x.iter()) {
+                *ov += shift * xv;
+            }
+        }
+    });
+    assert_eq!(
+        out_new, out_ref,
+        "sternheimer block diverged from reference"
+    );
+    let flops = op.apply_flops() as f64 * s as f64;
+    cases.push(Case {
+        name: "sternheimer_block_c64_s8".into(),
+        shape: format!(
+            "grid={}x{}x{} radius={radius} s={s} lambda={lambda} omega={omega}",
+            g.nx, g.ny, g.nz
+        ),
+        secs_new,
+        secs_ref,
+        gflops: flops / secs_new * 1e-9,
+    });
+}
+
+fn gemm_cases(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
+    // Rayleigh–Ritz update shape: tall grid block times small subspace
+    // matrix (`V·Q`, `P·β`), and the conjugated projection `VᴴW`.
+    let (m, k) = if smoke { (4096, 32) } else { (27_000, 96) };
+    let n = k;
+
+    let a64 = filled::<f64>(m, k, 1);
+    let b64 = filled::<f64>(k, n, 2);
+    let mut c_new = Mat::zeros(m, n);
+    let mut c_ref = Mat::zeros(m, n);
+    let secs_new = time_best(reps, &mut || matmul_into(1.0, &a64, &b64, 0.0, &mut c_new));
+    let secs_ref = time_best(reps, &mut || {
+        reference::matmul_into(1.0, &a64, &b64, 0.0, &mut c_ref)
+    });
+    assert!(
+        c_new.max_abs_diff(&c_ref) <= 1e-12 * k as f64,
+        "f64 GEMM diverged from reference"
+    );
+    cases.push(Case {
+        name: "gemm_nn_f64".into(),
+        shape: format!("m={m} k={k} n={n}"),
+        secs_new,
+        secs_ref,
+        gflops: 2.0 * (m * k * n) as f64 / secs_new * 1e-9,
+    });
+
+    let ac = filled::<C64>(m, k, 3);
+    let bc = filled::<C64>(k, n, 4);
+    let one = C64::new(1.0, 0.0);
+    let zero = C64::new(0.0, 0.0);
+    let mut cc_new = Mat::zeros(m, n);
+    let mut cc_ref = Mat::zeros(m, n);
+    let secs_new = time_best(reps, &mut || matmul_into(one, &ac, &bc, zero, &mut cc_new));
+    let secs_ref = time_best(reps, &mut || {
+        reference::matmul_into(one, &ac, &bc, zero, &mut cc_ref)
+    });
+    assert!(
+        cc_new.max_abs_diff(&cc_ref) <= 1e-12 * k as f64,
+        "C64 GEMM diverged from reference"
+    );
+    cases.push(Case {
+        name: "gemm_nn_c64_rayleigh_ritz".into(),
+        shape: format!("m={m} k={k} n={n}"),
+        secs_new,
+        secs_ref,
+        gflops: 8.0 * (m * k * n) as f64 / secs_new * 1e-9,
+    });
+
+    // The Gram benchmark squares a block against itself (`VᴴV`), the
+    // orthonormality-check shape.
+    let mut g_new = Mat::zeros(k, n);
+    let secs_new = time_best(reps, &mut || matmul_hn_into(&ac, &ac, &mut g_new));
+    let secs_ref = time_best(reps, &mut || {
+        let _ = reference::matmul_hn(&ac, &ac);
+    });
+    cases.push(Case {
+        name: "gram_hn_c64".into(),
+        shape: format!("m={m} k={k} n={k}"),
+        secs_new,
+        secs_ref,
+        gflops: 8.0 * (m * k * k) as f64 / secs_new * 1e-9,
+    });
+}
+
+// ---------------------------------------------------------------------
+// JSON emission + validation (schema "mbrpa.kernels-bench/1")
+// ---------------------------------------------------------------------
+
+const SCHEMA: &str = "mbrpa.kernels-bench/1";
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn emit_json(cases: &[Case], threads: usize, smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"{SCHEMA}\",\"threads\":{threads},\"smoke\":{smoke},\"cases\":["
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"shape\":\"{}\",\"secs_new\":{},\"secs_ref\":{},\"speedup\":{},\"gflops\":{}}}",
+            c.name,
+            c.shape,
+            json_f64(c.secs_new),
+            json_f64(c.secs_ref),
+            json_f64(c.speedup()),
+            json_f64(c.gflops),
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Minimal JSON value for the hand-rolled validator.
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            b: text.as_bytes(),
+            pos: 0,
+        }
+    }
+    fn ws(&mut self) {
+        while self.pos < self.b.len() && (self.b[self.pos] as char).is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.pos < self.b.len() && self.b[self.pos] == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.pos).copied()
+    }
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.pos < self.b.len()
+            && matches!(
+                self.b[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while self.pos < self.b.len() {
+            let c = self.b[self.pos];
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.b.get(self.pos).ok_or("truncated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(
+                                self.b.get(self.pos..self.pos + 4).ok_or("truncated \\u")?,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(cp).ok_or("bad codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Validate `text` against the `mbrpa.kernels-bench/1` schema.
+fn validate(text: &str) -> Result<usize, String> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    p.ws();
+    if p.pos != p.b.len() {
+        return Err("trailing garbage after JSON document".into());
+    }
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'schema'")?;
+    if schema != SCHEMA {
+        return Err(format!("schema '{schema}', expected '{SCHEMA}'"));
+    }
+    let threads = root
+        .get("threads")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field 'threads'")?;
+    if threads < 1.0 {
+        return Err("'threads' must be >= 1".into());
+    }
+    root.get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean field 'smoke'")?;
+    let cases = match root.get("cases") {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        Some(Json::Arr(_)) => return Err("'cases' must be non-empty".into()),
+        _ => return Err("missing array field 'cases'".into()),
+    };
+    for (i, case) in cases.iter().enumerate() {
+        for key in ["name", "shape"] {
+            case.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("case {i}: missing string field '{key}'"))?;
+        }
+        for key in ["secs_new", "secs_ref", "speedup", "gflops"] {
+            let v = case
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or(format!("case {i}: missing numeric field '{key}'"))?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("case {i}: '{key}' must be finite and >= 0"));
+            }
+        }
+    }
+    Ok(cases.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut threads: Option<usize> = None;
+    let mut validate_path: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().cloned().unwrap_or(out_path.clone()),
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()),
+            "--validate" => validate_path = it.next().cloned(),
+            other => eprintln!("(ignoring unknown flag {other})"),
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate(&text) {
+            Ok(n) => println!("{path}: valid {SCHEMA} document ({n} cases)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let threads = threads.unwrap_or_else(rayon::current_num_threads);
+    let reps = if smoke { 3 } else { 7 };
+    let run = || {
+        let mut cases: Vec<Case> = Vec::new();
+        stencil_cases(smoke, reps, &mut cases);
+        sternheimer_case(smoke, reps, &mut cases);
+        gemm_cases(smoke, reps, &mut cases);
+        cases
+    };
+    let cases = mbrpa_bench::with_threads(threads, run);
+
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.shape.clone(),
+                format!("{:.2}", c.secs_new * 1e3),
+                format!("{:.2}", c.secs_ref * 1e3),
+                format!("{:.2}x", c.speedup()),
+                format!("{:.2}", c.gflops),
+            ]
+        })
+        .collect();
+    mbrpa_bench::print_table(
+        &["kernel", "shape", "new [ms]", "ref [ms]", "speedup", "GF/s"],
+        &rows,
+    );
+
+    let doc = emit_json(&cases, threads, smoke);
+    if let Err(e) = validate(&doc) {
+        eprintln!("internal error: emitted JSON failed validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(&out_path, &doc).expect("write BENCH json");
+    println!("wrote {out_path} ({} cases, schema {SCHEMA})", cases.len());
+}

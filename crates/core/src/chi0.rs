@@ -378,6 +378,11 @@ impl<'a> DielectricOperator<'a> {
         let mut result = match self.settings.distribution {
             WorkDistribution::StaticColumns => {
                 let p = self.n_workers.min(cols.max(1));
+                // Register the worker partition with the shared
+                // nested-parallelism guard: inner block applies and GEMMs
+                // under these tasks see the reduced `inner_slots()` budget
+                // instead of oversubscribing the pool.
+                let _outer = mbrpa_grid::par::outer_scope(p);
                 let ranges = partition_columns(cols.max(1), p);
                 let pieces: Vec<(usize, usize, Mat<f64>, WorkerStats)> = ranges
                     .par_iter()
@@ -440,6 +445,12 @@ impl<'a> DielectricOperator<'a> {
                             })
                     })
                     .collect();
+                // Work-stealing saturates at most one task per pool
+                // thread at a time; register that with the guard so the
+                // per-task solver kernels stay serial while stealing is
+                // active.
+                let _outer =
+                    mbrpa_grid::par::outer_scope(tasks.len().min(rayon::current_num_threads()));
                 let pieces: Vec<(usize, Mat<f64>, WorkerStats)> = tasks
                     .par_iter()
                     .map(|&(c, sigma, j)| {

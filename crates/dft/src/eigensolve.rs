@@ -36,6 +36,9 @@ impl LinearOperator<f64> for HamiltonianOperator<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.ham.apply(x, y);
     }
+    fn apply_block(&self, x: &Mat<f64>, y: &mut Mat<f64>) {
+        self.ham.apply_block(x, y);
+    }
     fn apply_flops(&self) -> usize {
         self.ham.apply_flops()
     }
@@ -60,6 +63,9 @@ impl LinearOperator<C64> for SternheimerLinOp<'_> {
     }
     fn apply(&self, x: &[C64], y: &mut [C64]) {
         self.op.apply(x, y);
+    }
+    fn apply_block(&self, x: &Mat<C64>, y: &mut Mat<C64>) {
+        self.op.apply_block(x, y);
     }
     fn apply_flops(&self) -> usize {
         self.op.apply_flops()

@@ -5,6 +5,7 @@ use crate::potential::{local_potential, NonlocalProjectors, PotentialParams};
 use crate::system::Crystal;
 use mbrpa_grid::Laplacian;
 use mbrpa_linalg::{Mat, Scalar, C64};
+use rayon::prelude::*;
 
 /// Real symmetric grid Hamiltonian.
 ///
@@ -74,8 +75,20 @@ impl Hamiltonian {
 
     /// `out = H v` for one vector (real or complex).
     pub fn apply<T: Scalar>(&self, v: &[T], out: &mut [T]) {
-        // kinetic: out = ∇² v, then scale by −½ while adding V_loc ⊙ v
         self.lap.apply(v, out);
+        self.apply_tail(v, out);
+    }
+
+    /// Telemetry-free single-vector apply; block drivers call this from
+    /// worker tasks and record counters once on the calling thread.
+    pub fn apply_raw<T: Scalar>(&self, v: &[T], out: &mut [T]) {
+        self.lap.apply_raw(v, out);
+        self.apply_tail(v, out);
+    }
+
+    /// Finish `H v` given `out = ∇² v`: scale by −½ while adding
+    /// `V_loc ⊙ v`, then the non-local projector term.
+    fn apply_tail<T: Scalar>(&self, v: &[T], out: &mut [T]) {
         for ((o, &x), &p) in out.iter_mut().zip(v.iter()).zip(self.vloc.iter()) {
             *o = o.scale(-0.5) + x.scale(p);
         }
@@ -85,13 +98,37 @@ impl Hamiltonian {
     }
 
     /// `out = H V` column by column (stencil applied one vector at a time,
-    /// per §III-C of the paper).
+    /// per §III-C of the paper), splitting the columns across threads when
+    /// [`mbrpa_grid::par::block_apply_chunks`] says the pool has idle
+    /// capacity.
     pub fn apply_block<T: Scalar>(&self, v: &Mat<T>, out: &mut Mat<T>) {
         assert_eq!(v.shape(), out.shape());
         assert_eq!(v.rows(), self.dim());
-        for j in 0..v.cols() {
-            self.apply(v.col(j), out.col_mut(j));
+        let s = v.cols();
+        let n = self.dim();
+        mbrpa_obs::add("grid.stencil_applies", s as u64);
+        mbrpa_obs::add(
+            "grid.stencil_flops",
+            self.lap.apply_flops_per_vector() * (T::COMPONENTS * s) as u64,
+        );
+        let chunks = mbrpa_grid::par::block_apply_chunks(s, self.apply_flops() * T::COMPONENTS);
+        if chunks <= 1 || n == 0 {
+            for j in 0..s {
+                self.apply_raw(v.col(j), out.col_mut(j));
+            }
+            return;
         }
+        let cols_per = s.div_ceil(chunks);
+        let tasks: Vec<(&[T], &mut [T])> = v
+            .as_slice()
+            .chunks(n * cols_per)
+            .zip(out.as_mut_slice().chunks_mut(n * cols_per))
+            .collect();
+        tasks.into_par_iter().for_each(|(src, dst)| {
+            for (sc, dc) in src.chunks(n).zip(dst.chunks_mut(n)) {
+                self.apply_raw(sc, dc);
+            }
+        });
     }
 
     /// Assemble the dense matrix (test oracle / direct baseline; small
@@ -175,18 +212,55 @@ impl<'a> SternheimerOperator<'a> {
     /// `out = (H − λ + iω) v`.
     pub fn apply(&self, v: &[C64], out: &mut [C64]) {
         self.ham.apply(v, out);
+        self.shift_tail(v, out);
+    }
+
+    /// Telemetry-free single-vector apply; block drivers call this from
+    /// worker tasks and record counters once on the calling thread.
+    pub fn apply_raw(&self, v: &[C64], out: &mut [C64]) {
+        self.ham.apply_raw(v, out);
+        self.shift_tail(v, out);
+    }
+
+    fn shift_tail(&self, v: &[C64], out: &mut [C64]) {
         let shift = C64::new(-self.lambda, self.omega);
         for (o, &x) in out.iter_mut().zip(v.iter()) {
             *o += shift * x;
         }
     }
 
-    /// Block application, one column at a time.
+    /// Block application, one column at a time, splitting the columns
+    /// across threads when [`mbrpa_grid::par::block_apply_chunks`] says the
+    /// pool has idle capacity.
     pub fn apply_block(&self, v: &Mat<C64>, out: &mut Mat<C64>) {
         assert_eq!(v.shape(), out.shape());
-        for j in 0..v.cols() {
-            self.apply(v.col(j), out.col_mut(j));
+        assert_eq!(v.rows(), self.dim());
+        let s = v.cols();
+        let n = self.dim();
+        mbrpa_obs::add("grid.stencil_applies", s as u64);
+        mbrpa_obs::add(
+            "grid.stencil_flops",
+            self.ham.laplacian().apply_flops_per_vector()
+                * (<C64 as Scalar>::COMPONENTS * s) as u64,
+        );
+        let chunks = mbrpa_grid::par::block_apply_chunks(s, self.apply_flops());
+        if chunks <= 1 || n == 0 {
+            for j in 0..s {
+                self.apply_raw(v.col(j), out.col_mut(j));
+            }
+            return;
         }
+        let cols_per = s.div_ceil(chunks);
+        let tasks: Vec<(&[C64], &mut [C64])> = v
+            .as_slice()
+            .chunks(n * cols_per)
+            .zip(out.as_mut_slice().chunks_mut(n * cols_per))
+            .collect();
+        tasks.into_par_iter().for_each(|(src, dst)| {
+            for (sc, dc) in src.chunks(n).zip(dst.chunks_mut(n)) {
+                self.apply_raw(sc, dc);
+            }
+        });
     }
 
     /// FLOPs of one application to one vector.

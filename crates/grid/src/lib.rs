@@ -15,6 +15,7 @@ pub mod ai_model;
 pub mod coulomb;
 pub mod grid;
 pub mod kron;
+pub mod par;
 pub mod stencil;
 
 pub use ai_model::{attainable_intensity, intensity, max_block_edge, max_intensity_cubic};

@@ -1,0 +1,49 @@
+//! The shared nested-parallelism heuristic for block operator applies.
+//!
+//! `core::chi0` partitions Sternheimer systems across rayon per frequency;
+//! the block applies underneath (stencil [`crate::Laplacian`], the dft
+//! crate's Hamiltonian and shifted operator) decide how many column chunks
+//! to split into through [`block_apply_chunks`], which consults the
+//! process-global outer-region registry in `mbrpa_linalg::par` (re-exported
+//! here). Inner parallelism therefore activates exactly when the outer
+//! partition leaves cores idle — e.g. a frequency with few large blocks —
+//! and collapses to serial when the pool is already saturated.
+
+pub use mbrpa_linalg::par::{inner_slots, outer_active, outer_scope, OuterScope};
+
+/// Minimum per-block work (scalar flops) before a block apply will split
+/// columns across threads; below this the rayon dispatch overhead dominates.
+pub const MIN_INNER_WORK: usize = 1 << 16;
+
+/// Number of column chunks a block apply of `cols` columns, each costing
+/// `work_per_col` scalar flops, should split into. Returns 1 (serial) for
+/// small blocks, tiny work, or a saturated outer partition.
+pub fn block_apply_chunks(cols: usize, work_per_col: usize) -> usize {
+    if cols < 2 || cols.saturating_mul(work_per_col) < MIN_INNER_WORK {
+        return 1;
+    }
+    cols.min(inner_slots())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_blocks_stay_serial() {
+        assert_eq!(block_apply_chunks(1, 1 << 30), 1);
+        assert_eq!(block_apply_chunks(8, 10), 1);
+    }
+
+    #[test]
+    fn saturated_outer_partition_forces_serial() {
+        let threads = inner_slots();
+        let _g = outer_scope(threads * 4);
+        assert_eq!(block_apply_chunks(16, 1 << 20), 1);
+    }
+
+    #[test]
+    fn chunks_never_exceed_columns() {
+        assert!(block_apply_chunks(3, 1 << 20) <= 3);
+    }
+}

@@ -1,14 +1,24 @@
 //! High-order finite-difference Laplacian stencils.
 //!
 //! The Hamiltonian's kinetic term is a six-axis `(6r+1)`-point stencil of
-//! radius `r` (§III-C of the paper). Application is organized as three
-//! axis passes whose inner loops run over contiguous x-lines, and — per the
-//! paper's arithmetic-intensity analysis — operates on **one vector at a
-//! time**; a deliberately "simultaneous" multi-vector variant is provided
-//! for the §III-C benchmark that substantiates that choice.
+//! radius `r` (§III-C of the paper). Application is **fused per z-slice**:
+//! each output slice is finished while it sits in L1 — diagonal and
+//! x-axis terms, then the `2r` y-neighbour and `2r` z-neighbour
+//! contributions as long contiguous row-band runs with the `±t` pair of
+//! each distance accumulated in one paired pass — instead of the classic
+//! diagonal/X/Y/Z four-pass structure that streams the full arrays from
+//! memory once per pass (and the z pass `r` times). The per-point
+//! floating-point accumulation order is identical to the four-pass code, so
+//! results are bitwise unchanged. Per the paper's arithmetic-intensity
+//! analysis the kernel operates on **one vector at a time**; the block
+//! driver parallelizes across columns (gated by
+//! [`crate::par::block_apply_chunks`]), and a deliberately "simultaneous"
+//! multi-vector variant is provided for the §III-C benchmark that
+//! substantiates that choice.
 
 use crate::grid::{Boundary, Grid3};
 use mbrpa_linalg::{Mat, Scalar};
+use rayon::prelude::*;
 
 /// Classical central-difference second-derivative weights of radius `r`
 /// (order `2r`): returns `c[0..=r]` with
@@ -117,113 +127,195 @@ impl Laplacian {
         6 * self.radius + 1
     }
 
+    /// Scalar flops one [`Laplacian::apply`] spends per *real* component of
+    /// the vector: one multiply-add per stencil point per grid point.
+    pub fn apply_flops_per_vector(&self) -> u64 {
+        (2 * self.grid.len() * (6 * self.radius + 1)) as u64
+    }
+
     /// `out = ∇² v` for a single vector (the paper's preferred mode).
     pub fn apply<T: Scalar>(&self, v: &[T], out: &mut [T]) {
+        mbrpa_obs::add("grid.stencil_applies", 1);
+        mbrpa_obs::add(
+            "grid.stencil_flops",
+            self.apply_flops_per_vector() * T::COMPONENTS as u64,
+        );
+        self.apply_raw(v, out);
+    }
+
+    /// Telemetry-free single-vector apply — the fused kernel itself. Block
+    /// drivers (here and in the dft crate) call this from worker tasks and
+    /// record counters once on the calling thread, so telemetry never
+    /// strands in unflushed worker-thread buffers.
+    ///
+    /// One fused slice sweep: every output z-slice is finished while it
+    /// sits in L1 — a long diagonal pass, per-line x terms, then the `2r`
+    /// y-neighbour and `2r` z-neighbour contributions as **contiguous
+    /// row-band runs**, with the `+t`/`−t` pair of each distance handled
+    /// in a single paired pass so the output slice is loaded and stored
+    /// half as often and vector remainders amortize over `nx·ny`-length
+    /// runs. Accumulation order per point matches the historical
+    /// diagonal/X/Y/Z four-pass kernel exactly (diag, x by ascending `t`,
+    /// y by ascending `t` with `+t` before `−t`, z likewise), so results
+    /// are bitwise identical while main memory is streamed ~once instead
+    /// of once per pass.
+    pub fn apply_raw<T: Scalar>(&self, v: &[T], out: &mut [T]) {
         let n = self.grid.len();
         assert_eq!(v.len(), n);
         assert_eq!(out.len(), n);
-        mbrpa_obs::add("grid.stencil_applies", 1);
         let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.grid.nz);
         let periodic = self.grid.bc == Boundary::Periodic;
-
-        // Diagonal term.
-        for (o, &x) in out.iter_mut().zip(v.iter()) {
-            *o = x.scale(self.diag);
-        }
-
-        // X pass: contiguous lines of length nx.
-        for line in 0..ny * nz {
-            let base = line * nx;
-            let vl = &v[base..base + nx];
-            let ol = &mut out[base..base + nx];
-            for t in 1..=self.radius {
-                let c = self.cx[t];
-                for i in t..nx - t {
-                    ol[i] += (vl[i - t] + vl[i + t]).scale(c);
-                }
-                if periodic {
-                    for i in 0..t {
-                        ol[i] += (vl[i + nx - t] + vl[i + t]).scale(c);
-                    }
-                    for i in nx - t..nx {
-                        ol[i] += (vl[i - t] + vl[i + t - nx]).scale(c);
-                    }
-                } else {
-                    for i in 0..t {
-                        ol[i] += vl[i + t].scale(c);
-                    }
-                    for i in nx - t..nx {
-                        ol[i] += vl[i - t].scale(c);
-                    }
-                }
-            }
-        }
-
-        // Y pass: couple x-lines within each z-slice.
+        let r = self.radius;
         let slice = nx * ny;
-        for k in 0..nz {
-            let sbase = k * slice;
-            for t in 1..=self.radius {
-                let c = self.cy[t];
-                for j in 0..ny {
-                    let obase = sbase + j * nx;
-                    // +t neighbour
-                    if j + t < ny || periodic {
-                        let jp = (j + t) % ny;
-                        let pbase = sbase + jp * nx;
-                        for i in 0..nx {
-                            let add = v[pbase + i].scale(c);
-                            out[obase + i] += add;
-                        }
+
+        // Accumulate one `+t`/`−t` neighbour-line pair into the output
+        // line in a single pass (`+t` added first — order preserved).
+        #[inline(always)]
+        fn pair_add<T: Scalar>(ol: &mut [T], plus: Option<&[T]>, minus: Option<&[T]>, c: f64) {
+            match (plus, minus) {
+                (Some(p), Some(m)) => {
+                    for ((o, &a), &b) in ol.iter_mut().zip(p.iter()).zip(m.iter()) {
+                        *o += a.scale(c);
+                        *o += b.scale(c);
                     }
-                    // −t neighbour
-                    if j >= t || periodic {
-                        let jm = (j + ny - t) % ny;
-                        let mbase = sbase + jm * nx;
-                        for i in 0..nx {
-                            let add = v[mbase + i].scale(c);
-                            out[obase + i] += add;
+                }
+                (Some(p), None) => {
+                    for (o, &a) in ol.iter_mut().zip(p.iter()) {
+                        *o += a.scale(c);
+                    }
+                }
+                (None, Some(m)) => {
+                    for (o, &b) in ol.iter_mut().zip(m.iter()) {
+                        *o += b.scale(c);
+                    }
+                }
+                (None, None) => {}
+            }
+        }
+
+        for k in 0..nz {
+            let ks = k * slice;
+
+            // Diagonal term, one long pass over the whole slice.
+            {
+                let os = &mut out[ks..ks + slice];
+                let vs = &v[ks..ks + slice];
+                for (o, &x) in os.iter_mut().zip(vs.iter()) {
+                    *o = x.scale(self.diag);
+                }
+            }
+
+            // X terms: within each line of the slice.
+            for j in 0..ny {
+                let base = ks + j * nx;
+                let vl = &v[base..base + nx];
+                let ol = &mut out[base..base + nx];
+                for t in 1..=r {
+                    let c = self.cx[t];
+                    for i in t..nx - t {
+                        ol[i] += (vl[i - t] + vl[i + t]).scale(c);
+                    }
+                    if periodic {
+                        for i in 0..t {
+                            ol[i] += (vl[i + nx - t] + vl[i + t]).scale(c);
+                        }
+                        for i in nx - t..nx {
+                            ol[i] += (vl[i - t] + vl[i + t - nx]).scale(c);
+                        }
+                    } else {
+                        for i in 0..t {
+                            ol[i] += vl[i + t].scale(c);
+                        }
+                        for i in nx - t..nx {
+                            ol[i] += vl[i - t].scale(c);
                         }
                     }
                 }
             }
-        }
 
-        // Z pass: couple z-slices.
-        for t in 1..=self.radius {
-            let c = self.cz[t];
-            for k in 0..nz {
-                let obase = k * slice;
-                if k + t < nz || periodic {
-                    let kp = (k + t) % nz;
-                    let pbase = kp * slice;
-                    for i in 0..slice {
-                        let add = v[pbase + i].scale(c);
-                        out[obase + i] += add;
-                    }
+            // Y terms, per distance t, as three contiguous row bands of
+            // the slice instead of per-line snippets. Rows t..ny−t see
+            // both the +t and −t neighbour as one long paired run; the t
+            // boundary rows at each end wrap (periodic) or drop
+            // (Dirichlet) one side. Per-point order is still +t then −t.
+            for t in 1..=r {
+                let c = self.cy[t];
+                let band = (ny - 2 * t) * nx;
+                {
+                    let o = &mut out[ks + t * nx..ks + t * nx + band];
+                    let p = &v[ks + 2 * t * nx..ks + 2 * t * nx + band];
+                    let m = &v[ks..ks + band];
+                    pair_add(o, Some(p), Some(m), c);
                 }
-                if k >= t || periodic {
-                    let km = (k + nz - t) % nz;
-                    let mbase = km * slice;
-                    for i in 0..slice {
-                        let add = v[mbase + i].scale(c);
-                        out[obase + i] += add;
-                    }
+                {
+                    // rows 0..t: +t in range; −t wraps to rows ny−t..ny
+                    let len = t * nx;
+                    let o = &mut out[ks..ks + len];
+                    let p = &v[ks + t * nx..ks + t * nx + len];
+                    let m = periodic.then(|| &v[ks + (ny - t) * nx..ks + ny * nx]);
+                    pair_add(o, Some(p), m, c);
                 }
+                {
+                    // rows ny−t..ny: −t in range; +t wraps to rows 0..t
+                    let len = t * nx;
+                    let o = &mut out[ks + (ny - t) * nx..ks + ny * nx];
+                    let m = &v[ks + (ny - 2 * t) * nx..ks + (ny - t) * nx];
+                    let p = periodic.then(|| &v[ks..ks + len]);
+                    pair_add(o, p, Some(m), c);
+                }
+            }
+
+            // Z terms: the ±t neighbour slices contribute to the whole
+            // slice as one paired full-slice run per distance.
+            for t in 1..=r {
+                let c = self.cz[t];
+                let o = &mut out[ks..ks + slice];
+                let p = (k + t < nz || periodic).then(|| {
+                    let b = ((k + t) % nz) * slice;
+                    &v[b..b + slice]
+                });
+                let m = (k >= t || periodic).then(|| {
+                    let b = ((k + nz - t) % nz) * slice;
+                    &v[b..b + slice]
+                });
+                pair_add(o, p, m, c);
             }
         }
     }
 
-    /// Apply to every column of a block, one vector at a time (§III-C).
+    /// Apply to every column of a block, one vector at a time (§III-C),
+    /// splitting the columns across threads when
+    /// [`crate::par::block_apply_chunks`] says the pool has idle capacity.
     pub fn apply_block<T: Scalar>(&self, v: &Mat<T>, out: &mut Mat<T>) {
         assert_eq!(v.shape(), out.shape());
         assert_eq!(v.rows(), self.grid.len());
-        for j in 0..v.cols() {
-            // split borrows: columns of distinct matrices
-            let src = v.col(j);
-            let dst = out.col_mut(j);
-            self.apply(src, dst);
+        let s = v.cols();
+        mbrpa_obs::add("grid.stencil_applies", s as u64);
+        mbrpa_obs::add(
+            "grid.stencil_flops",
+            self.apply_flops_per_vector() * (T::COMPONENTS * s) as u64,
+        );
+        let n = self.grid.len();
+        let work_per_col = self.apply_flops_per_vector() as usize * T::COMPONENTS;
+        let chunks = crate::par::block_apply_chunks(s, work_per_col);
+        if chunks <= 1 || n == 0 {
+            for j in 0..s {
+                // split borrows: columns of distinct matrices
+                self.apply_raw(v.col(j), out.col_mut(j));
+            }
+            return;
         }
+        let cols_per = s.div_ceil(chunks);
+        let tasks: Vec<(&[T], &mut [T])> = v
+            .as_slice()
+            .chunks(n * cols_per)
+            .zip(out.as_mut_slice().chunks_mut(n * cols_per))
+            .collect();
+        tasks.into_par_iter().for_each(|(src, dst)| {
+            for (sc, dc) in src.chunks(n).zip(dst.chunks_mut(n)) {
+                self.apply_raw(sc, dc);
+            }
+        });
     }
 
     /// Deliberately "simultaneous" multi-vector application: iterates grid
@@ -237,6 +329,10 @@ impl Laplacian {
         assert_eq!(v.rows(), n);
         let s = v.cols();
         mbrpa_obs::add("grid.stencil_applies", s as u64);
+        mbrpa_obs::add(
+            "grid.stencil_flops",
+            self.apply_flops_per_vector() * (T::COMPONENTS * s) as u64,
+        );
         let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.grid.nz);
         let periodic = self.grid.bc == Boundary::Periodic;
         let r = self.radius;

@@ -48,8 +48,11 @@ proptest! {
             let mut col = vec![0.0; n];
             lap.apply(v.col(j), &mut col);
             for i in 0..n {
+                // apply_block routes each column through the same fused
+                // kernel as apply (possibly on another thread), so agreement
+                // must be exact, not just within tolerance.
                 prop_assert!(
-                    (out_block[(i, j)] - col[i]).abs() <= 1e-12 * col[i].abs().max(1.0),
+                    out_block[(i, j)] == col[i],
                     "apply_block col {j} row {i}: {} vs {}",
                     out_block[(i, j)],
                     col[i]
@@ -62,5 +65,24 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// A block wide enough to clear the `block_apply_chunks` work threshold, so
+/// on a multi-threaded pool this exercises the column-parallel path; results
+/// must be bitwise identical to the serial per-column kernel either way.
+#[test]
+fn wide_block_matches_serial_bitwise() {
+    let g = Grid3::new((12, 11, 10), (0.5, 0.6, 0.55), Boundary::Periodic);
+    let lap = Laplacian::new(g, 3);
+    let n = g.len();
+    let s = 12;
+    let v = filled(n, s, 0x5eed);
+    let mut block = Mat::zeros(n, s);
+    lap.apply_block(&v, &mut block);
+    for j in 0..s {
+        let mut col = vec![0.0; n];
+        lap.apply(v.col(j), &mut col);
+        assert_eq!(block.col(j), &col[..], "column {j} differs");
     }
 }

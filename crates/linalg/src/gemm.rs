@@ -1,24 +1,349 @@
-//! Blocked, rayon-parallel dense matrix multiplication.
+//! Packed, register-blocked dense matrix multiplication.
 //!
 //! The dominant shapes in the RPA pipeline are tall-and-skinny: `n_d × n_eig`
 //! blocks of grid vectors multiplied by small `n_eig × n_eig` subspace
 //! matrices (`V·Q`, `P·β`), and Gram products `VᵀW` reducing the long grid
-//! dimension. The kernels below block over the long (row) dimension so each
-//! row panel is streamed once per output column block, and parallelize over
-//! row panels, which keeps threads independent without atomics.
+//! dimension. The kernels follow the classic BLIS decomposition: `B` is
+//! packed once per call into column panels of width `NR` with `alpha` folded
+//! in, `A` is packed per cache block into row panels of height `MR`, and an
+//! `MR×NR` register-tile microkernel streams the packed panels so every
+//! element of `A` is read from memory once per `NR` output columns instead
+//! of once per column. Register tiles are 8×4 for `f64` and 4×4 for
+//! `Complex64` (selected by [`Scalar::COMPONENTS`]).
+//!
+//! `C` is written in place: the row dimension is split into disjoint
+//! contiguous strips, each strip borrowing its segment of every column via
+//! `split_at_mut`, so the parallel path needs no scratch panels and no
+//! serial copy-back. Strip parallelism is sized by
+//! [`crate::par::inner_slots`] so these kernels never oversubscribe a rayon
+//! pool that is already running an outer partition (the per-frequency
+//! Sternheimer split in `core::chi0`).
+//!
+//! Pack buffers live in a thread-local arena keyed by scalar type, so
+//! steady-state GEMM calls (the block-COCG iteration loop) perform no heap
+//! allocation.
 
 use crate::dense::Mat;
+use crate::par;
 use crate::scalar::Scalar;
 use crate::vecops;
+use num_complex::Complex64;
 use rayon::prelude::*;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
-/// Row-panel height for the blocked kernels. 512 rows × 8–16 B scalars keeps
-/// a panel column in L1 while amortizing the loop overhead.
+/// Row-panel height for the blocked Gram kernels. 512 rows × 8–16 B scalars
+/// keeps a panel column in L1 while amortizing the loop overhead.
 const PANEL: usize = 512;
 
 /// Work threshold (in scalar multiply-adds) below which the serial kernel is
 /// used; spawning rayon tasks for tiny products costs more than it saves.
 const PAR_THRESHOLD: usize = 1 << 16;
+
+/// Byte budget for one packed block of `A`; sized to sit comfortably in L2.
+const A_BLOCK_BYTES: usize = 1 << 18;
+
+// ---------------------------------------------------------------------------
+// Thread-local pack-buffer arena
+// ---------------------------------------------------------------------------
+
+// Buffers are taken *out* of the map (leaving an empty `Vec` behind in the
+// same box) and put back when done, so a rayon worker that steals an
+// unrelated GEMM while one is in flight on the same thread never aliases a
+// live buffer — it just pays one fresh allocation for the stolen call.
+thread_local! {
+    static PACK_ARENA: RefCell<HashMap<(TypeId, u8), Box<dyn Any>>> =
+        RefCell::new(HashMap::new());
+}
+
+const SLOT_PACK_A: u8 = 0;
+const SLOT_PACK_B: u8 = 1;
+const SLOT_GRAM: u8 = 2;
+
+fn take_buf<T: Scalar>(slot: u8, min_len: usize) -> Vec<T> {
+    let mut v: Vec<T> = PACK_ARENA.with(|a| {
+        let mut map = a.borrow_mut();
+        let entry = map
+            .entry((TypeId::of::<T>(), slot))
+            .or_insert_with(|| Box::new(Vec::<T>::new()) as Box<dyn Any>);
+        entry
+            .downcast_mut::<Vec<T>>()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    });
+    if v.len() < min_len {
+        v.resize(min_len, T::zero());
+    }
+    v
+}
+
+fn put_buf<T: Scalar>(slot: u8, v: Vec<T>) {
+    PACK_ARENA.with(|a| {
+        if let Some(entry) = a.borrow_mut().get_mut(&(TypeId::of::<T>(), slot)) {
+            if let Some(dst) = entry.downcast_mut::<Vec<T>>() {
+                *dst = v;
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Pack `mc` rows of `A` starting at `row0` into row panels of height `MR`:
+/// panel `ip` holds, for each depth index `l`, `MR` consecutive (converted)
+/// row entries, zero-padded past the matrix edge.
+fn pack_a<SA: Scalar, T: Scalar, const MR: usize>(
+    a: &Mat<SA>,
+    conv: fn(SA) -> T,
+    row0: usize,
+    mc: usize,
+    k: usize,
+    buf: &mut [T],
+) {
+    let n_panels = mc.div_ceil(MR);
+    for ip in 0..n_panels {
+        let i0 = row0 + ip * MR;
+        let mre = MR.min(row0 + mc - i0);
+        let panel = &mut buf[ip * MR * k..(ip + 1) * MR * k];
+        for l in 0..k {
+            let src = &a.col(l)[i0..i0 + mre];
+            let dst = &mut panel[l * MR..(l + 1) * MR];
+            for ii in 0..mre {
+                dst[ii] = conv(src[ii]);
+            }
+            for d in dst.iter_mut().skip(mre) {
+                *d = T::zero();
+            }
+        }
+    }
+}
+
+/// Pack all of `B` (k×n) into column panels of width `NR` with `alpha`
+/// folded in: panel `jp` holds, for each depth index `l`, `NR` consecutive
+/// scaled column entries, zero-padded past the matrix edge.
+fn pack_b<T: Scalar, const NR: usize>(b: &Mat<T>, alpha: T, k: usize, n: usize, buf: &mut [T]) {
+    let n_panels = n.div_ceil(NR);
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let nre = NR.min(n - j0);
+        let panel = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        for jj in 0..nre {
+            let bj = &b.col(j0 + jj)[..k];
+            for l in 0..k {
+                panel[l * NR + jj] = alpha * bj[l];
+            }
+        }
+        for jj in nre..NR {
+            for l in 0..k {
+                panel[l * NR + jj] = T::zero();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microkernel
+// ---------------------------------------------------------------------------
+
+/// Accumulate `acc += Ap · Bp` over one packed depth-`k` panel pair. With
+/// `MR`/`NR` known at compile time the two inner loops fully unroll and the
+/// accumulator tile stays in registers.
+#[inline(always)]
+fn micro_kernel<T: Scalar, const MR: usize, const NR: usize>(
+    k: usize,
+    ap: &[T],
+    bp: &[T],
+    acc: &mut [[T; MR]; NR],
+) {
+    for (al, bl) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+        let al: &[T; MR] = al.try_into().unwrap();
+        let bl: &[T; NR] = bl.try_into().unwrap();
+        for jj in 0..NR {
+            let b = bl[jj];
+            for ii in 0..MR {
+                acc[jj][ii] += al[ii] * b;
+            }
+        }
+    }
+}
+
+/// `dst = src + beta·dst` over one tile column (`beta` pre-dispatched so the
+/// branch sits outside the copy loop).
+#[inline(always)]
+fn store_tile_col<T: Scalar>(dst: &mut [T], src: &[T], beta: T) {
+    if beta == T::zero() {
+        dst.copy_from_slice(src);
+    } else if beta == T::one() {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = *s + beta * *d;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Compute one row strip `[r0, r0+h)` of `C = (alpha·A)·B + beta·C` from the
+/// shared packed `B`, packing `A` in L2-sized blocks on the way. Results are
+/// handed to `write_tile(i_local, j0, acc, mr_eff, nr_eff)` so the caller
+/// decides where the strip's output lives (whole matrix or a borrowed strip
+/// segment).
+#[allow(clippy::too_many_arguments)]
+fn strip_gemm<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
+    a: &Mat<SA>,
+    conv: fn(SA) -> T,
+    bpack: &[T],
+    r0: usize,
+    h: usize,
+    k: usize,
+    n: usize,
+    mut write_tile: impl FnMut(usize, usize, &[[T; MR]; NR], usize, usize),
+) {
+    let mc_elems = (A_BLOCK_BYTES / std::mem::size_of::<T>() / k.max(1)).max(MR);
+    let mc_max = (mc_elems / MR * MR).min(h.div_ceil(MR) * MR);
+    let mut a_buf = take_buf::<T>(SLOT_PACK_A, mc_max * k);
+    let n_col_panels = n.div_ceil(NR);
+
+    let mut off = 0;
+    while off < h {
+        let mc = mc_max.min(h - off);
+        pack_a::<SA, T, MR>(a, conv, r0 + off, mc, k, &mut a_buf);
+        let n_row_panels = mc.div_ceil(MR);
+        for jp in 0..n_col_panels {
+            let nre = NR.min(n - jp * NR);
+            let bp = &bpack[jp * NR * k..(jp + 1) * NR * k];
+            for ip in 0..n_row_panels {
+                let mre = MR.min(mc - ip * MR);
+                let ap = &a_buf[ip * MR * k..(ip + 1) * MR * k];
+                let mut acc = [[T::zero(); MR]; NR];
+                micro_kernel::<T, MR, NR>(k, ap, bp, &mut acc);
+                write_tile(off + ip * MR, jp * NR, &acc, mre, nre);
+            }
+        }
+        off += mc;
+    }
+    put_buf(SLOT_PACK_A, a_buf);
+}
+
+/// Packed register-blocked `C = alpha·conv(A)·B + beta·C`. `conv` embeds
+/// `A`'s scalar field into `C`'s at pack time (identity for uniform
+/// products, `from_re` for the real×complex variants).
+fn gemm_driver<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    a: &Mat<SA>,
+    conv: fn(SA) -> T,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == T::zero() {
+        // No product term: C = beta·C.
+        let data = c.as_mut_slice();
+        if beta == T::zero() {
+            data.iter_mut().for_each(|x| *x = T::zero());
+        } else if beta != T::one() {
+            vecops::scal(beta, data);
+        }
+        return;
+    }
+
+    let mut b_buf = take_buf::<T>(SLOT_PACK_B, n.div_ceil(NR) * NR * k);
+    pack_b::<T, NR>(b, alpha, k, n, &mut b_buf);
+
+    let work = m * n * k;
+    let slots = par::inner_slots();
+    let p = if work < PAR_THRESHOLD || slots == 1 {
+        1
+    } else {
+        slots.min(m.div_ceil(4 * MR)).max(1)
+    };
+
+    if p == 1 {
+        let c_data = c.as_mut_slice();
+        strip_gemm::<SA, T, MR, NR>(a, conv, &b_buf, 0, m, k, n, |i0, j0, acc, mre, nre| {
+            for jj in 0..nre {
+                let col = &mut c_data[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + mre];
+                store_tile_col(col, &acc[jj][..mre], beta);
+            }
+        });
+        put_buf(SLOT_PACK_B, b_buf);
+        return;
+    }
+
+    // Parallel path: disjoint row strips (MR-aligned) of C, each task
+    // borrowing its segment of every column — written in place, no
+    // copy-back.
+    let h_strip = m.div_ceil(p).div_ceil(MR) * MR;
+    let strips: Vec<(usize, usize)> = (0..m.div_ceil(h_strip))
+        .map(|s| (s * h_strip, h_strip.min(m - s * h_strip)))
+        .collect();
+    let mut col_segs: Vec<Vec<&mut [T]>> = strips.iter().map(|_| Vec::with_capacity(n)).collect();
+    let mut rest = c.as_mut_slice();
+    for _ in 0..n {
+        let (mut col, tail) = rest.split_at_mut(m);
+        rest = tail;
+        for (s, &(_, h)) in strips.iter().enumerate() {
+            let (seg, col_tail) = col.split_at_mut(h);
+            col_segs[s].push(seg);
+            col = col_tail;
+        }
+    }
+    let b_ref = &b_buf;
+    strips
+        .par_iter()
+        .zip(col_segs.into_par_iter())
+        .for_each(|(&(r0, h), mut segs)| {
+            strip_gemm::<SA, T, MR, NR>(a, conv, b_ref, r0, h, k, n, |i0, j0, acc, mre, nre| {
+                for jj in 0..nre {
+                    let col = &mut segs[j0 + jj][i0..i0 + mre];
+                    store_tile_col(col, &acc[jj][..mre], beta);
+                }
+            });
+        });
+    put_buf(SLOT_PACK_B, b_buf);
+}
+
+/// Dispatch on the register-tile shape: 8×4 for 1-component scalars (f64),
+/// 4×4 for 2-component scalars (Complex64).
+fn packed_gemm<SA: Scalar, T: Scalar>(
+    alpha: T,
+    a: &Mat<SA>,
+    conv: fn(SA) -> T,
+    b: &Mat<T>,
+    beta: T,
+    c: &mut Mat<T>,
+) {
+    if T::COMPONENTS >= 2 {
+        gemm_driver::<SA, T, 4, 4>(alpha, a, conv, b, beta, c);
+    } else {
+        gemm_driver::<SA, T, 8, 4>(alpha, a, conv, b, beta, c);
+    }
+}
+
+fn count_gemm<SA: Scalar, T: Scalar>(m: usize, k: usize, n: usize) {
+    mbrpa_obs::add("linalg.gemm_calls", 1);
+    mbrpa_obs::add(
+        "linalg.gemm_flops",
+        (2 * m * k * n * SA::COMPONENTS * T::COMPONENTS) as u64,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Public products
+// ---------------------------------------------------------------------------
 
 /// `C = A · B`.
 ///
@@ -43,141 +368,164 @@ pub fn matmul_into<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut
     if m == 0 || n == 0 {
         return;
     }
-    mbrpa_obs::add("linalg.gemm_calls", 1);
-
-    let work = m * n * k;
-    let a_data = a.as_slice();
-    let b_ref = b;
-
-    let panel_op = |row0: usize, c_panel: &mut [T]| {
-        // c_panel is a row-panel of C stored column-major with leading dim = h
-        let h = c_panel.len() / n;
-        for j in 0..n {
-            let cj = &mut c_panel[j * h..(j + 1) * h];
-            if beta == T::zero() {
-                cj.iter_mut().for_each(|x| *x = T::zero());
-            } else if beta != T::one() {
-                vecops::scal(beta, cj);
-            }
-            for l in 0..k {
-                let blj = alpha * b_ref[(l, j)];
-                if blj == T::zero() {
-                    continue;
-                }
-                let al = &a_data[l * m + row0..l * m + row0 + h];
-                vecops::axpy(blj, al, cj);
-            }
-        }
-    };
-
-    if work < PAR_THRESHOLD || m < 2 * PANEL {
-        // Serial path operating on C in place, one row panel at a time.
-        let mut scratch = vec![T::zero(); PANEL.min(m) * n];
-        let mut row0 = 0;
-        while row0 < m {
-            let h = PANEL.min(m - row0);
-            // gather panel of C
-            for j in 0..n {
-                for i in 0..h {
-                    scratch[j * h + i] = c[(row0 + i, j)];
-                }
-            }
-            panel_op(row0, &mut scratch[..h * n]);
-            for j in 0..n {
-                for i in 0..h {
-                    c[(row0 + i, j)] = scratch[j * h + i];
-                }
-            }
-            row0 += h;
-        }
-        return;
-    }
-
-    // Parallel path: split C into row panels; each panel owned by one task.
-    let n_panels = m.div_ceil(PANEL);
-    let mut panels: Vec<Vec<T>> = (0..n_panels)
-        .into_par_iter()
-        .map(|p| {
-            let row0 = p * PANEL;
-            let h = PANEL.min(m - row0);
-            let mut panel = vec![T::zero(); h * n];
-            if beta != T::zero() {
-                for j in 0..n {
-                    for i in 0..h {
-                        panel[j * h + i] = c[(row0 + i, j)];
-                    }
-                }
-            }
-            panel_op(row0, &mut panel);
-            panel
-        })
-        .collect();
-
-    for (p, panel) in panels.drain(..).enumerate() {
-        let row0 = p * PANEL;
-        let h = PANEL.min(m - row0);
-        for j in 0..n {
-            for i in 0..h {
-                c[(row0 + i, j)] = panel[j * h + i];
-            }
-        }
-    }
+    count_gemm::<T, T>(m, k, n);
+    packed_gemm(alpha, a, |x| x, b, beta, c);
 }
 
 /// `C = Aᵀ · B` (no conjugation; the COCG bilinear Gram product).
 pub fn matmul_tn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
-    gram_impl(a, b, false)
+    let mut c = Mat::zeros(a.cols(), b.cols());
+    matmul_tn_into(a, b, &mut c);
+    c
 }
 
 /// `C = Aᴴ · B` (conjugated; Rayleigh–Ritz projections).
 pub fn matmul_hn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
-    gram_impl(a, b, true)
+    let mut c = Mat::zeros(a.cols(), b.cols());
+    matmul_hn_into(a, b, &mut c);
+    c
 }
 
-fn gram_impl<T: Scalar>(a: &Mat<T>, b: &Mat<T>, conj: bool) -> Mat<T> {
+/// `C = Aᵀ · B` written into a caller-owned matrix (overwrites `C`; the
+/// allocation-free form for solver steady-state loops).
+pub fn matmul_tn_into<T: Scalar>(a: &Mat<T>, b: &Mat<T>, c: &mut Mat<T>) {
+    gram_checks(a, b, c);
+    gram_driver(a, b, |x: T, y: T| x * y, c);
+}
+
+/// `C = Aᴴ · B` written into a caller-owned matrix (overwrites `C`).
+pub fn matmul_hn_into<T: Scalar>(a: &Mat<T>, b: &Mat<T>, c: &mut Mat<T>) {
+    gram_checks(a, b, c);
+    gram_driver(a, b, |x: T, y: T| x.conj() * y, c);
+}
+
+fn gram_checks<SA: Scalar, T: Scalar>(a: &Mat<SA>, b: &Mat<T>, c: &Mat<T>) {
     let (m, k) = a.shape();
     let (mb, n) = b.shape();
     assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
+    assert_eq!(c.shape(), (k, n), "output shape mismatch");
     mbrpa_obs::add("linalg.gram_calls", 1);
     mbrpa_obs::add("linalg.dot_products", (k * n) as u64);
-    let work = m * n * k;
+    mbrpa_obs::add(
+        "linalg.gemm_flops",
+        (2 * m * k * n * SA::COMPONENTS * T::COMPONENTS) as u64,
+    );
+}
 
-    let chunk_contrib = |row0: usize, h: usize| -> Mat<T> {
-        let mut local = Mat::zeros(k, n);
-        for j in 0..n {
-            let bj = &b.col(j)[row0..row0 + h];
-            for i in 0..k {
-                let ai = &a.col(i)[row0..row0 + h];
-                let d = if conj {
-                    vecops::dot_h(ai, bj)
-                } else {
-                    vecops::dot_t(ai, bj)
-                };
-                local[(i, j)] += d;
-            }
-        }
-        local
-    };
-
-    if work < PAR_THRESHOLD || m < 2 * PANEL {
-        return chunk_contrib(0, m);
+/// Register-tiled Gram product `C = op(A)ᵀ·B` (`mul` supplies the per-element
+/// product, e.g. conjugation or real×complex embedding). The long row
+/// dimension is cut into fixed `PANEL` chunks whose partial Grams are folded
+/// in index order, so results are bitwise independent of the thread count.
+fn gram_driver<SA: Scalar, T: Scalar>(
+    a: &Mat<SA>,
+    b: &Mat<T>,
+    mul: impl Fn(SA, T) -> T + Sync + Copy,
+    out: &mut Mat<T>,
+) {
+    let (m, kc) = a.shape();
+    let n = b.cols();
+    if kc == 0 || n == 0 {
+        return;
     }
+    let work = m * n * kc;
+    if work < PAR_THRESHOLD || m < 2 * PANEL {
+        gram_chunk(a, b, mul, 0, m, out.as_mut_slice());
+        return;
+    }
+    let n_chunks = m.div_ceil(PANEL);
+    let mut partials = take_buf::<T>(SLOT_GRAM, n_chunks * kc * n);
+    let chunk_of = |p: usize, buf: &mut [T]| {
+        let row0 = p * PANEL;
+        gram_chunk(a, b, mul, row0, PANEL.min(m - row0), buf);
+    };
+    if par::inner_slots() > 1 {
+        let chunk_refs: Vec<(usize, &mut [T])> = partials[..n_chunks * kc * n]
+            .chunks_mut(kc * n)
+            .enumerate()
+            .collect();
+        chunk_refs
+            .into_par_iter()
+            .for_each(|(p, buf)| chunk_of(p, buf));
+    } else {
+        for (p, buf) in partials[..n_chunks * kc * n].chunks_mut(kc * n).enumerate() {
+            chunk_of(p, buf);
+        }
+    }
+    let out_data = out.as_mut_slice();
+    out_data.copy_from_slice(&partials[..kc * n]);
+    for p in 1..n_chunks {
+        for (o, x) in out_data.iter_mut().zip(&partials[p * kc * n..]) {
+            *o += *x;
+        }
+    }
+    put_buf(SLOT_GRAM, partials);
+}
 
-    let n_panels = m.div_ceil(PANEL);
-    (0..n_panels)
-        .into_par_iter()
-        .map(|p| {
-            let row0 = p * PANEL;
-            let h = PANEL.min(m - row0);
-            chunk_contrib(row0, h)
-        })
-        .reduce(
-            || Mat::zeros(k, n),
-            |mut acc, x| {
-                acc.axpy(T::one(), &x);
-                acc
-            },
-        )
+/// One row chunk of the Gram product, written (overwriting) into `out`
+/// (column-major `a.cols() × b.cols()`). Full 4×4 tiles of output dots share
+/// their operand streams, quartering memory traffic versus dot-per-entry;
+/// edge tiles fall back to plain dots.
+fn gram_chunk<SA: Scalar, T: Scalar>(
+    a: &Mat<SA>,
+    b: &Mat<T>,
+    mul: impl Fn(SA, T) -> T + Copy,
+    row0: usize,
+    h: usize,
+    out: &mut [T],
+) {
+    let kc = a.cols();
+    let n = b.cols();
+    let mut j0 = 0;
+    while j0 < n {
+        let nj = (n - j0).min(4);
+        let mut i0 = 0;
+        while i0 < kc {
+            let ni = (kc - i0).min(4);
+            if ni == 4 && nj == 4 {
+                let ac = [
+                    &a.col(i0)[row0..row0 + h],
+                    &a.col(i0 + 1)[row0..row0 + h],
+                    &a.col(i0 + 2)[row0..row0 + h],
+                    &a.col(i0 + 3)[row0..row0 + h],
+                ];
+                let bc = [
+                    &b.col(j0)[row0..row0 + h],
+                    &b.col(j0 + 1)[row0..row0 + h],
+                    &b.col(j0 + 2)[row0..row0 + h],
+                    &b.col(j0 + 3)[row0..row0 + h],
+                ];
+                let mut acc = [[T::zero(); 4]; 4];
+                for r in 0..h {
+                    let av = [ac[0][r], ac[1][r], ac[2][r], ac[3][r]];
+                    let bv = [bc[0][r], bc[1][r], bc[2][r], bc[3][r]];
+                    for jj in 0..4 {
+                        for ii in 0..4 {
+                            acc[jj][ii] += mul(av[ii], bv[jj]);
+                        }
+                    }
+                }
+                for jj in 0..4 {
+                    for ii in 0..4 {
+                        out[(j0 + jj) * kc + i0 + ii] = acc[jj][ii];
+                    }
+                }
+            } else {
+                for jj in 0..nj {
+                    let bj = &b.col(j0 + jj)[row0..row0 + h];
+                    for ii in 0..ni {
+                        let ai = &a.col(i0 + ii)[row0..row0 + h];
+                        let mut acc = T::zero();
+                        for r in 0..h {
+                            acc += mul(ai[r], bj[r]);
+                        }
+                        out[(j0 + jj) * kc + i0 + ii] = acc;
+                    }
+                }
+            }
+            i0 += ni;
+        }
+        j0 += nj;
+    }
 }
 
 /// `C = A · Bᵀ` (no conjugation).
@@ -186,6 +534,10 @@ pub fn matmul_nt<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
     let (n, kb) = b.shape();
     assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
     mbrpa_obs::add("linalg.gemm_calls", 1);
+    mbrpa_obs::add(
+        "linalg.gemm_flops",
+        (2 * m * k * n * T::COMPONENTS * T::COMPONENTS) as u64,
+    );
     let mut c = Mat::zeros(m, n);
     for j in 0..n {
         let cj = c.col_mut(j);
@@ -236,48 +588,30 @@ pub fn gemm_tn_slices<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T],
 
 /// Mixed-field product `C = A · B` with real `A` and complex `B`
 /// (the Galerkin initial guess `Y₀ = Ψ(E − λI + iωI)⁻¹ΨᴴB` multiplies the
-/// real orbital block into complex coefficient matrices).
-pub fn matmul_rc(a: &Mat<f64>, b: &Mat<num_complex::Complex64>) -> Mat<num_complex::Complex64> {
-    use num_complex::Complex64;
+/// real orbital block into complex coefficient matrices). Routed through the
+/// packed microkernel; `A` is embedded into the complex field at pack time.
+pub fn matmul_rc(a: &Mat<f64>, b: &Mat<Complex64>) -> Mat<Complex64> {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
-    mbrpa_obs::add("linalg.gemm_calls", 1);
+    count_gemm::<f64, Complex64>(m, k, n);
     let mut c = Mat::zeros(m, n);
-    for j in 0..n {
-        let cj = c.col_mut(j);
-        for l in 0..k {
-            let blj: Complex64 = b[(l, j)];
-            if blj == Complex64::new(0.0, 0.0) {
-                continue;
-            }
-            for (ci, &ai) in cj.iter_mut().zip(a.col(l).iter()) {
-                *ci += blj.scale(ai);
-            }
-        }
-    }
+    gemm_driver::<f64, Complex64, 4, 4>(
+        Complex64::new(1.0, 0.0),
+        a,
+        |x| Complex64::new(x, 0.0),
+        b,
+        Complex64::new(0.0, 0.0),
+        &mut c,
+    );
     c
 }
 
 /// Mixed-field Gram product `C = Aᵀ · B` with real `A` and complex `B`.
-pub fn matmul_tn_rc(a: &Mat<f64>, b: &Mat<num_complex::Complex64>) -> Mat<num_complex::Complex64> {
-    use num_complex::Complex64;
-    let (m, k) = a.shape();
-    let (mb, n) = b.shape();
-    assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
-    mbrpa_obs::add("linalg.gemm_calls", 1);
-    let mut c = Mat::zeros(k, n);
-    for j in 0..n {
-        let bj = b.col(j);
-        for i in 0..k {
-            let ai = a.col(i);
-            let mut acc = Complex64::new(0.0, 0.0);
-            for (&x, &y) in ai.iter().zip(bj.iter()) {
-                acc += y.scale(x);
-            }
-            c[(i, j)] = acc;
-        }
-    }
+pub fn matmul_tn_rc(a: &Mat<f64>, b: &Mat<Complex64>) -> Mat<Complex64> {
+    let mut c = Mat::zeros(a.cols(), b.cols());
+    gram_checks(a, b, &c);
+    gram_driver(a, b, |x: f64, y: Complex64| y.scale(x), &mut c);
     c
 }
 
@@ -353,6 +687,16 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_zero_depth_applies_beta() {
+        let a = Mat::<f64>::zeros(3, 0);
+        let b = Mat::<f64>::zeros(0, 2);
+        let mut c = pseudo_random(3, 2, 17);
+        let expect = c.map(|x| 0.5 * x);
+        matmul_into(2.0, &a, &b, 0.5, &mut c);
+        assert!(c.max_abs_diff(&expect) < 1e-15);
+    }
+
+    #[test]
     fn gram_tn_matches_transpose_matmul() {
         let a = pseudo_random(1200, 6, 8);
         let b = pseudo_random(1200, 5, 9);
@@ -372,6 +716,15 @@ mod tests {
         assert!(c_h.max_abs_diff(&expect) < 1e-12);
         // And that the unconjugated version differs (imaginary parts present)
         assert!(c_h.max_abs_diff(&c_t) > 1e-8);
+    }
+
+    #[test]
+    fn gram_wide_hits_tiled_fast_path() {
+        let a = pseudo_random(2100, 9, 40);
+        let b = pseudo_random(2100, 7, 41);
+        let c = matmul_tn(&a, &b);
+        let expect = naive_matmul(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
     }
 
     #[test]

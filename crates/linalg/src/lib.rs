@@ -22,6 +22,7 @@ pub mod dense;
 pub mod error;
 pub mod gemm;
 pub mod lu;
+pub mod par;
 pub mod qr;
 pub mod scalar;
 pub mod svd;
@@ -32,8 +33,8 @@ pub use chol::Cholesky;
 pub use dense::Mat;
 pub use error::LinalgError;
 pub use gemm::{
-    mat_tvec, mat_vec, matmul, matmul_hn, matmul_into, matmul_nt, matmul_rc, matmul_tn,
-    matmul_tn_rc,
+    mat_tvec, mat_vec, matmul, matmul_hn, matmul_hn_into, matmul_into, matmul_nt, matmul_rc,
+    matmul_tn, matmul_tn_into, matmul_tn_rc,
 };
 pub use lu::{inverse, solve, Lu};
 pub use qr::{orthonormalize_columns, thin_qr, ThinQr};

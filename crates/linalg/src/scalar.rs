@@ -31,6 +31,10 @@ pub trait Scalar:
     + Sum
     + 'static
 {
+    /// Number of real components per scalar (1 for `f64`, 2 for
+    /// `Complex64`). A scalar multiply-add costs `COMPONENTS²` real
+    /// multiply-adds, so flop counters scale by this squared.
+    const COMPONENTS: usize;
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.
@@ -54,6 +58,7 @@ pub trait Scalar:
 }
 
 impl Scalar for f64 {
+    const COMPONENTS: usize = 1;
     #[inline(always)]
     fn zero() -> Self {
         0.0
@@ -97,6 +102,7 @@ impl Scalar for f64 {
 }
 
 impl Scalar for Complex64 {
+    const COMPONENTS: usize = 2;
     #[inline(always)]
     fn zero() -> Self {
         Complex64::new(0.0, 0.0)

@@ -531,6 +531,32 @@ impl Report {
             .unwrap_or(0)
     }
 
+    /// Derived kernel throughput rows `(label, GF/s)` computed from the
+    /// scalar-flop counters maintained by the hot kernels
+    /// (`linalg.gemm_flops`, `grid.stencil_flops`) over **total wall
+    /// time**: the sustained average rate each kernel family delivered
+    /// across the whole run. The flop counters are global while spans
+    /// cover only the instrumented call sites, so wall time is the only
+    /// denominator that matches the numerator — per-span division would
+    /// overstate the rate wherever a kernel runs outside its span.
+    /// Counters count *real* scalar flops (complex arithmetic already
+    /// expanded), so the rates are directly comparable to hardware peak;
+    /// each is a lower bound on the kernel's in-kernel throughput.
+    pub fn derived_rates(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        let mut push = |label: &str, flops: u64| {
+            if flops > 0 && self.total_wall_s > 0.0 {
+                rows.push((label.to_string(), flops as f64 * 1e-9 / self.total_wall_s));
+            }
+        };
+        push("linalg.gemm [avg GF/s]", self.counter("linalg.gemm_flops"));
+        push(
+            "grid.stencil [avg GF/s]",
+            self.counter("grid.stencil_flops"),
+        );
+        rows
+    }
+
     /// Serialise the report as versioned JSON (schema in DESIGN.md).
     /// Non-finite floats are emitted as `null`.
     pub fn to_json(&self) -> String {
@@ -630,6 +656,13 @@ impl Report {
             out.push_str(&format!("  {:<44} {:>12}\n", "counter", "total"));
             for (k, v) in &self.counters {
                 out.push_str(&format!("  {k:<44} {v:>12}\n"));
+            }
+        }
+        let rates = self.derived_rates();
+        if !rates.is_empty() {
+            out.push_str(&format!("  {:<44} {:>12}\n", "derived rate", "value"));
+            for (label, gfs) in &rates {
+                out.push_str(&format!("  {label:<44} {gfs:>12.3}\n"));
             }
         }
         out
@@ -839,6 +872,59 @@ mod tests {
         assert!(t.contains("table_leaf"));
         assert!(t.contains("table.counter"));
         assert!(t.contains('%'));
+    }
+
+    #[test]
+    fn derived_rates_compute_gflops_from_counters_and_spans() {
+        // synthetic report: 20e9 scalar GEMM flops over 10 s of wall time
+        // → 2 GF/s sustained average; 10e9 stencil flops → 1 GF/s. Spans
+        // must not affect the rates — the counters are global while spans
+        // cover only instrumented call sites.
+        let r = Report {
+            schema_version: SCHEMA_VERSION,
+            total_wall_s: 10.0,
+            spans: vec![
+                SpanEntry {
+                    path: "rayleigh_ritz/matmult".into(),
+                    total_s: 0.3,
+                    count: 4,
+                },
+                SpanEntry {
+                    path: "other/matmult".into(),
+                    total_s: 0.2,
+                    count: 1,
+                },
+            ],
+            counters: vec![
+                ("grid.stencil_flops".into(), 10_000_000_000),
+                ("linalg.gemm_flops".into(), 20_000_000_000),
+            ],
+            series: vec![],
+            traces: vec![],
+        };
+        let rates = r.derived_rates();
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates[0].0, "linalg.gemm [avg GF/s]");
+        assert!((rates[0].1 - 2.0).abs() < 1e-9, "gemm rate {}", rates[0].1);
+        assert_eq!(rates[1].0, "grid.stencil [avg GF/s]");
+        assert!(
+            (rates[1].1 - 1.0).abs() < 1e-9,
+            "stencil rate {}",
+            rates[1].1
+        );
+        assert!(r.summary_table().contains("derived rate"));
+
+        // no flop counters → no derived rows, no header
+        let empty = Report {
+            schema_version: SCHEMA_VERSION,
+            total_wall_s: 1.0,
+            spans: vec![],
+            counters: vec![],
+            series: vec![],
+            traces: vec![],
+        };
+        assert!(empty.derived_rates().is_empty());
+        assert!(!empty.summary_table().contains("derived rate"));
     }
 
     /// Minimal recursive-descent JSON validator — enough to prove the

@@ -16,10 +16,18 @@
 //! estimate and perform a restart from the current iterate; optional column
 //! deflation narrows the block when some right-hand sides converge early,
 //! the practical answer to the deflation caveat the paper raises in §II.
+//!
+//! The iteration loop is allocation-free in steady state: every
+//! per-iteration temporary (`U = A·P`, the Gram matrices, the `s × s`
+//! equilibrated solves, the direction update) draws from a [`Workspace`]
+//! buffer pool, so repeated per-frequency solves touch the allocator only
+//! while warming the pool. [`block_cocg`] uses the calling thread's
+//! persistent pool; [`block_cocg_ws`] accepts an explicit one.
 
 use crate::operator::LinearOperator;
 use crate::stats::SolveReport;
-use mbrpa_linalg::{matmul, matmul_into, matmul_tn, Lu, Mat, C64};
+use crate::workspace::{with_thread_workspace, Workspace};
+use mbrpa_linalg::{matmul_into, matmul_tn_into, Mat, C64};
 
 /// Options for [`block_cocg`].
 #[derive(Clone, Copy, Debug)]
@@ -63,43 +71,158 @@ impl CocgOptions {
     }
 }
 
+/// Reusable non-`C64` scratch for the in-place equilibrated `s × s`
+/// solves: equilibration factors and the pivot permutation. Allocated
+/// once per solve call, reused every iteration.
+struct GaussScratch {
+    scale: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl GaussScratch {
+    fn with_capacity(s: usize) -> Self {
+        Self {
+            scale: Vec::with_capacity(s),
+            perm: Vec::with_capacity(s),
+        }
+    }
+}
+
 /// Solve the `s×s` system `G X = R` after symmetric diagonal equilibration
 /// `G̃ = S G S` with `S = diag(1/√|g_jj|)`: block residual columns converge
 /// at different rates, so raw Gram matrices are badly scaled long before
-/// they are genuinely rank-deficient. Returns `None` on a true breakdown.
-fn equilibrated_solve(g: &Mat<C64>, r: &Mat<C64>, rcond_floor: f64) -> Option<Mat<C64>> {
+/// they are genuinely rank-deficient. Returns `false` on a true breakdown
+/// (exactly-zero pivot or pivot ratio at/below `rcond_floor`), leaving
+/// `out` unspecified.
+///
+/// The factorization is a partial-pivoting Gauss elimination performed in
+/// a pooled buffer, arithmetic-for-arithmetic identical to
+/// `Lu::factor` + `solve_mat` (same pivot choices, same physical row
+/// swaps, same update order) so results match the allocating path
+/// bitwise — without the per-iteration `Mat` and permutation allocations.
+fn equilibrated_solve_into(
+    g: &Mat<C64>,
+    r: &Mat<C64>,
+    rcond_floor: f64,
+    ws: &mut Workspace<C64>,
+    scratch: &mut GaussScratch,
+    out: &mut Mat<C64>,
+) -> bool {
     let s = g.rows();
-    let mut scale = vec![1.0f64; s];
+    debug_assert_eq!(g.cols(), s);
+    debug_assert_eq!(r.rows(), s);
+    debug_assert_eq!(out.shape(), (s, r.cols()));
+    let zero = C64::new(0.0, 0.0);
+
+    let scale = &mut scratch.scale;
+    scale.clear();
+    scale.resize(s, 1.0);
     for (j, sc) in scale.iter_mut().enumerate() {
         let d = g[(j, j)].norm();
         if d > 0.0 {
             *sc = 1.0 / d.sqrt();
         }
     }
-    let g_tilde = Mat::from_fn(s, s, |i, j| g[(i, j)].scale(scale[i] * scale[j]));
-    let lu = Lu::factor(&g_tilde).ok()?;
-    if lu.rcond_estimate() <= rcond_floor {
-        return None;
-    }
-    // X = S · G̃⁻¹ · (S R)
-    let mut sr = r.clone();
-    for j in 0..sr.cols() {
-        for (i, v) in sr.col_mut(j).iter_mut().enumerate() {
-            *v = v.scale(scale[i]);
+
+    // G̃ = S G S, built and factored in one pooled buffer.
+    let mut lu = ws.take_zeroed(s, s);
+    for j in 0..s {
+        for i in 0..s {
+            lu[(i, j)] = g[(i, j)].scale(scale[i] * scale[j]);
         }
     }
-    let mut x = lu.solve_mat(&sr);
-    for j in 0..x.cols() {
-        for (i, v) in x.col_mut(j).iter_mut().enumerate() {
-            *v = v.scale(scale[i]);
+    let perm = &mut scratch.perm;
+    perm.clear();
+    perm.extend(0..s);
+    let mut min_pivot = f64::INFINITY;
+    let mut max_pivot: f64 = 0.0;
+    let mut ok = true;
+    for kcol in 0..s {
+        // pivot search in column kcol, rows kcol..
+        let mut best = kcol;
+        let mut best_abs = lu[(kcol, kcol)].norm();
+        for i in kcol + 1..s {
+            let v = lu[(i, kcol)].norm();
+            if v > best_abs {
+                best = i;
+                best_abs = v;
+            }
+        }
+        if best_abs == 0.0 {
+            ok = false;
+            break;
+        }
+        min_pivot = min_pivot.min(best_abs);
+        max_pivot = max_pivot.max(best_abs);
+        if best != kcol {
+            perm.swap(kcol, best);
+            for j in 0..s {
+                let tmp = lu[(kcol, j)];
+                lu[(kcol, j)] = lu[(best, j)];
+                lu[(best, j)] = tmp;
+            }
+        }
+        let pivot = lu[(kcol, kcol)];
+        for i in kcol + 1..s {
+            let lik = lu[(i, kcol)] / pivot;
+            lu[(i, kcol)] = lik;
+            if lik != zero {
+                for j in kcol + 1..s {
+                    let ukj = lu[(kcol, j)];
+                    lu[(i, j)] -= lik * ukj;
+                }
+            }
         }
     }
-    Some(x)
+    let rcond = if max_pivot == 0.0 {
+        0.0
+    } else {
+        min_pivot / max_pivot
+    };
+    if ok && rcond <= rcond_floor {
+        ok = false;
+    }
+
+    if ok {
+        // X = S · G̃⁻¹ · P · (S R), column by column into `out`.
+        for j in 0..r.cols() {
+            let col = out.col_mut(j);
+            for (i, v) in col.iter_mut().enumerate() {
+                let src = perm[i];
+                *v = r[(src, j)].scale(scale[src]);
+            }
+            // forward substitution with unit lower L
+            for i in 1..s {
+                let mut acc = col[i];
+                for k in 0..i {
+                    acc -= lu[(i, k)] * col[k];
+                }
+                col[i] = acc;
+            }
+            // back substitution with U
+            for i in (0..s).rev() {
+                let mut acc = col[i];
+                for k in i + 1..s {
+                    acc -= lu[(i, k)] * col[k];
+                }
+                col[i] = acc / lu[(i, i)];
+            }
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = v.scale(scale[i]);
+            }
+        }
+    }
+    ws.give(lu);
+    ok
 }
 
 /// Solve `A Y = B` for a block of right-hand sides with block COCG.
 /// Returns the iterate and a [`SolveReport`]. A `None` initial guess means
 /// `Y₀ = 0`.
+///
+/// Uses the calling thread's persistent [`Workspace`] pool, so repeated
+/// solves (one per frequency point) run allocation-free after the first;
+/// see [`block_cocg_ws`] to manage the pool explicitly.
 ///
 /// ```
 /// use mbrpa_linalg::{Mat, C64};
@@ -122,6 +245,22 @@ pub fn block_cocg(
     x0: Option<&Mat<C64>>,
     opts: &CocgOptions,
 ) -> (Mat<C64>, SolveReport) {
+    with_thread_workspace(|ws| block_cocg_ws(op, b, x0, opts, ws))
+}
+
+/// [`block_cocg`] with an explicit [`Workspace`] buffer pool.
+///
+/// All per-iteration temporaries are taken from (and returned to) `ws`;
+/// the pool is left balanced on exit, holding every buffer the solve
+/// warmed up, so back-to-back calls at the same problem shape perform no
+/// steady-state heap allocation.
+pub fn block_cocg_ws(
+    op: &dyn LinearOperator<C64>,
+    b: &Mat<C64>,
+    x0: Option<&Mat<C64>>,
+    opts: &CocgOptions,
+    ws: &mut Workspace<C64>,
+) -> (Mat<C64>, SolveReport) {
     let n = op.dim();
     let s_total = b.cols();
     assert_eq!(b.rows(), n, "rhs dimension mismatch");
@@ -135,7 +274,11 @@ pub fn block_cocg(
     if obs_on {
         mbrpa_obs::add("solver.cocg.solves", 1);
     }
-    let mut obs_hist: Vec<f64> = Vec::new();
+    let mut obs_hist: Vec<f64> = if obs_on {
+        Vec::with_capacity(opts.max_iters + 2)
+    } else {
+        Vec::new()
+    };
 
     let b_fro = b.fro_norm();
     if b_fro == 0.0 || s_total == 0 {
@@ -158,31 +301,37 @@ pub fn block_cocg(
         None => Mat::zeros(n, s_total),
     };
 
-    // Active column bookkeeping.
+    // Active column bookkeeping (rebuilt in place on deflation).
     let mut active: Vec<usize> = (0..s_total).collect();
-    let mut b_a = b.clone();
-    let mut x_a = x_full.clone();
+    let mut keep: Vec<usize> = Vec::with_capacity(s_total);
+    let mut w_norms: Vec<f64> = Vec::with_capacity(s_total);
+    let mut scratch = GaussScratch::with_capacity(s_total);
+    let mut b_a = ws.take_copy(b);
+    let mut x_a = ws.take_copy(&x_full);
 
     // W = B − A·X (skip the operator application for a zero guess).
     let mut w = if x0.is_some() {
-        let mut ax = Mat::zeros(n, s_total);
+        let mut ax = ws.take_zeroed(n, s_total);
         op.apply_block(&x_a, &mut ax);
         report.matvecs += s_total;
         if obs_on {
             mbrpa_obs::add("solver.cocg.matvecs", s_total as u64);
         }
-        let mut w = b_a.clone();
+        let mut w = ws.take_copy(&b_a);
         w.axpy(-C64::new(1.0, 0.0), &ax);
+        ws.give(ax);
         w
     } else {
-        b_a.clone()
+        ws.take_copy(&b_a)
     };
 
-    let mut rho = matmul_tn(&w, &w);
+    let mut rho = ws.take_zeroed(s_total, s_total);
+    matmul_tn_into(&w, &w, &mut rho);
     let mut p: Mat<C64> = Mat::zeros(n, 0);
     let mut restart = true; // first iteration: P = W
 
     let one = C64::new(1.0, 0.0);
+    let zero = C64::new(0.0, 0.0);
 
     loop {
         // Global convergence check (Eq. 10 over the full block: deflated
@@ -205,8 +354,11 @@ pub fn block_cocg(
 
         // Optional deflation: retire individually-converged columns.
         if opts.deflate && active.len() > 1 {
-            let w_norms = w.col_norms();
-            let mut keep: Vec<usize> = Vec::with_capacity(active.len());
+            w_norms.clear();
+            for j in 0..w.cols() {
+                w_norms.push(w.col(j).iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt());
+            }
+            keep.clear();
             for (local, &global) in active.iter().enumerate() {
                 if w_norms[local] <= opts.tol * b_col_norms[global].max(f64::MIN_POSITIVE) {
                     x_full.set_columns(global, &x_a.columns(local, 1));
@@ -219,26 +371,29 @@ pub fn block_cocg(
                     mbrpa_obs::add("solver.cocg.deflations", (active.len() - keep.len()) as u64);
                 }
                 if keep.is_empty() {
+                    // Every active column retired; `x_full` already holds
+                    // them all, so the post-loop scatter is a no-op.
                     report.converged = true;
                     report.relative_residual = res;
-                    if obs_on {
-                        let label = mbrpa_obs::context_label().unwrap_or_default();
-                        mbrpa_obs::record_trace("cocg.residual", &label, &obs_hist);
-                    }
-                    return (x_full, report);
+                    break;
                 }
-                let select = |m: &Mat<C64>| -> Mat<C64> {
-                    let mut out = Mat::zeros(n, keep.len());
+                let select = |ws: &mut Workspace<C64>, m: &mut Mat<C64>, keep: &[usize]| {
+                    let mut out = ws.take_zeroed(n, keep.len());
                     for (newj, &oldj) in keep.iter().enumerate() {
                         out.col_mut(newj).copy_from_slice(m.col(oldj));
                     }
-                    out
+                    ws.give(std::mem::replace(m, out));
                 };
-                b_a = select(&b_a);
-                x_a = select(&x_a);
-                w = select(&w);
-                active = keep.iter().map(|&l| active[l]).collect();
-                rho = matmul_tn(&w, &w);
+                select(ws, &mut b_a, &keep);
+                select(ws, &mut x_a, &keep);
+                select(ws, &mut w, &keep);
+                for (newl, &l) in keep.iter().enumerate() {
+                    active[newl] = active[l];
+                }
+                active.truncate(keep.len());
+                let rho_new = ws.take_zeroed(keep.len(), keep.len());
+                ws.give(std::mem::replace(&mut rho, rho_new));
+                matmul_tn_into(&w, &w, &mut rho);
                 restart = true;
             }
         }
@@ -246,81 +401,107 @@ pub fn block_cocg(
         // Line 5: P ← W + P·β (β folded into `p` before this point; after
         // a restart, P = W).
         if restart {
-            p = w.clone();
+            let p_new = ws.take_copy(&w);
+            ws.give(std::mem::replace(&mut p, p_new));
             restart = false;
         }
+        let sw = p.cols();
 
         // Line 6: U = A·P.
-        let mut u = Mat::zeros(n, p.cols());
+        let mut u = ws.take_zeroed(n, sw);
         op.apply_block(&p, &mut u);
-        report.matvecs += p.cols();
+        report.matvecs += sw;
         if obs_on {
-            mbrpa_obs::add("solver.cocg.matvecs", p.cols() as u64);
+            mbrpa_obs::add("solver.cocg.matvecs", sw as u64);
         }
 
         // Line 7: μ = UᵀP (= PᵀAP, complex symmetric).
-        let mu = matmul_tn(&u, &p);
+        let mut mu = ws.take_zeroed(sw, sw);
+        matmul_tn_into(&u, &p, &mut mu);
 
         // Line 8: α = μ⁻¹ρ, guarded against breakdown.
-        let alpha = match equilibrated_solve(&mu, &rho, opts.breakdown_rcond) {
-            Some(a) => a,
-            None => {
-                report.breakdowns += 1;
-                report.iterations += 1;
-                if obs_on {
-                    mbrpa_obs::add("solver.cocg.breakdowns", 1);
-                    mbrpa_obs::add("solver.cocg.iterations", 1);
-                }
-                if report.breakdowns > opts.max_breakdowns {
-                    break;
-                }
-                // restart: fresh residual from the current iterate
-                let mut ax = Mat::zeros(n, x_a.cols());
-                op.apply_block(&x_a, &mut ax);
-                report.matvecs += x_a.cols();
-                if obs_on {
-                    mbrpa_obs::add("solver.cocg.matvecs", x_a.cols() as u64);
-                }
-                w = b_a.clone();
-                w.axpy(-one, &ax);
-                rho = matmul_tn(&w, &w);
-                restart = true;
-                continue;
+        let mut alpha = ws.take_zeroed(sw, sw);
+        let alpha_ok = equilibrated_solve_into(
+            &mu,
+            &rho,
+            opts.breakdown_rcond,
+            ws,
+            &mut scratch,
+            &mut alpha,
+        );
+        ws.give(mu);
+        if !alpha_ok {
+            ws.give(alpha);
+            ws.give(u);
+            report.breakdowns += 1;
+            report.iterations += 1;
+            if obs_on {
+                mbrpa_obs::add("solver.cocg.breakdowns", 1);
+                mbrpa_obs::add("solver.cocg.iterations", 1);
             }
-        };
+            if report.breakdowns > opts.max_breakdowns {
+                break;
+            }
+            // restart: fresh residual from the current iterate
+            let mut ax = ws.take_zeroed(n, x_a.cols());
+            op.apply_block(&x_a, &mut ax);
+            report.matvecs += x_a.cols();
+            if obs_on {
+                mbrpa_obs::add("solver.cocg.matvecs", x_a.cols() as u64);
+            }
+            w.as_mut_slice().copy_from_slice(b_a.as_slice());
+            w.axpy(-one, &ax);
+            ws.give(ax);
+            matmul_tn_into(&w, &w, &mut rho);
+            restart = true;
+            continue;
+        }
 
         // Line 9: Y ← Y + P·α.
         matmul_into(one, &p, &alpha, one, &mut x_a);
         // Line 10: W ← W − U·α.
         matmul_into(-one, &u, &alpha, one, &mut w);
+        ws.give(alpha);
+        ws.give(u);
 
         // Line 11: ρ₊ = WᵀW.
-        let rho_next = matmul_tn(&w, &w);
+        let mut rho_next = ws.take_zeroed(sw, sw);
+        matmul_tn_into(&w, &w, &mut rho_next);
 
         // Line 12: β = ρ⁻¹ρ₊, then fold into P for the next iteration.
-        match equilibrated_solve(&rho, &rho_next, opts.breakdown_rcond) {
-            Some(beta) => {
-                // P ← W + P·β for the next round (line 5, precomputed)
-                let mut p_next = matmul(&p, &beta);
-                p_next.axpy(one, &w);
-                p = p_next;
+        let mut beta = ws.take_zeroed(sw, sw);
+        let beta_ok = equilibrated_solve_into(
+            &rho,
+            &rho_next,
+            opts.breakdown_rcond,
+            ws,
+            &mut scratch,
+            &mut beta,
+        );
+        if beta_ok {
+            // P ← W + P·β for the next round (line 5, precomputed)
+            let mut p_next = ws.take_zeroed(n, sw);
+            matmul_into(one, &p, &beta, zero, &mut p_next);
+            p_next.axpy(one, &w);
+            ws.give(std::mem::replace(&mut p, p_next));
+            ws.give(beta);
+        } else {
+            ws.give(beta);
+            report.breakdowns += 1;
+            if obs_on {
+                mbrpa_obs::add("solver.cocg.breakdowns", 1);
             }
-            None => {
-                report.breakdowns += 1;
+            if report.breakdowns > opts.max_breakdowns {
+                report.iterations += 1;
                 if obs_on {
-                    mbrpa_obs::add("solver.cocg.breakdowns", 1);
+                    mbrpa_obs::add("solver.cocg.iterations", 1);
                 }
-                if report.breakdowns > opts.max_breakdowns {
-                    report.iterations += 1;
-                    if obs_on {
-                        mbrpa_obs::add("solver.cocg.iterations", 1);
-                    }
-                    break;
-                }
-                restart = true;
+                ws.give(rho_next);
+                break;
             }
+            restart = true;
         }
-        rho = rho_next;
+        ws.give(std::mem::replace(&mut rho, rho_next));
         report.iterations += 1;
         if obs_on {
             mbrpa_obs::add("solver.cocg.iterations", 1);
@@ -337,6 +518,11 @@ pub fn block_cocg(
     for (local, &global) in active.iter().enumerate() {
         x_full.set_columns(global, &x_a.columns(local, 1));
     }
+    ws.give(b_a);
+    ws.give(x_a);
+    ws.give(w);
+    ws.give(p);
+    ws.give(rho);
 
     // Persistent breakdowns with s > 1 mean the block residuals became
     // linearly dependent faster than the recurrence could use them: split
@@ -355,7 +541,7 @@ pub fn block_cocg(
             for (start, count) in [(0, half), (half, s_total - half)] {
                 let b_sub = b.columns(start, count);
                 let g_sub = x_full.columns(start, count);
-                let (x_sub, rep) = block_cocg(op, &b_sub, Some(&g_sub), &sub_opts);
+                let (x_sub, rep) = block_cocg_ws(op, &b_sub, Some(&g_sub), &sub_opts, ws);
                 x_full.set_columns(start, &x_sub);
                 report.iterations += rep.iterations;
                 report.matvecs += rep.matvecs;
@@ -406,6 +592,7 @@ pub fn true_relative_residual(op: &dyn LinearOperator<C64>, b: &Mat<C64>, x: &Ma
 mod tests {
     use super::*;
     use crate::operator::DenseOperator;
+    use mbrpa_linalg::Lu;
 
     /// Random complex-symmetric, diagonally shifted test matrix
     /// `A = S + (d + iω)I` mimicking the Sternheimer structure.
@@ -596,5 +783,140 @@ mod tests {
             report.relative_residual,
             true_res
         );
+    }
+
+    /// The pooled in-place Gauss solve must reproduce the allocating
+    /// `Lu::factor` + `solve_mat` path bitwise (same pivoting, same
+    /// arithmetic order), including the equilibration wrapper.
+    #[test]
+    fn inplace_gauss_matches_lu_bitwise() {
+        for seed in [3u64, 19, 71, 205] {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) - 0.5
+            };
+            let s = 6;
+            let g0 = Mat::from_fn(s, s, |_, _| C64::new(next(), next()));
+            // complex-symmetric with a spread of diagonal magnitudes, so
+            // equilibration and pivoting both do real work
+            let g = Mat::from_fn(s, s, |i, j| {
+                let sym = (g0[(i, j)] + g0[(j, i)]).scale(0.5);
+                if i == j {
+                    sym + C64::new(10.0_f64.powi(i as i32 - 3), 0.4)
+                } else {
+                    sym
+                }
+            });
+            let r = Mat::from_fn(s, s, |_, _| C64::new(next(), next()));
+
+            // reference: the original allocating implementation
+            let mut scale = vec![1.0f64; s];
+            for (j, sc) in scale.iter_mut().enumerate() {
+                let d = g[(j, j)].norm();
+                if d > 0.0 {
+                    *sc = 1.0 / d.sqrt();
+                }
+            }
+            let g_tilde = Mat::from_fn(s, s, |i, j| g[(i, j)].scale(scale[i] * scale[j]));
+            let lu = Lu::factor(&g_tilde).unwrap();
+            assert!(lu.rcond_estimate() > 1e-13);
+            let mut sr = r.clone();
+            for j in 0..sr.cols() {
+                for (i, v) in sr.col_mut(j).iter_mut().enumerate() {
+                    *v = v.scale(scale[i]);
+                }
+            }
+            let mut expect = lu.solve_mat(&sr);
+            for j in 0..expect.cols() {
+                for (i, v) in expect.col_mut(j).iter_mut().enumerate() {
+                    *v = v.scale(scale[i]);
+                }
+            }
+
+            let mut ws = Workspace::new();
+            let mut scratch = GaussScratch::with_capacity(s);
+            let mut got = ws.take_zeroed(s, s);
+            assert!(equilibrated_solve_into(
+                &g,
+                &r,
+                1e-13,
+                &mut ws,
+                &mut scratch,
+                &mut got
+            ));
+            assert_eq!(got, expect, "seed {seed}");
+            ws.give(got);
+        }
+    }
+
+    /// Singular and near-singular Gram matrices must be rejected exactly
+    /// like the `Lu`-based path: zero pivot or tiny pivot ratio.
+    #[test]
+    fn inplace_gauss_flags_breakdown() {
+        let mut ws = Workspace::new();
+        let mut scratch = GaussScratch::with_capacity(3);
+        let mut out = ws.take_zeroed(3, 1);
+        // rank-1: exactly singular
+        let g = Mat::from_fn(3, 3, |i, j| C64::new(((i + 1) * (j + 1)) as f64, 0.0));
+        let r = Mat::from_fn(3, 1, |i, _| C64::new(i as f64, 0.0));
+        assert!(!equilibrated_solve_into(
+            &g,
+            &r,
+            1e-13,
+            &mut ws,
+            &mut scratch,
+            &mut out
+        ));
+        // well-conditioned but rejected by an aggressive rcond floor
+        let id = Mat::from_fn(3, 3, |i, j| {
+            if i == j {
+                C64::new(1.0, 0.0)
+            } else {
+                C64::new(0.0, 0.0)
+            }
+        });
+        assert!(!equilibrated_solve_into(
+            &id,
+            &r,
+            1.0,
+            &mut ws,
+            &mut scratch,
+            &mut out
+        ));
+        assert!(equilibrated_solve_into(
+            &id,
+            &r,
+            1e-13,
+            &mut ws,
+            &mut scratch,
+            &mut out
+        ));
+        assert_eq!(out, r);
+        ws.give(out);
+    }
+
+    /// A second solve at the same shape must be served entirely from the
+    /// pool: the workspace's fresh-allocation count stays flat.
+    #[test]
+    fn repeat_solves_reuse_the_workspace_pool() {
+        let op = test_operator(40, 5.0, 1.0, 31);
+        let b = rand_rhs(40, 4, 32);
+        let opts = CocgOptions::with_tol(1e-10);
+        let mut ws = Workspace::new();
+        let (_, r1) = block_cocg_ws(&op, &b, None, &opts, &mut ws);
+        assert!(r1.converged);
+        let warm = ws.fresh_allocs();
+        assert!(warm > 0);
+        let (x, r2) = block_cocg_ws(&op, &b, None, &opts, &mut ws);
+        assert!(r2.converged);
+        assert_eq!(
+            ws.fresh_allocs(),
+            warm,
+            "warm solve must not take fresh buffers"
+        );
+        assert!(true_relative_residual(&op, &b, &x) < 1e-8);
     }
 }

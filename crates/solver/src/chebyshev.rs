@@ -8,6 +8,7 @@
 //! keeps intermediate blocks well-conditioned at high degree.
 
 use crate::operator::LinearOperator;
+use crate::workspace::{with_thread_workspace, Workspace};
 use mbrpa_linalg::{Mat, Scalar};
 
 /// Apply the degree-`m` scaled Chebyshev filter to a block:
@@ -17,6 +18,11 @@ use mbrpa_linalg::{Mat, Scalar};
 ///
 /// Degree 0 returns `X` unchanged; degree 1 applies the shifted-scaled
 /// operator once.
+///
+/// The three-term recurrence buffers draw from the calling thread's
+/// persistent [`Workspace`] pool, so repeated filter sweeps (one per
+/// subspace-iteration step) allocate only the returned block; see
+/// [`chebyshev_filter_ws`] to manage the pool explicitly.
 pub fn chebyshev_filter<T: Scalar>(
     op: &dyn LinearOperator<T>,
     x: &Mat<T>,
@@ -24,6 +30,26 @@ pub fn chebyshev_filter<T: Scalar>(
     a: f64,
     b: f64,
     a0: f64,
+) -> Mat<T> {
+    with_thread_workspace(|ws| chebyshev_filter_ws(op, x, degree, a, b, a0, ws))
+}
+
+/// [`chebyshev_filter`] with an explicit [`Workspace`] buffer pool.
+///
+/// The recurrence temporaries (`X_prev` and the update scratch) are taken
+/// from and returned to `ws`; only the filtered block itself is a fresh
+/// allocation (it is handed to the caller). Because the three-term swap
+/// rotates buffers, the pooled backing stores are interchangeable — the
+/// pool stays balanced even though a different physical buffer may come
+/// back than went out.
+pub fn chebyshev_filter_ws<T: Scalar>(
+    op: &dyn LinearOperator<T>,
+    x: &Mat<T>,
+    degree: usize,
+    a: f64,
+    b: f64,
+    a0: f64,
+    ws: &mut Workspace<T>,
 ) -> Mat<T> {
     assert!(b > a, "filter interval must satisfy a < b (got [{a}, {b}])");
     let n = op.dim();
@@ -52,9 +78,12 @@ pub fn chebyshev_filter<T: Scalar>(
     for (yv, xv) in y.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
         *yv = (*yv - xv.scale(c)).scale(s1e);
     }
+    if degree == 1 {
+        return y;
+    }
 
-    let mut x_prev = x.clone();
-    let mut work = Mat::zeros(n, x.cols());
+    let mut x_prev = ws.take_copy(x);
+    let mut work = ws.take_zeroed(n, x.cols());
     for _ in 2..=degree {
         let sigma2 = 1.0 / (2.0 / sigma1 - sigma);
         // Y_new = 2(σ₂/e)(A·Y − c·Y) − (σ·σ₂)·X_prev
@@ -77,6 +106,8 @@ pub fn chebyshev_filter<T: Scalar>(
         std::mem::swap(&mut y, &mut work); // y ← new iterate
         sigma = sigma2;
     }
+    ws.give(x_prev);
+    ws.give(work);
     y
 }
 

@@ -27,9 +27,10 @@ pub mod precond;
 pub mod qmr;
 pub mod seed;
 pub mod stats;
+pub mod workspace;
 
-pub use block_cocg::{block_cocg, cocg, true_relative_residual, CocgOptions};
-pub use chebyshev::chebyshev_filter;
+pub use block_cocg::{block_cocg, block_cocg_ws, cocg, true_relative_residual, CocgOptions};
+pub use chebyshev::{chebyshev_filter, chebyshev_filter_ws};
 pub use dynamic_block::{solve_multi_rhs, solve_multi_rhs_pre, BlockPolicy, MultiRhsOutcome};
 pub use gmres::{gmres, gmres_block, GmresOptions};
 pub use initial_guess::galerkin_guess;
@@ -38,3 +39,4 @@ pub use precond::{block_pcocg, IdentityPreconditioner, Preconditioner};
 pub use qmr::{qmr_sym, QmrOptions};
 pub use seed::{seed_cocg, SeedReport};
 pub use stats::{BlockSizeHistogram, SolveReport, WorkerStats};
+pub use workspace::{with_thread_workspace, Workspace};

@@ -1,0 +1,245 @@
+//! Reusable buffer pool for allocation-free solver steady state.
+//!
+//! The block COCG and Chebyshev inner loops are called once per frequency
+//! point and per SCF step, thousands of times in a production RPA run
+//! (§III-B cost model). Their per-iteration temporaries (`U = A·P`, Gram
+//! matrices, direction updates, three-term recurrence blocks) are all
+//! dense column-major buffers of a handful of recurring shapes, so a tiny
+//! free-list pool amortizes every one of them: after the first iteration
+//! warms the pool, the steady-state loop performs no heap allocation.
+//!
+//! [`Workspace`] is deliberately dumb — a LIFO stack of `Vec<T>` backing
+//! stores with best-fit reuse — because the solver shapes are few and
+//! stable. [`with_thread_workspace`] keeps one pool per scalar type per
+//! thread so independent per-frequency solver partitions never contend.
+
+use mbrpa_linalg::{Mat, Scalar};
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A free-list pool of matrix backing buffers for one scalar type.
+///
+/// `take_*` methods hand out a [`Mat`] built from a recycled buffer when
+/// one with sufficient capacity is available, allocating (and counting)
+/// a fresh one otherwise; [`give`](Workspace::give) returns the backing
+/// store for reuse. Buffers keep their high-water capacity, so a loop
+/// with stable shapes allocates only on its first pass.
+#[derive(Debug)]
+pub struct Workspace<T: Scalar> {
+    free: Vec<Vec<T>>,
+    fresh_allocs: u64,
+}
+
+impl<T: Scalar> Default for Workspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> Workspace<T> {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self {
+            free: Vec::new(),
+            fresh_allocs: 0,
+        }
+    }
+
+    /// Number of times a `take_*` call could not be served from the free
+    /// list and had to touch the allocator (fresh buffer or growth).
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Buffers currently parked in the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pop the best-fitting free buffer for `len` elements, or allocate.
+    fn take_vec(&mut self, len: usize) -> Vec<T> {
+        // Best fit: smallest capacity that still holds `len`, so a small
+        // Gram-matrix request does not strip the pool of an n×s block.
+        let mut best: Option<(usize, usize)> = None;
+        for (idx, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((idx, cap));
+            }
+        }
+        match best {
+            Some((idx, _)) => self.free.swap_remove(idx),
+            None => {
+                self.fresh_allocs += 1;
+                mbrpa_obs::add("solver.workspace.fresh_allocs", 1);
+                match self.free.pop() {
+                    // Grow the largest parked buffer rather than leaving
+                    // it stranded below every future request size.
+                    Some(mut buf) => {
+                        buf.reserve(len.saturating_sub(buf.len()));
+                        buf
+                    }
+                    None => Vec::with_capacity(len),
+                }
+            }
+        }
+    }
+
+    /// Take a zero-filled `rows × cols` matrix from the pool.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Mat<T> {
+        let mut v = self.take_vec(rows * cols);
+        v.clear();
+        v.resize(rows * cols, T::zero());
+        Mat::from_col_major(rows, cols, v)
+    }
+
+    /// Take a matrix from the pool initialized as a copy of `src`.
+    pub fn take_copy(&mut self, src: &Mat<T>) -> Mat<T> {
+        let mut v = self.take_vec(src.as_slice().len());
+        v.clear();
+        v.extend_from_slice(src.as_slice());
+        Mat::from_col_major(src.rows(), src.cols(), v)
+    }
+
+    /// Return a matrix's backing buffer to the pool.
+    pub fn give(&mut self, m: Mat<T>) {
+        let v = m.into_vec();
+        if v.capacity() > 0 {
+            self.free.push(v);
+        }
+    }
+
+    /// Merge another pool's buffers (and its allocation count) into this
+    /// one; used when a temporarily checked-out thread workspace returns.
+    fn absorb(&mut self, mut other: Workspace<T>) {
+        self.free.append(&mut other.free);
+        self.fresh_allocs += other.fresh_allocs;
+    }
+}
+
+thread_local! {
+    /// One `Workspace<T>` per scalar type per thread, keyed by `TypeId`.
+    static WS_POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Run `f` with this thread's persistent [`Workspace<T>`].
+///
+/// The pool is checked out (moved) for the duration of `f`, so reentrant
+/// calls are safe: an inner call simply starts from an empty pool and its
+/// buffers are merged back afterwards. Buffers survive across calls, which
+/// is what makes repeated per-frequency solves allocation-free.
+pub fn with_thread_workspace<T: Scalar, R>(f: impl FnOnce(&mut Workspace<T>) -> R) -> R {
+    let mut ws: Workspace<T> = WS_POOL.with(|pool| {
+        let mut map = pool.borrow_mut();
+        let slot = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Workspace::<T>::new()) as Box<dyn Any>);
+        std::mem::take(
+            slot.downcast_mut::<Workspace<T>>()
+                .expect("workspace slot type"),
+        )
+    });
+    let out = f(&mut ws);
+    WS_POOL.with(|pool| {
+        let mut map = pool.borrow_mut();
+        if let Some(slot) = map.get_mut(&TypeId::of::<T>()) {
+            if let Some(parked) = slot.downcast_mut::<Workspace<T>>() {
+                parked.absorb(ws);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbrpa_linalg::C64;
+
+    #[test]
+    fn round_trip_reuses_backing_buffer() {
+        let mut ws = Workspace::<f64>::new();
+        let a = ws.take_zeroed(8, 4);
+        assert_eq!(ws.fresh_allocs(), 1);
+        ws.give(a);
+        let b = ws.take_zeroed(4, 8); // same size, different shape
+        assert_eq!(ws.fresh_allocs(), 1, "shape change must not allocate");
+        assert_eq!(b.shape(), (4, 8));
+        ws.give(b);
+        let c = ws.take_zeroed(2, 2); // smaller: still served from pool
+        assert_eq!(ws.fresh_allocs(), 1);
+        ws.give(c);
+    }
+
+    #[test]
+    fn take_zeroed_clears_recycled_contents() {
+        let mut ws = Workspace::<f64>::new();
+        let mut a = ws.take_zeroed(3, 3);
+        a.fill(7.5);
+        ws.give(a);
+        let b = ws.take_zeroed(3, 3);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut ws = Workspace::<C64>::new();
+        let src = Mat::from_fn(5, 2, |i, j| C64::new(i as f64, j as f64));
+        let cp = ws.take_copy(&src);
+        assert_eq!(cp, src);
+        ws.give(cp);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::<f64>::new();
+        let big = ws.take_zeroed(100, 1);
+        let small = ws.take_zeroed(10, 1);
+        ws.give(big);
+        ws.give(small);
+        let m = ws.take_zeroed(10, 1);
+        assert!(m.as_slice().len() <= 10);
+        // the 100-element buffer must still be parked for a later big take
+        let again = ws.take_zeroed(100, 1);
+        assert_eq!(ws.fresh_allocs(), 2, "both takes served from the pool");
+        ws.give(m);
+        ws.give(again);
+    }
+
+    #[test]
+    fn thread_workspace_persists_between_calls() {
+        // unique shape to avoid interference from other tests on this thread
+        let allocs_before = with_thread_workspace(|ws: &mut Workspace<f64>| {
+            let m = ws.take_zeroed(17, 13);
+            let n = ws.fresh_allocs();
+            ws.give(m);
+            n
+        });
+        let allocs_after = with_thread_workspace(|ws: &mut Workspace<f64>| {
+            let m = ws.take_zeroed(17, 13);
+            let n = ws.fresh_allocs();
+            ws.give(m);
+            n
+        });
+        assert_eq!(
+            allocs_after, allocs_before,
+            "second checkout must reuse the pooled buffer"
+        );
+    }
+
+    #[test]
+    fn reentrant_checkout_is_safe_and_merges_back() {
+        with_thread_workspace(|outer: &mut Workspace<f64>| {
+            let held = outer.take_zeroed(6, 6);
+            let inner_pooled = with_thread_workspace(|inner: &mut Workspace<f64>| {
+                // the outer pool is checked out: inner starts empty
+                let m = inner.take_zeroed(4, 4);
+                inner.give(m);
+                inner.pooled()
+            });
+            assert_eq!(inner_pooled, 1);
+            outer.give(held);
+        });
+    }
+}

@@ -1,0 +1,129 @@
+//! Proof that the block COCG iteration loop is allocation-free in steady
+//! state: with a warmed [`Workspace`] pool (and warmed thread-local GEMM
+//! pack arena), a 40-iteration solve performs exactly as many heap
+//! allocations as a 4-iteration solve — every per-iteration temporary is
+//! pooled, so iteration count no longer touches the allocator.
+//!
+//! This file intentionally holds a single `#[test]`: the counting global
+//! allocator tallies the whole process, so concurrent tests in the same
+//! binary would race the counter.
+
+use mbrpa_linalg::{Mat, C64};
+use mbrpa_solver::{block_cocg_ws, CocgOptions, DenseOperator, Workspace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation and reallocation.
+struct CountingAlloc;
+
+// SAFETY: defers all allocation to `System`; only adds a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Random complex-symmetric, diagonally dominant Sternheimer-like matrix.
+fn test_operator(n: usize, seed: u64) -> DenseOperator<C64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) - 0.5
+    };
+    let g = Mat::from_fn(n, n, |_, _| next());
+    let a = Mat::from_fn(n, n, |i, j| {
+        let sym = 0.5 * (g[(i, j)] + g[(j, i)]);
+        let mut z = C64::new(sym, 0.0);
+        if i == j {
+            z += C64::new(8.0, 1.0);
+        }
+        z
+    });
+    DenseOperator::new(a)
+}
+
+fn rand_rhs(n: usize, s: usize, seed: u64) -> Mat<C64> {
+    let mut state = seed | 1;
+    Mat::from_fn(n, s, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let re = (state as f64 / u64::MAX as f64) - 0.5;
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let im = (state as f64 / u64::MAX as f64) - 0.5;
+        C64::new(re, im)
+    })
+}
+
+#[test]
+fn iteration_count_does_not_change_allocation_count() {
+    let n = 400;
+    let s = 8;
+    let op = test_operator(n, 7);
+    let b = rand_rhs(n, s, 11);
+    // unreachable tolerance: both runs execute exactly `max_iters`
+    // iterations of the steady-state loop
+    let opts = |iters: usize| CocgOptions {
+        tol: 1e-30,
+        max_iters: iters,
+        ..CocgOptions::default()
+    };
+
+    let mut ws = Workspace::new();
+    // Warm-up: populates the workspace free list and the thread-local GEMM
+    // pack arena, the two places first-touch allocation is allowed.
+    let (_, warm) = block_cocg_ws(&op, &b, None, &opts(40), &mut ws);
+    assert!(!warm.converged && warm.iterations == 40, "report: {warm:?}");
+    assert_eq!(warm.breakdowns, 0, "breakdowns would skew the comparison");
+
+    let measure = |iters: usize, ws: &mut Workspace<C64>| -> (u64, usize) {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let (x, rep) = block_cocg_ws(&op, &b, None, &opts(iters), ws);
+        let count = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(rep.iterations, iters);
+        assert_eq!(rep.breakdowns, 0);
+        drop(x);
+        (count, rep.matvecs)
+    };
+
+    let (allocs_short, mv_short) = measure(4, &mut ws);
+    let (allocs_long, mv_long) = measure(40, &mut ws);
+    assert!(mv_long > mv_short, "long run must do more operator work");
+    assert_eq!(
+        allocs_long,
+        allocs_short,
+        "36 extra iterations allocated {} extra times — the steady-state \
+         loop is supposed to run entirely from the workspace pool",
+        allocs_long as i64 - allocs_short as i64
+    );
+    assert_eq!(
+        ws.fresh_allocs(),
+        {
+            let mut probe = Workspace::<C64>::new();
+            let _ = block_cocg_ws(&op, &b, None, &opts(40), &mut probe);
+            probe.fresh_allocs()
+        },
+        "warm pool must serve every take without fresh buffers beyond warm-up"
+    );
+}
