@@ -9,8 +9,16 @@ cargo bench --workspace --no-run
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# In-tree invariant linter: rules the compiler can't see (SAFETY comments,
+# unjustified unwraps, float ==, HashMap iteration order, stray prints,
+# narrowing index casts). --deny makes any finding fail CI; the JSON
+# findings report is schema-validated by the same binary.
+cargo run --release -p mbrpa-lint -- --deny --json target/lint_findings.json
+cargo run --release -p mbrpa-lint -- --validate target/lint_findings.json
+
 # Kernel micro-benchmarks: smoke shapes keep this fast; the run
 # cross-checks the new kernels against in-tree pre-PR reference
-# implementations and the emitted JSON is schema-validated.
-cargo run --release -p mbrpa-bench --bin kernels_bench -- --smoke --out BENCH_kernels_smoke.json
-cargo run --release -p mbrpa-bench --bin kernels_bench -- --validate BENCH_kernels_smoke.json
+# implementations and the emitted JSON is schema-validated. The artifact
+# lives under target/ so it can never be committed by accident.
+cargo run --release -p mbrpa-bench --bin kernels_bench -- --smoke --out target/BENCH_kernels_smoke.json
+cargo run --release -p mbrpa-bench --bin kernels_bench -- --validate target/BENCH_kernels_smoke.json

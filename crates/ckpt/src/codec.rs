@@ -174,11 +174,13 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, CkptError> {
     if bytes[..8] != MAGIC {
         return Err(corrupt("bad magic (not a snapshot file)"));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    // lint: allow(unwrap) — 4-byte slice of a length-checked header
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
     if version != FORMAT_VERSION {
         return Err(CkptError::UnsupportedVersion { found: version });
     }
-    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    // lint: allow(unwrap) — 8-byte slice of a length-checked header
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice")) as usize;
     let expected_total = HEADER_LEN
         .checked_add(payload_len)
         .and_then(|n| n.checked_add(CRC_LEN))
@@ -190,7 +192,9 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, CkptError> {
         )));
     }
     let body = &bytes[..bytes.len() - CRC_LEN];
-    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - CRC_LEN..].try_into().unwrap());
+    let stored_crc =
+        // lint: allow(unwrap) — CRC_LEN == 4 trailing bytes, length checked above
+        u32::from_le_bytes(bytes[bytes.len() - CRC_LEN..].try_into().expect("4-byte slice"));
     let actual_crc = crc32(body);
     if stored_crc != actual_crc {
         return Err(corrupt(format!(
@@ -333,7 +337,10 @@ impl Reader<'_> {
     }
 
     fn u64(&mut self) -> Result<u64, CkptError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?;
+        // lint: allow(unwrap) — take(8) returns exactly 8 bytes or errors
+        let arr: [u8; 8] = bytes.try_into().expect("8-byte slice");
+        Ok(u64::from_le_bytes(arr))
     }
 
     fn f64(&mut self) -> Result<f64, CkptError> {

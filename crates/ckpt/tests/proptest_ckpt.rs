@@ -3,6 +3,10 @@
 //! (truncation, bit flips) never produce a wrong snapshot — they either
 //! fall back to the older slot or load nothing.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa_ckpt::{
     decode_snapshot, encode_snapshot, CheckpointStore, IterRow, OmegaSummary, Snapshot,
 };

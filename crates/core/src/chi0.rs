@@ -222,6 +222,7 @@ impl<'a> DielectricOperator<'a> {
 
     /// Snapshot of the merged worker statistics accumulated so far.
     pub fn stats_snapshot(&self) -> WorkerStats {
+        // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
         self.stats.lock().expect("stats mutex poisoned").clone()
     }
 
@@ -233,6 +234,7 @@ impl<'a> DielectricOperator<'a> {
     /// Wall time spent inside applications (the paper's `ν½χ⁰ν½` kernel of
     /// Figure 5).
     pub fn time_in_apply(&self) -> Duration {
+        // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
         *self.time_in_apply.lock().expect("time mutex poisoned")
     }
 
@@ -241,6 +243,7 @@ impl<'a> DielectricOperator<'a> {
     pub fn worker_load_snapshot(&self) -> Vec<Duration> {
         self.worker_load
             .lock()
+            // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
             .expect("load mutex poisoned")
             .clone()
     }
@@ -405,7 +408,9 @@ impl<'a> DielectricOperator<'a> {
                     })
                     .collect();
                 let mut result = Mat::zeros(n, cols);
+                // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
                 let mut merged = self.stats.lock().expect("stats mutex poisoned");
+                // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
                 let mut load = self.worker_load.lock().expect("load mutex poisoned");
                 for (widx, start, piece, stats) in &pieces {
                     result.set_columns(*start, piece);
@@ -467,6 +472,7 @@ impl<'a> DielectricOperator<'a> {
                     })
                     .collect();
                 let mut result = Mat::zeros(n, cols);
+                // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
                 let mut merged = self.stats.lock().expect("stats mutex poisoned");
                 for (start, piece, stats) in &pieces {
                     for jc in 0..piece.cols() {
@@ -482,6 +488,7 @@ impl<'a> DielectricOperator<'a> {
             self.coulomb.apply_nu_sqrt_block(&mut result);
         }
         self.applications.fetch_add(cols, Ordering::Relaxed);
+        // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
         *self.time_in_apply.lock().expect("time mutex poisoned") += t0.elapsed();
         result
     }

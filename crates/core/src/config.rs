@@ -84,6 +84,8 @@ impl RpaConfig {
         *self
             .tol_eig
             .get(k.min(self.tol_eig.len().saturating_sub(1)))
+            // lint: allow(unwrap) — index is clamped to len-1 and config
+            // validation rejects an empty tol_eig list
             .expect("tol_eig must be non-empty")
     }
 

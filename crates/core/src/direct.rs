@@ -17,7 +17,7 @@
 
 use crate::quadrature::FrequencyPoint;
 use mbrpa_grid::CoulombOperator;
-use mbrpa_linalg::{matmul_nt, symmetric_eig, LinalgError, Mat, SymEig};
+use mbrpa_linalg::{exactly_zero, matmul_nt, symmetric_eig, LinalgError, Mat, SymEig};
 
 /// Full dense eigendecomposition of `H` (the expensive prerequisite of all
 /// direct approaches).
@@ -104,7 +104,7 @@ pub fn dense_chi0_occupations(eig: &SymEig, pair_occupations: &[f64], omega: f64
             }
             for j in 0..n {
                 let cj = coeff * u[j];
-                if cj == 0.0 {
+                if exactly_zero(cj) {
                     continue;
                 }
                 for i in 0..n {

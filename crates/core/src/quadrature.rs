@@ -64,7 +64,8 @@ pub fn gauss_legendre(n: usize) -> Vec<(f64, f64)> {
         }
     }
     // odd n: the middle root x = 0 appears once
-    out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // lint: allow(unwrap) — Newton-converged Legendre roots are finite by construction
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite quadrature node"));
     out.truncate(n);
     out
 }
@@ -93,7 +94,11 @@ pub fn frequency_quadrature(ell: usize) -> Vec<FrequencyPoint> {
         })
         .collect();
     // ascending u means descending ω already; sort defensively
-    pts.sort_by(|a, b| b.omega.partial_cmp(&a.omega).unwrap());
+    pts.sort_by(|a, b| {
+        let ord = b.omega.partial_cmp(&a.omega);
+        // lint: allow(unwrap) — ω = ω₀(1−u)/u of nodes u ∈ (0,1) is finite by construction
+        ord.expect("non-finite frequency node")
+    });
     pts
 }
 

@@ -193,6 +193,7 @@ pub fn subspace_iteration(
         // unwanted interval between the least-negative kept Ritz value and
         // the (≈ 0) top of the spectrum.
         let mu_min = step.eigenvalues[0];
+        // lint: allow(unwrap) — subspace dimension is validated ≥ 1 before iteration
         let mu_edge = *step.eigenvalues.last().expect("non-empty spectrum");
         let b_up = 1e-3 * mu_min.abs().max(1e-12);
         let a = if mu_edge < b_up { mu_edge } else { 0.5 * b_up };

@@ -1,6 +1,10 @@
 //! Property-based tests for the core RPA machinery: quadrature, worker
 //! partitions, trace terms, and input parsing.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa_core::{
     frequency_quadrature, gauss_legendre, parse_rpa_input, partition_columns, trace_term,
 };

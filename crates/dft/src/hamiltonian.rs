@@ -4,7 +4,7 @@
 use crate::potential::{local_potential, NonlocalProjectors, PotentialParams};
 use crate::system::Crystal;
 use mbrpa_grid::Laplacian;
-use mbrpa_linalg::{Mat, Scalar, C64};
+use mbrpa_linalg::{exactly_zero, Mat, Scalar, C64};
 use rayon::prelude::*;
 
 /// Real symmetric grid Hamiltonian.
@@ -24,7 +24,7 @@ impl Hamiltonian {
     pub fn new(crystal: &Crystal, radius: usize, params: &PotentialParams) -> Self {
         let lap = Laplacian::new(crystal.grid, radius);
         let vloc = local_potential(crystal, params);
-        let nonlocal = if params.nonlocal_strength != 0.0 {
+        let nonlocal = if !exactly_zero(params.nonlocal_strength) {
             Some(NonlocalProjectors::build(crystal, params))
         } else {
             None

@@ -7,6 +7,8 @@
 //! assumes, and Fermi–Dirac fractional occupations consumed by the direct
 //! Adler–Wiser oracle (Eq. 2 holds for any `g_m − g_n`).
 
+use mbrpa_linalg::exactly_zero;
+
 /// Occupations `g_j ∈ [0, 2]` for a set of orbital energies.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Occupations {
@@ -98,7 +100,7 @@ pub fn electron_density(orbitals: &mbrpa_linalg::Mat<f64>, occupations: &[f64]) 
     let n = orbitals.rows();
     let mut rho = vec![0.0; n];
     for (j, &g) in occupations.iter().enumerate() {
-        if g == 0.0 {
+        if exactly_zero(g) {
             continue;
         }
         for (r, &psi) in rho.iter_mut().zip(orbitals.col(j).iter()) {

@@ -7,6 +7,7 @@
 //! standard Γ-point `G = 0` convention), so `ν½` is well-posed.
 
 use crate::kron::SpectralLaplacian;
+use mbrpa_linalg::exactly_zero;
 use mbrpa_linalg::Mat;
 
 const FOUR_PI: f64 = 4.0 * std::f64::consts::PI;
@@ -31,7 +32,13 @@ impl CoulombOperator {
     /// `out = ν v = 4π(−∇²)⁻¹ v` (zero mode → 0).
     pub fn apply_nu(&self, v: &[f64], out: &mut [f64]) {
         self.spectral.apply_function(
-            &|lam| if lam == 0.0 { 0.0 } else { FOUR_PI / (-lam) },
+            &|lam| {
+                if exactly_zero(lam) {
+                    0.0
+                } else {
+                    FOUR_PI / (-lam)
+                }
+            },
             v,
             out,
         );
@@ -41,7 +48,7 @@ impl CoulombOperator {
     pub fn apply_nu_sqrt(&self, v: &[f64], out: &mut [f64]) {
         self.spectral.apply_function(
             &|lam| {
-                if lam == 0.0 {
+                if exactly_zero(lam) {
                     0.0
                 } else {
                     (FOUR_PI / (-lam)).sqrt()
@@ -58,7 +65,7 @@ impl CoulombOperator {
     pub fn apply_nu_sqrt_block(&self, v: &mut Mat<f64>) {
         self.spectral.apply_function_block(
             &|lam| {
-                if lam == 0.0 {
+                if exactly_zero(lam) {
                     0.0
                 } else {
                     (FOUR_PI / (-lam)).sqrt()
@@ -73,7 +80,7 @@ impl CoulombOperator {
     pub fn apply_nu_inv_sqrt(&self, v: &[f64], out: &mut [f64]) {
         self.spectral.apply_function(
             &|lam| {
-                if lam == 0.0 {
+                if exactly_zero(lam) {
                     0.0
                 } else {
                     ((-lam) / FOUR_PI).sqrt()

@@ -11,6 +11,7 @@
 
 use crate::grid::{Boundary, Grid3};
 use crate::stencil::dense_laplacian_1d;
+use mbrpa_linalg::exactly_zero;
 use mbrpa_linalg::gemm::{gemm_nn_slices, gemm_tn_slices};
 use mbrpa_linalg::{symmetric_eig, LinalgError, Mat};
 
@@ -212,7 +213,11 @@ impl SpectralLaplacian {
     /// Solve the Poisson problem `∇² u = rhs` (pseudo-inverse on the
     /// periodic zero mode: the mean of `u` is gauged to zero).
     pub fn solve_poisson(&self, rhs: &[f64], u: &mut [f64]) {
-        self.apply_function(&|lam| if lam == 0.0 { 0.0 } else { 1.0 / lam }, rhs, u);
+        self.apply_function(
+            &|lam| if exactly_zero(lam) { 0.0 } else { 1.0 / lam },
+            rhs,
+            u,
+        );
     }
 
     /// True if the grid is periodic (and therefore `∇²` has a zero mode).

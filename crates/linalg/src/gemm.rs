@@ -31,7 +31,7 @@ use num_complex::Complex64;
 use rayon::prelude::*;
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Row-panel height for the blocked Gram kernels. 512 rows × 8–16 B scalars
 /// keeps a panel column in L1 while amortizing the loop overhead.
@@ -53,8 +53,8 @@ const A_BLOCK_BYTES: usize = 1 << 18;
 // unrelated GEMM while one is in flight on the same thread never aliases a
 // live buffer — it just pays one fresh allocation for the stolen call.
 thread_local! {
-    static PACK_ARENA: RefCell<HashMap<(TypeId, u8), Box<dyn Any>>> =
-        RefCell::new(HashMap::new());
+    static PACK_ARENA: RefCell<BTreeMap<(TypeId, u8), Box<dyn Any>>> =
+        RefCell::new(BTreeMap::new());
 }
 
 const SLOT_PACK_A: u8 = 0;
@@ -159,8 +159,10 @@ fn micro_kernel<T: Scalar, const MR: usize, const NR: usize>(
     acc: &mut [[T; MR]; NR],
 ) {
     for (al, bl) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
-        let al: &[T; MR] = al.try_into().unwrap();
-        let bl: &[T; NR] = bl.try_into().unwrap();
+        // lint: allow(unwrap) — chunks_exact(MR) yields exactly MR elements
+        let al: &[T; MR] = al.try_into().expect("MR-sized chunk");
+        // lint: allow(unwrap) — chunks_exact(NR) yields exactly NR elements
+        let bl: &[T; NR] = bl.try_into().expect("NR-sized chunk");
         for jj in 0..NR {
             let b = bl[jj];
             for ii in 0..MR {

@@ -15,11 +15,17 @@
 // Index-heavy numerical kernels read better with explicit loop indices and
 // the domain-meaningful `2r + 1` stencil-count forms.
 #![allow(clippy::needless_range_loop, clippy::int_plus_one)]
+// In-crate test modules assert *exact* float results on purpose — the
+// workspace pins accumulation order for bitwise reproducibility — so
+// `clippy::float_cmp` is relaxed for test builds only; non-test code is
+// still checked by the plain lib target (see DESIGN.md §9).
+#![cfg_attr(test, allow(clippy::float_cmp))]
 #![warn(missing_docs)]
 
 pub mod chol;
 pub mod dense;
 pub mod error;
+pub mod fcmp;
 pub mod gemm;
 pub mod lu;
 pub mod par;
@@ -32,6 +38,7 @@ pub mod vecops;
 pub use chol::Cholesky;
 pub use dense::Mat;
 pub use error::LinalgError;
+pub use fcmp::{approx_eq, exactly_zero};
 pub use gemm::{
     mat_tvec, mat_vec, matmul, matmul_hn, matmul_hn_into, matmul_into, matmul_nt, matmul_rc,
     matmul_tn, matmul_tn_into, matmul_tn_rc,

@@ -7,6 +7,7 @@
 
 use crate::dense::Mat;
 use crate::error::LinalgError;
+use crate::fcmp::exactly_zero;
 use crate::scalar::Scalar;
 
 /// An LU factorization `P·A = L·U` with partial (row) pivoting.
@@ -49,7 +50,7 @@ impl<T: Scalar> Lu<T> {
                     best_abs = v;
                 }
             }
-            if best_abs == 0.0 {
+            if exactly_zero(best_abs) {
                 return Err(LinalgError::Singular { pivot: kcol });
             }
             min_pivot = min_pivot.min(best_abs);
@@ -91,7 +92,7 @@ impl<T: Scalar> Lu<T> {
     /// Crude reciprocal-condition estimate `min|pivot| / max|pivot|`; used to
     /// detect near-breakdown of the COCG block Gram matrices.
     pub fn rcond_estimate(&self) -> f64 {
-        if self.max_pivot == 0.0 {
+        if exactly_zero(self.max_pivot) {
             0.0
         } else {
             self.min_pivot / self.max_pivot

@@ -101,6 +101,7 @@ pub fn thin_svd(a: &Mat<f64>) -> Result<Svd, LinalgError> {
     // singular values = column norms; normalize U
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = (0..n).map(|j| vecops::norm2(u.col(j))).collect();
+    // lint: allow(unwrap) — NaN here means corrupted input; panicking is the contract
     order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("NaN singular value"));
     let mut u_sorted = Mat::zeros(m, n);
     let mut v_sorted = Mat::zeros(n, n);

@@ -11,6 +11,7 @@
 use crate::chol::Cholesky;
 use crate::dense::Mat;
 use crate::error::LinalgError;
+use crate::fcmp::exactly_zero;
 use crate::gemm::matmul;
 
 /// Maximum QL sweeps per eigenvalue before declaring non-convergence.
@@ -32,7 +33,7 @@ fn pythag(a: f64, b: f64) -> f64 {
     let (absa, absb) = (a.abs(), b.abs());
     if absa > absb {
         absa * (1.0 + (absb / absa).powi(2)).sqrt()
-    } else if absb == 0.0 {
+    } else if exactly_zero(absb) {
         0.0
     } else {
         absb * (1.0 + (absa / absb).powi(2)).sqrt()
@@ -56,7 +57,7 @@ fn tridiagonalize(a: &Mat<f64>) -> (Mat<f64>, Vec<f64>, Vec<f64>) {
             for k in 0..i {
                 scale += z[(i, k)].abs();
             }
-            if scale == 0.0 {
+            if exactly_zero(scale) {
                 e[i] = z[(i, l)];
             } else {
                 for k in 0..i {
@@ -101,7 +102,7 @@ fn tridiagonalize(a: &Mat<f64>) -> (Mat<f64>, Vec<f64>, Vec<f64>) {
     d[0] = 0.0;
     e[0] = 0.0;
     for i in 0..n {
-        if d[i] != 0.0 {
+        if !exactly_zero(d[i]) {
             for j in 0..i {
                 let mut g = 0.0;
                 for k in 0..i {
@@ -169,7 +170,7 @@ fn tql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Mat<f64>) -> Result<(), Li
                 let b = c * e[i];
                 r = pythag(f, g);
                 e[i + 1] = r;
-                if r == 0.0 {
+                if exactly_zero(r) {
                     d[i + 1] -= p;
                     e[m] = 0.0;
                     underflow = true;
@@ -203,6 +204,7 @@ fn tql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Mat<f64>) -> Result<(), Li
 fn sort_eigenpairs(d: Vec<f64>, z: Mat<f64>) -> SymEig {
     let n = d.len();
     let mut order: Vec<usize> = (0..n).collect();
+    // lint: allow(unwrap) — NaN here means the QL sweep diverged; panicking is the contract
     order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("NaN eigenvalue"));
     let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut vectors = Mat::zeros(n, n);

@@ -4,6 +4,10 @@
 //! register tile) and all `alpha`/`beta` special-casing (0, 1, random), for
 //! both scalar fields.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa_linalg::{
     matmul_hn_into, matmul_into, matmul_rc, matmul_tn_into, matmul_tn_rc, Mat, Scalar, C64,
 };

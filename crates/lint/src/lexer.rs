@@ -1,0 +1,491 @@
+//! Hand-rolled Rust lexer for the invariant linter.
+//!
+//! The rules in [`crate::rules`] operate on a token stream, not on raw
+//! text, so string literals, comments, and doc comments can never produce
+//! false positives (a `println!` inside a string is not a finding). The
+//! lexer handles the parts of the Rust grammar that make naive regex
+//! scanning unsound:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`),
+//! * string literals with escapes, byte strings, and raw strings
+//!   `r#"…"#` with an arbitrary number of `#` guards,
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`),
+//! * float vs integer literals vs range expressions (`1.0`, `1e-3`,
+//!   `1.` are floats; `0..n` and tuple field access `x.0` are not),
+//! * multi-character operators (`==`, `!=`, `->`, `::`, `..=`, …).
+//!
+//! It is a *lexer*, not a parser: rules that need structure (attribute
+//! spans, index-bracket depth) reconstruct just enough of it from the
+//! token stream.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2.5f32`).
+    Float,
+    /// String, raw string, byte string, or C string literal.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// `//` line comment, including doc comments; text excludes newline.
+    LineComment,
+    /// `/* … */` block comment (possibly nested); text includes markers.
+    BlockComment,
+    /// Punctuation / operator, longest-match (`==`, `..=`, `->`, `#`).
+    Punct,
+}
+
+/// A single token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Raw source text of the token (comments keep their markers).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: &str, line: u32) -> Self {
+        Token {
+            kind,
+            text: text.to_string(),
+            line,
+        }
+    }
+}
+
+/// Lex `src` into tokens. Unknown bytes are emitted as single-char
+/// `Punct` tokens so the stream always covers the whole input; the
+/// linter must never panic on weird-but-compiling source.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        src,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    src: &'a str,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Advance one char, tracking the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn slice(&self, start: usize) -> &str {
+        &self.src[self.byte_at(start)..self.byte_at(self.pos)]
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    out.push(Token::new(TokKind::LineComment, self.slice(start), line));
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break, // unterminated; tolerate
+                        }
+                    }
+                    out.push(Token::new(TokKind::BlockComment, self.slice(start), line));
+                }
+                '"' => {
+                    self.string_literal();
+                    out.push(Token::new(TokKind::Str, self.slice(start), line));
+                }
+                '\'' => {
+                    let kind = self.char_or_lifetime();
+                    out.push(Token::new(kind, self.slice(start), line));
+                }
+                c if c.is_ascii_digit() => {
+                    let kind = self.number();
+                    out.push(Token::new(kind, self.slice(start), line));
+                }
+                c if c == '_' || c.is_alphabetic() => {
+                    let tok = self.ident_like(start, line);
+                    out.push(tok);
+                }
+                _ => {
+                    self.punct();
+                    out.push(Token::new(TokKind::Punct, self.slice(start), line));
+                }
+            }
+        }
+        out
+    }
+
+    /// Consume an identifier; if it is a raw-string / byte-string prefix
+    /// (`r`, `b`, `br`, `c`, `cr` directly followed by a quote), consume
+    /// the whole literal instead.
+    fn ident_like(&mut self, start: usize, line: u32) -> Token {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let ident = self.slice(start).to_string();
+        let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr");
+        match self.peek(0) {
+            Some('"') if is_str_prefix => {
+                self.string_literal();
+                Token::new(TokKind::Str, self.slice(start), line)
+            }
+            Some('#') if is_str_prefix && ident != "b" && ident != "c" => {
+                // raw string with hash guards: r#"…"#, br##"…"##
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes);
+                    Token::new(TokKind::Str, self.slice(start), line)
+                } else {
+                    Token::new(TokKind::Ident, &ident, line)
+                }
+            }
+            Some('\'') if ident == "b" => {
+                // byte char literal b'x'
+                self.bump();
+                self.char_body();
+                Token::new(TokKind::Char, self.slice(start), line)
+            }
+            _ => Token::new(TokKind::Ident, &ident, line),
+        }
+    }
+
+    /// Consume a `"`-delimited string (escapes honoured). For raw-string
+    /// prefixes the caller has already consumed the prefix; `"` with no
+    /// preceding `#` guards is a plain string even after `r`.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume the body of a raw string until `"` followed by `hashes`
+    /// `#` characters. The opening `"` has been consumed.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut n = 0usize;
+                while n < hashes && self.peek(n) == Some('#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// After a `'`: decide char literal vs lifetime, consume it.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        // 'a' → char; 'a → lifetime; '\n' → char; 'static → lifetime.
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let is_lifetime = match c1 {
+            Some(c) if c == '_' || c.is_alphabetic() => c2 != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            TokKind::Lifetime
+        } else {
+            self.bump(); // '
+            self.char_body();
+            TokKind::Char
+        }
+    }
+
+    /// Consume a char-literal body plus closing quote (opening consumed).
+    fn char_body(&mut self) {
+        match self.bump() {
+            Some('\\') => {
+                // Escape: consume escape char, then everything to the quote
+                // (covers '\u{…}').
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        return;
+                    }
+                }
+            }
+            Some('\'') => {} // empty ''— malformed, tolerate
+            Some(_) if self.peek(0) == Some('\'') => {
+                self.bump();
+            }
+            _ => {}
+        }
+    }
+
+    /// Consume a numeric literal; classify int vs float.
+    fn number(&mut self) -> TokKind {
+        let mut is_float = false;
+        // Radix prefixes are always integers.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return TokKind::Int;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `.` not followed by `.` (range) or an
+        // identifier start (field/method access like `x.0.re` / tuple idx).
+        if self.peek(0) == Some('.') {
+            let next = self.peek(1);
+            let is_range = next == Some('.');
+            let is_field = matches!(next, Some(c) if c == '_' || c.is_alphabetic());
+            if !is_range && !is_field {
+                is_float = true;
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let (mut ahead, sign) = (1usize, self.peek(1));
+            if matches!(sign, Some('+') | Some('-')) {
+                ahead = 2;
+            }
+            if matches!(self.peek(ahead), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                for _ in 0..ahead {
+                    self.bump();
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (f64 forces float; u*/i* keep int).
+        let suffix_start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let suffix = self.slice(suffix_start);
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            is_float = true;
+        }
+        if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+
+    /// Consume one operator, longest-match over Rust's multi-char ops.
+    fn punct(&mut self) {
+        const THREE: [&str; 6] = ["..=", "...", "<<=", ">>=", "->*", "::<"];
+        const TWO: [&str; 19] = [
+            "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=", "-=", "*=", "/=",
+            "%=", "^=", "&=", "|=", "<<",
+        ];
+        let grab = |n: usize, lx: &Self| -> String {
+            (0..n).filter_map(|i| lx.peek(i)).collect::<String>()
+        };
+        let three = grab(3, self);
+        if THREE.contains(&three.as_str()) {
+            for _ in 0..3 {
+                self.bump();
+            }
+            return;
+        }
+        let two = grab(2, self);
+        if TWO.contains(&two.as_str()) {
+            for _ in 0..2 {
+                self.bump();
+            }
+            return;
+        }
+        self.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_nesting() {
+        let toks = kinds("// line\n/* a /* b */ c */ x \"s // not comment\" ");
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "/* a /* b */ c */");
+        assert_eq!(toks[2], (TokKind::Ident, "x".to_string()));
+        assert_eq!(toks[3].0, TokKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = kinds(r####"let s = r#"has "quotes" inside"#;"####);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("quotes"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.0 == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.0 == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("1.0 2. 3e-4 5f64 0x1f 7 0..9 x.0 10_000.5");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Float)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "2.", "3e-4", "5f64", "10_000.5"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Int)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(ints, ["0x1f", "7", "0", "9", "0"]);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a == b != c ..= d");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Punct)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| (t.text.as_str(), t.line)).collect();
+        assert_eq!(lines, [("a", 1), ("b", 2), ("c", 4)]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r#"b"bytes" b'x' c"cstr""#);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Char);
+        assert_eq!(toks[2].0, TokKind::Str);
+    }
+}

@@ -1,0 +1,125 @@
+//! CLI for the in-tree invariant linter.
+//!
+//! ```text
+//! cargo run -p mbrpa-lint -- [--deny] [--json PATH] [--root PATH]
+//! cargo run -p mbrpa-lint -- --validate PATH
+//! ```
+//!
+//! * default: scan the enclosing workspace, print the findings table,
+//!   exit 0 (informational mode).
+//! * `--deny`: exit 1 if there is any finding (the CI gate).
+//! * `--json PATH`: additionally write the `mbrpa.lint-findings/1`
+//!   JSON document to PATH.
+//! * `--validate PATH`: parse PATH and check it against the schema,
+//!   then exit without scanning.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut validate_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json_path = it.next().map(PathBuf::from),
+            "--root" => root_arg = it.next().map(PathBuf::from),
+            "--validate" => validate_path = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "usage: mbrpa-lint [--deny] [--json PATH] [--root PATH] | --validate PATH"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mbrpa-lint: unknown flag '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mbrpa-lint: read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match mbrpa_lint::report::validate(&text) {
+            Ok(n) => {
+                println!(
+                    "{} OK: schema {}, {n} finding(s)",
+                    path.display(),
+                    mbrpa_lint::report::SCHEMA
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mbrpa-lint: {} INVALID: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match mbrpa_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "mbrpa-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let result = match mbrpa_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mbrpa-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!(
+        "{}",
+        mbrpa_lint::report::human_table(&result.findings, result.files_scanned)
+    );
+
+    if let Some(path) = json_path {
+        let doc = mbrpa_lint::report::to_json(&result.findings, result.files_scanned);
+        if let Err(e) = mbrpa_lint::report::validate(&doc) {
+            eprintln!("mbrpa-lint: emitted JSON failed self-validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("mbrpa-lint: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} (schema {})",
+            path.display(),
+            mbrpa_lint::report::SCHEMA
+        );
+    }
+
+    if deny && !result.findings.is_empty() {
+        eprintln!(
+            "mbrpa-lint: --deny: {} finding(s) — fix them or add justified \
+             `// lint: allow(<rule>)` suppressions",
+            result.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,474 @@
+//! Rule engine: walks a lexed token stream and emits findings.
+//!
+//! Six rules enforce invariants the compiler cannot see (rule ids are
+//! the strings used in `// lint: allow(<rule>)` suppressions):
+//!
+//! | id                | invariant                                              |
+//! |-------------------|--------------------------------------------------------|
+//! | `safety`          | every `unsafe` carries an adjacent `// SAFETY:` comment |
+//! | `unwrap`          | no `.unwrap()`/`.expect()` in library non-test code     |
+//! | `float_cmp`       | no `==`/`!=` against float literals outside tests       |
+//! | `hash_iter`       | no `HashMap`/`HashSet` in numeric crates                |
+//! | `print`           | no `println!`/`eprintln!` in library crates             |
+//! | `narrow_cast`     | no narrowing `as` casts inside index expressions        |
+//! | `unused_allow`    | (meta) a suppression that matched no finding            |
+//!
+//! Suppressions: `// lint: allow(<rule>) — <justification>` on the same
+//! line as the violation or on the line directly above it. Every
+//! suppression must actually suppress something, otherwise the engine
+//! reports `unused_allow` — stale justifications are themselves a lie
+//! about the code and are treated as findings.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One rule violation (or unused suppression) at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id (`safety`, `unwrap`, …, `unused_allow`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// All rule ids, in reporting order. `unused_allow` is the meta-rule
+/// for suppressions that matched nothing.
+pub const RULE_IDS: [&str; 7] = [
+    "safety",
+    "unwrap",
+    "float_cmp",
+    "hash_iter",
+    "print",
+    "narrow_cast",
+    "unused_allow",
+];
+
+/// Crates whose results are numeric and must not depend on hash-map
+/// iteration order (rule `hash_iter`).
+pub const NUMERIC_CRATES: [&str; 5] = ["linalg", "grid", "solver", "core", "dft"];
+
+/// Crates held to library discipline (rules `unwrap` and `print`):
+/// errors propagate, output goes through `mbrpa-obs`. The `bench`
+/// crate is deliberately absent — its panics and stdout tables are its
+/// CLI interface, not incidental behaviour.
+pub const LIBRARY_CRATES: [&str; 9] = [
+    "linalg", "grid", "solver", "core", "dft", "ckpt", "obs", "lint", "mbrpa",
+];
+
+/// How a file participates in the rule set, derived from its
+/// workspace-relative path by [`classify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Short crate name (`linalg`, `bench`, `mbrpa` for the root crate).
+    pub crate_name: String,
+    /// Library-crate source (not a test, bench, example, or bin target).
+    pub is_library: bool,
+    /// Source inside a crate listed in [`NUMERIC_CRATES`].
+    pub is_numeric: bool,
+    /// Whole file is test/bench/example code.
+    pub is_test_file: bool,
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else {
+        "mbrpa".to_string()
+    };
+    let is_test_file = parts
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples"));
+    let in_src = parts.contains(&"src");
+    let is_bin_target = parts.contains(&"bin") || rel_path.ends_with("src/main.rs");
+    let is_library =
+        LIBRARY_CRATES.contains(&crate_name.as_str()) && in_src && !is_bin_target && !is_test_file;
+    let is_numeric = NUMERIC_CRATES.contains(&crate_name.as_str()) && in_src && !is_test_file;
+    FileClass {
+        crate_name,
+        is_library,
+        is_numeric,
+        is_test_file,
+    }
+}
+
+/// An inline suppression comment and whether any finding consumed it.
+struct Suppression {
+    line: u32,
+    rule: String,
+    /// Lines this suppression covers: its own line and the next line
+    /// containing code (so it can sit above the violating statement).
+    covered: [u32; 2],
+    used: bool,
+}
+
+/// Scan one file. `rel_path` is workspace-relative with `/` separators;
+/// `src` is the file contents.
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let class = classify(rel_path);
+    let tokens = lex(src);
+    let test_lines = test_line_spans(&tokens, class.is_test_file);
+    let mut suppressions = collect_suppressions(&tokens);
+    let safety_lines = safety_comment_lines(&tokens);
+    let comment_only_lines = comment_only_lines(&tokens);
+
+    // Code view: indices of non-comment tokens, in order.
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut emit = |line: u32, rule: &'static str, message: String| {
+        for s in suppressions.iter_mut() {
+            if s.rule == rule && s.covered.contains(&line) {
+                s.used = true;
+                return;
+            }
+        }
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    let is_test_line =
+        |line: u32| class.is_test_file || test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+
+    // Bracket depth for `narrow_cast`: depth of `[` … `]` nesting,
+    // excluding attribute brackets (`#[…]` / `#![…]`).
+    let mut index_depth: usize = 0;
+    let mut attr_depth_at: Option<usize> = None;
+
+    for (i, tok) in code.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(|j| code.get(j));
+        let next = code.get(i + 1);
+        let next2 = code.get(i + 2);
+
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Punct, "[") => {
+                // `#[…]` and `#![…]` open attribute brackets, not indexing.
+                let prev2 = i.checked_sub(2).and_then(|j| code.get(j));
+                let after_hash = matches!(prev, Some(p) if p.text == "#")
+                    || (matches!(prev, Some(p) if p.text == "!")
+                        && matches!(prev2, Some(p2) if p2.text == "#"));
+                index_depth += 1;
+                if after_hash && attr_depth_at.is_none() {
+                    attr_depth_at = Some(index_depth);
+                }
+            }
+            (TokKind::Punct, "]") => {
+                if attr_depth_at == Some(index_depth) {
+                    attr_depth_at = None;
+                }
+                index_depth = index_depth.saturating_sub(1);
+            }
+            // R1: unsafe without adjacent SAFETY comment. Applies
+            // everywhere, tests included — soundness arguments are not
+            // optional in test code.
+            (TokKind::Ident, "unsafe") => {
+                let documented = safety_lines.contains(&tok.line)
+                    || covered_by_safety_above(tok.line, &safety_lines, &comment_only_lines);
+                if !documented {
+                    emit(
+                        tok.line,
+                        "safety",
+                        "`unsafe` without an adjacent `// SAFETY:` comment; state the \
+                         soundness argument on the line above"
+                            .to_string(),
+                    );
+                }
+            }
+            // R2: unwrap/expect in library non-test code.
+            (TokKind::Ident, "unwrap" | "expect")
+                if class.is_library
+                    && !is_test_line(tok.line)
+                    && matches!(prev, Some(p) if p.text == ".")
+                    && matches!(next, Some(n) if n.text == "(") =>
+            {
+                emit(
+                    tok.line,
+                    "unwrap",
+                    format!(
+                        "`.{}()` in library code: propagate the error, or justify with \
+                         `// lint: allow(unwrap) — <why it cannot fail>`",
+                        tok.text
+                    ),
+                );
+            }
+            // R3: float equality outside tests.
+            (TokKind::Punct, "==" | "!=") if !is_test_line(tok.line) => {
+                let float_side = matches!(prev, Some(p) if p.kind == TokKind::Float)
+                    || matches!(next, Some(n) if n.kind == TokKind::Float)
+                    || is_float_path(next, next2);
+                if float_side {
+                    emit(
+                        tok.line,
+                        "float_cmp",
+                        "float equality: use a tolerance helper (`approx_eq`) or an \
+                         explicit exact-zero guard (`exactly_zero`)"
+                            .to_string(),
+                    );
+                }
+            }
+            // R4: hash collections in numeric crates.
+            (TokKind::Ident, "HashMap" | "HashSet")
+                if class.is_numeric && !is_test_line(tok.line) =>
+            {
+                emit(
+                    tok.line,
+                    "hash_iter",
+                    format!(
+                        "`{}` in a numeric crate: iteration order can leak into \
+                         results; use `BTreeMap`/`BTreeSet` or justify with \
+                         `// lint: allow(hash_iter) — <why order never escapes>`",
+                        tok.text
+                    ),
+                );
+            }
+            // R5: direct stdout/stderr in library crates.
+            (TokKind::Ident, "println" | "eprintln" | "print" | "eprint")
+                if class.is_library
+                    && !is_test_line(tok.line)
+                    && matches!(next, Some(n) if n.text == "!")
+                    // `writeln!(f, …)`-style callees and method names
+                    // (`w.print!`…) don't exist; but guard against
+                    // `obs::print` paths by requiring no leading `::`.
+                    && !matches!(prev, Some(p) if p.text == "::" || p.text == ".") =>
+            {
+                emit(
+                    tok.line,
+                    "print",
+                    format!(
+                        "`{}!` in a library crate: route diagnostics through \
+                         `mbrpa-obs` or return them to the caller",
+                        tok.text
+                    ),
+                );
+            }
+            // R6: narrowing `as` casts inside index expressions.
+            (TokKind::Ident, "as")
+                if index_depth > 0
+                    && attr_depth_at.is_none()
+                    && !is_test_line(tok.line)
+                    && matches!(
+                        next,
+                        Some(n) if matches!(
+                            n.text.as_str(),
+                            "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+                        )
+                    ) =>
+            {
+                emit(
+                    tok.line,
+                    "narrow_cast",
+                    format!(
+                        "narrowing `as {}` inside an index expression can silently \
+                         truncate; index with `usize` and convert with `try_from`",
+                        next.map(|n| n.text.as_str()).unwrap_or("_")
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    for s in &suppressions {
+        if !s.used {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: s.line,
+                rule: "unused_allow",
+                message: format!(
+                    "suppression `lint: allow({})` matched no finding; remove it",
+                    s.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// True if the tokens after `==`/`!=` spell a float-typed constant path
+/// like `f64::NAN` or `f32::EPSILON`.
+fn is_float_path(next: Option<&&Token>, next2: Option<&&Token>) -> bool {
+    matches!(next, Some(n) if n.text == "f64" || n.text == "f32")
+        && matches!(next2, Some(n2) if n2.text == "::")
+}
+
+/// Lines whose comments contain `SAFETY:`.
+fn safety_comment_lines(tokens: &[Token]) -> Vec<u32> {
+    tokens
+        .iter()
+        .filter(|t| {
+            matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+                && t.text.contains("SAFETY:")
+        })
+        .map(|t| t.line)
+        .collect()
+}
+
+/// Lines containing a comment but no code token (candidates for the
+/// comment run scanned upward from an `unsafe`).
+fn comment_only_lines(tokens: &[Token]) -> Vec<u32> {
+    let mut comment = std::collections::BTreeSet::new();
+    let mut code = std::collections::BTreeSet::new();
+    for t in tokens {
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => {
+                comment.insert(t.line);
+            }
+            _ => {
+                code.insert(t.line);
+            }
+        }
+    }
+    comment.difference(&code).copied().collect()
+}
+
+/// Scan upward from the line above `line` through a contiguous run of
+/// comment-only lines; true if any of them carries `SAFETY:`.
+fn covered_by_safety_above(line: u32, safety: &[u32], comment_only: &[u32]) -> bool {
+    let mut l = line.saturating_sub(1);
+    while l > 0 && comment_only.contains(&l) {
+        if safety.contains(&l) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// Collect `// lint: allow(<rule>)` suppressions with their coverage.
+fn collect_suppressions(tokens: &[Token]) -> Vec<Suppression> {
+    let code_lines: Vec<u32> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|t| t.line)
+        .collect();
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        // Doc comments only *talk about* suppressions; `// lint: allow`
+        // must be a plain comment to take effect.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(idx) = t.text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &t.text[idx + "lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        let rule = rest[..end].trim().to_string();
+        let next_code_line = code_lines
+            .iter()
+            .copied()
+            .filter(|&l| l > t.line)
+            .min()
+            .unwrap_or(t.line);
+        out.push(Suppression {
+            line: t.line,
+            rule,
+            covered: [t.line, next_code_line],
+            used: false,
+        });
+    }
+    out
+}
+
+/// Line ranges `(start, end)` inclusive that belong to `#[cfg(test)]`
+/// modules or `#[test]` functions. Reconstructed from the token stream
+/// by brace matching; `#[cfg(not(test))]` and friends are ignored.
+fn test_line_spans(tokens: &[Token], whole_file_is_test: bool) -> Vec<(u32, u32)> {
+    if whole_file_is_test {
+        return Vec::new(); // caller short-circuits on is_test_file
+    }
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].text == "#" && code.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            // Collect attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr_tokens: Vec<&str> = Vec::new();
+            while j < code.len() && depth > 0 {
+                match code[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    s => attr_tokens.push(s),
+                }
+                j += 1;
+            }
+            let is_test_attr = attr_tokens.contains(&"test")
+                && !attr_tokens.contains(&"not")
+                && (attr_tokens.first() == Some(&"cfg") || attr_tokens == ["test"]);
+            if is_test_attr {
+                let start_line = code[i].line;
+                // Skip any further attributes, then find the item body.
+                let mut k = j;
+                while k < code.len()
+                    && code[k].text == "#"
+                    && code.get(k + 1).map(|t| t.text.as_str()) == Some("[")
+                {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < code.len() && d > 0 {
+                        match code[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Find `{` opening the body or `;` ending a braceless item.
+                let mut end_line = start_line;
+                while k < code.len() {
+                    match code[k].text.as_str() {
+                        ";" => {
+                            end_line = code[k].line;
+                            break;
+                        }
+                        "{" => {
+                            let mut d = 1usize;
+                            k += 1;
+                            while k < code.len() && d > 0 {
+                                match code[k].text.as_str() {
+                                    "{" => d += 1,
+                                    "}" => d -= 1,
+                                    _ => {}
+                                }
+                                if d > 0 {
+                                    k += 1;
+                                }
+                            }
+                            end_line = code.get(k).map(|t| t.line).unwrap_or(start_line);
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                spans.push((start_line, end_line));
+                i = j;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}

@@ -1,0 +1,24 @@
+// Fixture: rule `safety` — every `unsafe` needs an adjacent `// SAFETY:`
+// comment. This file is read by mbrpa-lint's own tests; it is never
+// compiled and is excluded from the workspace scan.
+
+/// Positive: undocumented unsafe — must be flagged.
+pub fn positive(p: *const u8) -> u8 {
+    let v = unsafe { *p };
+    v
+}
+
+/// Negative: the soundness argument is written down.
+pub fn negative(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// Suppressed: justified inline suppression silences the finding.
+pub fn suppressed(p: *const u8) -> u8 {
+    // lint: allow(safety) — fixture exercises the suppression path
+    unsafe { *p }
+}
+
+// lint: allow(safety) — stale: the next line contains no unsafe code
+pub fn no_unsafe_here() {}

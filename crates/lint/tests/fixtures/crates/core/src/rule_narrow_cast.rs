@@ -1,0 +1,26 @@
+// Fixture: rule `narrow_cast` — no narrowing `as` casts inside index
+// expressions. Read by mbrpa-lint's own tests; never compiled and
+// excluded from the workspace scan.
+
+/// Positive: narrowing cast inside an index expression — must be
+/// flagged (`i as u32` can silently truncate on 64-bit grids).
+pub fn positive(buf: &[f64], i: usize) -> f64 {
+    buf[(i as u32) as usize]
+}
+
+/// Negative: widening/`usize` casts inside indices are fine, and a
+/// narrowing cast *outside* an index expression is a different concern.
+pub fn negative(buf: &[f64], i: u32) -> (f64, u16) {
+    (buf[i as usize], (i % 7) as u16)
+}
+
+/// Suppressed: justified inline suppression silences the finding.
+pub fn suppressed(buf: &[f64], i: u64) -> f64 {
+    // lint: allow(narrow_cast) — fixture: `i` is bounded by the caller
+    buf[(i as u32) as usize]
+}
+
+// lint: allow(narrow_cast) — stale: the next line indexes with usize
+pub fn no_narrow_here(buf: &[f64], i: usize) -> f64 {
+    buf[i]
+}

@@ -1,0 +1,34 @@
+// Fixture: rule `hash_iter` — no `HashMap`/`HashSet` in numeric
+// crates, where iteration order can leak into floating-point reduction
+// order. Read by mbrpa-lint's own tests; never compiled and excluded
+// from the workspace scan.
+
+use std::collections::BTreeMap;
+
+/// Positive: `HashMap` in a numeric crate — must be flagged.
+pub fn positive() -> usize {
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    m.len()
+}
+
+/// Positive: `HashSet` counts too.
+pub fn positive_set() -> usize {
+    let s: std::collections::HashSet<u32> = Default::default();
+    s.len()
+}
+
+/// Negative: ordered containers keep iteration deterministic.
+pub fn negative() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len()
+}
+
+/// Suppressed: justified inline suppression silences the finding.
+pub fn suppressed() -> usize {
+    // lint: allow(hash_iter) — fixture: iteration order never escapes
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    m.len()
+}
+
+// lint: allow(hash_iter) — stale: only ordered containers below
+pub fn no_hash_here() {}

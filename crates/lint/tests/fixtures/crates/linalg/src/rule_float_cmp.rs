@@ -1,0 +1,37 @@
+// Fixture: rule `float_cmp` — no `==`/`!=` on float-typed operands
+// outside tests. Read by mbrpa-lint's own tests; never compiled and
+// excluded from the workspace scan.
+
+/// Positive: equality against a float literal — must be flagged.
+pub fn positive(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Positive: `!=` against a float constant path counts too.
+pub fn positive_const_path(x: f64) -> bool {
+    x != f64::INFINITY
+}
+
+/// Negative: integer equality and tolerance checks are fine.
+pub fn negative(n: usize, x: f64) -> bool {
+    n == 0 && x.abs() < 1e-12
+}
+
+/// Suppressed: justified inline suppression silences the finding.
+pub fn suppressed(x: f64) -> bool {
+    // lint: allow(float_cmp) — fixture: structural exact-zero guard
+    x == 0.0
+}
+
+// lint: allow(float_cmp) — stale: the next line compares integers
+pub fn no_float_here(n: u32) -> bool {
+    n == 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_comparison_is_allowed_in_test_modules() {
+        assert!(1.0_f64 == 1.0_f64);
+    }
+}

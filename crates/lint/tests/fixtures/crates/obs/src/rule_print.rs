@@ -1,0 +1,27 @@
+// Fixture: rule `print` — no `println!`/`eprintln!` in library crates.
+// Read by mbrpa-lint's own tests; never compiled and excluded from the
+// workspace scan.
+
+/// Positive: `println!` in a library crate — must be flagged.
+pub fn positive() {
+    println!("diagnostic on stdout");
+}
+
+/// Positive: `eprintln!` counts too.
+pub fn positive_stderr() {
+    eprintln!("diagnostic on stderr");
+}
+
+/// Negative: building a string and returning it is fine.
+pub fn negative() -> String {
+    format!("report line")
+}
+
+/// Suppressed: justified inline suppression silences the finding.
+pub fn suppressed() {
+    // lint: allow(print) — fixture: deliberate CLI-facing status line
+    println!("status");
+}
+
+// lint: allow(print) — stale: nothing prints on the next line
+pub fn no_print_here() {}

@@ -1,0 +1,35 @@
+// Fixture: rule `unwrap` — no `.unwrap()`/`.expect()` in library
+// non-test code. Read by mbrpa-lint's own tests; never compiled and
+// excluded from the workspace scan.
+
+/// Positive: `.unwrap()` in library code — must be flagged.
+pub fn positive(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// Positive: `.expect()` counts too.
+pub fn positive_expect(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+/// Negative: propagating the `Option` is the library-discipline fix.
+pub fn negative(v: Option<u32>) -> Option<u32> {
+    v.map(|x| x + 1)
+}
+
+/// Suppressed: justified inline suppression silences the finding.
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // lint: allow(unwrap) — fixture: the caller constructs `Some` directly
+    v.unwrap()
+}
+
+// lint: allow(unwrap) — stale: the next line never panics
+pub fn no_unwrap_here() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_test_modules() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

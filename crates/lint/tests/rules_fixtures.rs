@@ -1,0 +1,132 @@
+//! Fixture-driven tests for every mbrpa-lint rule.
+//!
+//! Each fixture under `tests/fixtures/` (laid out as a miniature
+//! workspace so path classification applies) carries four cases:
+//! positive (flagged), negative (clean), suppressed (justified inline
+//! suppression), and an unused suppression (flagged as
+//! `unused_allow`). Expectations are per-rule finding counts, so the
+//! tests are robust to fixture line drift.
+
+use mbrpa_lint::rules::{check_file, classify, Finding};
+use std::path::Path;
+
+fn fixture_src(rel: &str) -> String {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    std::fs::read_to_string(&disk)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", disk.display()))
+}
+
+fn run_fixture(rel: &str) -> Vec<Finding> {
+    check_file(rel, &fixture_src(rel))
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+/// Assert the exact per-rule finding counts and that no other rule
+/// fired at all.
+fn assert_only(findings: &[Finding], expected: &[(&str, usize)]) {
+    for &(rule, n) in expected {
+        assert_eq!(
+            count(findings, rule),
+            n,
+            "rule `{rule}` count mismatch; all findings: {findings:#?}"
+        );
+    }
+    let allowed: Vec<&str> = expected.iter().map(|&(r, _)| r).collect();
+    for f in findings {
+        assert!(
+            allowed.contains(&f.rule),
+            "unexpected finding from rule `{}`: {f:#?}",
+            f.rule
+        );
+    }
+}
+
+#[test]
+fn safety_rule_cases() {
+    let f = run_fixture("crates/ckpt/src/rule_safety.rs");
+    assert_only(&f, &[("safety", 1), ("unused_allow", 1)]);
+}
+
+#[test]
+fn unwrap_rule_cases() {
+    let f = run_fixture("crates/solver/src/rule_unwrap.rs");
+    assert_only(&f, &[("unwrap", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn unwrap_rule_exempts_test_files_and_flags_stale_suppressions() {
+    // The same source reclassified as an integration-test file: both
+    // positive unwraps are exempt, and the now-pointless suppression in
+    // the `suppressed` case goes stale alongside the deliberately
+    // stale one — unused-suppression detection follows classification.
+    let src = fixture_src("crates/solver/src/rule_unwrap.rs");
+    let f = check_file("crates/solver/tests/rule_unwrap.rs", &src);
+    assert_only(&f, &[("unwrap", 0), ("unused_allow", 2)]);
+}
+
+#[test]
+fn float_cmp_rule_cases() {
+    let f = run_fixture("crates/linalg/src/rule_float_cmp.rs");
+    assert_only(&f, &[("float_cmp", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn hash_iter_rule_cases() {
+    let f = run_fixture("crates/grid/src/rule_hash_iter.rs");
+    assert_only(&f, &[("hash_iter", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn hash_iter_rule_is_scoped_to_numeric_crates() {
+    // The identical source inside a non-numeric crate (ckpt) is clean
+    // except for the suppressions, which all go stale.
+    let src = fixture_src("crates/grid/src/rule_hash_iter.rs");
+    let f = check_file("crates/ckpt/src/rule_hash_iter.rs", &src);
+    assert_only(&f, &[("hash_iter", 0), ("unused_allow", 2)]);
+}
+
+#[test]
+fn print_rule_cases() {
+    let f = run_fixture("crates/obs/src/rule_print.rs");
+    assert_only(&f, &[("print", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn print_rule_exempts_the_bench_crate() {
+    // stdout tables are the bench crate's CLI interface; `print` (and
+    // `unwrap`) discipline deliberately does not apply there.
+    let src = fixture_src("crates/obs/src/rule_print.rs");
+    let f = check_file("crates/bench/src/rule_print.rs", &src);
+    assert_only(&f, &[("print", 0), ("unused_allow", 2)]);
+}
+
+#[test]
+fn narrow_cast_rule_cases() {
+    let f = run_fixture("crates/core/src/rule_narrow_cast.rs");
+    assert_only(&f, &[("narrow_cast", 1), ("unused_allow", 1)]);
+}
+
+#[test]
+fn classification_matrix() {
+    let lib = classify("crates/solver/src/block_cocg.rs");
+    assert!(lib.is_library && lib.is_numeric && !lib.is_test_file);
+    assert_eq!(lib.crate_name, "solver");
+
+    let bin = classify("crates/bench/src/bin/kernels_bench.rs");
+    assert!(!bin.is_library && !bin.is_numeric);
+
+    let test = classify("crates/linalg/tests/proptest_gemm.rs");
+    assert!(test.is_test_file && !test.is_library && !test.is_numeric);
+
+    let root = classify("src/lib.rs");
+    assert_eq!(root.crate_name, "mbrpa");
+    assert!(root.is_library && !root.is_numeric);
+
+    let lint_main = classify("crates/lint/src/main.rs");
+    assert!(!lint_main.is_library, "bin targets are not library code");
+}

@@ -27,7 +27,7 @@
 use crate::operator::LinearOperator;
 use crate::stats::SolveReport;
 use crate::workspace::{with_thread_workspace, Workspace};
-use mbrpa_linalg::{matmul_into, matmul_tn_into, Mat, C64};
+use mbrpa_linalg::{exactly_zero, matmul_into, matmul_tn_into, Mat, C64};
 
 /// Options for [`block_cocg`].
 #[derive(Clone, Copy, Debug)]
@@ -148,7 +148,7 @@ fn equilibrated_solve_into(
                 best_abs = v;
             }
         }
-        if best_abs == 0.0 {
+        if exactly_zero(best_abs) {
             ok = false;
             break;
         }
@@ -174,7 +174,7 @@ fn equilibrated_solve_into(
             }
         }
     }
-    let rcond = if max_pivot == 0.0 {
+    let rcond = if exactly_zero(max_pivot) {
         0.0
     } else {
         min_pivot / max_pivot
@@ -281,7 +281,7 @@ pub fn block_cocg_ws(
     };
 
     let b_fro = b.fro_norm();
-    if b_fro == 0.0 || s_total == 0 {
+    if exactly_zero(b_fro) || s_total == 0 {
         report.converged = true;
         report.relative_residual = 0.0;
         return (
@@ -337,6 +337,12 @@ pub fn block_cocg_ws(
         // Global convergence check (Eq. 10 over the full block: deflated
         // columns already satisfy their per-column bound).
         let res = w.fro_norm() / b_fro;
+        debug_assert!(
+            res.is_finite(),
+            "non-finite block residual norm {res} at iteration {} — NaN \
+             contamination must fail here, not as a wrong correlation energy",
+            report.iterations
+        );
         report.relative_residual = res;
         if opts.track_residuals {
             report.residual_history.push(res);
@@ -356,7 +362,12 @@ pub fn block_cocg_ws(
         if opts.deflate && active.len() > 1 {
             w_norms.clear();
             for j in 0..w.cols() {
-                w_norms.push(w.col(j).iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt());
+                let col_norm = w.col(j).iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+                debug_assert!(
+                    col_norm.is_finite(),
+                    "non-finite residual norm {col_norm} in deflation column {j}"
+                );
+                w_norms.push(col_norm);
             }
             keep.clear();
             for (local, &global) in active.iter().enumerate() {
@@ -581,7 +592,7 @@ pub fn true_relative_residual(op: &dyn LinearOperator<C64>, b: &Mat<C64>, x: &Ma
     op.apply_block(x, &mut ax);
     ax.axpy(-C64::new(1.0, 0.0), b);
     let b_fro = b.fro_norm();
-    if b_fro == 0.0 {
+    if exactly_zero(b_fro) {
         0.0
     } else {
         ax.fro_norm() / b_fro

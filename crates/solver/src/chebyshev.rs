@@ -52,6 +52,13 @@ pub fn chebyshev_filter_ws<T: Scalar>(
     ws: &mut Workspace<T>,
 ) -> Mat<T> {
     assert!(b > a, "filter interval must satisfy a < b (got [{a}, {b}])");
+    // The interval ends and the lower-bound estimate come from Ritz values
+    // of the caller's subspace iteration; a NaN here silently poisons every
+    // filtered vector, so fail at first occurrence in debug builds.
+    debug_assert!(
+        a.is_finite() && b.is_finite() && a0.is_finite(),
+        "non-finite Ritz-derived filter bounds: [{a}, {b}], a0 = {a0}"
+    );
     let n = op.dim();
     assert_eq!(x.rows(), n);
     if degree == 0 {

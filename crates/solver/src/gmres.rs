@@ -8,7 +8,7 @@
 
 use crate::operator::LinearOperator;
 use crate::stats::SolveReport;
-use mbrpa_linalg::{vecops, Mat, C64};
+use mbrpa_linalg::{exactly_zero, vecops, Mat, C64};
 
 /// Options for [`gmres`].
 #[derive(Clone, Copy, Debug)]
@@ -51,7 +51,7 @@ pub fn gmres(
         Some(g) => g.to_vec(),
         None => vec![C64::new(0.0, 0.0); n],
     };
-    if b_norm == 0.0 {
+    if exactly_zero(b_norm) {
         report.converged = true;
         report.relative_residual = 0.0;
         return (vec![C64::new(0.0, 0.0); n], report);

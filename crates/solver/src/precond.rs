@@ -12,7 +12,7 @@
 use crate::block_cocg::CocgOptions;
 use crate::operator::LinearOperator;
 use crate::stats::SolveReport;
-use mbrpa_linalg::{matmul, matmul_into, matmul_tn, Lu, Mat, C64};
+use mbrpa_linalg::{exactly_zero, matmul, matmul_into, matmul_tn, Lu, Mat, C64};
 
 /// A (complex-symmetric) preconditioner `M ≈ A⁻¹` applied blockwise.
 pub trait Preconditioner: Sync {
@@ -95,7 +95,7 @@ pub fn block_pcocg(
     let one = C64::new(1.0, 0.0);
 
     let b_fro = b.fro_norm();
-    if b_fro == 0.0 || s == 0 {
+    if exactly_zero(b_fro) || s == 0 {
         report.converged = true;
         report.relative_residual = 0.0;
         return (x0.cloned().unwrap_or_else(|| Mat::zeros(n, s)), report);

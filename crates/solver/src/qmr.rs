@@ -12,7 +12,7 @@
 
 use crate::operator::LinearOperator;
 use crate::stats::SolveReport;
-use mbrpa_linalg::{vecops, C64};
+use mbrpa_linalg::{exactly_zero, vecops, C64};
 
 /// Options for [`qmr_sym`].
 #[derive(Clone, Copy, Debug)]
@@ -61,7 +61,7 @@ pub fn qmr_sym(
         Some(g) => g.to_vec(),
         None => vec![zero; n],
     };
-    if b_norm == 0.0 {
+    if exactly_zero(b_norm) {
         report.converged = true;
         report.relative_residual = 0.0;
         return (vec![zero; n], report);

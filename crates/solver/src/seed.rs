@@ -16,7 +16,7 @@
 use crate::block_cocg::CocgOptions;
 use crate::operator::LinearOperator;
 use crate::stats::SolveReport;
-use mbrpa_linalg::{vecops, Mat, C64};
+use mbrpa_linalg::{exactly_zero, vecops, Mat, C64};
 
 /// Outcome of a seed-projection solve.
 #[derive(Clone, Debug)]
@@ -42,7 +42,7 @@ fn cocg_capture(
     let mut report = SolveReport::new();
     let b_norm = vecops::norm2(b);
     let mut x = vec![C64::new(0.0, 0.0); n];
-    if b_norm == 0.0 {
+    if exactly_zero(b_norm) {
         report.converged = true;
         report.relative_residual = 0.0;
         return (x, report);

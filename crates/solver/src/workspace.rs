@@ -16,7 +16,7 @@
 use mbrpa_linalg::{Mat, Scalar};
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A free-list pool of matrix backing buffers for one scalar type.
 ///
@@ -120,7 +120,7 @@ impl<T: Scalar> Workspace<T> {
 
 thread_local! {
     /// One `Workspace<T>` per scalar type per thread, keyed by `TypeId`.
-    static WS_POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+    static WS_POOL: RefCell<BTreeMap<TypeId, Box<dyn Any>>> = RefCell::new(BTreeMap::new());
 }
 
 /// Run `f` with this thread's persistent [`Workspace<T>`].
@@ -137,6 +137,8 @@ pub fn with_thread_workspace<T: Scalar, R>(f: impl FnOnce(&mut Workspace<T>) -> 
             .or_insert_with(|| Box::new(Workspace::<T>::new()) as Box<dyn Any>);
         std::mem::take(
             slot.downcast_mut::<Workspace<T>>()
+                // lint: allow(unwrap) — slot is keyed by TypeId::of::<T>, so the
+                // downcast to Workspace<T> cannot fail
                 .expect("workspace slot type"),
         )
     });

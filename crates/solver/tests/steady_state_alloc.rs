@@ -20,19 +20,30 @@ struct CountingAlloc;
 
 // SAFETY: defers all allocation to `System`; only adds a relaxed counter.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, to which this delegates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, who
+        // upholds `GlobalAlloc`'s contract (non-zero size, valid align).
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: same contract as `System::alloc_zeroed`; pure delegation.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller.
         unsafe { System.alloc_zeroed(layout) }
     }
+    // SAFETY: same contract as `System::realloc`; pure delegation.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` was allocated by `System` (every path in this
+        // wrapper delegates there), and `layout`/`new_size` come from a
+        // caller upholding `GlobalAlloc`'s contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
+    // SAFETY: same contract as `System::dealloc`; pure delegation.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` with this `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

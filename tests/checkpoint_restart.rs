@@ -3,6 +3,10 @@
 //! with a total energy **bit-for-bit identical** to an uninterrupted run,
 //! and a corrupted newest slot must fall back to the older snapshot.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa::ckpt::{CheckpointStore, Slot};
 use mbrpa::core::{ResumableOutcome, ResumePolicy, RpaRunError};
 use mbrpa::prelude::*;

@@ -2,6 +2,10 @@
 //! the configuration axes the paper varies (warm start, Galerkin guess,
 //! worker count, block policy, KS solver choice).
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa::prelude::*;
 use mbrpa::solver::BlockPolicy;
 

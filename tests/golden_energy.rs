@@ -19,6 +19,10 @@
 //! `cargo test --test golden_energy -- --nocapture` and update it in the
 //! same commit with a note in the message.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa::dft::Atom;
 use mbrpa::prelude::*;
 

@@ -2,6 +2,10 @@
 //! `.rpa` input, build the system it describes, run the calculation, and
 //! render the report — everything `rpacalc` does, minus the filesystem.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa::core::{io::parse_rpa_input, report, KsSolver, RpaSetup};
 use mbrpa::prelude::*;
 

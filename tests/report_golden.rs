@@ -1,6 +1,10 @@
 //! Golden-output test: the artifact-style report of a fixed-seed run must
 //! keep its structure and its (deterministic) physics content stable.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa::core::report;
 use mbrpa::prelude::*;
 

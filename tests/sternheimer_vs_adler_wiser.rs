@@ -3,6 +3,10 @@
 //! Adler–Wiser construction (Eq. 2) of χ⁰ — the central identity the whole
 //! method rests on.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa::core::{dense_chi0, dense_dielectric, full_spectrum};
 use mbrpa::prelude::*;
 

@@ -2,6 +2,10 @@
 //! integrand, cross-checked against the subspace-iteration trace and the
 //! exact dense trace on a small system.
 
+// Test code: panics are failures, and exact float comparisons assert
+// bitwise-reproducible results (DESIGN.md §9).
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use mbrpa::core::{
     dielectric_spectrum, full_spectrum, lanczos_trace, random_orthonormal_block,
     subspace_iteration, trace_term, TraceEstimatorOptions,
