@@ -16,6 +16,33 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p mbrpa-lint -- --deny --json target/lint_findings.json
 cargo run --release -p mbrpa-lint -- --validate target/lint_findings.json
 
+# Daemon smoke test: serve the tiny Dirichlet-cluster job end-to-end
+# through the HTTP API on an ephemeral port, schema-validate the stored
+# result and profile documents with the daemon's own --validate mode,
+# then drain gracefully and check the exit status.
+cargo build --release --example rpaclient
+SERVE_ROOT="target/serve_smoke"
+rm -rf "$SERVE_ROOT"
+mkdir -p "$SERVE_ROOT"
+target/release/rpaserved -root "$SERVE_ROOT/store" -addr 127.0.0.1:0 \
+    -port-file "$SERVE_ROOT/addr.txt" -executors 1 -profile &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 200); do
+    [ -s "$SERVE_ROOT/addr.txt" ] && break
+    sleep 0.1
+done
+SERVE_ADDR="$(cat "$SERVE_ROOT/addr.txt")"
+RPACLIENT=target/release/examples/rpaclient
+"$RPACLIENT" -addr "$SERVE_ADDR" submit inputs/cluster_smoke.rpa -name ci-smoke
+"$RPACLIENT" -addr "$SERVE_ADDR" wait job-000001
+"$RPACLIENT" -addr "$SERVE_ADDR" health
+target/release/rpaserved -validate result "$SERVE_ROOT/store/jobs/job-000001/result.json"
+target/release/rpaserved -validate profile "$SERVE_ROOT/store/jobs/job-000001/profile.json"
+"$RPACLIENT" -addr "$SERVE_ADDR" shutdown
+wait "$SERVE_PID"
+trap - EXIT
+
 # Kernel micro-benchmarks: smoke shapes keep this fast; the run
 # cross-checks the new kernels against in-tree pre-PR reference
 # implementations and the emitted JSON is schema-validated. The artifact

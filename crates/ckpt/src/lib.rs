@@ -39,7 +39,9 @@ pub use codec::{
     decode_snapshot, encode_snapshot, IterRow, OmegaSummary, Snapshot, FORMAT_VERSION, MAGIC,
 };
 pub use crc32::crc32;
-pub use store::{CheckpointStore, LoadedSnapshot, Slot, SlotState};
+pub use store::{
+    list_namespaces, valid_namespace_id, CheckpointStore, LoadedSnapshot, Slot, SlotState,
+};
 
 /// Errors reading, writing, or validating snapshots.
 #[derive(Debug)]

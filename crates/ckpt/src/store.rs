@@ -163,6 +163,20 @@ impl CheckpointStore {
         })
     }
 
+    /// Open a namespaced store `root/<id>/` for one job of a multi-job
+    /// owner (a serving daemon's per-job checkpoint area). The id is
+    /// restricted to `[A-Za-z0-9._-]` without a leading dot so a
+    /// wire-supplied name can never escape `root` or hide from a rescan.
+    pub fn open_namespaced(root: impl Into<PathBuf>, id: &str) -> Result<Self, CkptError> {
+        if !valid_namespace_id(id) {
+            return Err(crate::corrupt(format!(
+                "invalid checkpoint namespace id {id:?}: need 1-128 chars of \
+                 [A-Za-z0-9._-] with no leading dot"
+            )));
+        }
+        Self::open(root.into().join(id))
+    }
+
     /// Load the newest valid snapshot, falling back to the older slot when
     /// the newer one is missing, truncated, or corrupt. `Ok(None)` means no
     /// slot holds a valid snapshot (fresh directory, or both damaged).
@@ -191,6 +205,44 @@ impl CheckpointStore {
             recovered_from_fallback: any_invalid_file,
         }))
     }
+}
+
+/// Is `id` acceptable as a checkpoint namespace (one path component,
+/// no traversal, no hidden files)?
+pub fn valid_namespace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 128
+        && !id.starts_with('.')
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Enumerate the namespace ids under `root` (the inverse of
+/// [`CheckpointStore::open_namespaced`]): every directory entry whose
+/// name is a valid namespace id, sorted. A missing root is an empty
+/// listing, not an error — a daemon's first boot has no jobs yet.
+pub fn list_namespaces(root: impl AsRef<Path>) -> Result<Vec<String>, CkptError> {
+    let root = root.as_ref();
+    let entries = match fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut ids = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        if let Some(name) = entry.file_name().to_str() {
+            if valid_namespace_id(name) {
+                ids.push(name.to_owned());
+            }
+        }
+    }
+    ids.sort();
+    Ok(ids)
 }
 
 /// Durably record the rename by fsyncing the directory (POSIX requires
@@ -351,5 +403,49 @@ mod tests {
         let store = CheckpointStore::open(&dir).unwrap();
         assert!(store.load_latest().unwrap().is_none());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn namespace_id_charset_is_enforced() {
+        for ok in ["job-1", "a", "run_42.v2", "ABC-def_0.9", &"x".repeat(128)] {
+            assert!(valid_namespace_id(ok), "{ok:?} should be accepted");
+        }
+        for bad in [
+            "",
+            ".hidden",
+            "..",
+            "a/b",
+            "a\\b",
+            "job 1",
+            "job\n",
+            "über",
+            &"x".repeat(129),
+        ] {
+            assert!(!valid_namespace_id(bad), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn namespaced_stores_are_isolated_and_listable() {
+        let root = scratch_dir("namespaces");
+        // missing root lists empty instead of erroring
+        assert!(list_namespaces(&root).unwrap().is_empty());
+
+        let mut a = CheckpointStore::open_namespaced(&root, "job-a").unwrap();
+        let mut b = CheckpointStore::open_namespaced(&root, "job-b").unwrap();
+        a.save(&mut snap(1)).unwrap();
+        b.save(&mut snap(2)).unwrap();
+        // each namespace sees only its own snapshot
+        assert_eq!(a.load_latest().unwrap().unwrap().snapshot.completed, 1);
+        assert_eq!(b.load_latest().unwrap().unwrap().snapshot.completed, 2);
+
+        // stray files and invalid names are not listed
+        fs::write(root.join("stray.txt"), b"x").unwrap();
+        fs::create_dir(root.join(".hidden")).unwrap();
+        assert_eq!(list_namespaces(&root).unwrap(), vec!["job-a", "job-b"]);
+
+        let err = CheckpointStore::open_namespaced(&root, "../escape").unwrap_err();
+        assert!(err.to_string().contains("invalid checkpoint namespace"));
+        fs::remove_dir_all(&root).unwrap();
     }
 }

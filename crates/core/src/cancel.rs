@@ -1,0 +1,79 @@
+//! Cooperative cancellation for long-running RPA drivers.
+//!
+//! A [`CancelToken`] is a cheap, cloneable one-way flag shared between a
+//! controller (a serving daemon's cancel endpoint, a CLI signal handler)
+//! and the numerical pipeline. The drivers check it **only at safe
+//! boundaries** — before each quadrature frequency, before each subspace
+//! iteration round, and between per-orbital Sternheimer solves inside an
+//! operator application — so an observed cancellation never leaves solver
+//! state half-updated: the frequency in flight is discarded wholesale and
+//! the last journaled checkpoint remains the authoritative state.
+//!
+//! The flag is one-way by construction (there is no `reset`), which is
+//! what makes the early-exit inside [`crate::chi0`] sound: an operator
+//! application that skipped work because the token was set can only ever
+//! be observed by a caller that will itself see the token set and discard
+//! the result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable, one-way cancellation flag.
+///
+/// Clones observe the same flag. Setting it is idempotent and can never
+/// be undone, so any computation that observed `is_cancelled() == true`
+/// can rely on every later observer seeing the same.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Safe to call from any thread, any number of
+    /// times; the pipeline reacts at its next boundary check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_sets_one_way() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || c.cancel());
+        h.join().expect("cancel thread panicked");
+        assert!(t.is_cancelled());
+    }
+}

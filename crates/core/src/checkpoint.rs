@@ -19,9 +19,10 @@
 //! partitions work per worker, so a different worker count can change the
 //! floating-point summation order and break bit-reproducibility.)
 
+use crate::cancel::CancelToken;
 use crate::config::RpaConfig;
 use crate::rpa::{
-    frequency_loop, FrequencyProgress, LoopOutcome, OmegaReport, ResumeSeed, RpaResult,
+    frequency_loop, FrequencyProgress, LoopOutcome, OmegaReport, PartialRun, ResumeSeed, RpaResult,
 };
 use crate::subspace::{SubspaceIterRecord, SubspaceTimings};
 use mbrpa_ckpt::{CheckpointStore, CkptError, IterRow, OmegaSummary, Snapshot};
@@ -136,6 +137,11 @@ pub enum ResumableOutcome {
         /// Total frequencies of the full calculation.
         n_omega: usize,
     },
+    /// The run observed its [`CancelToken`] at a frequency boundary. The
+    /// completed prefix was checkpointed into the store (even when
+    /// [`ResumePolicy::every`] would have skipped that boundary), so a
+    /// later resume completes the run bit-for-bit.
+    Cancelled(PartialRun),
 }
 
 /// FNV-1a hash of every configuration field that affects the numerical
@@ -299,6 +305,50 @@ pub fn compute_rpa_energy_resumable(
     store: &mut CheckpointStore,
     policy: &ResumePolicy,
 ) -> Result<ResumableOutcome, RpaRunError> {
+    resumable_inner(crystal, ham, ks, coulomb, config, store, policy, None)
+}
+
+/// [`compute_rpa_energy_resumable`] with a cooperative [`CancelToken`].
+///
+/// An observed cancellation forces a snapshot of the completed prefix
+/// (regardless of [`ResumePolicy::every`]) and returns
+/// [`ResumableOutcome::Cancelled`]; re-running with `resume: true` after
+/// clearing the token completes the calculation with a `total_energy`
+/// bit-identical to an uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_rpa_energy_resumable_cancellable(
+    crystal: &Crystal,
+    ham: &Hamiltonian,
+    ks: &KsSolution,
+    coulomb: &CoulombOperator,
+    config: &RpaConfig,
+    store: &mut CheckpointStore,
+    policy: &ResumePolicy,
+    cancel: &CancelToken,
+) -> Result<ResumableOutcome, RpaRunError> {
+    resumable_inner(
+        crystal,
+        ham,
+        ks,
+        coulomb,
+        config,
+        store,
+        policy,
+        Some(cancel),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resumable_inner(
+    crystal: &Crystal,
+    ham: &Hamiltonian,
+    ks: &KsSolution,
+    coulomb: &CoulombOperator,
+    config: &RpaConfig,
+    store: &mut CheckpointStore,
+    policy: &ResumePolicy,
+    cancel: Option<&CancelToken>,
+) -> Result<ResumableOutcome, RpaRunError> {
     let n_d = ham.dim();
     config.validate(n_d);
     let fingerprint = config_fingerprint(config, n_d);
@@ -343,12 +393,14 @@ pub fn compute_rpa_energy_resumable(
         seed,
         policy.stop_after,
         Some(&mut sink),
+        cancel,
     )? {
         LoopOutcome::Complete(result) => Ok(ResumableOutcome::Complete(result)),
         LoopOutcome::Partial { completed } => Ok(ResumableOutcome::Checkpointed {
             completed,
             n_omega: config.n_omega,
         }),
+        LoopOutcome::Cancelled(partial) => Ok(ResumableOutcome::Cancelled(partial)),
     }
 }
 

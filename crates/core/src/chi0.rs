@@ -14,6 +14,7 @@
 //! The operator is real symmetric negative semi-definite, so the subspace
 //! iteration above it runs entirely in real arithmetic.
 
+use crate::cancel::CancelToken;
 use crate::workers::partition_columns;
 use mbrpa_dft::{
     Hamiltonian, ShiftedLaplacianPreconditioner, SternheimerLinOp, SternheimerOperator,
@@ -146,6 +147,12 @@ pub struct DielectricOperator<'a> {
     /// partition only): the per-rank load profile behind the paper's
     /// load-imbalance discussion (§III-D, §V).
     worker_load: Mutex<Vec<Duration>>,
+    /// Cooperative cancellation, observed between per-orbital Sternheimer
+    /// solves. A cancelled application returns a truncated (garbage)
+    /// block; this is sound because every caller that could observe it
+    /// sees the same one-way token and discards the result (see
+    /// [`crate::cancel`]).
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> DielectricOperator<'a> {
@@ -202,7 +209,17 @@ impl<'a> DielectricOperator<'a> {
             applications: AtomicUsize::new(0),
             time_in_apply: Mutex::new(Duration::ZERO),
             worker_load: Mutex::new(vec![Duration::ZERO; n_workers]),
+            cancel: None,
         }
+    }
+
+    /// Attach a cooperative [`CancelToken`], observed between per-orbital
+    /// Sternheimer solves so a cancel lands within one solve's latency
+    /// instead of one full operator application.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// Frequency `ω`.
@@ -252,6 +269,11 @@ impl<'a> DielectricOperator<'a> {
     /// (one line of Eq. 6 plus its share of Eq. 5): solves
     /// `(H − λ_j + iω) Y_j = −V ⊙ Ψ_j` and returns
     /// `2·g_σ·Re(Ψ_j ⊙ Y_j)` (with `g_σ = 2` this is the paper's `4·Re`).
+    /// Has the attached [`CancelToken`] (if any) been set?
+    fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
     fn orbital_contribution(
         &self,
         channel: usize,
@@ -259,6 +281,13 @@ impl<'a> DielectricOperator<'a> {
         v: &Mat<f64>,
         stats: &mut WorkerStats,
     ) -> Mat<f64> {
+        // Early-exit between Sternheimer solves: the returned block is
+        // truncated garbage, which is sound because the one-way token
+        // guarantees every downstream consumer observes the cancellation
+        // and discards the whole application (see `crate::cancel`).
+        if self.cancel_requested() {
+            return Mat::zeros(self.ham.dim(), v.cols());
+        }
         let ch = &self.channels[channel];
         let n = self.ham.dim();
         let w = v.cols();

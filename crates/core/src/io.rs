@@ -16,11 +16,12 @@
 //! The same keys are accepted here, plus system-definition keys our
 //! substitution needs (the artifact reads precomputed SPARC outputs
 //! instead; see DESIGN.md): `CELLS_Z`, `POINTS_PER_CELL`, `MESH`,
-//! `PERTURBATION`, `SEED`, `NP`, `BLOCK_POLICY`, `VACANCY`.
+//! `PERTURBATION`, `SEED`, `NP`, `BLOCK_POLICY`, `VACANCY`, `BOUNDARY`.
 
 use crate::chi0::{PrecondPolicy, WorkDistribution};
 use crate::config::RpaConfig;
 use mbrpa_dft::SiliconSpec;
+use mbrpa_grid::Boundary;
 use mbrpa_solver::BlockPolicy;
 use std::fmt;
 
@@ -182,6 +183,18 @@ pub fn parse_rpa_input(text: &str) -> Result<RpaInput, ParseError> {
             "MESH" => system.mesh = parse_f64(value)?,
             "PERTURBATION" => system.perturbation = parse_f64(value)?,
             "SYSTEM_SEED" => system.seed = parse_usize(value)? as u64,
+            "BOUNDARY" => {
+                system.boundary = match value.to_ascii_uppercase().as_str() {
+                    "PERIODIC" => Boundary::Periodic,
+                    "DIRICHLET" => Boundary::Dirichlet,
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("`BOUNDARY` expects PERIODIC | DIRICHLET, got `{other}`"),
+                        ))
+                    }
+                }
+            }
             "VACANCY" => vacancy = Some(parse_usize(value)?),
             // artifact keys our formulation does not need
             "FLAG_PQ_OPERATOR" => ignored.push(key),
@@ -292,6 +305,16 @@ DISTRIBUTION: static
         assert_eq!(input.config.distribution, WorkDistribution::StaticColumns);
         assert!(parse_rpa_input("PRECOND: maybe").is_err());
         assert!(parse_rpa_input("DISTRIBUTION: chaotic").is_err());
+    }
+
+    #[test]
+    fn boundary_key_selects_the_grid_topology() {
+        let input = parse_rpa_input("BOUNDARY: dirichlet\n").unwrap();
+        assert_eq!(input.system.boundary, Boundary::Dirichlet);
+        let input = parse_rpa_input("BOUNDARY: PERIODIC\n").unwrap();
+        assert_eq!(input.system.boundary, Boundary::Periodic);
+        let e = parse_rpa_input("BOUNDARY: open\n").unwrap_err();
+        assert!(e.message.contains("BOUNDARY"));
     }
 
     #[test]

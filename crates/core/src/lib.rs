@@ -29,6 +29,7 @@
 #![cfg_attr(test, allow(clippy::float_cmp))]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod checkpoint;
 pub mod chi0;
 pub mod config;
@@ -42,8 +43,10 @@ pub mod subspace;
 pub mod trace_est;
 pub mod workers;
 
+pub use cancel::CancelToken;
 pub use checkpoint::{
-    compute_rpa_energy_resumable, config_fingerprint, ResumableOutcome, ResumePolicy, RpaRunError,
+    compute_rpa_energy_resumable, compute_rpa_energy_resumable_cancellable, config_fingerprint,
+    ResumableOutcome, ResumePolicy, RpaRunError,
 };
 pub use chi0::{
     DielectricOperator, PrecondPolicy, SpinChannel, SternheimerSettings, WorkDistribution,
@@ -56,12 +59,13 @@ pub use direct::{
 pub use io::{parse_rpa_input, ParseError, RpaInput};
 pub use quadrature::{frequency_quadrature, gauss_legendre, FrequencyPoint};
 pub use rpa::{
-    compute_rpa_energy, quadrature_of, random_orthonormal_block, KsSolver, OmegaReport, RpaResult,
-    RpaSetup,
+    compute_rpa_energy, compute_rpa_energy_cancellable, quadrature_of, random_orthonormal_block,
+    KsSolver, OmegaReport, PartialRun, RpaOutcome, RpaResult, RpaSetup,
 };
 pub use rpa_lanczos::{compute_rpa_energy_lanczos, LanczosOmegaReport, LanczosRpaResult};
 pub use subspace::{
-    subspace_iteration, trace_term, SubspaceIterRecord, SubspaceOutcome, SubspaceTimings,
+    subspace_iteration, subspace_iteration_cancellable, trace_term, SubspaceIterRecord,
+    SubspaceOutcome, SubspaceTimings,
 };
 pub use trace_est::{
     block_lanczos_trace, lanczos_trace, BlockTraceOptions, TraceEstimate, TraceEstimatorOptions,

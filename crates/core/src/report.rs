@@ -3,7 +3,7 @@
 //! per-frequency energy terms, and the final energy and walltime.
 
 use crate::config::RpaConfig;
-use crate::rpa::RpaResult;
+use crate::rpa::{PartialRun, RpaResult};
 use std::fmt::Write as _;
 
 const RULE: &str =
@@ -163,6 +163,37 @@ pub fn full_report(config: &RpaConfig, result: &RpaResult) -> String {
     s
 }
 
+/// Summary document for a cancelled run: the completed frequencies and
+/// the running (not final) energy accumulator, clearly marked as partial
+/// so the file is never mistaken for a finished `.out`.
+pub fn partial_report(
+    config: &RpaConfig,
+    partial: &PartialRun,
+    n_d: usize,
+    n_s: usize,
+    n_atoms: usize,
+) -> String {
+    let mut s = preamble(config, n_d, n_s, n_atoms);
+    let _ = writeln!(s, "{RULE}");
+    let _ = writeln!(
+        s,
+        "RUN CANCELLED after {} of {} quadrature frequencies",
+        partial.completed, partial.n_omega
+    );
+    let _ = writeln!(s, "Energy terms in every completed omega (Ha)");
+    for (k, rep) in partial.per_omega.iter().enumerate() {
+        let _ = writeln!(s, "omega {}: {:.5E},", k + 1, rep.contribution);
+    }
+    let _ = writeln!(
+        s,
+        "Accumulated (PARTIAL, not the final energy): {:.5E} (Ha), {:.5E} (Ha/atom)",
+        partial.accumulated_energy,
+        partial.accumulated_energy / n_atoms as f64
+    );
+    let _ = writeln!(s, "{RULE}");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +287,23 @@ mod tests {
         let mut single = fake_result();
         single.worker_load = vec![Duration::from_secs(30)];
         assert!(worker_load_table(&single).is_empty());
+    }
+
+    #[test]
+    fn partial_report_marks_cancellation() {
+        let config = crate::config::RpaConfig::for_system(8, 96);
+        let r = fake_result();
+        let partial = PartialRun {
+            completed: 1,
+            n_omega: 8,
+            accumulated_energy: -5.93784e-4,
+            per_omega: r.per_omega.clone(),
+        };
+        let doc = partial_report(&config, &partial, 3375, 16, 8);
+        assert!(doc.contains("RUN CANCELLED after 1 of 8"));
+        assert!(doc.contains("PARTIAL, not the final energy"));
+        assert!(doc.contains("omega 1: -5.93784E-4,"));
+        assert!(!doc.contains("Total RPA correlation energy"));
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //! previous frequency's eigenvectors (§III-F), and accumulates
 //! `E_RPA = Σ_k w_k E_k / 2π` with `E_k = Σ_a ln(1 − D_aa) + D_aa`.
 
+use crate::cancel::CancelToken;
 use crate::checkpoint::{
-    compute_rpa_energy_resumable, ResumableOutcome, ResumePolicy, RpaRunError,
+    compute_rpa_energy_resumable, compute_rpa_energy_resumable_cancellable, ResumableOutcome,
+    ResumePolicy, RpaRunError,
 };
 use crate::chi0::{DielectricOperator, SternheimerSettings};
 use crate::config::RpaConfig;
 use crate::quadrature::{frequency_quadrature, FrequencyPoint};
-use crate::subspace::{subspace_iteration, trace_term, SubspaceIterRecord, SubspaceTimings};
+use crate::subspace::{
+    subspace_iteration_cancellable, trace_term, SubspaceIterRecord, SubspaceTimings,
+};
 use mbrpa_ckpt::{CheckpointStore, CkptError};
 use mbrpa_dft::{
     solve_occupied_chefsi, solve_occupied_dense, ChefsiOptions, Crystal, Hamiltonian, KsSolution,
@@ -111,9 +115,26 @@ pub(crate) struct FrequencyProgress<'a> {
     /// Reports so far, in solve order.
     pub per_omega: &'a [OmegaReport],
     /// Whether this is the last frequency this call will compute (either
-    /// the quadrature is exhausted or `stop_after` is reached). Sinks
-    /// must persist on this boundary or the tail work is lost.
+    /// the quadrature is exhausted, `stop_after` is reached, or a
+    /// cancellation was observed at this boundary). Sinks must persist on
+    /// this boundary or the tail work is lost.
     pub final_of_call: bool,
+}
+
+/// What a cancelled run had finished when it stopped. Everything here
+/// reflects *completed* frequencies only — the frequency in flight at
+/// cancellation time is discarded wholesale, and the journaled
+/// checkpoint (when one was attached) holds exactly this state.
+#[derive(Clone, Debug)]
+pub struct PartialRun {
+    /// Frequencies completed (restored + computed) before the stop.
+    pub completed: usize,
+    /// Total quadrature frequencies the run would have stepped.
+    pub n_omega: usize,
+    /// Running `Σ w_k E_k / 2π` over the completed frequencies, bit-exact.
+    pub accumulated_energy: f64,
+    /// Reports of the completed frequencies, in solve order.
+    pub per_omega: Vec<OmegaReport>,
 }
 
 /// Outcome of [`frequency_loop`].
@@ -125,9 +146,42 @@ pub(crate) enum LoopOutcome {
         /// Frequencies completed (restored + computed).
         completed: usize,
     },
+    /// Stopped because the [`CancelToken`] was set.
+    Cancelled(PartialRun),
 }
 
 type ProgressSink<'s> = &'s mut dyn FnMut(FrequencyProgress<'_>) -> Result<(), CkptError>;
+
+/// Flush the last completed frequency to the sink (forcing persistence
+/// even when a sparse `every` policy would have skipped that boundary)
+/// and hand back the completed prefix of a cancelled run.
+fn cancelled_exit(
+    n_omega: usize,
+    warm_start: &Mat<f64>,
+    accumulated_energy: f64,
+    per_omega: Vec<OmegaReport>,
+    sink: &mut Option<ProgressSink<'_>>,
+) -> Result<LoopOutcome, RpaRunError> {
+    let completed = per_omega.len();
+    if completed > 0 {
+        if let Some(sink) = sink.as_mut() {
+            sink(FrequencyProgress {
+                completed,
+                n_omega,
+                warm_start,
+                accumulated_energy,
+                per_omega: &per_omega,
+                final_of_call: true,
+            })?;
+        }
+    }
+    Ok(LoopOutcome::Cancelled(PartialRun {
+        completed,
+        n_omega,
+        accumulated_energy,
+        per_omega,
+    }))
+}
 
 /// The shared frequency loop behind both [`compute_rpa_energy`] and
 /// [`crate::checkpoint::compute_rpa_energy_resumable`].
@@ -138,6 +192,11 @@ type ProgressSink<'s> = &'s mut dyn FnMut(FrequencyProgress<'_>) -> Result<(), C
 /// historical non-resumable loop: the energy accumulates left to right in
 /// solve order, so seeding from a snapshot's `accumulated_energy` and
 /// warm-start block reproduces the uninterrupted run bit for bit.
+///
+/// `cancel` is observed at two boundaries: before each frequency, and on
+/// a cancelled subspace iteration (whose partial eigenpairs are
+/// discarded wholesale, so the accumulated state stays exactly the
+/// post-previous-frequency state an uninterrupted run would have had).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn frequency_loop(
     crystal: &Crystal,
@@ -148,7 +207,10 @@ pub(crate) fn frequency_loop(
     resume: Option<ResumeSeed>,
     stop_after: Option<usize>,
     mut sink: Option<ProgressSink<'_>>,
+    cancel: Option<&CancelToken>,
 ) -> Result<LoopOutcome, RpaRunError> {
+    let never = CancelToken::new();
+    let cancel = cancel.unwrap_or(&never);
     let t_start = Instant::now();
     let n_d = ham.dim();
     config.validate(n_d);
@@ -191,6 +253,9 @@ pub(crate) fn frequency_loop(
     let mut worker_load = vec![Duration::ZERO; config.n_workers];
 
     for (k, pt) in quad.iter().enumerate().take(end_k).skip(start_k) {
+        if cancel.is_cancelled() {
+            return cancelled_exit(quad.len(), &v, total, per_omega, &mut sink);
+        }
         let _omega_span = mbrpa_obs::span(&format!("omega[{k}]"));
         let op = DielectricOperator::new(
             ham,
@@ -200,19 +265,31 @@ pub(crate) fn frequency_loop(
             pt.omega,
             settings,
             config.n_workers,
-        );
+        )
+        .with_cancel(cancel.clone());
+        // `v` stays intact (the block is cloned into the iteration) so a
+        // cancellation mid-frequency can still flush the exact
+        // post-previous-frequency state to the checkpoint sink; one
+        // n_d × n_eig copy per frequency is noise next to the solves.
         let v0 = if config.warm_start || k == 0 {
-            v
+            v.clone()
         } else {
             random_orthonormal_block(n_d, config.n_eig, config.seed ^ (k as u64))
         };
-        let out = subspace_iteration(
+        let out = subspace_iteration_cancellable(
             &op,
             v0,
             config.tol_eig_at(k),
             config.max_filter_iters,
             config.cheb_degree,
+            cancel,
         )?;
+        if out.cancelled {
+            // the in-flight frequency is discarded wholesale: none of its
+            // stats, timings, or (possibly truncated) eigenpairs may leak
+            // into the accumulated state
+            return cancelled_exit(quad.len(), &v, total, per_omega, &mut sink);
+        }
         if mbrpa_obs::enabled() {
             let label = format!("omega[{k}]");
             let errors: Vec<f64> = out.history.iter().map(|h| h.error).collect();
@@ -292,9 +369,53 @@ pub fn compute_rpa_energy(
     coulomb: &CoulombOperator,
     config: &RpaConfig,
 ) -> Result<RpaResult, LinalgError> {
-    match frequency_loop(crystal, ham, ks, coulomb, config, None, None, None) {
+    match frequency_loop(crystal, ham, ks, coulomb, config, None, None, None, None) {
         Ok(LoopOutcome::Complete(result)) => Ok(*result),
         Ok(LoopOutcome::Partial { .. }) => unreachable!("no stop_after was requested"),
+        Ok(LoopOutcome::Cancelled(_)) => unreachable!("no cancel token was attached"),
+        Err(RpaRunError::Linalg(e)) => Err(e),
+        Err(_) => unreachable!("no checkpoint sink was attached"),
+    }
+}
+
+/// Outcome of a cancellable (but non-checkpointed) RPA run.
+#[derive(Debug)]
+pub enum RpaOutcome {
+    /// The run finished every quadrature frequency.
+    Complete(Box<RpaResult>),
+    /// The [`CancelToken`] was observed at a frequency boundary; the
+    /// partial state reflects completed frequencies only.
+    Cancelled(PartialRun),
+}
+
+/// [`compute_rpa_energy`] with a cooperative [`CancelToken`], observed
+/// before each quadrature frequency and at each subspace-iteration
+/// boundary within one. Without checkpoints the partial state is
+/// returned, not persisted; pair with
+/// [`crate::checkpoint::compute_rpa_energy_resumable_cancellable`] for a
+/// run that can later resume bit-for-bit.
+pub fn compute_rpa_energy_cancellable(
+    crystal: &Crystal,
+    ham: &Hamiltonian,
+    ks: &KsSolution,
+    coulomb: &CoulombOperator,
+    config: &RpaConfig,
+    cancel: &CancelToken,
+) -> Result<RpaOutcome, LinalgError> {
+    match frequency_loop(
+        crystal,
+        ham,
+        ks,
+        coulomb,
+        config,
+        None,
+        None,
+        None,
+        Some(cancel),
+    ) {
+        Ok(LoopOutcome::Complete(result)) => Ok(RpaOutcome::Complete(result)),
+        Ok(LoopOutcome::Partial { .. }) => unreachable!("no stop_after was requested"),
+        Ok(LoopOutcome::Cancelled(partial)) => Ok(RpaOutcome::Cancelled(partial)),
         Err(RpaRunError::Linalg(e)) => Err(e),
         Err(_) => unreachable!("no checkpoint sink was attached"),
     }
@@ -361,6 +482,22 @@ impl RpaSetup {
         compute_rpa_energy(&self.crystal, &self.ham, &self.ks, &self.coulomb, config)
     }
 
+    /// Run with a cooperative [`CancelToken`] (no checkpointing).
+    pub fn run_cancellable(
+        &self,
+        config: &RpaConfig,
+        cancel: &CancelToken,
+    ) -> Result<RpaOutcome, LinalgError> {
+        compute_rpa_energy_cancellable(
+            &self.crystal,
+            &self.ham,
+            &self.ks,
+            &self.coulomb,
+            config,
+            cancel,
+        )
+    }
+
     /// Run with crash-safe per-frequency checkpoints in `store`, resuming
     /// any compatible prior state per `policy`.
     pub fn run_resumable(
@@ -377,6 +514,29 @@ impl RpaSetup {
             config,
             store,
             policy,
+        )
+    }
+
+    /// [`Self::run_resumable`] with a cooperative [`CancelToken`]: an
+    /// observed cancellation checkpoints the completed prefix (even when
+    /// the `every` policy would have skipped that boundary) so a later
+    /// resume reproduces the uninterrupted run bit for bit.
+    pub fn run_resumable_cancellable(
+        &self,
+        config: &RpaConfig,
+        store: &mut CheckpointStore,
+        policy: &ResumePolicy,
+        cancel: &CancelToken,
+    ) -> Result<ResumableOutcome, RpaRunError> {
+        compute_rpa_energy_resumable_cancellable(
+            &self.crystal,
+            &self.ham,
+            &self.ks,
+            &self.coulomb,
+            config,
+            store,
+            policy,
+            cancel,
         )
     }
 }

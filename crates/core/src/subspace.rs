@@ -13,6 +13,7 @@
 //! can converge with zero filter applications — the "skip polynomial
 //! filtering" behaviour of §III-F falls out naturally.
 
+use crate::cancel::CancelToken;
 use crate::chi0::DielectricOperator;
 use mbrpa_linalg::{generalized_sym_eig, matmul, matmul_tn, LinalgError, Mat};
 use mbrpa_solver::chebyshev_filter;
@@ -75,6 +76,10 @@ pub struct SubspaceOutcome {
     pub error: f64,
     /// Whether the tolerance was reached within the round cap.
     pub converged: bool,
+    /// The iteration stopped because its [`CancelToken`] was set. The
+    /// eigenpairs are whatever the last completed projection produced
+    /// (possibly none) and **must be discarded** by resumable drivers.
+    pub cancelled: bool,
     /// Kernel timing breakdown.
     pub timings: SubspaceTimings,
     /// Per-iteration history.
@@ -175,9 +180,45 @@ pub fn subspace_iteration(
     max_rounds: usize,
     cheb_degree: usize,
 ) -> Result<SubspaceOutcome, LinalgError> {
+    subspace_iteration_cancellable(op, v0, tol, max_rounds, cheb_degree, &CancelToken::new())
+}
+
+/// [`subspace_iteration`] with a cooperative [`CancelToken`], checked
+/// before each Rayleigh–Ritz projection and each Chebyshev filter round.
+/// A cancelled outcome carries `cancelled = true` and whatever state the
+/// last completed kernel produced; callers must discard it (the resumable
+/// driver recomputes the frequency from its last checkpoint on resume).
+pub fn subspace_iteration_cancellable(
+    op: &DielectricOperator<'_>,
+    v0: Mat<f64>,
+    tol: f64,
+    max_rounds: usize,
+    cheb_degree: usize,
+    cancel: &CancelToken,
+) -> Result<SubspaceOutcome, LinalgError> {
     let mut v = v0;
     let mut timings = SubspaceTimings::default();
     let mut history = Vec::new();
+
+    let cancelled_outcome = |v: Mat<f64>,
+                             timings: SubspaceTimings,
+                             history: Vec<SubspaceIterRecord>,
+                             rounds: usize,
+                             eigenvalues: Vec<f64>,
+                             error: f64| SubspaceOutcome {
+        converged: false,
+        cancelled: true,
+        error,
+        filter_rounds: rounds,
+        eigenvalues,
+        vectors: v,
+        timings,
+        history,
+    };
+
+    if cancel.is_cancelled() {
+        return Ok(cancelled_outcome(v, timings, history, 0, Vec::new(), f64::INFINITY));
+    }
 
     // Lines 2–5: project and check before any filtering.
     let t_iter = Instant::now();
@@ -186,6 +227,10 @@ pub fn subspace_iteration(
 
     let mut rounds = 0;
     while step.error > tol && rounds < max_rounds {
+        if cancel.is_cancelled() {
+            let (eigs, err) = (step.eigenvalues, step.error);
+            return Ok(cancelled_outcome(v, timings, history, rounds, eigs, err));
+        }
         rounds += 1;
         let t_iter = Instant::now();
 
@@ -205,12 +250,21 @@ pub fn subspace_iteration(
         }
         timings.apply += t.elapsed();
 
+        // A cancellation observed mid-filter produced a truncated operator
+        // application (see `chi0`); the block is garbage and must not be
+        // projected or recorded — bail before the Rayleigh–Ritz step.
+        if cancel.is_cancelled() {
+            let (eigs, err) = (step.eigenvalues, step.error);
+            return Ok(cancelled_outcome(v, timings, history, rounds, eigs, err));
+        }
+
         step = rayleigh_ritz(op, &mut v, &mut timings)?;
         history.push(record(rounds, &step, t_iter.elapsed()));
     }
 
     Ok(SubspaceOutcome {
         converged: step.error <= tol,
+        cancelled: false,
         error: step.error,
         filter_rounds: rounds,
         eigenvalues: step.eigenvalues,
@@ -351,6 +405,42 @@ mod tests {
         assert!((trace_term(&mus) - expect).abs() < 1e-14);
         // positive noise clamps to zero contribution
         assert_eq!(trace_term(&[1e-15]), 0.0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_short_circuits_before_any_work() {
+        let f = fixture();
+        let op = DielectricOperator::new(
+            &f.ham,
+            &f.psi,
+            &f.energies,
+            &f.coulomb,
+            0.9,
+            SternheimerSettings::default(),
+            1,
+        );
+        let v0 = random_block(f.ham.dim(), 6, 7);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = subspace_iteration_cancellable(&op, v0, 1e-5, 15, 3, &cancel).unwrap();
+        assert!(out.cancelled);
+        assert!(!out.converged);
+        assert!(out.history.is_empty(), "no projection should have run");
+        assert_eq!(op.applications(), 0, "no operator application should have run");
+    }
+
+    #[test]
+    fn uncancelled_token_matches_plain_iteration() {
+        let f = fixture();
+        let settings = SternheimerSettings::default();
+        let op = DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.9, settings, 1);
+        let v0 = random_block(f.ham.dim(), 6, 7);
+        let plain = subspace_iteration(&op, v0.clone(), 1e-5, 15, 3).unwrap();
+        let op2 = DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.9, settings, 1);
+        let live = subspace_iteration_cancellable(&op2, v0, 1e-5, 15, 3, &CancelToken::new()).unwrap();
+        assert!(!live.cancelled);
+        assert_eq!(live.filter_rounds, plain.filter_rounds);
+        assert_eq!(live.eigenvalues, plain.eigenvalues);
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct SiliconSpec {
     pub perturbation: f64,
     /// RNG seed for the perturbation.
     pub seed: u64,
+    /// Grid boundary condition: [`Boundary::Periodic`] for the paper's
+    /// bulk crystals, [`Boundary::Dirichlet`] for isolated (hard-wall)
+    /// clusters — the same atoms in a box instead of a lattice.
+    pub boundary: Boundary,
 }
 
 impl Default for SiliconSpec {
@@ -95,6 +99,7 @@ impl Default for SiliconSpec {
             cells_z: 1,
             perturbation: 0.02,
             seed: 7,
+            boundary: Boundary::Periodic,
         }
     }
 }
@@ -133,7 +138,7 @@ impl SiliconSpec {
         let grid = Grid3::new(
             (n, n, n * self.cells_z),
             (self.mesh, self.mesh, self.mesh),
-            Boundary::Periodic,
+            self.boundary,
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut atoms = Vec::with_capacity(8 * self.cells_z);
@@ -239,6 +244,19 @@ mod tests {
         }
         // and the removed one is the fourth site
         assert!(!vac.atoms.contains(&full.atoms[3]));
+    }
+
+    #[test]
+    fn dirichlet_spec_builds_a_cluster() {
+        let spec = SiliconSpec {
+            boundary: Boundary::Dirichlet,
+            ..SiliconSpec::default()
+        };
+        let c = spec.build();
+        assert_eq!(c.grid.bc, Boundary::Dirichlet);
+        // same atoms as the periodic system with the same seed
+        let periodic = SiliconSpec::default().build();
+        assert_eq!(c.atoms, periodic.atoms);
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub const NUMERIC_CRATES: [&str; 5] = ["linalg", "grid", "solver", "core", "dft"
 /// errors propagate, output goes through `mbrpa-obs`. The `bench`
 /// crate is deliberately absent — its panics and stdout tables are its
 /// CLI interface, not incidental behaviour.
-pub const LIBRARY_CRATES: [&str; 9] = [
-    "linalg", "grid", "solver", "core", "dft", "ckpt", "obs", "lint", "mbrpa",
+pub const LIBRARY_CRATES: [&str; 10] = [
+    "linalg", "grid", "solver", "core", "dft", "ckpt", "obs", "lint", "serve", "mbrpa",
 ];
 
 /// How a file participates in the rule set, derived from its

@@ -419,6 +419,10 @@ pub struct TraceEntry {
 pub struct Report {
     /// JSON layout version ([`SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Owning job id when the snapshot was taken via [`report_tagged`]
+    /// (a serving daemon attributing a profile to one queued job);
+    /// `None` for untagged CLI-style runs.
+    pub job: Option<String>,
     /// Wall-clock seconds since the sink was created or [`reset`].
     pub total_wall_s: f64,
     /// Span aggregates sorted by path.
@@ -482,6 +486,7 @@ pub fn report() -> Report {
         }
         Report {
             schema_version: SCHEMA_VERSION,
+            job: None,
             total_wall_s: g.epoch.elapsed().as_secs_f64(),
             spans,
             counters,
@@ -489,6 +494,15 @@ pub fn report() -> Report {
             traces,
         }
     })
+}
+
+/// [`report`] with the owning job id stamped into [`Report::job`] (and
+/// therefore the JSON `"job"` field), so a daemon serving many jobs can
+/// attribute each emitted profile.
+pub fn report_tagged(job: &str) -> Report {
+    let mut r = report();
+    r.job = Some(job.to_string());
+    r
 }
 
 impl Report {
@@ -563,6 +577,10 @@ impl Report {
         let mut out = String::with_capacity(4096);
         out.push('{');
         out.push_str(&format!("\"schema_version\":{},", self.schema_version));
+        match &self.job {
+            Some(job) => out.push_str(&format!("\"job\":{},", json_str(job))),
+            None => out.push_str("\"job\":null,"),
+        }
         out.push_str(&format!(
             "\"total_wall_s\":{},",
             json_f64(self.total_wall_s)
@@ -856,6 +874,26 @@ mod tests {
     }
 
     #[test]
+    fn tagged_report_carries_the_job_id_into_json() {
+        let _g = exclusive();
+        reset();
+        set_enabled(true);
+        {
+            let _root = span("tagged");
+            add("tagged.counter", 1);
+        }
+        let tagged = report_tagged("job-0042");
+        let untagged = report();
+        set_enabled(false);
+        assert_eq!(tagged.job.as_deref(), Some("job-0042"));
+        assert!(untagged.job.is_none());
+        let json = tagged.to_json();
+        assert_json(&json);
+        assert!(json.contains("\"job\":\"job-0042\""), "{json}");
+        assert!(untagged.to_json().contains("\"job\":null"));
+    }
+
+    #[test]
     fn summary_table_mentions_every_span_and_counter() {
         let _g = exclusive();
         reset();
@@ -882,6 +920,7 @@ mod tests {
         // cover only instrumented call sites.
         let r = Report {
             schema_version: SCHEMA_VERSION,
+            job: None,
             total_wall_s: 10.0,
             spans: vec![
                 SpanEntry {
@@ -917,6 +956,7 @@ mod tests {
         // no flop counters → no derived rows, no header
         let empty = Report {
             schema_version: SCHEMA_VERSION,
+            job: None,
             total_wall_s: 1.0,
             spans: vec![],
             counters: vec![],

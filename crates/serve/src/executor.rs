@@ -1,0 +1,239 @@
+//! Executor pool: claims jobs, runs them in checkpointed slices, and
+//! finalizes their on-disk documents.
+//!
+//! Each claimed job runs through the same pipeline as `rpacalc` — same
+//! solver selection, same potential, same stencil — so a served energy
+//! is bit-identical to a command-line run of the same input. The run is
+//! sliced one frequency at a time via [`ResumePolicy::stop_after`]: at
+//! every slice boundary the executor publishes progress for the status
+//! endpoint and observes cancellation, and because every slice
+//! checkpoints through `core::checkpoint`, a `kill -9` at any instant
+//! loses at most the in-flight frequency.
+//!
+//! Cancellation is disambiguated at the end: a token tripped by a
+//! client finalizes the job as `Cancelled` (with a partial report); a
+//! token tripped by a drain requeues it, so the next daemon to open the
+//! store resumes it bit-for-bit.
+
+use crate::daemon::{lock, RunningJob, ServeShared};
+use crate::job::{self, JobSpec, JobState};
+use crate::store::{ERROR_FILE, PARTIAL_FILE, PROFILE_FILE, REPORT_FILE, RESULT_FILE};
+use mbrpa_ckpt::CheckpointStore;
+use mbrpa_core::io::parse_rpa_input;
+use mbrpa_core::{
+    report, KsSolver, ResumableOutcome, ResumePolicy, RpaInput, RpaResult, RpaSetup,
+};
+use mbrpa_dft::{ChefsiOptions, PotentialParams};
+use mbrpa_grid::par::outer_scope;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a run ended, before the queue/store transition is applied.
+enum Finish {
+    /// Completed; `result.json` and `report.out` are written.
+    Complete,
+    /// Cancelled by a drain: back to the backlog, checkpoints intact.
+    Requeue,
+    /// Cancelled by a client: terminal, with a partial report.
+    Cancelled,
+    /// Errored (or panicked); the message goes to `error.txt`.
+    Failed(String),
+}
+
+/// Body of one executor thread: claim, run, finalize, repeat until the
+/// daemon drains.
+pub(crate) fn executor_loop(shared: &Arc<ServeShared>) {
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            return;
+        }
+        let claimed = lock(&shared.queue).claim();
+        let Some(id) = claimed else {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        run_one(shared, &id);
+    }
+}
+
+fn run_one(shared: &Arc<ServeShared>, id: &str) {
+    let Some(spec) = shared.store.load_spec(id) else {
+        finalize(shared, id, Finish::Failed("job.json is unreadable".to_string()));
+        return;
+    };
+    if let Err(e) = shared.store.write_state(id, JobState::Running) {
+        finalize(
+            shared,
+            id,
+            Finish::Failed(format!("cannot persist running state: {e}")),
+        );
+        return;
+    }
+
+    let job = Arc::new(RunningJob::new(id));
+    lock(&shared.running).push(Arc::clone(&job));
+    // a panic anywhere in the numeric stack must not strand the job in
+    // `Running` or kill the executor thread
+    let finish = catch_unwind(AssertUnwindSafe(|| execute(shared, &spec, &job)))
+        .unwrap_or_else(|_| Finish::Failed("executor panicked while running the job".to_string()));
+    lock(&shared.running).retain(|r| r.id != id);
+    finalize(shared, id, finish);
+}
+
+/// Apply a [`Finish`]: queue transition and state file move together
+/// under the queue lock, so API readers never see them disagree.
+fn finalize(shared: &Arc<ServeShared>, id: &str, finish: Finish) {
+    let mut queue = lock(&shared.queue);
+    let (moved, state) = match &finish {
+        Finish::Complete => (queue.complete(id), JobState::Completed),
+        Finish::Requeue => (queue.requeue(id), JobState::Queued),
+        Finish::Cancelled => (queue.finish_cancelled(id), JobState::Cancelled),
+        Finish::Failed(message) => {
+            if let Err(e) = shared.store.write_doc(id, ERROR_FILE, message) {
+                (shared.log)(&format!("{id}: cannot write error.txt: {e}"));
+            }
+            (shared.log)(&format!("{id}: failed: {message}"));
+            (queue.fail(id), JobState::Failed)
+        }
+    };
+    if !moved {
+        // only possible if the queue lost track of a job it claimed
+        (shared.log)(&format!("{id}: queue transition to {} refused", state.as_str()));
+    }
+    if let Err(e) = shared.store.write_state(id, state) {
+        (shared.log)(&format!("{id}: cannot persist state {}: {e}", state.as_str()));
+    }
+}
+
+/// Run one job to an end state. Writes result/report/profile documents
+/// but leaves the queue/state transition to [`finalize`].
+fn execute(shared: &Arc<ServeShared>, spec: &JobSpec, job: &RunningJob) -> Finish {
+    // per-job telemetry is only sound when a single executor owns the
+    // process-global sink
+    let profiled = shared.profile && shared.executors <= 1;
+    if profiled {
+        mbrpa_obs::reset();
+        mbrpa_obs::set_enabled(true);
+    }
+
+    let input = match parse_rpa_input(&spec.input) {
+        Ok(i) => i,
+        Err(e) => return Finish::Failed(format!("invalid `.rpa` input: {e}")),
+    };
+    if let Err(e) = job::precheck(&input) {
+        return Finish::Failed(e);
+    }
+
+    let setup = {
+        let _setup_span = mbrpa_obs::span("setup");
+        let crystal = match input.vacancy {
+            Some(site) => input.system.build_with_vacancy(site),
+            None => input.system.build(),
+        };
+        // identical solver selection to rpacalc: dense for small grids,
+        // CheFSI beyond — part of the bit-for-bit contract
+        let solver = if crystal.n_grid() <= 1000 {
+            KsSolver::Dense { extra: 4 }
+        } else {
+            KsSolver::Chefsi(ChefsiOptions::default())
+        };
+        match RpaSetup::prepare(crystal, &PotentialParams::default(), 2, solver) {
+            Ok(s) => s,
+            Err(e) => return Finish::Failed(format!("KS stage failed: {e}")),
+        }
+    };
+
+    let mut store = match CheckpointStore::open_namespaced(shared.store.ckpt_root(), &job.id) {
+        Ok(s) => s,
+        Err(e) => return Finish::Failed(format!("cannot open checkpoint namespace: {e}")),
+    };
+
+    // with several executors, register each job as an outer parallel
+    // region so the shared rayon pool is split instead of oversubscribed
+    let _outer = (shared.executors > 1).then(|| outer_scope(1));
+
+    // one frequency per slice: each boundary checkpoints, publishes
+    // progress, and observes the cancel token; `resume: true` makes the
+    // first slice pick up any state a previous daemon left behind
+    let policy = ResumePolicy {
+        every: 1,
+        resume: true,
+        stop_after: Some(1),
+    };
+    let _rpa_span = mbrpa_obs::span("rpa");
+    loop {
+        match setup.run_resumable_cancellable(&input.config, &mut store, &policy, &job.token) {
+            Ok(ResumableOutcome::Complete(result)) => {
+                return complete(shared, &input, job, &result, profiled);
+            }
+            Ok(ResumableOutcome::Checkpointed { completed, n_omega }) => {
+                job.completed.store(completed, Ordering::Release);
+                job.n_omega.store(n_omega, Ordering::Release);
+            }
+            Ok(ResumableOutcome::Cancelled(partial)) => {
+                job.completed.store(partial.completed, Ordering::Release);
+                job.n_omega.store(partial.n_omega, Ordering::Release);
+                if job.user_cancel.load(Ordering::Acquire) {
+                    let partial_json = job::partial_doc(&job.id, &partial).to_json();
+                    write_or_log(shared, &job.id, PARTIAL_FILE, &partial_json);
+                    let doc = report::partial_report(
+                        &input.config,
+                        &partial,
+                        setup.crystal.n_grid(),
+                        setup.crystal.n_occupied(),
+                        setup.crystal.atoms.len(),
+                    );
+                    write_or_log(shared, &job.id, REPORT_FILE, &doc);
+                    return Finish::Cancelled;
+                }
+                // drain: the checkpointed prefix stays in the namespace and
+                // the job returns to the backlog for the next daemon
+                return Finish::Requeue;
+            }
+            Err(e) => return Finish::Failed(format!("RPA stage failed: {e}")),
+        }
+    }
+}
+
+fn complete(
+    shared: &Arc<ServeShared>,
+    input: &RpaInput,
+    job: &RunningJob,
+    result: &RpaResult,
+    profiled: bool,
+) -> Finish {
+    job.completed.store(result.per_omega.len(), Ordering::Release);
+    job.n_omega.store(result.per_omega.len(), Ordering::Release);
+
+    let result_json = job::result_doc(&job.id, result).to_json();
+    if let Err(e) = shared.store.write_doc(&job.id, RESULT_FILE, &result_json) {
+        // without a result document the job must not report success
+        return Finish::Failed(format!("cannot write result.json: {e}"));
+    }
+
+    let mut doc = report::full_report(&input.config, result);
+    if profiled {
+        let profile = mbrpa_obs::report_tagged(&job.id);
+        doc.push('\n');
+        doc.push_str(&profile.summary_table());
+        write_or_log(shared, &job.id, PROFILE_FILE, &profile.to_json());
+    }
+    write_or_log(shared, &job.id, REPORT_FILE, &doc);
+    (shared.log)(&format!(
+        "{}: completed, E_c = {:.5E} Ha in {:.3} s",
+        job.id,
+        result.total_energy,
+        result.wall_time.as_secs_f64()
+    ));
+    Finish::Complete
+}
+
+/// Best-effort auxiliary document write (the job outcome does not depend
+/// on it).
+fn write_or_log(shared: &Arc<ServeShared>, id: &str, file: &str, text: &str) {
+    if let Err(e) = shared.store.write_doc(id, file, text) {
+        (shared.log)(&format!("{id}: cannot write {file}: {e}"));
+    }
+}

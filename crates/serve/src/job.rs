@@ -1,0 +1,572 @@
+//! Job wire schemas and hand-rolled validators.
+//!
+//! Every body the daemon reads or writes is a schema-versioned JSON
+//! document; the `schema` member names the layout so clients can detect
+//! incompatible upgrades instead of misreading fields:
+//!
+//! * `mbrpa.job/1` — a submission: the `.rpa` input text plus queueing
+//!   metadata (validated end-to-end, including a full parse of the
+//!   input, **before** the job is accepted),
+//! * `mbrpa.job-status/1` — queue state and per-frequency progress,
+//! * `mbrpa.result/1` — the finished energy, with the exact IEEE-754
+//!   bits alongside the decimal rendering so bit-for-bit comparisons
+//!   survive the JSON round-trip,
+//! * `mbrpa.health/1` — daemon liveness and queue occupancy.
+
+use crate::json::{obj, s, u, JsonValue};
+use mbrpa_core::io::{parse_rpa_input, RpaInput};
+use mbrpa_core::{PartialRun, RpaResult};
+
+/// Schema tag of a job submission body.
+pub const JOB_SCHEMA: &str = "mbrpa.job/1";
+/// Schema tag of a status body.
+pub const STATUS_SCHEMA: &str = "mbrpa.job-status/1";
+/// Schema tag of a result body.
+pub const RESULT_SCHEMA: &str = "mbrpa.result/1";
+/// Schema tag of the health body.
+pub const HEALTH_SCHEMA: &str = "mbrpa.health/1";
+/// Schema tag of the job-list body.
+pub const LIST_SCHEMA: &str = "mbrpa.job-list/1";
+
+/// Highest accepted priority (larger runs sooner).
+pub const MAX_PRIORITY: u8 = 9;
+/// Priority assigned when a submission omits the member.
+pub const DEFAULT_PRIORITY: u8 = 4;
+/// Largest accepted `.rpa` input text, in bytes.
+pub const MAX_INPUT_BYTES: usize = 256 * 1024;
+
+/// A validated job submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Optional human-readable label (`[A-Za-z0-9._-]{1,64}`).
+    pub name: Option<String>,
+    /// Queue priority, `0..=9`; higher claims first, FIFO within a level.
+    pub priority: u8,
+    /// The `.rpa` input text, verbatim (already known to parse).
+    pub input: String,
+}
+
+impl JobSpec {
+    /// Validate a parsed `mbrpa.job/1` body. Errors are client-facing
+    /// messages (the daemon returns them in 400 responses).
+    pub fn from_json(v: &JsonValue) -> Result<JobSpec, String> {
+        let pairs = v.as_obj().ok_or("body must be a JSON object")?;
+        for (key, _) in pairs {
+            if !matches!(key.as_str(), "schema" | "name" | "priority" | "input") {
+                return Err(format!("unknown member `{key}`"));
+            }
+        }
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `schema` member")?;
+        if schema != JOB_SCHEMA {
+            return Err(format!("unsupported schema `{schema}` (need `{JOB_SCHEMA}`)"));
+        }
+        let name = match v.get("name") {
+            None | Some(JsonValue::Null) => None,
+            Some(n) => {
+                let text = n.as_str().ok_or("`name` must be a string")?;
+                if !valid_label(text) {
+                    return Err("`name` must match [A-Za-z0-9._-]{1,64}".to_string());
+                }
+                Some(text.to_string())
+            }
+        };
+        let priority = match v.get("priority") {
+            None | Some(JsonValue::Null) => DEFAULT_PRIORITY,
+            Some(p) => {
+                let raw = p
+                    .as_u64()
+                    .filter(|&raw| raw <= u64::from(MAX_PRIORITY))
+                    .ok_or_else(|| format!("`priority` must be an integer 0..={MAX_PRIORITY}"))?;
+                raw as u8
+            }
+        };
+        let input = v
+            .get("input")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `input` member (the `.rpa` text)")?;
+        if input.is_empty() {
+            return Err("`input` must not be empty".to_string());
+        }
+        if input.len() > MAX_INPUT_BYTES {
+            return Err(format!("`input` exceeds {MAX_INPUT_BYTES} bytes"));
+        }
+        // full parse up front: a job that cannot run is rejected at the
+        // door, not discovered minutes later by an executor
+        let parsed = parse_rpa_input(input).map_err(|e| format!("invalid `.rpa` input: {e}"))?;
+        precheck(&parsed)?;
+        Ok(JobSpec {
+            name,
+            priority: priority.min(MAX_PRIORITY),
+            input: input.to_string(),
+        })
+    }
+
+    /// The persisted `job.json` form (same layout as the wire schema).
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut pairs = vec![("schema", s(JOB_SCHEMA))];
+        if let Some(name) = &self.name {
+            pairs.push(("name", s(name)));
+        }
+        pairs.push(("priority", u(usize::from(self.priority))));
+        pairs.push(("input", s(&self.input)));
+        obj(pairs)
+    }
+
+    /// Re-parse the embedded `.rpa` text (validated at submission, so
+    /// this only fails if the on-disk `job.json` was edited by hand).
+    pub fn parsed(&self) -> Result<RpaInput, String> {
+        parse_rpa_input(&self.input).map_err(|e| format!("invalid `.rpa` input: {e}"))
+    }
+}
+
+/// Cross-check the solver configuration against the system it will run
+/// on. `RpaConfig::validate` treats violations as programmer errors and
+/// panics; a daemon must instead refuse them at submission so a bad job
+/// can never take down (or wedge) an executor.
+pub fn precheck(input: &RpaInput) -> Result<(), String> {
+    let spec = &input.system;
+    if spec.cells_z < 1 {
+        return Err("CELLS_Z must be at least 1".to_string());
+    }
+    if spec.points_per_cell < 5 {
+        return Err("POINTS_PER_CELL must be at least 5".to_string());
+    }
+    if !(spec.mesh.is_finite() && spec.mesh > 0.0) {
+        return Err("MESH must be a positive number".to_string());
+    }
+    let n_d = spec.points_per_cell * spec.points_per_cell * spec.points_per_cell * spec.cells_z;
+    let config = &input.config;
+    if config.n_eig < 1 {
+        return Err("N_NUCHI_EIGS must be at least 1".to_string());
+    }
+    if config.n_eig > n_d {
+        return Err(format!(
+            "N_NUCHI_EIGS = {} exceeds the grid dimension n_d = {n_d}",
+            config.n_eig
+        ));
+    }
+    if config.n_omega < 1 {
+        return Err("N_OMEGA must be at least 1".to_string());
+    }
+    if config.tol_eig.is_empty() {
+        return Err("TOL_EIG must be non-empty".to_string());
+    }
+    if !(config.tol_sternheimer.is_finite() && config.tol_sternheimer > 0.0) {
+        return Err("TOL_STERN_RES must be positive".to_string());
+    }
+    if config.n_workers < 1 {
+        return Err("NP must be at least 1".to_string());
+    }
+    if let Some(site) = input.vacancy {
+        if site >= 8 * spec.cells_z {
+            return Err(format!(
+                "VACANCY site {site} is out of range (the system has {} sites)",
+                8 * spec.cells_z
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `[A-Za-z0-9._-]{1,64}`, no leading dot — the same shape as job ids.
+pub fn valid_label(text: &str) -> bool {
+    !text.is_empty()
+        && text.len() <= 64
+        && !text.starts_with('.')
+        && text
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// Lifecycle state of a job. `Queued → Running → {Completed, Failed,
+/// Cancelled}`; terminal states are absorbing. A `Running` job found on
+/// disk at daemon startup was interrupted by a crash and re-enters the
+/// queue (its checkpoints make the resume bit-for-bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the backlog.
+    Queued,
+    /// Claimed by an executor.
+    Running,
+    /// Finished; `result.json` is available.
+    Completed,
+    /// The run errored; `error.txt` holds the message.
+    Failed,
+    /// Cancelled by request; checkpointed state remains on disk.
+    Cancelled,
+}
+
+impl JobState {
+    /// Canonical lowercase name (the `state` file and JSON member).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`JobState::as_str`].
+    pub fn parse(text: &str) -> Option<JobState> {
+        match text.trim() {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "completed" => Some(JobState::Completed),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// True for states no transition leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Build a `mbrpa.job-status/1` body. `progress` is `(completed,
+/// n_omega)` when known (running or cancelled jobs), `error` the failure
+/// message for failed jobs.
+pub fn status_doc(
+    id: &str,
+    spec: &JobSpec,
+    state: JobState,
+    progress: Option<(usize, usize)>,
+    error: Option<&str>,
+) -> JsonValue {
+    let mut pairs = vec![("schema", s(STATUS_SCHEMA)), ("id", s(id))];
+    match &spec.name {
+        Some(name) => pairs.push(("name", s(name))),
+        None => pairs.push(("name", JsonValue::Null)),
+    }
+    pairs.push(("priority", u(usize::from(spec.priority))));
+    pairs.push(("state", s(state.as_str())));
+    if let Some((completed, n_omega)) = progress {
+        pairs.push(("completed", u(completed)));
+        pairs.push(("n_omega", u(n_omega)));
+    }
+    if let Some(message) = error {
+        pairs.push(("error", s(message)));
+    }
+    obj(pairs)
+}
+
+/// Build a `mbrpa.result/1` body from a finished run. The energy is
+/// carried twice: as a decimal number for humans, and as the exact
+/// IEEE-754 bit pattern (`total_energy_bits`, 16 hex digits) so clients
+/// can assert bit-for-bit reproducibility across daemon restarts.
+pub fn result_doc(id: &str, result: &RpaResult) -> JsonValue {
+    obj(vec![
+        ("schema", s(RESULT_SCHEMA)),
+        ("id", s(id)),
+        ("n_d", u(result.n_d)),
+        ("n_s", u(result.n_s)),
+        ("n_atoms", u(result.n_atoms)),
+        ("n_omega", u(result.per_omega.len())),
+        ("n_restored", u(result.n_restored)),
+        ("total_energy", JsonValue::Num(result.total_energy)),
+        (
+            "total_energy_bits",
+            s(&format!("{:016x}", result.total_energy.to_bits())),
+        ),
+        ("energy_per_atom", JsonValue::Num(result.energy_per_atom)),
+        ("wall_s", JsonValue::Num(result.wall_time.as_secs_f64())),
+    ])
+}
+
+/// Build the partial-progress summary stored for cancelled jobs (not a
+/// result: the accumulated energy is explicitly marked partial).
+pub fn partial_doc(id: &str, partial: &PartialRun) -> JsonValue {
+    obj(vec![
+        ("schema", s(STATUS_SCHEMA)),
+        ("id", s(id)),
+        ("state", s(JobState::Cancelled.as_str())),
+        ("completed", u(partial.completed)),
+        ("n_omega", u(partial.n_omega)),
+        (
+            "partial_energy",
+            JsonValue::Num(partial.accumulated_energy),
+        ),
+    ])
+}
+
+fn require_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string member `{key}`"))
+}
+
+fn require_num(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing numeric member `{key}`"))
+}
+
+fn require_uint(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing integer member `{key}`"))
+}
+
+/// Validate a `mbrpa.result/1` document, including that
+/// `total_energy_bits` decodes to exactly the bits of `total_energy`.
+pub fn validate_result_doc(v: &JsonValue) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != RESULT_SCHEMA {
+        return Err(format!("schema is `{schema}`, need `{RESULT_SCHEMA}`"));
+    }
+    let id = require_str(v, "id")?;
+    if !valid_label(id) {
+        return Err(format!("`id` `{id}` is not a valid job id"));
+    }
+    for key in ["n_d", "n_s", "n_atoms", "n_omega", "n_restored"] {
+        require_uint(v, key)?;
+    }
+    if require_uint(v, "n_omega")? == 0 {
+        return Err("`n_omega` must be at least 1".to_string());
+    }
+    let energy = require_num(v, "total_energy")?;
+    if !energy.is_finite() {
+        return Err("`total_energy` must be finite".to_string());
+    }
+    let bits_hex = require_str(v, "total_energy_bits")?;
+    if bits_hex.len() != 16 {
+        return Err("`total_energy_bits` must be 16 hex digits".to_string());
+    }
+    let bits = u64::from_str_radix(bits_hex, 16)
+        .map_err(|_| "`total_energy_bits` is not hex".to_string())?;
+    // exact integer comparison of the bit patterns — the decimal member
+    // must round-trip to the same f64 the run produced
+    if bits != energy.to_bits() {
+        return Err(format!(
+            "`total_energy_bits` ({bits_hex}) does not match `total_energy` bits ({:016x})",
+            energy.to_bits()
+        ));
+    }
+    require_num(v, "energy_per_atom")?;
+    let wall = require_num(v, "wall_s")?;
+    if !wall.is_finite() || wall < 0.0 {
+        return Err("`wall_s` must be non-negative".to_string());
+    }
+    Ok(())
+}
+
+/// Validate a `mbrpa.job-status/1` document.
+pub fn validate_status_doc(v: &JsonValue) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != STATUS_SCHEMA {
+        return Err(format!("schema is `{schema}`, need `{STATUS_SCHEMA}`"));
+    }
+    require_str(v, "id")?;
+    let state = require_str(v, "state")?;
+    if JobState::parse(state).is_none() {
+        return Err(format!("unknown `state` `{state}`"));
+    }
+    if let Some(p) = v.get("completed") {
+        p.as_u64().ok_or("`completed` must be an integer")?;
+    }
+    if let Some(p) = v.get("n_omega") {
+        p.as_u64().ok_or("`n_omega` must be an integer")?;
+    }
+    Ok(())
+}
+
+/// Validate a `mbrpa.health/1` document.
+pub fn validate_health_doc(v: &JsonValue) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != HEALTH_SCHEMA {
+        return Err(format!("schema is `{schema}`, need `{HEALTH_SCHEMA}`"));
+    }
+    for key in ["queued", "running", "backlog_limit", "executors"] {
+        require_uint(v, key)?;
+    }
+    Ok(())
+}
+
+/// Validate an `mbrpa-obs` profile document (JSON schema version 1):
+/// `schema_version`, a `job` attribution (string or null), and the span
+/// and counter tables.
+pub fn validate_profile_doc(v: &JsonValue) -> Result<(), String> {
+    let version = require_uint(v, "schema_version")?;
+    if version != 1 {
+        return Err(format!("profile schema_version is {version}, need 1"));
+    }
+    match v.get("job") {
+        Some(JsonValue::Null) | Some(JsonValue::Str(_)) => {}
+        _ => return Err("`job` must be a string or null".to_string()),
+    }
+    require_num(v, "total_wall_s")?;
+    let spans = v
+        .get("spans")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing array member `spans`")?;
+    for span in spans {
+        require_str(span, "path")?;
+        require_num(span, "total_s")?;
+        require_uint(span, "count")?;
+    }
+    v.get("counters")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing array member `counters`")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const GOOD_INPUT: &str = "N_OMEGA: 3\nN_NUCHI_EIGS: 8\nPOINTS_PER_CELL: 5\n";
+
+    fn good_body() -> String {
+        let spec = JobSpec {
+            name: Some("smoke".to_string()),
+            priority: 7,
+            input: GOOD_INPUT.to_string(),
+        };
+        spec.to_json_value().to_json()
+    }
+
+    #[test]
+    fn job_roundtrips_through_its_own_writer() {
+        let v = parse(&good_body()).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        assert_eq!(spec.name.as_deref(), Some("smoke"));
+        assert_eq!(spec.priority, 7);
+        assert_eq!(spec.input, GOOD_INPUT);
+    }
+
+    #[test]
+    fn submissions_are_strictly_validated() {
+        let cases = [
+            (r#"{"input":"N_OMEGA: 3"}"#, "schema"),
+            (r#"{"schema":"mbrpa.job/2","input":"N_OMEGA: 3"}"#, "schema"),
+            (r#"{"schema":"mbrpa.job/1"}"#, "input"),
+            (r#"{"schema":"mbrpa.job/1","input":""}"#, "empty"),
+            (
+                r#"{"schema":"mbrpa.job/1","input":"NOT_A_KEY: 1"}"#,
+                "invalid `.rpa`",
+            ),
+            (
+                r#"{"schema":"mbrpa.job/1","input":"N_OMEGA: 3","priority":12}"#,
+                "priority",
+            ),
+            (
+                r#"{"schema":"mbrpa.job/1","input":"N_OMEGA: 3","name":"../evil"}"#,
+                "name",
+            ),
+            (
+                r#"{"schema":"mbrpa.job/1","input":"N_OMEGA: 3","surprise":1}"#,
+                "unknown",
+            ),
+        ];
+        for (body, needle) in cases {
+            let v = parse(body).unwrap();
+            let e = JobSpec::from_json(&v).unwrap_err();
+            assert!(e.contains(needle), "{body}: error `{e}` missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn precheck_rejects_configs_that_cannot_run() {
+        // n_d = 5³ = 125, so 200 eigenpairs are impossible; without the
+        // precheck this would panic inside an executor thread
+        let body =
+            r#"{"schema":"mbrpa.job/1","input":"POINTS_PER_CELL: 5\nN_NUCHI_EIGS: 200"}"#;
+        let e = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
+        assert!(e.contains("N_NUCHI_EIGS"), "got `{e}`");
+
+        let body = r#"{"schema":"mbrpa.job/1","input":"VACANCY: 9"}"#;
+        let e = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
+        assert!(e.contains("VACANCY") || e.contains("out of range"), "got `{e}`");
+    }
+
+    #[test]
+    fn default_priority_applies() {
+        let v = parse(r#"{"schema":"mbrpa.job/1","input":"N_OMEGA: 3"}"#).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        assert_eq!(spec.priority, DEFAULT_PRIORITY);
+        assert!(spec.name.is_none());
+    }
+
+    #[test]
+    fn state_names_roundtrip() {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::parse(state.as_str()), Some(state));
+        }
+        assert!(JobState::parse("exploded").is_none());
+        assert!(JobState::Completed.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn result_validator_checks_the_bit_pattern() {
+        let energy = -1.234_567_890_123_4_f64;
+        let doc = obj(vec![
+            ("schema", s(RESULT_SCHEMA)),
+            ("id", s("job-000001")),
+            ("n_d", u(125)),
+            ("n_s", u(16)),
+            ("n_atoms", u(8)),
+            ("n_omega", u(3)),
+            ("n_restored", u(0)),
+            ("total_energy", JsonValue::Num(energy)),
+            (
+                "total_energy_bits",
+                s(&format!("{:016x}", energy.to_bits())),
+            ),
+            ("energy_per_atom", JsonValue::Num(energy / 8.0)),
+            ("wall_s", JsonValue::Num(1.5)),
+        ]);
+        validate_result_doc(&doc).unwrap();
+        // the JSON round-trip preserves the bits
+        let reparsed = parse(&doc.to_json()).unwrap();
+        validate_result_doc(&reparsed).unwrap();
+        // a tampered decimal no longer matches the bits
+        let mut pairs = doc.as_obj().unwrap().to_vec();
+        for pair in pairs.iter_mut() {
+            if pair.0 == "total_energy" {
+                pair.1 = JsonValue::Num(energy + 1e-9);
+            }
+        }
+        assert!(validate_result_doc(&JsonValue::Obj(pairs)).is_err());
+    }
+
+    #[test]
+    fn status_doc_validates() {
+        let spec = JobSpec {
+            name: None,
+            priority: 4,
+            input: GOOD_INPUT.to_string(),
+        };
+        let doc = status_doc("job-000002", &spec, JobState::Running, Some((2, 8)), None);
+        validate_status_doc(&doc).unwrap();
+        let reparsed = parse(&doc.to_json()).unwrap();
+        validate_status_doc(&reparsed).unwrap();
+        assert_eq!(reparsed.get("completed").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn label_charset_is_enforced() {
+        assert!(valid_label("job-000001"));
+        assert!(valid_label("Si8.smoke_v2"));
+        assert!(!valid_label(""));
+        assert!(!valid_label(".hidden"));
+        assert!(!valid_label("a/b"));
+        assert!(!valid_label(&"x".repeat(65)));
+    }
+}

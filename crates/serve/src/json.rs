@@ -1,0 +1,518 @@
+//! Hand-rolled JSON: a value tree, a recursive-descent parser, and a
+//! writer. Zero dependencies, and objects preserve insertion order (a
+//! `Vec` of pairs, never a hash map) so every emitted document is
+//! byte-deterministic.
+//!
+//! The subset is full RFC 8259 on parse (escapes, `\uXXXX` with
+//! surrogate pairs, nested depth capped) while the writer only ever
+//! emits what the daemon produces: finite numbers (non-finite floats
+//! become `null`) and strings escaped per the RFC.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts; deeper input is rejected
+/// rather than risking stack exhaustion on adversarial bodies.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like JavaScript).
+    Num(f64),
+    /// A string (escapes already resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object as an ordered list of `(key, value)` pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer; `None` when the
+    /// value is missing, negative, fractional, or above 2⁵³ (where `f64`
+    /// stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        if !(0.0..=9.0e15).contains(&v) {
+            return None;
+        }
+        let u = v as u64;
+        if (u as f64 - v).abs() < f64::EPSILON {
+            Some(u)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The pair list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Num(v) => out.push_str(&write_num(*v)),
+            JsonValue::Str(s) => out.push_str(&escape(s)),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(k));
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shorthand: an object value from key/value pairs.
+pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Shorthand: a string value.
+pub fn s(text: &str) -> JsonValue {
+    JsonValue::Str(text.to_string())
+}
+
+/// Shorthand: a numeric value from an unsigned integer.
+pub fn u(v: usize) -> JsonValue {
+    JsonValue::Num(v as f64)
+}
+
+/// Format a number the way the writer does: shortest round-trip for
+/// finite values, `null` for NaN/inf (which JSON cannot express).
+fn write_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string into a quoted JSON literal.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // advance one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction)
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..end]) {
+                        out.push_str(chunk);
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Four hex digits after `\u`, combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // high surrogate: require `\uXXXX` low surrogate next
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if (0xDC00..0xE000).contains(&low) {
+                    let c = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(self.err("unpaired low surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(c) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match c {
+                b'0'..=b'9' => u32::from(c - b'0'),
+                b'a'..=b'f' => u32::from(c - b'a') + 10,
+                b'A'..=b'F' => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = (v << 4) | digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_a_nested_document() {
+        let text = r#"{"a":[1,2.5,-3e2],"b":{"c":null,"d":true},"e":"x\ny"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x\ny"));
+        // writer output re-parses to the same tree
+        let again = parse(&v.to_json()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = parse(r#"{"z":1,"a":2}"#).unwrap();
+        let pairs = v.as_obj().unwrap();
+        assert_eq!(pairs[0].0, "z");
+        assert_eq!(pairs[1].0, "a");
+        assert_eq!(v.to_json(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        let v = parse(r#""\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+        assert!(parse(r#""\ud83d""#).is_err()); // unpaired surrogate
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "\"\\x\"", "{} extra",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(10) + &"]".repeat(10);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integers_roundtrip_via_as_u64() {
+        let v = parse("42").unwrap();
+        assert_eq!(v.as_u64(), Some(42));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn non_finite_numbers_write_as_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn control_chars_escape_on_write() {
+        let v = JsonValue::Str("a\u{01}b\"c".to_string());
+        assert_eq!(v.to_json(), r#""a\u0001b\"c""#);
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mbrpa-serve
+//!
+//! Batch job-scheduling and serving daemon for RPA runs: submit `.rpa`
+//! inputs over HTTP, watch per-frequency progress, cancel cooperatively,
+//! and survive both graceful drains and `kill -9`.
+//!
+//! Everything is hand-rolled on `std` — no tokio, no hyper, no serde —
+//! matching the workspace's zero-dependency discipline:
+//!
+//! * [`json`] — a strict recursive-descent JSON parser and writer,
+//! * [`job`] — schema-versioned wire documents (`mbrpa.job/1`,
+//!   `mbrpa.job-status/1`, `mbrpa.result/1`, `mbrpa.health/1`) with
+//!   validators; submissions are fully parsed and cross-checked against
+//!   the system they would run on *before* they are accepted,
+//! * [`queue`] — a pure in-memory priority queue with a bounded backlog
+//!   (full ⇒ `429` + `Retry-After`, never a dropped job),
+//! * [`store`] — one directory per job with atomically-written state
+//!   files; a restarted daemon rebuilds its queue from this store,
+//! * [`http`] — HTTP/1.1 on `std::net`: accept thread + worker pool,
+//! * [`api`] — the `/v1` routes,
+//! * [`executor`] — runs claimed jobs in one-frequency checkpointed
+//!   slices (same solver selection as `rpacalc`, so energies are
+//!   bit-identical), publishing progress and observing cancellation at
+//!   every slice boundary,
+//! * [`daemon`] — assembly: crash recovery at startup, graceful drain
+//!   on shutdown,
+//! * [`signal`] — SIGINT/SIGTERM → a cooperative `CancelToken`.
+//!
+//! A running job journals per-frequency state through `core::checkpoint`
+//! into a per-job namespace; after a crash the job re-enters the queue
+//! and its next run resumes from the journal, reproducing the
+//! uninterrupted energy bit for bit.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod daemon;
+pub mod executor;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod queue;
+pub mod signal;
+pub mod store;
+
+pub use daemon::{Daemon, DaemonConfig, Logger, RunningJob, ServeShared};
+pub use job::{JobSpec, JobState};
+pub use queue::{CancelOutcome, JobQueue, SubmitError};
+pub use store::JobStore;

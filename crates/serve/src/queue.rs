@@ -1,0 +1,312 @@
+//! Priority job queue: a pure in-memory state machine with a bounded
+//! backlog and explicit backpressure.
+//!
+//! The queue tracks every job the daemon has ever seen this process
+//! lifetime, each in exactly one [`JobState`]. It performs no I/O and
+//! takes no locks — the daemon wraps it in a `Mutex` and persists
+//! transitions through the job store — which makes the invariants
+//! directly property-testable:
+//!
+//! * a submitted id exists exactly once, in exactly one state,
+//! * `claim` hands out the highest-priority queued job (FIFO within a
+//!   priority level) and never hands out the same job twice,
+//! * terminal states are absorbing,
+//! * the backlog never exceeds `capacity` via [`JobQueue::submit`];
+//!   only [`JobQueue::recover`] (crash recovery) may exceed it, because
+//!   refusing to re-admit previously accepted work would lose jobs.
+
+use crate::job::JobState;
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The backlog is at capacity; retry after the suggested delay.
+    Full {
+        /// Suggested client wait, in seconds (the wire `Retry-After`).
+        retry_after_s: u64,
+    },
+    /// A job with this id already exists.
+    Duplicate,
+}
+
+/// What [`JobQueue::cancel`] did, which tells the caller what *it* must
+/// now do (the queue itself cannot signal a running executor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was queued; it is now `Cancelled` and will never run.
+    WasQueued,
+    /// The job is running; the caller must trip its `CancelToken`. The
+    /// queue entry stays `Running` until the executor reports back.
+    WasRunning,
+    /// Already in a terminal state; nothing to do.
+    AlreadyTerminal,
+}
+
+/// One tracked job.
+#[derive(Debug, Clone)]
+pub struct QueueEntry {
+    /// Job id (store-allocated, `job-NNNNNN`).
+    pub id: String,
+    /// Priority `0..=9`, higher first.
+    pub priority: u8,
+    /// FIFO tiebreaker: submission order within the process.
+    pub seq: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+/// The queue. See the module docs for invariants.
+#[derive(Debug)]
+pub struct JobQueue {
+    entries: Vec<QueueEntry>,
+    next_seq: u64,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` queued jobs (at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            next_seq: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum backlog (queued jobs) accepted via [`JobQueue::submit`].
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of jobs currently in `state`.
+    pub fn count(&self, state: JobState) -> usize {
+        self.entries.iter().filter(|e| e.state == state).count()
+    }
+
+    /// All entries, in submission order.
+    pub fn entries(&self) -> &[QueueEntry] {
+        &self.entries
+    }
+
+    /// The state of `id`, if known.
+    pub fn state_of(&self, id: &str) -> Option<JobState> {
+        self.entries.iter().find(|e| e.id == id).map(|e| e.state)
+    }
+
+    fn entry_mut(&mut self, id: &str) -> Option<&mut QueueEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Backpressure check without admitting anything: `Err(Full)` when
+    /// the backlog is at capacity. The daemon calls this *before*
+    /// allocating the on-disk job directory so a refused submission
+    /// leaves no trace.
+    pub fn check_capacity(&self) -> Result<(), SubmitError> {
+        let queued = self.count(JobState::Queued);
+        if queued >= self.capacity {
+            // scale the hint with the backlog: deeper queue, longer wait
+            let retry_after_s = (queued as u64).clamp(1, 60);
+            return Err(SubmitError::Full { retry_after_s });
+        }
+        Ok(())
+    }
+
+    /// Admit a new job into the backlog. Fails with [`SubmitError::Full`]
+    /// when `capacity` queued jobs are already waiting — the daemon turns
+    /// that into `429` + `Retry-After` — and never silently drops work.
+    pub fn submit(&mut self, id: &str, priority: u8) -> Result<(), SubmitError> {
+        if self.entries.iter().any(|e| e.id == id) {
+            return Err(SubmitError::Duplicate);
+        }
+        self.check_capacity()?;
+        self.push_entry(id, priority, JobState::Queued);
+        Ok(())
+    }
+
+    /// Re-admit a job found on disk at startup, bypassing the capacity
+    /// check (the work was already accepted before the crash). `Running`
+    /// jobs re-enter as `Queued`: their executor died with the process
+    /// and their checkpoints make the re-run a bit-for-bit resume.
+    pub fn recover(&mut self, id: &str, priority: u8, state: JobState) -> Result<(), SubmitError> {
+        if self.entries.iter().any(|e| e.id == id) {
+            return Err(SubmitError::Duplicate);
+        }
+        let state = match state {
+            JobState::Running => JobState::Queued,
+            other => other,
+        };
+        self.push_entry(id, priority, state);
+        Ok(())
+    }
+
+    fn push_entry(&mut self, id: &str, priority: u8, state: JobState) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(QueueEntry {
+            id: id.to_string(),
+            priority,
+            seq,
+            state,
+        });
+    }
+
+    /// Claim the next job for execution: highest priority first, FIFO
+    /// (by submission sequence) within a priority level. The claimed job
+    /// transitions to `Running`.
+    pub fn claim(&mut self) -> Option<String> {
+        let best = self
+            .entries
+            .iter()
+            .filter(|e| e.state == JobState::Queued)
+            // max_by_key with (priority, Reverse(seq)): highest priority,
+            // oldest submission within it
+            .max_by_key(|e| (e.priority, std::cmp::Reverse(e.seq)))?
+            .id
+            .clone();
+        if let Some(e) = self.entry_mut(&best) {
+            e.state = JobState::Running;
+        }
+        Some(best)
+    }
+
+    /// Mark a running job finished. Returns `false` (and changes
+    /// nothing) unless the job exists and is `Running`.
+    pub fn complete(&mut self, id: &str) -> bool {
+        self.transition_running(id, JobState::Completed)
+    }
+
+    /// Mark a running job failed. Same contract as [`JobQueue::complete`].
+    pub fn fail(&mut self, id: &str) -> bool {
+        self.transition_running(id, JobState::Failed)
+    }
+
+    /// Mark a running job cancelled (the executor observed the token).
+    pub fn finish_cancelled(&mut self, id: &str) -> bool {
+        self.transition_running(id, JobState::Cancelled)
+    }
+
+    /// Put a running job back in the backlog (graceful drain: the
+    /// executor checkpointed and stopped, the daemon is shutting down).
+    pub fn requeue(&mut self, id: &str) -> bool {
+        self.transition_running(id, JobState::Queued)
+    }
+
+    fn transition_running(&mut self, id: &str, to: JobState) -> bool {
+        match self.entry_mut(id) {
+            Some(e) if e.state == JobState::Running => {
+                e.state = to;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Request cancellation. Queued jobs cancel immediately; for running
+    /// jobs the caller must trip the executor's token and later report
+    /// [`JobQueue::finish_cancelled`].
+    pub fn cancel(&mut self, id: &str) -> Option<CancelOutcome> {
+        let entry = self.entry_mut(id)?;
+        match entry.state {
+            JobState::Queued => {
+                entry.state = JobState::Cancelled;
+                Some(CancelOutcome::WasQueued)
+            }
+            JobState::Running => Some(CancelOutcome::WasRunning),
+            _ => Some(CancelOutcome::AlreadyTerminal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_by_priority_then_fifo() {
+        let mut q = JobQueue::new(8);
+        q.submit("a", 1).unwrap();
+        q.submit("b", 5).unwrap();
+        q.submit("c", 5).unwrap();
+        q.submit("d", 9).unwrap();
+        assert_eq!(q.claim().as_deref(), Some("d"));
+        assert_eq!(q.claim().as_deref(), Some("b")); // 5 before 5, FIFO
+        assert_eq!(q.claim().as_deref(), Some("c"));
+        assert_eq!(q.claim().as_deref(), Some("a"));
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn backlog_is_bounded_with_retry_hint() {
+        let mut q = JobQueue::new(2);
+        q.submit("a", 4).unwrap();
+        q.submit("b", 4).unwrap();
+        match q.submit("c", 4) {
+            Err(SubmitError::Full { retry_after_s }) => assert!(retry_after_s >= 1),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // claiming drains the backlog and admits the next submission
+        q.claim().unwrap();
+        q.submit("c", 4).unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut q = JobQueue::new(4);
+        q.submit("a", 4).unwrap();
+        assert_eq!(q.submit("a", 4), Err(SubmitError::Duplicate));
+        assert_eq!(q.recover("a", 4, JobState::Queued), Err(SubmitError::Duplicate));
+    }
+
+    #[test]
+    fn cancel_covers_every_phase() {
+        let mut q = JobQueue::new(4);
+        q.submit("a", 4).unwrap();
+        assert_eq!(q.cancel("a"), Some(CancelOutcome::WasQueued));
+        assert_eq!(q.state_of("a"), Some(JobState::Cancelled));
+        assert_eq!(q.cancel("a"), Some(CancelOutcome::AlreadyTerminal));
+        assert_eq!(q.cancel("ghost"), None);
+
+        q.submit("b", 4).unwrap();
+        assert_eq!(q.claim().as_deref(), Some("b"));
+        assert_eq!(q.cancel("b"), Some(CancelOutcome::WasRunning));
+        assert_eq!(q.state_of("b"), Some(JobState::Running)); // until the executor reports
+        assert!(q.finish_cancelled("b"));
+        assert_eq!(q.state_of("b"), Some(JobState::Cancelled));
+    }
+
+    #[test]
+    fn recover_requeues_interrupted_running_jobs_beyond_capacity() {
+        let mut q = JobQueue::new(1);
+        q.recover("a", 4, JobState::Running).unwrap();
+        q.recover("b", 4, JobState::Queued).unwrap(); // over capacity, still admitted
+        q.recover("c", 4, JobState::Completed).unwrap();
+        assert_eq!(q.state_of("a"), Some(JobState::Queued));
+        assert_eq!(q.count(JobState::Queued), 2);
+        assert_eq!(q.state_of("c"), Some(JobState::Completed));
+        // fresh submissions still honor the bound
+        assert!(matches!(q.submit("d", 4), Err(SubmitError::Full { .. })));
+    }
+
+    #[test]
+    fn terminal_states_are_absorbing() {
+        let mut q = JobQueue::new(4);
+        q.submit("a", 4).unwrap();
+        q.claim().unwrap();
+        assert!(q.complete("a"));
+        assert!(!q.fail("a"));
+        assert!(!q.requeue("a"));
+        assert!(!q.finish_cancelled("a"));
+        assert_eq!(q.state_of("a"), Some(JobState::Completed));
+    }
+
+    #[test]
+    fn requeue_returns_a_job_to_the_backlog() {
+        let mut q = JobQueue::new(4);
+        q.submit("a", 4).unwrap();
+        q.claim().unwrap();
+        assert!(q.requeue("a"));
+        assert_eq!(q.state_of("a"), Some(JobState::Queued));
+        assert_eq!(q.claim().as_deref(), Some("a"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests of the job queue's lifecycle invariants under
+//! arbitrary interleavings of submit / claim / complete / fail / cancel
+//! / requeue and simulated crash-recovery:
+//!
+//! * no accepted job is ever lost or duplicated,
+//! * the backlog bound holds for fresh submissions,
+//! * `claim` respects priority-then-FIFO order,
+//! * terminal states are absorbing,
+//! * after a final drain every job is terminal.
+
+// Test code: panics are failures (DESIGN.md §9).
+#![allow(clippy::unwrap_used)]
+
+use mbrpa_serve::job::JobState;
+use mbrpa_serve::queue::{CancelOutcome, JobQueue, SubmitError};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Submit a fresh id with this priority.
+    Submit(u8),
+    /// Claim the best queued job.
+    Claim,
+    /// Complete the job at this (wrapped) entry index.
+    Complete(usize),
+    /// Fail the job at this index.
+    Fail(usize),
+    /// Cancel the job at this index (executor ack included when running).
+    Cancel(usize),
+    /// Requeue the running job at this index (graceful drain).
+    Requeue(usize),
+    /// Simulated `kill -9` + restart: rebuild the queue via `recover`.
+    Crash,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..=9).prop_map(Op::Submit),
+        4 => Just(Op::Claim),
+        3 => (0usize..64).prop_map(Op::Complete),
+        2 => (0usize..64).prop_map(Op::Fail),
+        2 => (0usize..64).prop_map(Op::Cancel),
+        2 => (0usize..64).prop_map(Op::Requeue),
+        1 => Just(Op::Crash),
+    ]
+}
+
+/// Entry index wrapped into range, or `None` for an empty queue.
+fn pick(queue: &JobQueue, index: usize) -> Option<(String, JobState)> {
+    let entries = queue.entries();
+    if entries.is_empty() {
+        return None;
+    }
+    let e = &entries[index % entries.len()];
+    Some((e.id.clone(), e.state))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn no_job_is_lost_duplicated_or_left_non_terminal(
+        ops in proptest::collection::vec(op(), 1..80),
+        capacity in 1usize..5,
+    ) {
+        let mut queue = JobQueue::new(capacity);
+        let mut accepted: Vec<String> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Submit(priority) => {
+                    let id = format!("job-{next_id:06}");
+                    next_id += 1;
+                    match queue.submit(&id, priority) {
+                        Ok(()) => accepted.push(id),
+                        Err(SubmitError::Full { retry_after_s }) => {
+                            // refused exactly when at capacity, with a hint
+                            prop_assert_eq!(queue.count(JobState::Queued), capacity);
+                            prop_assert!(retry_after_s >= 1);
+                        }
+                        Err(SubmitError::Duplicate) => {
+                            prop_assert!(false, "fresh ids can never be duplicates");
+                        }
+                    }
+                }
+                Op::Claim => {
+                    let best_queued = queue
+                        .entries()
+                        .iter()
+                        .filter(|e| e.state == JobState::Queued)
+                        .map(|e| (e.priority, std::cmp::Reverse(e.seq)))
+                        .max();
+                    match queue.claim() {
+                        Some(id) => {
+                            prop_assert_eq!(queue.state_of(&id), Some(JobState::Running));
+                            // the claimed job was the priority-then-FIFO best
+                            let claimed = queue
+                                .entries()
+                                .iter()
+                                .find(|e| e.id == id)
+                                .unwrap();
+                            prop_assert_eq!(
+                                Some((claimed.priority, std::cmp::Reverse(claimed.seq))),
+                                best_queued
+                            );
+                        }
+                        None => prop_assert_eq!(best_queued, None),
+                    }
+                }
+                Op::Complete(i) => {
+                    if let Some((id, state)) = pick(&queue, i) {
+                        let moved = queue.complete(&id);
+                        prop_assert_eq!(moved, state == JobState::Running);
+                        let expected = if moved { JobState::Completed } else { state };
+                        prop_assert_eq!(queue.state_of(&id), Some(expected));
+                    }
+                }
+                Op::Fail(i) => {
+                    if let Some((id, state)) = pick(&queue, i) {
+                        let moved = queue.fail(&id);
+                        prop_assert_eq!(moved, state == JobState::Running);
+                    }
+                }
+                Op::Cancel(i) => {
+                    if let Some((id, state)) = pick(&queue, i) {
+                        match queue.cancel(&id) {
+                            Some(CancelOutcome::WasQueued) => {
+                                prop_assert_eq!(state, JobState::Queued);
+                                prop_assert_eq!(queue.state_of(&id), Some(JobState::Cancelled));
+                            }
+                            Some(CancelOutcome::WasRunning) => {
+                                prop_assert_eq!(state, JobState::Running);
+                                // the executor acks at its next boundary
+                                prop_assert!(queue.finish_cancelled(&id));
+                            }
+                            Some(CancelOutcome::AlreadyTerminal) => {
+                                prop_assert!(state.is_terminal());
+                                prop_assert_eq!(queue.state_of(&id), Some(state));
+                            }
+                            None => prop_assert!(false, "picked ids exist"),
+                        }
+                    }
+                }
+                Op::Requeue(i) => {
+                    if let Some((id, state)) = pick(&queue, i) {
+                        let moved = queue.requeue(&id);
+                        prop_assert_eq!(moved, state == JobState::Running);
+                    }
+                }
+                Op::Crash => {
+                    // the daemon rebuilds from the store: same ids, same
+                    // priorities, running jobs re-enter the backlog
+                    let snapshot: Vec<(String, u8, JobState)> = queue
+                        .entries()
+                        .iter()
+                        .map(|e| (e.id.clone(), e.priority, e.state))
+                        .collect();
+                    let mut rebuilt = JobQueue::new(capacity);
+                    for (id, priority, state) in snapshot {
+                        rebuilt.recover(&id, priority, state).unwrap();
+                    }
+                    queue = rebuilt;
+                    prop_assert_eq!(queue.count(JobState::Running), 0);
+                }
+            }
+
+            // global invariants, every step: nothing lost, nothing duplicated
+            let mut ids: Vec<&str> =
+                queue.entries().iter().map(|e| e.id.as_str()).collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicate ids in the queue");
+            prop_assert_eq!(queue.entries().len(), accepted.len());
+            for id in &accepted {
+                prop_assert!(queue.state_of(id).is_some(), "accepted job {} lost", id);
+            }
+        }
+
+        // final drain: finish everything in flight, then run the backlog dry
+        let running: Vec<String> = queue
+            .entries()
+            .iter()
+            .filter(|e| e.state == JobState::Running)
+            .map(|e| e.id.clone())
+            .collect();
+        for id in running {
+            prop_assert!(queue.complete(&id));
+        }
+        while let Some(id) = queue.claim() {
+            prop_assert!(queue.complete(&id));
+        }
+        for entry in queue.entries() {
+            prop_assert!(
+                entry.state.is_terminal(),
+                "job {} drained non-terminal ({:?})",
+                entry.id,
+                entry.state
+            );
+        }
+        prop_assert_eq!(queue.entries().len(), accepted.len());
+    }
+
+    #[test]
+    fn backlog_refusals_are_deterministic(
+        capacity in 1usize..6,
+        extra in 1usize..6,
+    ) {
+        let mut queue = JobQueue::new(capacity);
+        for i in 0..capacity {
+            queue.submit(&format!("job-{i:06}"), 4).unwrap();
+        }
+        for i in 0..extra {
+            let id = format!("over-{i:06}");
+            prop_assert!(matches!(
+                queue.submit(&id, 9),
+                Err(SubmitError::Full { .. })
+            ));
+            prop_assert_eq!(queue.count(JobState::Queued), capacity);
+            prop_assert!(queue.state_of(&id).is_none());
+        }
+        // draining one slot admits exactly one more
+        queue.claim().unwrap();
+        queue.submit("late-000000", 0).unwrap();
+        prop_assert!(matches!(
+            queue.submit("late-000001", 0),
+            Err(SubmitError::Full { .. })
+        ));
+    }
+}

@@ -1,0 +1,230 @@
+//! `rpaclient` — a minimal command-line client for `rpaserved`.
+//!
+//! ```text
+//! cargo run --release --example rpaclient -- submit inputs/cluster_smoke.rpa -name smoke
+//! cargo run --release --example rpaclient -- wait job-000001
+//! cargo run --release --example rpaclient -- result job-000001
+//! ```
+//!
+//! Hand-rolled HTTP/1.1 over `std::net`, mirroring the daemon's own
+//! zero-dependency server. Every command prints the response body (JSON
+//! for everything but `report`) to stdout and exits nonzero on any
+//! non-2xx status.
+
+use mbrpa::serve::json::{self, obj, s, u, JsonValue};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rpaclient [-addr <ip:port>] <command> [args]");
+    eprintln!("  submit <file.rpa> [-name L] [-priority 0..9]   submit a job");
+    eprintln!("  status <id>       show queue state and progress");
+    eprintln!("  result <id>       fetch the result document");
+    eprintln!("  profile <id>      fetch the telemetry profile");
+    eprintln!("  report <id>       fetch the human-readable report");
+    eprintln!("  cancel <id>       request cancellation");
+    eprintln!("  wait <id>         poll until the job reaches a terminal state");
+    eprintln!("  list              list all jobs");
+    eprintln!("  health            daemon liveness and queue occupancy");
+    eprintln!("  shutdown          request a graceful drain");
+    eprintln!("default address: 127.0.0.1:8377");
+    ExitCode::FAILURE
+}
+
+/// One HTTP exchange; returns `(status, body)`.
+fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send failed: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("receive failed: {e}"))?;
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed response: {raw:.60}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Run an exchange, print the body, and translate the status to an exit
+/// code.
+fn run(addr: &str, method: &str, path: &str, body: Option<&str>) -> ExitCode {
+    match exchange(addr, method, path, body) {
+        Ok((status, body)) => {
+            println!("{body}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("HTTP {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit(addr: &str, args: &[String]) -> ExitCode {
+    let Some(file) = args.first() else {
+        eprintln!("submit needs a .rpa file");
+        return usage();
+    };
+    let input = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut name: Option<String> = None;
+    let mut priority: Option<usize> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-name" => name = it.next().cloned(),
+            "-priority" => priority = it.next().and_then(|v| v.parse().ok()),
+            other => {
+                eprintln!("unknown submit option `{other}`");
+                return usage();
+            }
+        }
+    }
+    let mut pairs = vec![("schema", s("mbrpa.job/1")), ("input", s(&input))];
+    if let Some(name) = &name {
+        pairs.push(("name", s(name)));
+    }
+    if let Some(priority) = priority {
+        pairs.push(("priority", u(priority)));
+    }
+    let body = obj(pairs).to_json();
+    run(addr, "POST", "/v1/jobs", Some(&body))
+}
+
+fn wait(addr: &str, id: &str) -> ExitCode {
+    loop {
+        let (status, body) = match exchange(addr, "GET", &format!("/v1/jobs/{id}"), None) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if status != 200 {
+            eprintln!("HTTP {status}: {body}");
+            return ExitCode::FAILURE;
+        }
+        let doc = match json::parse(&body) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("malformed status body: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let state = doc
+            .get("state")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        match state.as_str() {
+            "completed" => {
+                println!("{body}");
+                return ExitCode::SUCCESS;
+            }
+            "failed" | "cancelled" => {
+                println!("{body}");
+                eprintln!("job ended as {state}");
+                return ExitCode::FAILURE;
+            }
+            _ => {
+                let progress = match (
+                    doc.get("completed").and_then(JsonValue::as_u64),
+                    doc.get("n_omega").and_then(JsonValue::as_u64),
+                ) {
+                    (Some(done), Some(total)) => format!(" ({done}/{total} frequencies)"),
+                    _ => String::new(),
+                };
+                eprintln!("{id}: {state}{progress}");
+                std::thread::sleep(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:8377".to_string();
+    if args.first().map(String::as_str) == Some("-addr") {
+        if args.len() < 2 {
+            eprintln!("-addr needs an address");
+            return usage();
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let id_path = |suffix: &str| -> Option<String> {
+        rest.first().map(|id| format!("/v1/jobs/{id}{suffix}"))
+    };
+    match command.as_str() {
+        "submit" => submit(&addr, rest),
+        "status" => match id_path("") {
+            Some(path) => run(&addr, "GET", &path, None),
+            None => usage(),
+        },
+        "result" => match id_path("/result") {
+            Some(path) => run(&addr, "GET", &path, None),
+            None => usage(),
+        },
+        "profile" => match id_path("/profile") {
+            Some(path) => run(&addr, "GET", &path, None),
+            None => usage(),
+        },
+        "report" => match id_path("/report") {
+            Some(path) => run(&addr, "GET", &path, None),
+            None => usage(),
+        },
+        "cancel" => match id_path("/cancel") {
+            Some(path) => run(&addr, "POST", &path, None),
+            None => usage(),
+        },
+        "wait" => match rest.first() {
+            Some(id) => wait(&addr, id),
+            None => usage(),
+        },
+        "list" => run(&addr, "GET", "/v1/jobs", None),
+        "health" => run(&addr, "GET", "/v1/health", None),
+        "shutdown" => run(&addr, "POST", "/v1/shutdown", None),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}

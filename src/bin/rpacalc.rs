@@ -11,8 +11,12 @@
 //! in `inputs/Si8.rpa`.
 
 use mbrpa::ckpt::CheckpointStore;
-use mbrpa::core::{io as rpaio, report, KsSolver, ResumableOutcome, ResumePolicy, RpaSetup};
+use mbrpa::core::{
+    io as rpaio, report, CancelToken, KsSolver, PartialRun, ResumableOutcome, ResumePolicy,
+    RpaConfig, RpaOutcome, RpaSetup,
+};
 use mbrpa::dft::{load_orbitals, save_orbitals, ChefsiOptions, PotentialParams};
+use mbrpa::serve::signal;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -55,6 +59,41 @@ fn emit_profile(path: &str, doc: Option<&mut String>) -> bool {
         doc.push_str(&report.summary_table());
     }
     true
+}
+
+/// Write the partial report of an interrupted run (to `<name>.out` or
+/// stdout) and exit with the conventional interrupted status (130).
+fn finish_partial(
+    name: &str,
+    to_stdout: bool,
+    config: &RpaConfig,
+    partial: &PartialRun,
+    setup: &RpaSetup,
+    profile_path: Option<&str>,
+) -> ExitCode {
+    let mut doc = report::partial_report(
+        config,
+        partial,
+        setup.crystal.n_grid(),
+        setup.crystal.n_occupied(),
+        setup.crystal.atoms.len(),
+    );
+    if let Some(p) = profile_path {
+        if !emit_profile(p, Some(&mut doc)) {
+            return ExitCode::FAILURE;
+        }
+    }
+    if to_stdout {
+        print!("{doc}");
+    } else {
+        let out_path = format!("{name}.out");
+        if let Err(e) = std::fs::write(&out_path, &doc) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote partial report to {out_path}");
+    }
+    ExitCode::from(130)
 }
 
 fn main() -> ExitCode {
@@ -221,6 +260,12 @@ fn main() -> ExitCode {
     }
     drop(setup_span.take());
 
+    // Ctrl-C / SIGTERM cancel cooperatively: the run stops at its next
+    // frequency boundary, checkpoints (when -checkpoint is active), and
+    // a partial report is written instead of discarding the work
+    let cancel = CancelToken::new();
+    let _watcher = signal::watch(cancel.clone());
+
     let mut rpa_span = Some(mbrpa_obs::span("rpa"));
     let result = if let Some(dir) = &checkpoint_dir {
         let mut store = match CheckpointStore::open(Path::new(dir)) {
@@ -235,7 +280,7 @@ fn main() -> ExitCode {
             resume,
             stop_after: None,
         };
-        match setup.run_resumable(&input.config, &mut store, &policy) {
+        match setup.run_resumable_cancellable(&input.config, &mut store, &policy, &cancel) {
             Ok(ResumableOutcome::Complete(r)) => {
                 if r.n_restored > 0 {
                     eprintln!(
@@ -256,14 +301,46 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            Ok(ResumableOutcome::Cancelled(partial)) => {
+                eprintln!(
+                    "interrupted: {} of {} frequencies done; state checkpointed in {dir}",
+                    partial.completed, partial.n_omega
+                );
+                eprintln!("rerun with -checkpoint {dir} -resume to finish bit-for-bit");
+                drop(rpa_span.take());
+                return finish_partial(
+                    &name,
+                    to_stdout,
+                    &input.config,
+                    &partial,
+                    &setup,
+                    profile_path.as_deref(),
+                );
+            }
             Err(e) => {
                 eprintln!("RPA stage failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
     } else {
-        match setup.run(&input.config) {
-            Ok(r) => r,
+        match setup.run_cancellable(&input.config, &cancel) {
+            Ok(RpaOutcome::Complete(r)) => *r,
+            Ok(RpaOutcome::Cancelled(partial)) => {
+                eprintln!(
+                    "interrupted: {} of {} frequencies done (no -checkpoint directory, \
+                     so the run cannot be resumed)",
+                    partial.completed, partial.n_omega
+                );
+                drop(rpa_span.take());
+                return finish_partial(
+                    &name,
+                    to_stdout,
+                    &input.config,
+                    &partial,
+                    &setup,
+                    profile_path.as_deref(),
+                );
+            }
             Err(e) => {
                 eprintln!("RPA stage failed: {e}");
                 return ExitCode::FAILURE;

@@ -1,0 +1,200 @@
+//! `rpaserved` — the RPA job-serving daemon.
+//!
+//! ```text
+//! rpaserved -root jobs.d                     # serve on 127.0.0.1:8377
+//! rpaserved -root jobs.d -addr 127.0.0.1:0 -port-file addr.txt
+//! rpaserved -validate result job-000001/result.json
+//! ```
+//!
+//! The daemon accepts `mbrpa.job/1` submissions on `/v1/jobs`, runs them
+//! through the same pipeline as `rpacalc` (energies are bit-identical),
+//! and journals per-frequency checkpoints so a killed daemon resumes
+//! every interrupted job on restart. SIGINT/SIGTERM trigger a graceful
+//! drain: running jobs checkpoint at their next frequency boundary and
+//! requeue. The `-validate` mode checks a stored JSON document against
+//! its schema and exits nonzero on violations (CI uses it).
+
+use mbrpa::serve::daemon::{Daemon, DaemonConfig};
+use mbrpa::serve::job::{
+    validate_health_doc, validate_profile_doc, validate_result_doc, validate_status_doc, JobSpec,
+};
+use mbrpa::serve::{json, signal};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rpaserved [-root <dir>] [-addr <ip:port>] [-port-file <path>]");
+    eprintln!("                 [-executors N] [-backlog N] [-threads N] [-profile]");
+    eprintln!("       rpaserved -validate <job|status|result|health|profile> <file.json>");
+    eprintln!("  -root <dir>       job store directory (default mbrpa-serve-data)");
+    eprintln!("  -addr <ip:port>   bind address (default 127.0.0.1:8377; port 0 = ephemeral)");
+    eprintln!("  -port-file <path> write the bound address to <path> after startup");
+    eprintln!("  -executors N      concurrent job executors (default 1)");
+    eprintln!("  -backlog N        max queued jobs before 429 (default 16)");
+    eprintln!("  -threads N        size the global rayon pool");
+    eprintln!("  -profile          emit per-job profile.json (single executor only)");
+    eprintln!("  -validate K F     check file F against schema kind K, exit nonzero if invalid");
+    ExitCode::FAILURE
+}
+
+fn run_validate(kind: &str, path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let value = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verdict = match kind {
+        "job" => JobSpec::from_json(&value).map(|_| ()),
+        "status" => validate_status_doc(&value),
+        "result" => validate_result_doc(&value),
+        "health" => validate_health_doc(&value),
+        "profile" => validate_profile_doc(&value),
+        other => {
+            eprintln!("unknown document kind `{other}`");
+            return usage();
+        }
+    };
+    match verdict {
+        Ok(()) => {
+            println!("{path}: valid {kind} document");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid {kind} document: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut root = PathBuf::from("mbrpa-serve-data");
+    let mut addr = "127.0.0.1:8377".to_string();
+    let mut port_file: Option<String> = None;
+    let mut executors = 1usize;
+    let mut backlog = 16usize;
+    let mut threads: Option<usize> = None;
+    let mut profile = false;
+
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-validate" | "--validate" => {
+                let (Some(kind), Some(path)) = (it.next(), it.next()) else {
+                    eprintln!("-validate needs a kind and a file");
+                    return usage();
+                };
+                return run_validate(kind, path);
+            }
+            "-root" | "--root" => {
+                let Some(v) = it.next() else {
+                    eprintln!("-root needs a directory");
+                    return usage();
+                };
+                root = PathBuf::from(v);
+            }
+            "-addr" | "--addr" => {
+                let Some(v) = it.next() else {
+                    eprintln!("-addr needs an address");
+                    return usage();
+                };
+                addr = v.clone();
+            }
+            "-port-file" | "--port-file" => {
+                let Some(v) = it.next() else {
+                    eprintln!("-port-file needs a path");
+                    return usage();
+                };
+                port_file = Some(v.clone());
+            }
+            "-executors" | "--executors" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => executors = n,
+                _ => {
+                    eprintln!("-executors needs a non-negative integer");
+                    return usage();
+                }
+            },
+            "-backlog" | "--backlog" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => backlog = n,
+                _ => {
+                    eprintln!("-backlog needs a positive integer");
+                    return usage();
+                }
+            },
+            "-threads" | "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("-threads needs a positive integer");
+                    return usage();
+                }
+            },
+            "-profile" | "--profile" => profile = true,
+            "-h" | "--help" => return usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    if profile && executors > 1 {
+        eprintln!("note: -profile needs a single executor; profiles will not be emitted");
+    }
+
+    // install before spawning anything so every thread inherits it
+    signal::install_termination_handler();
+
+    if let Some(t) = threads {
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+        {
+            eprintln!("warning: could not size the thread pool: {e}");
+        }
+    }
+
+    let config = DaemonConfig {
+        root,
+        addr,
+        executors,
+        backlog,
+        profile,
+        http_workers: 2,
+        log: Arc::new(|line| eprintln!("rpaserved: {line}")),
+    };
+    let mut daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot start the daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = daemon.local_addr();
+    eprintln!("rpaserved: listening on {bound}");
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, bound.to_string()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // park until a signal or a client's POST /v1/shutdown requests a drain
+    while !signal::termination_requested() && !daemon.drain_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("rpaserved: draining (running jobs checkpoint and requeue)");
+    daemon.drain();
+    eprintln!("rpaserved: drained");
+    ExitCode::SUCCESS
+}

@@ -42,6 +42,7 @@
 //! | [`ckpt`] | crash-safe checkpoint codec and two-slot journaled store |
 //! | [`obs`] | zero-dependency telemetry: spans, counters, residual traces, JSON reports |
 //! | [`core`] | quadrature, Sternheimer χ⁰ apply, subspace iteration, RPA driver, direct oracle |
+//! | [`serve`] | batch job daemon: HTTP API, priority queue, cancellable resumable executors |
 
 #![warn(missing_docs)]
 
@@ -51,16 +52,18 @@ pub use mbrpa_dft as dft;
 pub use mbrpa_grid as grid;
 pub use mbrpa_linalg as linalg;
 pub use mbrpa_obs as obs;
+pub use mbrpa_serve as serve;
 pub use mbrpa_solver as solver;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use mbrpa_ckpt::CheckpointStore;
     pub use mbrpa_core::{
-        compute_rpa_energy, compute_rpa_energy_resumable, dielectric_spectrum, direct_rpa_energy,
-        frequency_quadrature, full_spectrum, lanczos_trace, subspace_iteration, DielectricOperator,
-        KsSolver, ResumableOutcome, ResumePolicy, RpaConfig, RpaResult, RpaRunError, RpaSetup,
-        SternheimerSettings, TraceEstimatorOptions,
+        compute_rpa_energy, compute_rpa_energy_cancellable, compute_rpa_energy_resumable,
+        compute_rpa_energy_resumable_cancellable, dielectric_spectrum, direct_rpa_energy,
+        frequency_quadrature, full_spectrum, lanczos_trace, subspace_iteration, CancelToken,
+        DielectricOperator, KsSolver, PartialRun, ResumableOutcome, ResumePolicy, RpaConfig,
+        RpaOutcome, RpaResult, RpaRunError, RpaSetup, SternheimerSettings, TraceEstimatorOptions,
     };
     pub use mbrpa_dft::{
         silicon_ladder, solve_occupied_chefsi, solve_occupied_dense, ChefsiOptions, Crystal,
@@ -68,6 +71,7 @@ pub mod prelude {
     };
     pub use mbrpa_grid::{Boundary, CoulombOperator, Grid3, Laplacian, SpectralLaplacian};
     pub use mbrpa_linalg::{Mat, C64};
+    pub use mbrpa_serve::{Daemon, DaemonConfig};
     pub use mbrpa_solver::{
         block_cocg, cocg, gmres, solve_multi_rhs, BlockPolicy, CocgOptions, GmresOptions,
         LinearOperator, WorkerStats,

@@ -8,7 +8,7 @@
 #![allow(clippy::unwrap_used, clippy::float_cmp)]
 
 use mbrpa::ckpt::{CheckpointStore, Slot};
-use mbrpa::core::{ResumableOutcome, ResumePolicy, RpaRunError};
+use mbrpa::core::{CancelToken, ResumableOutcome, ResumePolicy, RpaRunError};
 use mbrpa::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,6 +66,7 @@ fn run_prefix(setup: &RpaSetup, config: &RpaConfig, dir: &Path, stop_after: usiz
     match setup.run_resumable(config, &mut store, &policy).unwrap() {
         ResumableOutcome::Checkpointed { completed, .. } => completed,
         ResumableOutcome::Complete(_) => panic!("prefix run unexpectedly completed"),
+        ResumableOutcome::Cancelled(_) => panic!("no cancel token was attached"),
     }
 }
 
@@ -79,6 +80,7 @@ fn resume_to_completion(setup: &RpaSetup, config: &RpaConfig, dir: &Path) -> Rpa
         ResumableOutcome::Checkpointed { completed, n_omega } => {
             panic!("resume stopped early at {completed}/{n_omega}")
         }
+        ResumableOutcome::Cancelled(_) => panic!("no cancel token was attached"),
     }
 }
 
@@ -184,6 +186,106 @@ fn corrupted_latest_slot_falls_back_to_older_snapshot() {
 }
 
 #[test]
+fn cancel_after_restored_prefix_preserves_state() {
+    // deterministic cancellation path: a token already set when the run
+    // starts must return the restored prefix untouched, re-persist it,
+    // and leave the store resumable to the exact reference bits
+    let setup = tiny_setup();
+    let config = tiny_config();
+    let reference = setup.run(&config).unwrap();
+    let dir = scratch_dir("cancelprefix");
+    assert_eq!(run_prefix(&setup, &config, &dir, 2), 2);
+
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let outcome = setup
+        .run_resumable_cancellable(&config, &mut store, &ResumePolicy::default(), &cancel)
+        .unwrap();
+    drop(store);
+    match outcome {
+        ResumableOutcome::Cancelled(p) => {
+            assert_eq!(p.completed, 2);
+            assert_eq!(p.n_omega, config.n_omega);
+            assert_eq!(p.per_omega.len(), 2);
+            // the partial accumulator matches the reference prefix bits
+            let prefix: f64 = {
+                let mut acc = 0.0;
+                for rep in &reference.per_omega[..2] {
+                    acc += rep.contribution;
+                }
+                acc
+            };
+            assert_eq!(p.accumulated_energy.to_bits(), prefix.to_bits());
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+
+    let resumed = resume_to_completion(&setup, &config, &dir);
+    assert_eq!(resumed.n_restored, 2);
+    assert_eq!(
+        resumed.total_energy.to_bits(),
+        reference.total_energy.to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_run_cancel_resumes_bit_identical() {
+    // cancel from another thread while the loop runs; whenever the token
+    // lands, the journaled state must still complete to the exact bits
+    let setup = tiny_setup();
+    let config = tiny_config();
+    let reference = setup.run(&config).unwrap();
+    let dir = scratch_dir("cancelmid");
+
+    let cancel = CancelToken::new();
+    let trigger = cancel.clone();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        trigger.cancel();
+    });
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    // sparse `every` on purpose: the forced snapshot on cancellation must
+    // cover boundaries the policy would have skipped
+    let policy = ResumePolicy {
+        every: 3,
+        resume: true,
+        stop_after: None,
+    };
+    let outcome = setup
+        .run_resumable_cancellable(&config, &mut store, &policy, &cancel)
+        .unwrap();
+    killer.join().unwrap();
+    drop(store);
+
+    match outcome {
+        ResumableOutcome::Cancelled(p) => {
+            assert!(p.completed < config.n_omega);
+            if p.completed > 0 {
+                // the forced snapshot holds exactly the completed prefix
+                let store = CheckpointStore::open(&dir).unwrap();
+                let snap = store.load_latest().unwrap().unwrap().snapshot;
+                assert_eq!(snap.completed, p.completed as u64);
+            }
+            let resumed = resume_to_completion(&setup, &config, &dir);
+            assert_eq!(resumed.n_restored, p.completed);
+            assert_eq!(
+                resumed.total_energy.to_bits(),
+                reference.total_energy.to_bits()
+            );
+        }
+        // the cancel landed after the last frequency: equally valid, and
+        // the result must already be the reference
+        ResumableOutcome::Complete(r) => {
+            assert_eq!(r.total_energy.to_bits(), reference.total_energy.to_bits());
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn config_change_is_rejected_instead_of_mixing_state() {
     let setup = tiny_setup();
     let config = tiny_config();
@@ -221,6 +323,7 @@ fn fresh_start_ignores_checkpoints_when_resume_is_off() {
     let result = match setup.run_resumable(&config, &mut store, &policy).unwrap() {
         ResumableOutcome::Complete(r) => *r,
         ResumableOutcome::Checkpointed { .. } => panic!("should have completed"),
+        ResumableOutcome::Cancelled(_) => panic!("no cancel token was attached"),
     };
     assert_eq!(result.n_restored, 0);
     assert_eq!(result.per_omega.len(), config.n_omega);

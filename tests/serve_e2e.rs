@@ -1,0 +1,209 @@
+//! End-to-end daemon test: spawn the real `rpaserved` binary, submit a
+//! job, `kill -9` the daemon mid-run, restart it on the same store, and
+//! assert the job resumes from its checkpoints and finishes with an
+//! energy bit-identical to an uninterrupted in-process run.
+
+#![allow(clippy::unwrap_used)]
+
+use mbrpa::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Several cheap frequencies, so a kill usually lands mid-run and the
+/// resume has work left to do.
+const JOB_INPUT: &str = "\
+N_NUCHI_EIGS: 6
+N_OMEGA: 6
+TOL_EIG: 1e-2
+TOL_STERN_RES: 1e-2
+MAXIT_FILTERING: 6
+CHEB_DEGREE_RPA: 2
+BOUNDARY: DIRICHLET
+CELLS_Z: 1
+POINTS_PER_CELL: 5
+MESH: 0.69
+PERTURBATION: 0.02
+SYSTEM_SEED: 7
+NP: 1
+";
+
+fn spawn_daemon(root: &Path, port_file: &Path) -> Child {
+    let _ = std::fs::remove_file(port_file);
+    Command::new(env!("CARGO_BIN_EXE_rpaserved"))
+        .arg("-root")
+        .arg(root)
+        .arg("-addr")
+        .arg("127.0.0.1:0")
+        .arg("-port-file")
+        .arg(port_file)
+        .arg("-executors")
+        .arg("1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("rpaserved should start")
+}
+
+fn read_addr(port_file: &Path, child: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if !text.trim().is_empty() {
+                return text.trim().to_string();
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("rpaserved exited before binding: {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote its address");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split(' ').nth(1).unwrap().parse().unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pull a `"key": value` scalar out of a flat JSON body without a
+/// parser dependency in this integration test.
+fn json_member(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = body[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        return Some(stripped[..stripped.find('"')?].to_string());
+    }
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+#[test]
+fn kill_dash_nine_resumes_bit_for_bit() {
+    let scratch = std::env::temp_dir().join(format!("mbrpa-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let root: PathBuf = scratch.join("store");
+    let port_file = scratch.join("addr.txt");
+
+    // reference: an uninterrupted in-process run of the same input
+    let input = mbrpa::core::parse_rpa_input(JOB_INPUT).unwrap();
+    let setup = RpaSetup::prepare(
+        input.system.build(),
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 4 },
+    )
+    .unwrap();
+    let reference = setup.run(&input.config).unwrap();
+    let reference_bits = format!("{:016x}", reference.total_energy.to_bits());
+
+    // first daemon: submit, wait for per-frequency progress, kill -9
+    let mut child = spawn_daemon(&root, &port_file);
+    let addr = read_addr(&port_file, &mut child);
+    let submit = format!(
+        "{{\"schema\":\"mbrpa.job/1\",\"input\":{}}}",
+        // JSON-escape the input text
+        mbrpa::serve::json::s(JOB_INPUT).to_json()
+    );
+    let (status, body) = http(&addr, "POST", "/v1/jobs", Some(&submit));
+    assert_eq!(status, 201, "{body}");
+    let id = json_member(&body, "id").unwrap();
+
+    // wait until at least one frequency is checkpointed, so the resume
+    // actually has prior state to load
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut finished_before_kill = false;
+    loop {
+        let (status, body) = http(&addr, "GET", &format!("/v1/jobs/{id}"), None);
+        assert_eq!(status, 200, "{body}");
+        let state = json_member(&body, "state").unwrap();
+        if state == "completed" {
+            // machine too fast: the job finished before we could kill it;
+            // the bit-identity assertion below still applies
+            finished_before_kill = true;
+            break;
+        }
+        assert_ne!(state, "failed", "{body}");
+        let completed: usize = json_member(&body, "completed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if state == "running" && completed >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no progress before the kill");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut killed_mid_run = false;
+    if !finished_before_kill {
+        child.kill().unwrap(); // SIGKILL: no drain, no final state write
+        child.wait().unwrap();
+
+        // usually the store still says `running` (the crash marker); the
+        // job may also have completed in the instant before the kill
+        let state_file = root.join("jobs").join(&id).join("state");
+        let on_disk = std::fs::read_to_string(&state_file).unwrap();
+        killed_mid_run = on_disk.trim() == "running";
+
+        // second daemon on the same store: recovery requeues and resumes
+        child = spawn_daemon(&root, &port_file);
+        let addr2 = read_addr(&port_file, &mut child);
+        let deadline = Instant::now() + Duration::from_secs(180);
+        loop {
+            let (status, body) = http(&addr2, "GET", &format!("/v1/jobs/{id}"), None);
+            assert_eq!(status, 200, "{body}");
+            let state = json_member(&body, "state").unwrap();
+            if state == "completed" {
+                break;
+            }
+            assert_ne!(state, "failed", "{body}");
+            assert!(Instant::now() < deadline, "resumed job never finished");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    // the served result must be bit-identical to the uninterrupted run
+    let addr = std::fs::read_to_string(&port_file).unwrap().trim().to_string();
+    let (status, body) = http(&addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        json_member(&body, "total_energy_bits").as_deref(),
+        Some(reference_bits.as_str()),
+        "resumed energy differs from the uninterrupted run: {body}"
+    );
+    let n_restored: usize = json_member(&body, "n_restored")
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    if killed_mid_run {
+        assert!(n_restored >= 1, "resume restored nothing: {body}");
+    }
+
+    // graceful exit
+    let (status, _) = http(&addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 202);
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "daemon exited {exit}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
