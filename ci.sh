@@ -39,6 +39,26 @@ RPACLIENT=target/release/examples/rpaclient
 "$RPACLIENT" -addr "$SERVE_ADDR" health
 target/release/rpaserved -validate result "$SERVE_ROOT/store/jobs/job-000001/result.json"
 target/release/rpaserved -validate profile "$SERVE_ROOT/store/jobs/job-000001/profile.json"
+# Result-cache leg: resubmitting the same calculation must be served
+# from the cache (200 + "cached":true) with the exact f64 bit pattern of
+# the stored result, a flush must empty it, and the next submission must
+# queue a real job again (201 miss). The cache entry on disk is
+# schema-validated like every other stored document.
+HIT_BODY="$("$RPACLIENT" -addr "$SERVE_ADDR" submit inputs/cluster_smoke.rpa -name ci-cache-hit)"
+echo "$HIT_BODY" | grep -q '"cached":true' \
+    || { echo "ci: resubmission was not served from the cache: $HIT_BODY"; exit 1; }
+STORED_BITS="$(grep -o '"total_energy_bits":"[0-9a-f]\{16\}"' \
+    "$SERVE_ROOT/store/jobs/job-000001/result.json")"
+echo "$HIT_BODY" | grep -qF "$STORED_BITS" \
+    || { echo "ci: cached bits differ from the stored result: $HIT_BODY"; exit 1; }
+CACHE_ENTRY="$(ls "$SERVE_ROOT"/store/cache/*.json)"
+target/release/rpaserved -validate cache-entry "$CACHE_ENTRY"
+"$RPACLIENT" -addr "$SERVE_ADDR" cache
+"$RPACLIENT" -addr "$SERVE_ADDR" cache-flush
+"$RPACLIENT" -addr "$SERVE_ADDR" submit inputs/cluster_smoke.rpa -name ci-cache-miss \
+    | grep -q '"state":"queued"' \
+    || { echo "ci: submission after a flush should queue a real job"; exit 1; }
+"$RPACLIENT" -addr "$SERVE_ADDR" wait job-000002
 "$RPACLIENT" -addr "$SERVE_ADDR" shutdown
 wait "$SERVE_PID"
 trap - EXIT

@@ -149,6 +149,12 @@ pub enum ResumableOutcome {
 /// fingerprints walk identical floating-point paths frequency by
 /// frequency, which is what makes a resumed run bit-for-bit identical to
 /// an uninterrupted one.
+///
+/// This is the *run-compatibility* fingerprint stored in snapshots (64
+/// bits, schema `FINGERPRINT_SCHEMA`). Its input-level v2 extension —
+/// 128 bits over the full canonical encoding of a parsed `.rpa` input,
+/// system definition included — lives in [`crate::canonical`] and keys
+/// the exact-result cache of `mbrpa-serve`.
 pub fn config_fingerprint(config: &RpaConfig, n_d: usize) -> u64 {
     let mut h = Fnv64::new();
     h.u64(FINGERPRINT_SCHEMA);

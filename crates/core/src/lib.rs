@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod canonical;
 pub mod checkpoint;
 pub mod chi0;
 pub mod config;
@@ -44,6 +45,9 @@ pub mod trace_est;
 pub mod workers;
 
 pub use cancel::CancelToken;
+pub use canonical::{
+    canonical_bytes, fingerprint_hex, input_fingerprint, is_fingerprint_hex, CANONICAL_VERSION,
+};
 pub use checkpoint::{
     compute_rpa_energy_resumable, compute_rpa_energy_resumable_cancellable, config_fingerprint,
     ResumableOutcome, ResumePolicy, RpaRunError,

@@ -217,7 +217,14 @@ pub fn subspace_iteration_cancellable(
     };
 
     if cancel.is_cancelled() {
-        return Ok(cancelled_outcome(v, timings, history, 0, Vec::new(), f64::INFINITY));
+        return Ok(cancelled_outcome(
+            v,
+            timings,
+            history,
+            0,
+            Vec::new(),
+            f64::INFINITY,
+        ));
     }
 
     // Lines 2–5: project and check before any filtering.
@@ -426,7 +433,11 @@ mod tests {
         assert!(out.cancelled);
         assert!(!out.converged);
         assert!(out.history.is_empty(), "no projection should have run");
-        assert_eq!(op.applications(), 0, "no operator application should have run");
+        assert_eq!(
+            op.applications(),
+            0,
+            "no operator application should have run"
+        );
     }
 
     #[test]
@@ -436,8 +447,10 @@ mod tests {
         let op = DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.9, settings, 1);
         let v0 = random_block(f.ham.dim(), 6, 7);
         let plain = subspace_iteration(&op, v0.clone(), 1e-5, 15, 3).unwrap();
-        let op2 = DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.9, settings, 1);
-        let live = subspace_iteration_cancellable(&op2, v0, 1e-5, 15, 3, &CancelToken::new()).unwrap();
+        let op2 =
+            DielectricOperator::new(&f.ham, &f.psi, &f.energies, &f.coulomb, 0.9, settings, 1);
+        let live =
+            subspace_iteration_cancellable(&op2, v0, 1e-5, 15, 3, &CancelToken::new()).unwrap();
         assert!(!live.cancelled);
         assert_eq!(live.filter_rounds, plain.filter_rounds);
         assert_eq!(live.eigenvalues, plain.eigenvalues);

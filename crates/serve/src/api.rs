@@ -9,12 +9,22 @@
 //! | `GET /v1/jobs/<id>/profile`| telemetry profile JSON, when emitted      |
 //! | `GET /v1/jobs/<id>/report` | human-readable run report (text)          |
 //! | `POST /v1/jobs/<id>/cancel`| cancel → 200 (done) or 202 (in flight)    |
-//! | `GET /v1/health`           | liveness + queue occupancy                |
+//! | `GET /v1/health`           | liveness + queue occupancy + cache counters |
+//! | `GET /v1/cache`            | result-cache statistics                   |
+//! | `POST /v1/cache/flush`     | drop every cached result → 200            |
 //! | `POST /v1/shutdown`        | request a graceful drain → 202            |
 //!
 //! Every body is JSON except the report. A full backlog answers `429`
 //! with a `Retry-After` header — explicit backpressure, never a dropped
 //! job.
+//!
+//! **Result cache.** `POST /v1/jobs` first canonicalizes the submitted
+//! `.rpa` input and looks its 128-bit fingerprint up in the exact result
+//! cache ([`crate::cache`]). A hit creates no job at all: the response is
+//! `200` carrying the stored `mbrpa.result/1` (the *exact* `f64` bits of
+//! the original run, under the original job's id) with two extra
+//! members, `"cached": true` and `"fingerprint"`. A miss proceeds with
+//! the normal `201` submission flow.
 
 use crate::daemon::{lock, ServeShared};
 use crate::http::{Handler, Request, Response};
@@ -45,6 +55,8 @@ fn route(shared: &Arc<ServeShared>, req: &Request) -> Response {
         ("GET", ["v1", "jobs", id, "profile"]) => doc(shared, id, PROFILE_FILE),
         ("GET", ["v1", "jobs", id, "report"]) => report(shared, id),
         ("POST", ["v1", "jobs", id, "cancel"]) => cancel(shared, id),
+        ("GET", ["v1", "cache"]) => cache_stats(shared),
+        ("POST", ["v1", "cache", "flush"]) => cache_flush(shared),
         ("POST", ["v1", "shutdown"]) => shutdown(shared),
         (_, ["v1", ..]) => Response::error(405, "method not allowed for this path"),
         _ => Response::error(404, "unknown path (the API lives under /v1)"),
@@ -53,7 +65,7 @@ fn route(shared: &Arc<ServeShared>, req: &Request) -> Response {
 
 fn health(shared: &Arc<ServeShared>) -> Response {
     let queue = lock(&shared.queue);
-    let doc = obj(vec![
+    let mut pairs = vec![
         ("schema", s(HEALTH_SCHEMA)),
         ("queued", u(queue.count(JobState::Queued))),
         ("running", u(queue.count(JobState::Running))),
@@ -66,8 +78,45 @@ fn health(shared: &Arc<ServeShared>) -> Response {
             "draining",
             JsonValue::Bool(shared.draining.load(Ordering::Acquire)),
         ),
-    ]);
-    Response::json(200, &doc)
+    ];
+    drop(queue);
+    if let Some(block) = cache_block(shared) {
+        pairs.push(("cache", block));
+    }
+    Response::json(200, &obj(pairs))
+}
+
+/// The `cache` member of the health body, `None` when the cache is off.
+fn cache_block(shared: &Arc<ServeShared>) -> Option<JsonValue> {
+    let cache = lock(shared.cache.as_ref()?);
+    let counters = cache.counters();
+    Some(obj(vec![
+        ("entries", u(cache.len())),
+        ("bytes", u(cache.total_bytes() as usize)),
+        ("budget", u(cache.budget() as usize)),
+        ("hits", u(counters.hits as usize)),
+        ("misses", u(counters.misses as usize)),
+        ("insertions", u(counters.insertions as usize)),
+        ("evictions", u(counters.evictions as usize)),
+        ("flushes", u(counters.flushes as usize)),
+        ("corrupt_dropped", u(counters.corrupt_dropped as usize)),
+    ]))
+}
+
+fn cache_stats(shared: &Arc<ServeShared>) -> Response {
+    match cache_block(shared) {
+        Some(block) => Response::json(200, &block),
+        None => Response::error(404, "the result cache is disabled"),
+    }
+}
+
+fn cache_flush(shared: &Arc<ServeShared>) -> Response {
+    let Some(cache) = shared.cache.as_ref() else {
+        return Response::error(404, "the result cache is disabled");
+    };
+    let flushed = lock(cache).flush();
+    (shared.log)(&format!("result cache: flushed {flushed} cached result(s)"));
+    Response::json(200, &obj(vec![("flushed", u(flushed))]))
 }
 
 fn submit(shared: &Arc<ServeShared>, req: &Request) -> Response {
@@ -85,6 +134,24 @@ fn submit(shared: &Arc<ServeShared>, req: &Request) -> Response {
         Ok(spec) => spec,
         Err(e) => return Response::error(400, &e),
     };
+
+    // consult the exact result cache before touching the queue: two
+    // byte-different but semantically identical inputs canonicalize to
+    // the same fingerprint, and a hit replays the stored result (exact
+    // f64 bits) without creating a job at all
+    if let (Some(cache), Ok(input)) = (shared.cache.as_ref(), spec.parsed()) {
+        let fingerprint = mbrpa_core::fingerprint_hex(&input);
+        if let Some(result) = lock(cache).lookup(&fingerprint) {
+            mbrpa_obs::add("serve.cache.hit", 1);
+            (shared.log)(&format!("cache hit {fingerprint}"));
+            if let Some(mut pairs) = result.as_obj().map(<[_]>::to_vec) {
+                pairs.push(("cached".to_string(), JsonValue::Bool(true)));
+                pairs.push(("fingerprint".to_string(), s(&fingerprint)));
+                return Response::json(200, &JsonValue::Obj(pairs));
+            }
+        }
+        mbrpa_obs::add("serve.cache.miss", 1);
+    }
 
     let mut queue = lock(&shared.queue);
     if let Err(refusal) = queue.check_capacity() {
@@ -167,7 +234,13 @@ fn status_body(shared: &Arc<ServeShared>, id: &str) -> Option<JsonValue> {
         JobState::Failed => shared.store.read_doc(id, ERROR_FILE),
         _ => None,
     };
-    Some(job::status_doc(id, &spec, state, progress, error.as_deref()))
+    Some(job::status_doc(
+        id,
+        &spec,
+        state,
+        progress,
+        error.as_deref(),
+    ))
 }
 
 /// Completed/total frequencies of a cancelled job, from its stored

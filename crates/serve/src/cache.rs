@@ -1,0 +1,440 @@
+//! Content-addressed exact result cache.
+//!
+//! RPA energies are deterministic given the discretized system and solver
+//! configuration — the serving pipeline's bit-for-bit contract — so a
+//! repeat submission of a semantically identical `.rpa` input is pure
+//! recomputation waste. This store maps the canonical 128-bit input
+//! fingerprint ([`mbrpa_core::canonical`]) to the finished
+//! `mbrpa.result/1` document, letting the daemon answer a resubmission
+//! with the *exact* stored energy (same `f64` bits) instead of spending
+//! minutes in the Sternheimer/quadrature stack.
+//!
+//! Layout under the daemon root:
+//!
+//! ```text
+//! <root>/cache/<fingerprint>.json   # mbrpa.cache-entry/1 documents
+//! ```
+//!
+//! Design points:
+//!
+//! * **Crash safety** — entries are written with the same atomic
+//!   temp-file/`fsync`/rename discipline as the job store. A `kill -9`
+//!   mid-write leaves at worst a `.…​.tmp` dotfile, which the next open
+//!   deletes; a reader never observes a torn entry.
+//! * **Corruption tolerance** — every load (startup scan *and* each
+//!   lookup) fully validates the entry: JSON parse, schema tag,
+//!   fingerprint member matching the filename, and the embedded result's
+//!   own validator including its `total_energy_bits` cross-check. Any
+//!   failure deletes the file and reports a miss — a damaged store can
+//!   cost recomputation, never a false hit.
+//! * **LRU byte budget** — the store tracks per-entry sizes and evicts
+//!   least-recently-used entries once the total exceeds the budget, so
+//!   the cache directory cannot grow without bound under heavy traffic.
+//!
+//! The store is not internally synchronized; the daemon wraps it in a
+//! `Mutex` (like the queue), and all counters are plain integers mutated
+//! under that lock.
+
+use crate::job::{validate_cache_entry_doc, CACHE_ENTRY_SCHEMA};
+use crate::json::{self, obj, s, JsonValue};
+use crate::store::write_atomic;
+use mbrpa_core::is_fingerprint_hex;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// Default byte budget (64 MiB — thousands of result documents).
+pub const DEFAULT_BUDGET: u64 = 64 * 1024 * 1024;
+
+/// Monotonic counters the daemon exposes through `health/1` and the
+/// cache admin endpoint.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing (or found a corrupt entry).
+    pub misses: u64,
+    /// Entries written by completed runs.
+    pub insertions: u64,
+    /// Entries removed by the LRU byte budget.
+    pub evictions: u64,
+    /// Admin flushes.
+    pub flushes: u64,
+    /// Corrupt or alien files dropped by scans and lookups.
+    pub corrupt_dropped: u64,
+}
+
+/// One resident entry: fingerprint and on-disk size. The vector holding
+/// these is kept in least-recently-used order (front = coldest).
+#[derive(Clone, Debug)]
+struct Entry {
+    fingerprint: String,
+    bytes: u64,
+}
+
+/// On-disk exact-result cache. See the module docs.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+    budget: u64,
+    /// LRU order, coldest first.
+    entries: Vec<Entry>,
+    total_bytes: u64,
+    counters: CacheCounters,
+}
+
+impl CacheStore {
+    /// Open (creating if needed) the cache under `dir` with the given
+    /// byte budget. Scans the directory: leftover temp dotfiles and any
+    /// file that fails full validation are deleted; surviving entries
+    /// enter the LRU ordered by modification time (oldest first), and the
+    /// budget is enforced immediately.
+    pub fn open(dir: impl Into<PathBuf>, budget: u64) -> io::Result<CacheStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut store = CacheStore {
+            dir,
+            budget,
+            entries: Vec::new(),
+            total_bytes: 0,
+            counters: CacheCounters::default(),
+        };
+        let mut found: Vec<(SystemTime, Entry)> = Vec::new();
+        for entry in fs::read_dir(&store.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                store.drop_file(&path);
+                continue;
+            };
+            // crash leftovers (`.<fp>.json.tmp`) and anything that is not
+            // `<32-hex>.json` is junk — delete rather than serve
+            let fingerprint = name.strip_suffix(".json").unwrap_or("");
+            if !is_fingerprint_hex(fingerprint) {
+                store.drop_file(&path);
+                continue;
+            }
+            if store.load_validated(&path, fingerprint).is_none() {
+                store.drop_file(&path);
+                continue;
+            }
+            let meta = entry.metadata()?;
+            let modified = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            found.push((
+                modified,
+                Entry {
+                    fingerprint: fingerprint.to_string(),
+                    bytes: meta.len(),
+                },
+            ));
+        }
+        found.sort_by_key(|(modified, _)| *modified);
+        store.total_bytes = found.iter().map(|(_, e)| e.bytes).sum();
+        store.entries = found.into_iter().map(|(_, e)| e).collect();
+        store.evict_to_budget();
+        Ok(store)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of resident entries.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    fn entry_path(&self, fingerprint: &str) -> PathBuf {
+        self.dir.join(format!("{fingerprint}.json"))
+    }
+
+    /// Best-effort delete of a junk/corrupt file, counted.
+    fn drop_file(&mut self, path: &Path) {
+        let _ = fs::remove_file(path);
+        self.counters.corrupt_dropped += 1;
+    }
+
+    /// Read and fully validate one entry file; returns the embedded
+    /// `mbrpa.result/1` object on success.
+    fn load_validated(&self, path: &Path, fingerprint: &str) -> Option<JsonValue> {
+        let text = fs::read_to_string(path).ok()?;
+        let doc = json::parse(&text).ok()?;
+        validate_cache_entry_doc(&doc).ok()?;
+        // the fingerprint member must match the filename, or a renamed
+        // file could serve the wrong calculation's energy
+        if doc.get("fingerprint")?.as_str()? != fingerprint {
+            return None;
+        }
+        doc.get("result").cloned()
+    }
+
+    /// Look up a fingerprint. A hit returns the stored `mbrpa.result/1`
+    /// object and refreshes the entry's LRU position; a corrupt entry is
+    /// deleted and reported as a miss.
+    pub fn lookup(&mut self, fingerprint: &str) -> Option<JsonValue> {
+        let Some(index) = self
+            .entries
+            .iter()
+            .position(|e| e.fingerprint == fingerprint)
+        else {
+            self.counters.misses += 1;
+            return None;
+        };
+        let path = self.entry_path(fingerprint);
+        match self.load_validated(&path, fingerprint) {
+            Some(result) => {
+                // LRU touch: move to the hot end
+                let entry = self.entries.remove(index);
+                self.entries.push(entry);
+                self.counters.hits += 1;
+                Some(result)
+            }
+            None => {
+                let entry = self.entries.remove(index);
+                self.total_bytes = self.total_bytes.saturating_sub(entry.bytes);
+                self.drop_file(&path);
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) the result document for a fingerprint,
+    /// written atomically, then enforce the byte budget. Returns `false`
+    /// without writing when the entry alone exceeds the budget (caching
+    /// it would evict everything else and then itself next insert).
+    pub fn insert(&mut self, fingerprint: &str, result: &JsonValue) -> io::Result<bool> {
+        if !is_fingerprint_hex(fingerprint) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("`{fingerprint}` is not a canonical fingerprint"),
+            ));
+        }
+        let doc = obj(vec![
+            ("schema", s(CACHE_ENTRY_SCHEMA)),
+            ("fingerprint", s(fingerprint)),
+            ("result", result.clone()),
+        ]);
+        let bytes = doc.to_json().into_bytes();
+        let size = bytes.len() as u64;
+        if size > self.budget {
+            return Ok(false);
+        }
+        write_atomic(&self.entry_path(fingerprint), &bytes)?;
+        if let Some(index) = self
+            .entries
+            .iter()
+            .position(|e| e.fingerprint == fingerprint)
+        {
+            let old = self.entries.remove(index);
+            self.total_bytes = self.total_bytes.saturating_sub(old.bytes);
+        }
+        self.entries.push(Entry {
+            fingerprint: fingerprint.to_string(),
+            bytes: size,
+        });
+        self.total_bytes += size;
+        self.counters.insertions += 1;
+        self.evict_to_budget();
+        Ok(true)
+    }
+
+    /// Evict coldest entries until the total fits the budget. The entry
+    /// at the hot end (the one just inserted or hit) is never evicted.
+    fn evict_to_budget(&mut self) {
+        while self.total_bytes > self.budget && self.entries.len() > 1 {
+            let coldest = self.entries.remove(0);
+            self.total_bytes = self.total_bytes.saturating_sub(coldest.bytes);
+            let _ = fs::remove_file(self.entry_path(&coldest.fingerprint));
+            self.counters.evictions += 1;
+            mbrpa_obs::add("serve.cache.evict", 1);
+        }
+    }
+
+    /// Drop every entry (admin flush). Returns how many were removed.
+    pub fn flush(&mut self) -> usize {
+        let flushed = self.entries.len();
+        for entry in std::mem::take(&mut self.entries) {
+            let _ = fs::remove_file(self.entry_path(&entry.fingerprint));
+        }
+        self.total_bytes = 0;
+        self.counters.flushes += 1;
+        flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::RESULT_SCHEMA;
+    use crate::json::u;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbrpa_cache_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn result_value(energy: f64) -> JsonValue {
+        obj(vec![
+            ("schema", s(RESULT_SCHEMA)),
+            ("id", s("job-000001")),
+            ("n_d", u(125)),
+            ("n_s", u(16)),
+            ("n_atoms", u(8)),
+            ("n_omega", u(3)),
+            ("n_restored", u(0)),
+            ("total_energy", JsonValue::Num(energy)),
+            (
+                "total_energy_bits",
+                s(&format!("{:016x}", energy.to_bits())),
+            ),
+            ("energy_per_atom", JsonValue::Num(energy / 8.0)),
+            ("wall_s", JsonValue::Num(1.25)),
+        ])
+    }
+
+    fn fp(n: u8) -> String {
+        format!("{:032x}", u128::from(n))
+    }
+
+    #[test]
+    fn insert_then_lookup_roundtrips_exact_bits() {
+        let dir = tmp_dir("roundtrip");
+        let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+        let energy = -0.123_456_789_012_345_67;
+        assert!(cache.insert(&fp(1), &result_value(energy)).unwrap());
+        let hit = cache.lookup(&fp(1)).expect("entry just inserted");
+        assert_eq!(
+            hit.get("total_energy_bits").unwrap().as_str().unwrap(),
+            format!("{:016x}", energy.to_bits())
+        );
+        assert!(cache.lookup(&fp(2)).is_none());
+        let counters = cache.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_entries_and_drops_junk() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+            cache.insert(&fp(1), &result_value(-1.5)).unwrap();
+            cache.insert(&fp(2), &result_value(-2.5)).unwrap();
+        }
+        // simulate a kill -9 mid-write: a partial temp dotfile …
+        fs::write(dir.join(format!(".{}.json.tmp", fp(3))), b"{\"sch").unwrap();
+        // … a torn entry (truncated JSON) …
+        fs::write(dir.join(format!("{}.json", fp(4))), b"{\"schema\":\"mbr").unwrap();
+        // … and a well-formed entry whose fingerprint member lies
+        let alias = fs::read_to_string(dir.join(format!("{}.json", fp(1)))).unwrap();
+        fs::write(dir.join(format!("{}.json", fp(5))), &alias).unwrap();
+
+        let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&fp(1)).is_some());
+        assert!(cache.lookup(&fp(2)).is_some());
+        assert!(cache.lookup(&fp(4)).is_none(), "torn entry must miss");
+        assert!(cache.lookup(&fp(5)).is_none(), "aliased entry must miss");
+        assert!(cache.counters().corrupt_dropped >= 3);
+        assert!(!dir.join(format!(".{}.json.tmp", fp(3))).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_discovered_at_lookup_is_a_miss() {
+        let dir = tmp_dir("corrupt_lookup");
+        let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+        cache.insert(&fp(1), &result_value(-1.5)).unwrap();
+        // corrupt it behind the store's back (disk damage)
+        fs::write(dir.join(format!("{}.json", fp(1))), b"garbage").unwrap();
+        assert!(cache.lookup(&fp(1)).is_none());
+        assert_eq!(cache.len(), 0);
+        assert!(!dir.join(format!("{}.json", fp(1))).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_budget_evicts_coldest_first() {
+        let dir = tmp_dir("lru");
+        let one = CacheStore::open(tmp_dir("lru_size"), DEFAULT_BUDGET)
+            .and_then(|mut c| {
+                c.insert(&fp(9), &result_value(-1.0))?;
+                Ok(c.total_bytes())
+            })
+            .unwrap();
+        // room for two entries, not three
+        let mut cache = CacheStore::open(&dir, one * 2 + one / 2).unwrap();
+        cache.insert(&fp(1), &result_value(-1.0)).unwrap();
+        cache.insert(&fp(2), &result_value(-2.0)).unwrap();
+        // touch 1 so 2 becomes the coldest
+        assert!(cache.lookup(&fp(1)).is_some());
+        cache.insert(&fp(3), &result_value(-3.0)).unwrap();
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(cache.lookup(&fp(2)).is_none(), "coldest should be evicted");
+        assert!(cache.lookup(&fp(1)).is_some());
+        assert!(cache.lookup(&fp(3)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_entry_is_refused() {
+        let dir = tmp_dir("oversized");
+        let mut cache = CacheStore::open(&dir, 10).unwrap();
+        assert!(!cache.insert(&fp(1), &result_value(-1.0)).unwrap());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.counters().insertions, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_empties_the_store() {
+        let dir = tmp_dir("flush");
+        let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+        cache.insert(&fp(1), &result_value(-1.0)).unwrap();
+        cache.insert(&fp(2), &result_value(-2.0)).unwrap();
+        assert_eq!(cache.flush(), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.total_bytes(), 0);
+        assert!(cache.lookup(&fp(1)).is_none());
+        // flushed on disk too: a reopen sees nothing
+        let reopened = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+        assert!(reopened.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_fingerprint_is_rejected() {
+        let dir = tmp_dir("badfp");
+        let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+        assert!(cache.insert("not-hex", &result_value(-1.0)).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -8,6 +8,7 @@
 //! listener — so a drained daemon restarts exactly where it left off.
 
 use crate::api;
+use crate::cache::{self, CacheStore};
 use crate::executor;
 use crate::http::HttpServer;
 use crate::job::JobState;
@@ -44,6 +45,13 @@ pub struct DaemonConfig {
     pub profile: bool,
     /// HTTP worker threads serving the API.
     pub http_workers: usize,
+    /// Enable the exact result cache (see [`crate::cache`]). On by
+    /// default; `rpaserved -no-cache` turns it off.
+    pub cache: bool,
+    /// Cache directory; `None` means `<root>/cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// Cache byte budget (LRU eviction above this).
+    pub cache_budget: u64,
     /// Diagnostics sink.
     pub log: Logger,
 }
@@ -57,6 +65,9 @@ impl Default for DaemonConfig {
             backlog: 16,
             profile: false,
             http_workers: 2,
+            cache: true,
+            cache_dir: None,
+            cache_budget: cache::DEFAULT_BUDGET,
             log: Arc::new(|_| {}),
         }
     }
@@ -110,6 +121,9 @@ pub struct ServeShared {
     pub executors: usize,
     /// Whether per-job profiles are emitted (see [`DaemonConfig::profile`]).
     pub profile: bool,
+    /// The exact result cache, `None` when disabled. Locked separately
+    /// from (and never while holding) the queue lock.
+    pub cache: Option<Mutex<CacheStore>>,
     /// Diagnostics sink.
     pub log: Logger,
 }
@@ -157,6 +171,30 @@ impl Daemon {
             ));
         }
 
+        let cache = if config.cache {
+            let dir = config
+                .cache_dir
+                .clone()
+                .unwrap_or_else(|| config.root.join("cache"));
+            let cache = CacheStore::open(dir, config.cache_budget)?;
+            let dropped = cache.counters().corrupt_dropped;
+            if dropped > 0 {
+                (config.log)(&format!(
+                    "result cache: dropped {dropped} corrupt or leftover file(s) at startup"
+                ));
+            }
+            (config.log)(&format!(
+                "result cache: {} entr{} ({} bytes) under {}",
+                cache.len(),
+                if cache.len() == 1 { "y" } else { "ies" },
+                cache.total_bytes(),
+                cache.dir().display()
+            ));
+            Some(Mutex::new(cache))
+        } else {
+            None
+        };
+
         let shared = Arc::new(ServeShared {
             queue: Mutex::new(queue),
             store,
@@ -164,6 +202,7 @@ impl Daemon {
             draining: AtomicBool::new(false),
             executors: config.executors,
             profile: config.profile,
+            cache,
             log: Arc::clone(&config.log),
         });
 

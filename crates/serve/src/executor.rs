@@ -20,9 +20,7 @@ use crate::job::{self, JobSpec, JobState};
 use crate::store::{ERROR_FILE, PARTIAL_FILE, PROFILE_FILE, REPORT_FILE, RESULT_FILE};
 use mbrpa_ckpt::CheckpointStore;
 use mbrpa_core::io::parse_rpa_input;
-use mbrpa_core::{
-    report, KsSolver, ResumableOutcome, ResumePolicy, RpaInput, RpaResult, RpaSetup,
-};
+use mbrpa_core::{report, KsSolver, ResumableOutcome, ResumePolicy, RpaInput, RpaResult, RpaSetup};
 use mbrpa_dft::{ChefsiOptions, PotentialParams};
 use mbrpa_grid::par::outer_scope;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,7 +58,11 @@ pub(crate) fn executor_loop(shared: &Arc<ServeShared>) {
 
 fn run_one(shared: &Arc<ServeShared>, id: &str) {
     let Some(spec) = shared.store.load_spec(id) else {
-        finalize(shared, id, Finish::Failed("job.json is unreadable".to_string()));
+        finalize(
+            shared,
+            id,
+            Finish::Failed("job.json is unreadable".to_string()),
+        );
         return;
     };
     if let Err(e) = shared.store.write_state(id, JobState::Running) {
@@ -100,10 +102,16 @@ fn finalize(shared: &Arc<ServeShared>, id: &str, finish: Finish) {
     };
     if !moved {
         // only possible if the queue lost track of a job it claimed
-        (shared.log)(&format!("{id}: queue transition to {} refused", state.as_str()));
+        (shared.log)(&format!(
+            "{id}: queue transition to {} refused",
+            state.as_str()
+        ));
     }
     if let Err(e) = shared.store.write_state(id, state) {
-        (shared.log)(&format!("{id}: cannot persist state {}: {e}", state.as_str()));
+        (shared.log)(&format!(
+            "{id}: cannot persist state {}: {e}",
+            state.as_str()
+        ));
     }
 }
 
@@ -204,13 +212,31 @@ fn complete(
     result: &RpaResult,
     profiled: bool,
 ) -> Finish {
-    job.completed.store(result.per_omega.len(), Ordering::Release);
+    job.completed
+        .store(result.per_omega.len(), Ordering::Release);
     job.n_omega.store(result.per_omega.len(), Ordering::Release);
 
-    let result_json = job::result_doc(&job.id, result).to_json();
-    if let Err(e) = shared.store.write_doc(&job.id, RESULT_FILE, &result_json) {
+    let result_doc = job::result_doc(&job.id, result);
+    if let Err(e) = shared
+        .store
+        .write_doc(&job.id, RESULT_FILE, &result_doc.to_json())
+    {
         // without a result document the job must not report success
         return Finish::Failed(format!("cannot write result.json: {e}"));
+    }
+
+    // populate the exact result cache — only here, on full completion:
+    // cancelled, partial, and failed runs never enter it
+    if let Some(cache) = shared.cache.as_ref() {
+        let fingerprint = mbrpa_core::fingerprint_hex(input);
+        match lock(cache).insert(&fingerprint, &result_doc) {
+            Ok(true) => mbrpa_obs::add("serve.cache.insert", 1),
+            Ok(false) => (shared.log)(&format!(
+                "{}: result exceeds the cache budget; not cached",
+                job.id
+            )),
+            Err(e) => (shared.log)(&format!("{}: cannot cache result: {e}", job.id)),
+        }
     }
 
     let mut doc = report::full_report(&input.config, result);

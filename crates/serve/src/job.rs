@@ -11,7 +11,10 @@
 //! * `mbrpa.result/1` — the finished energy, with the exact IEEE-754
 //!   bits alongside the decimal rendering so bit-for-bit comparisons
 //!   survive the JSON round-trip,
-//! * `mbrpa.health/1` — daemon liveness and queue occupancy.
+//! * `mbrpa.health/1` — daemon liveness and queue occupancy,
+//! * `mbrpa.cache-entry/1` — one persisted result-cache entry: the
+//!   canonical 128-bit input fingerprint plus the embedded
+//!   `mbrpa.result/1` it maps to (see `crate::cache`).
 
 use crate::json::{obj, s, u, JsonValue};
 use mbrpa_core::io::{parse_rpa_input, RpaInput};
@@ -27,6 +30,8 @@ pub const RESULT_SCHEMA: &str = "mbrpa.result/1";
 pub const HEALTH_SCHEMA: &str = "mbrpa.health/1";
 /// Schema tag of the job-list body.
 pub const LIST_SCHEMA: &str = "mbrpa.job-list/1";
+/// Schema tag of a persisted result-cache entry.
+pub const CACHE_ENTRY_SCHEMA: &str = "mbrpa.cache-entry/1";
 
 /// Highest accepted priority (larger runs sooner).
 pub const MAX_PRIORITY: u8 = 9;
@@ -61,7 +66,9 @@ impl JobSpec {
             .and_then(JsonValue::as_str)
             .ok_or("missing `schema` member")?;
         if schema != JOB_SCHEMA {
-            return Err(format!("unsupported schema `{schema}` (need `{JOB_SCHEMA}`)"));
+            return Err(format!(
+                "unsupported schema `{schema}` (need `{JOB_SCHEMA}`)"
+            ));
         }
         let name = match v.get("name") {
             None | Some(JsonValue::Null) => None,
@@ -291,10 +298,7 @@ pub fn partial_doc(id: &str, partial: &PartialRun) -> JsonValue {
         ("state", s(JobState::Cancelled.as_str())),
         ("completed", u(partial.completed)),
         ("n_omega", u(partial.n_omega)),
-        (
-            "partial_energy",
-            JsonValue::Num(partial.accumulated_energy),
-        ),
+        ("partial_energy", JsonValue::Num(partial.accumulated_energy)),
     ])
 }
 
@@ -359,6 +363,25 @@ pub fn validate_result_doc(v: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a `mbrpa.cache-entry/1` document: the schema tag, a
+/// canonical fingerprint, and a fully valid embedded `mbrpa.result/1`
+/// (including its bit-pattern cross-check — a cache must never replay a
+/// result whose stored bits disagree with its decimal rendering).
+pub fn validate_cache_entry_doc(v: &JsonValue) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != CACHE_ENTRY_SCHEMA {
+        return Err(format!("schema is `{schema}`, need `{CACHE_ENTRY_SCHEMA}`"));
+    }
+    let fingerprint = require_str(v, "fingerprint")?;
+    if !mbrpa_core::is_fingerprint_hex(fingerprint) {
+        return Err(format!(
+            "`fingerprint` `{fingerprint}` is not 32 lowercase hex digits"
+        ));
+    }
+    let result = v.get("result").ok_or("missing object member `result`")?;
+    validate_result_doc(result).map_err(|e| format!("embedded result: {e}"))
+}
+
 /// Validate a `mbrpa.job-status/1` document.
 pub fn validate_status_doc(v: &JsonValue) -> Result<(), String> {
     let schema = require_str(v, "schema")?;
@@ -387,6 +410,27 @@ pub fn validate_health_doc(v: &JsonValue) -> Result<(), String> {
     }
     for key in ["queued", "running", "backlog_limit", "executors"] {
         require_uint(v, key)?;
+    }
+    // the cache block is optional (daemons may run with `-no-cache`),
+    // but when present its counters must all be there
+    if let Some(cache) = v.get("cache") {
+        if cache.as_obj().is_none() {
+            return Err("`cache` must be an object".to_string());
+        }
+        for key in [
+            "entries",
+            "bytes",
+            "budget",
+            "hits",
+            "misses",
+            "insertions",
+            "evictions",
+        ] {
+            cache
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing integer member `cache.{key}`"))?;
+        }
     }
     Ok(())
 }
@@ -479,14 +523,16 @@ mod tests {
     fn precheck_rejects_configs_that_cannot_run() {
         // n_d = 5³ = 125, so 200 eigenpairs are impossible; without the
         // precheck this would panic inside an executor thread
-        let body =
-            r#"{"schema":"mbrpa.job/1","input":"POINTS_PER_CELL: 5\nN_NUCHI_EIGS: 200"}"#;
+        let body = r#"{"schema":"mbrpa.job/1","input":"POINTS_PER_CELL: 5\nN_NUCHI_EIGS: 200"}"#;
         let e = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
         assert!(e.contains("N_NUCHI_EIGS"), "got `{e}`");
 
         let body = r#"{"schema":"mbrpa.job/1","input":"VACANCY: 9"}"#;
         let e = JobSpec::from_json(&parse(body).unwrap()).unwrap_err();
-        assert!(e.contains("VACANCY") || e.contains("out of range"), "got `{e}`");
+        assert!(
+            e.contains("VACANCY") || e.contains("out of range"),
+            "got `{e}`"
+        );
     }
 
     #[test]
@@ -544,6 +590,96 @@ mod tests {
             }
         }
         assert!(validate_result_doc(&JsonValue::Obj(pairs)).is_err());
+    }
+
+    #[test]
+    fn cache_entry_validator_checks_fingerprint_and_embedded_result() {
+        let energy = -0.75_f64;
+        let result = obj(vec![
+            ("schema", s(RESULT_SCHEMA)),
+            ("id", s("job-000001")),
+            ("n_d", u(125)),
+            ("n_s", u(16)),
+            ("n_atoms", u(8)),
+            ("n_omega", u(3)),
+            ("n_restored", u(0)),
+            ("total_energy", JsonValue::Num(energy)),
+            (
+                "total_energy_bits",
+                s(&format!("{:016x}", energy.to_bits())),
+            ),
+            ("energy_per_atom", JsonValue::Num(energy / 8.0)),
+            ("wall_s", JsonValue::Num(0.5)),
+        ]);
+        let fp = format!("{:032x}", 0xabcd_u128);
+        let entry = obj(vec![
+            ("schema", s(CACHE_ENTRY_SCHEMA)),
+            ("fingerprint", s(&fp)),
+            ("result", result.clone()),
+        ]);
+        validate_cache_entry_doc(&entry).unwrap();
+        validate_cache_entry_doc(&parse(&entry.to_json()).unwrap()).unwrap();
+
+        let bad_fp = obj(vec![
+            ("schema", s(CACHE_ENTRY_SCHEMA)),
+            ("fingerprint", s("UPPERCASE-NOT-HEX")),
+            ("result", result.clone()),
+        ]);
+        assert!(validate_cache_entry_doc(&bad_fp).is_err());
+
+        // an entry whose embedded result has tampered bits must fail
+        let mut pairs = result.as_obj().unwrap().to_vec();
+        for pair in pairs.iter_mut() {
+            if pair.0 == "total_energy" {
+                pair.1 = JsonValue::Num(energy + 1e-9);
+            }
+        }
+        let torn = obj(vec![
+            ("schema", s(CACHE_ENTRY_SCHEMA)),
+            ("fingerprint", s(&fp)),
+            ("result", JsonValue::Obj(pairs)),
+        ]);
+        assert!(validate_cache_entry_doc(&torn)
+            .unwrap_err()
+            .contains("embedded result"));
+    }
+
+    #[test]
+    fn health_validator_checks_the_optional_cache_block() {
+        let doc = obj(vec![
+            ("schema", s(HEALTH_SCHEMA)),
+            ("queued", u(0)),
+            ("running", u(0)),
+            ("backlog_limit", u(16)),
+            ("executors", u(1)),
+        ]);
+        validate_health_doc(&doc).unwrap();
+        let mut pairs = doc.as_obj().unwrap().to_vec();
+        pairs.push((
+            "cache".to_string(),
+            obj(vec![
+                ("entries", u(2)),
+                ("bytes", u(512)),
+                ("budget", u(1024)),
+                ("hits", u(1)),
+                ("misses", u(3)),
+                ("insertions", u(2)),
+                ("evictions", u(0)),
+            ]),
+        ));
+        validate_health_doc(&JsonValue::Obj(pairs.clone())).unwrap();
+        // a cache block missing a counter is rejected
+        let truncated = pairs
+            .iter()
+            .map(|(k, v)| {
+                if k == "cache" {
+                    (k.clone(), obj(vec![("entries", u(2))]))
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect::<Vec<_>>();
+        assert!(validate_health_doc(&JsonValue::Obj(truncated)).is_err());
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   files; a restarted daemon rebuilds its queue from this store,
 //! * [`http`] — HTTP/1.1 on `std::net`: accept thread + worker pool,
 //! * [`api`] — the `/v1` routes,
+//! * [`cache`] — a content-addressed exact result cache keyed by the
+//!   canonical 128-bit input fingerprint; a resubmission of a
+//!   semantically identical input is answered with the stored
+//!   `mbrpa.result/1` (same `f64` bits) instead of recomputed,
 //! * [`executor`] — runs claimed jobs in one-frequency checkpointed
 //!   slices (same solver selection as `rpacalc`, so energies are
 //!   bit-identical), publishing progress and observing cancellation at
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
 pub mod daemon;
 pub mod executor;
 pub mod http;
@@ -43,6 +48,7 @@ pub mod queue;
 pub mod signal;
 pub mod store;
 
+pub use cache::{CacheCounters, CacheStore};
 pub use daemon::{Daemon, DaemonConfig, Logger, RunningJob, ServeShared};
 pub use job::{JobSpec, JobState};
 pub use queue::{CancelOutcome, JobQueue, SubmitError};

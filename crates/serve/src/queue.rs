@@ -255,7 +255,10 @@ mod tests {
         let mut q = JobQueue::new(4);
         q.submit("a", 4).unwrap();
         assert_eq!(q.submit("a", 4), Err(SubmitError::Duplicate));
-        assert_eq!(q.recover("a", 4, JobState::Queued), Err(SubmitError::Duplicate));
+        assert_eq!(
+            q.recover("a", 4, JobState::Queued),
+            Err(SubmitError::Duplicate)
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl JobStore {
         let id = format!("job-{next:06}");
         let dir = self.job_dir(&id);
         fs::create_dir_all(&dir)?;
-        write_atomic(&dir.join(JOB_FILE), spec.to_json_value().to_json().as_bytes())?;
+        write_atomic(
+            &dir.join(JOB_FILE),
+            spec.to_json_value().to_json().as_bytes(),
+        )?;
         write_atomic(&dir.join(STATE_FILE), JobState::Queued.as_str().as_bytes())?;
         Ok(id)
     }
@@ -112,7 +115,10 @@ impl JobStore {
             let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if let Some(n) = name.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
+            if let Some(n) = name
+                .strip_prefix("job-")
+                .and_then(|n| n.parse::<u64>().ok())
+            {
                 max = max.max(n);
             }
         }
@@ -185,8 +191,10 @@ impl JobStore {
 /// Write `bytes` to `path` atomically: temp file in the same directory,
 /// `fsync`, rename over the target, `fsync` the directory. A reader (or
 /// a restarted daemon) sees either the old contents or the new, never a
-/// torn write.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// torn write. Shared with the result cache, which relies on the same
+/// discipline (its temp files start with `.` so a crash mid-write leaves
+/// only a dotfile the cache scan discards).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path
         .parent()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no parent"))?;
@@ -211,10 +219,8 @@ mod tests {
     use super::*;
 
     fn tmp_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "mbrpa_serve_store_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("mbrpa_serve_store_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

@@ -53,6 +53,7 @@ fn start(tag: &str, executors: usize, backlog: usize) -> (Daemon, SocketAddr, Pa
         profile: false,
         http_workers: 2,
         log: Arc::new(|_| {}),
+        ..DaemonConfig::default()
     })
     .unwrap();
     let addr = daemon.local_addr();
@@ -196,8 +197,7 @@ fn full_backlog_returns_429_with_retry_after() {
     let (status, _, body) = http(addr, "POST", "/v1/jobs", Some(&submit_body(TINY_INPUT, 4)));
     assert_eq!(status, 201, "{body}");
 
-    let (status, headers, body) =
-        http(addr, "POST", "/v1/jobs", Some(&submit_body(TINY_INPUT, 9)));
+    let (status, headers, body) = http(addr, "POST", "/v1/jobs", Some(&submit_body(TINY_INPUT, 9)));
     assert_eq!(status, 429, "{body}");
     let retry_after = headers
         .iter()
@@ -278,6 +278,7 @@ fn restart_recovers_queued_jobs_and_completes_them() {
             profile: false,
             http_workers: 1,
             log: Arc::new(|_| {}),
+            ..DaemonConfig::default()
         })
         .unwrap();
         let addr = daemon.local_addr();
@@ -303,6 +304,7 @@ fn restart_recovers_queued_jobs_and_completes_them() {
         profile: false,
         http_workers: 1,
         log: Arc::new(|_| {}),
+        ..DaemonConfig::default()
     })
     .unwrap();
     let addr = daemon.local_addr();

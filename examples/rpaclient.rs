@@ -9,7 +9,8 @@
 //! Hand-rolled HTTP/1.1 over `std::net`, mirroring the daemon's own
 //! zero-dependency server. Every command prints the response body (JSON
 //! for everything but `report`) to stdout and exits nonzero on any
-//! non-2xx status.
+//! non-2xx status; a `429` additionally surfaces the server's
+//! `Retry-After` header on stderr so scripts know when to resubmit.
 
 use mbrpa::serve::json::{self, obj, s, u, JsonValue};
 use std::io::{Read, Write};
@@ -28,18 +29,21 @@ fn usage() -> ExitCode {
     eprintln!("  wait <id>         poll until the job reaches a terminal state");
     eprintln!("  list              list all jobs");
     eprintln!("  health            daemon liveness and queue occupancy");
+    eprintln!("  cache             result-cache statistics");
+    eprintln!("  cache-flush       drop every cached result");
     eprintln!("  shutdown          request a graceful drain");
     eprintln!("default address: 127.0.0.1:8377");
     ExitCode::FAILURE
 }
 
-/// One HTTP exchange; returns `(status, body)`.
+/// One HTTP exchange; returns `(status, headers, body)`. Header names
+/// are lowercased.
 fn exchange(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> Result<(u16, String), String> {
+) -> Result<(u16, Vec<(String, String)>, String), String> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     stream
@@ -62,23 +66,45 @@ fn exchange(
         .nth(1)
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| format!("malformed response: {raw:.60}"))?;
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    Ok((status, body))
+    let headers = head
+        .lines()
+        .skip(1) // the status line
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Ok((status, headers, body))
+}
+
+/// A response header value, by lowercase name.
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 /// Run an exchange, print the body, and translate the status to an exit
 /// code.
 fn run(addr: &str, method: &str, path: &str, body: Option<&str>) -> ExitCode {
     match exchange(addr, method, path, body) {
-        Ok((status, body)) => {
+        Ok((status, headers, body)) => {
             println!("{body}");
             if (200..300).contains(&status) {
                 ExitCode::SUCCESS
             } else {
                 eprintln!("HTTP {status}");
+                if status == 429 {
+                    // backpressure, not failure: tell scripts when to retry
+                    if let Some(seconds) = header(&headers, "retry-after") {
+                        eprintln!("retry after {seconds} s");
+                    }
+                }
                 ExitCode::FAILURE
             }
         }
@@ -127,7 +153,8 @@ fn submit(addr: &str, args: &[String]) -> ExitCode {
 
 fn wait(addr: &str, id: &str) -> ExitCode {
     loop {
-        let (status, body) = match exchange(addr, "GET", &format!("/v1/jobs/{id}"), None) {
+        let (status, _headers, body) = match exchange(addr, "GET", &format!("/v1/jobs/{id}"), None)
+        {
             Ok(reply) => reply,
             Err(e) => {
                 eprintln!("{e}");
@@ -221,6 +248,8 @@ fn main() -> ExitCode {
         },
         "list" => run(&addr, "GET", "/v1/jobs", None),
         "health" => run(&addr, "GET", "/v1/health", None),
+        "cache" => run(&addr, "GET", "/v1/cache", None),
+        "cache-flush" => run(&addr, "POST", "/v1/cache/flush", None),
         "shutdown" => run(&addr, "POST", "/v1/shutdown", None),
         other => {
             eprintln!("unknown command `{other}`");

@@ -16,7 +16,8 @@
 
 use mbrpa::serve::daemon::{Daemon, DaemonConfig};
 use mbrpa::serve::job::{
-    validate_health_doc, validate_profile_doc, validate_result_doc, validate_status_doc, JobSpec,
+    validate_cache_entry_doc, validate_health_doc, validate_profile_doc, validate_result_doc,
+    validate_status_doc, JobSpec,
 };
 use mbrpa::serve::{json, signal};
 use std::path::PathBuf;
@@ -27,7 +28,10 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!("usage: rpaserved [-root <dir>] [-addr <ip:port>] [-port-file <path>]");
     eprintln!("                 [-executors N] [-backlog N] [-threads N] [-profile]");
-    eprintln!("       rpaserved -validate <job|status|result|health|profile> <file.json>");
+    eprintln!("                 [-cache-dir <dir>] [-cache-budget BYTES] [-no-cache]");
+    eprintln!(
+        "       rpaserved -validate <job|status|result|health|profile|cache-entry> <file.json>"
+    );
     eprintln!("  -root <dir>       job store directory (default mbrpa-serve-data)");
     eprintln!("  -addr <ip:port>   bind address (default 127.0.0.1:8377; port 0 = ephemeral)");
     eprintln!("  -port-file <path> write the bound address to <path> after startup");
@@ -35,6 +39,9 @@ fn usage() -> ExitCode {
     eprintln!("  -backlog N        max queued jobs before 429 (default 16)");
     eprintln!("  -threads N        size the global rayon pool");
     eprintln!("  -profile          emit per-job profile.json (single executor only)");
+    eprintln!("  -cache-dir <dir>  exact result cache directory (default <root>/cache)");
+    eprintln!("  -cache-budget B   cache byte budget, LRU-evicted above (default 64 MiB)");
+    eprintln!("  -no-cache         disable the exact result cache");
     eprintln!("  -validate K F     check file F against schema kind K, exit nonzero if invalid");
     ExitCode::FAILURE
 }
@@ -60,6 +67,7 @@ fn run_validate(kind: &str, path: &str) -> ExitCode {
         "result" => validate_result_doc(&value),
         "health" => validate_health_doc(&value),
         "profile" => validate_profile_doc(&value),
+        "cache-entry" => validate_cache_entry_doc(&value),
         other => {
             eprintln!("unknown document kind `{other}`");
             return usage();
@@ -86,6 +94,9 @@ fn main() -> ExitCode {
     let mut backlog = 16usize;
     let mut threads: Option<usize> = None;
     let mut profile = false;
+    let mut cache = true;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_budget = mbrpa::serve::cache::DEFAULT_BUDGET;
 
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
@@ -140,6 +151,21 @@ fn main() -> ExitCode {
                 }
             },
             "-profile" | "--profile" => profile = true,
+            "-cache-dir" | "--cache-dir" => {
+                let Some(v) = it.next() else {
+                    eprintln!("-cache-dir needs a directory");
+                    return usage();
+                };
+                cache_dir = Some(PathBuf::from(v));
+            }
+            "-cache-budget" | "--cache-budget" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => cache_budget = n,
+                _ => {
+                    eprintln!("-cache-budget needs a positive byte count");
+                    return usage();
+                }
+            },
+            "-no-cache" | "--no-cache" => cache = false,
             "-h" | "--help" => return usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -171,6 +197,9 @@ fn main() -> ExitCode {
         backlog,
         profile,
         http_workers: 2,
+        cache,
+        cache_dir,
+        cache_budget,
         log: Arc::new(|line| eprintln!("rpaserved: {line}")),
     };
     let mut daemon = match Daemon::start(config) {

@@ -1,0 +1,223 @@
+//! Crash-safety of the exact result cache, end to end: populate the
+//! cache through the real `rpaserved` binary, `kill -9` it, vandalize
+//! the cache directory the way a torn write would (truncated entry,
+//! leftover `.tmp` partial), restart, and assert the daemon *never*
+//! serves a false hit — it recomputes, bit-identically, and only then
+//! starts hitting again.
+
+#![allow(clippy::unwrap_used)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mbrpa::serve::json::{self, JsonValue};
+
+/// Two cheap frequencies: completes in seconds.
+const JOB_INPUT: &str = "\
+N_NUCHI_EIGS: 4
+N_OMEGA: 2
+TOL_EIG: 1e-2
+TOL_STERN_RES: 1e-2
+MAXIT_FILTERING: 4
+CHEB_DEGREE_RPA: 2
+BOUNDARY: DIRICHLET
+CELLS_Z: 1
+POINTS_PER_CELL: 5
+MESH: 0.69
+PERTURBATION: 0.02
+SYSTEM_SEED: 7
+NP: 1
+";
+
+/// The same calculation rendered differently (lowercase, reordered,
+/// aliases, float respellings): byte-different, fingerprint-identical.
+const JOB_VARIANT: &str = "\
+np: 1
+system_seed: 7
+perturbation: 2e-2
+mesh: 0.69   # same mesh
+points_per_cell: 5
+cells_z: 1
+boundary: dirichlet
+cheb_degree_rpa: 2
+maxit_filtering: 04
+tol_stern_res: 0.01
+tol_eig: 1e-2
+n_omega: 2
+n_nuchi_eigs: 4
+";
+
+fn spawn_daemon(root: &Path, port_file: &Path) -> Child {
+    let _ = std::fs::remove_file(port_file);
+    Command::new(env!("CARGO_BIN_EXE_rpaserved"))
+        .arg("-root")
+        .arg(root)
+        .arg("-addr")
+        .arg("127.0.0.1:0")
+        .arg("-port-file")
+        .arg(port_file)
+        .arg("-executors")
+        .arg("1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("rpaserved should start")
+}
+
+fn read_addr(port_file: &Path, child: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if !text.trim().is_empty() {
+                return text.trim().to_string();
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("rpaserved exited before binding: {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote its address");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split(' ').nth(1).unwrap().parse().unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn submit(addr: &str, input: &str) -> (u16, JsonValue) {
+    let body = json::obj(vec![
+        ("schema", json::s("mbrpa.job/1")),
+        ("input", json::s(input)),
+    ])
+    .to_json();
+    let (status, body) = http(addr, "POST", "/v1/jobs", Some(&body));
+    (status, json::parse(&body).unwrap())
+}
+
+fn wait_completed(addr: &str, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), None);
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).unwrap();
+        let state = doc.get("state").unwrap().as_str().unwrap();
+        if state == "completed" {
+            return;
+        }
+        assert_ne!(state, "failed", "{body}");
+        assert!(Instant::now() < deadline, "job never finished: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn result_bits(addr: &str, id: &str) -> String {
+    let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+    assert_eq!(status, 200, "{body}");
+    json::parse(&body)
+        .unwrap()
+        .get("total_energy_bits")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn torn_cache_writes_never_produce_a_false_hit() {
+    let scratch = std::env::temp_dir().join(format!("mbrpa-cache-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let root: PathBuf = scratch.join("store");
+    let port_file = scratch.join("addr.txt");
+    let cache_dir = root.join("cache");
+
+    // daemon 1: complete one job, populating the cache
+    let mut child = spawn_daemon(&root, &port_file);
+    let addr = read_addr(&port_file, &mut child);
+    let (status, doc) = submit(&addr, JOB_INPUT);
+    assert_eq!(status, 201, "{}", doc.to_json());
+    let id = doc.get("id").unwrap().as_str().unwrap().to_string();
+    wait_completed(&addr, &id);
+    let reference_bits = result_bits(&addr, &id);
+
+    // the entry must be on disk under its canonical fingerprint
+    let input = mbrpa::core::parse_rpa_input(JOB_INPUT).unwrap();
+    let fingerprint = mbrpa::core::fingerprint_hex(&input);
+    let entry_path = cache_dir.join(format!("{fingerprint}.json"));
+    assert!(entry_path.is_file(), "missing {}", entry_path.display());
+
+    // SIGKILL: the daemon gets no chance to clean anything up
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // simulate the crash landing mid-write: truncate the entry to half
+    // its bytes and leave a partial temp file behind, exactly what a
+    // torn non-atomic write sequence would produce
+    let bytes = std::fs::read(&entry_path).unwrap();
+    assert!(bytes.len() > 2);
+    std::fs::write(&entry_path, &bytes[..bytes.len() / 2]).unwrap();
+    let tmp_path = cache_dir.join(format!(".{fingerprint}.json.tmp"));
+    std::fs::write(&tmp_path, &bytes[..bytes.len() / 3]).unwrap();
+
+    // daemon 2 on the same store: the torn entry must not hit
+    let mut child = spawn_daemon(&root, &port_file);
+    let addr = read_addr(&port_file, &mut child);
+    let (status, doc) = submit(&addr, JOB_VARIANT);
+    assert_eq!(
+        status,
+        201,
+        "torn cache entry served as a hit: {}",
+        doc.to_json()
+    );
+    assert!(
+        !tmp_path.exists(),
+        "startup scan left the partial temp file behind"
+    );
+    let id2 = doc.get("id").unwrap().as_str().unwrap().to_string();
+    assert_ne!(id2, id);
+    wait_completed(&addr, &id2);
+
+    // the recomputation is bit-identical to the pre-crash run...
+    assert_eq!(result_bits(&addr, &id2), reference_bits);
+
+    // ...and repopulated the cache: a third submission now hits, again
+    // with the exact same bits
+    let (status, doc) = submit(&addr, JOB_INPUT);
+    assert_eq!(status, 200, "{}", doc.to_json());
+    assert_eq!(doc.get("cached").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        doc.get("fingerprint").unwrap().as_str().unwrap(),
+        fingerprint
+    );
+    assert_eq!(
+        doc.get("total_energy_bits").unwrap().as_str().unwrap(),
+        reference_bits
+    );
+
+    // graceful exit
+    let (status, _) = http(&addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 202);
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "daemon exited {exit}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

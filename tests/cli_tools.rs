@@ -1,0 +1,196 @@
+//! CLI contract tests: `rpaserved -validate` exit codes for every
+//! document kind (including the new `cache-entry`), and the `rpaclient`
+//! example's backpressure behavior — a 429 must exit nonzero and
+//! surface the server's Retry-After header on stderr.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+/// A result document that satisfies every `validate_result_doc` check
+/// (`total_energy_bits` is the exact bit pattern of `total_energy`).
+const VALID_RESULT: &str = r#"{"schema":"mbrpa.result/1","id":"job-000001","n_d":125,"n_s":4,"n_atoms":4,"n_omega":2,"n_restored":0,"total_energy":-1.25,"total_energy_bits":"bff4000000000000","energy_per_atom":-0.3125,"wall_s":1.5}"#;
+
+const TINY_INPUT: &str = "\
+N_NUCHI_EIGS: 4
+N_OMEGA: 2
+TOL_EIG: 1e-2
+TOL_STERN_RES: 1e-2
+MAXIT_FILTERING: 4
+CHEB_DEGREE_RPA: 2
+BOUNDARY: DIRICHLET
+CELLS_Z: 1
+POINTS_PER_CELL: 5
+MESH: 0.69
+PERTURBATION: 0.02
+SYSTEM_SEED: 7
+NP: 1
+";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbrpa-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn validate(kind: &str, path: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rpaserved"))
+        .args(["-validate", kind])
+        .arg(path)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn validate_mode_exit_codes_cover_every_kind() {
+    let dir = scratch("validate");
+
+    let result_path = dir.join("result.json");
+    std::fs::write(&result_path, VALID_RESULT).unwrap();
+    assert!(validate("result", &result_path).status.success());
+
+    // a valid cache entry embeds a valid result under a 32-hex key
+    let entry_path = dir.join("entry.json");
+    let entry = format!(
+        r#"{{"schema":"mbrpa.cache-entry/1","fingerprint":"000102030405060708090a0b0c0d0e0f","result":{VALID_RESULT}}}"#
+    );
+    std::fs::write(&entry_path, entry).unwrap();
+    let out = validate("cache-entry", &entry_path);
+    assert!(
+        out.status.success(),
+        "valid cache entry rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // malformed fingerprint → nonzero
+    let bad_fp = dir.join("bad_fp.json");
+    std::fs::write(
+        &bad_fp,
+        format!(
+            r#"{{"schema":"mbrpa.cache-entry/1","fingerprint":"nope","result":{VALID_RESULT}}}"#
+        ),
+    )
+    .unwrap();
+    assert!(!validate("cache-entry", &bad_fp).status.success());
+
+    // corrupt embedded result (bits do not match the energy) → nonzero
+    let bad_result = dir.join("bad_result.json");
+    std::fs::write(
+        &bad_result,
+        r#"{"schema":"mbrpa.cache-entry/1","fingerprint":"000102030405060708090a0b0c0d0e0f","result":{"schema":"mbrpa.result/1","id":"job-000001","n_d":125,"n_s":4,"n_atoms":4,"n_omega":2,"n_restored":0,"total_energy":-1.25,"total_energy_bits":"0000000000000000","energy_per_atom":-0.3125,"wall_s":1.5}}"#,
+    )
+    .unwrap();
+    assert!(!validate("cache-entry", &bad_result).status.success());
+
+    // a result document is not a cache entry, and vice versa
+    assert!(!validate("cache-entry", &result_path).status.success());
+    assert!(!validate("result", &entry_path).status.success());
+
+    // unknown kinds and unreadable files → nonzero
+    assert!(!validate("nonsense", &result_path).status.success());
+    assert!(!validate("result", &dir.join("missing.json"))
+        .status
+        .success());
+
+    // truncated JSON → nonzero
+    let torn = dir.join("torn.json");
+    std::fs::write(&torn, &VALID_RESULT[..VALID_RESULT.len() / 2]).unwrap();
+    assert!(!validate("result", &torn).status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn rpaclient_path() -> PathBuf {
+    // examples land next to the test binaries: <target>/<profile>/examples/
+    Path::new(env!("CARGO_BIN_EXE_rpaserved"))
+        .parent()
+        .unwrap()
+        .join("examples")
+        .join("rpaclient")
+}
+
+fn rpaclient(addr: &str, args: &[&str]) -> Output {
+    Command::new(rpaclient_path())
+        .args(["-addr", addr])
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+fn read_addr(port_file: &Path, child: &mut Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if !text.trim().is_empty() {
+                return text.trim().to_string();
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("rpaserved exited before binding: {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote its address");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn rpaclient_surfaces_retry_after_on_backpressure() {
+    if !rpaclient_path().is_file() {
+        // examples are built by `cargo test` for the default profile;
+        // skip quietly under harnesses that prune example targets
+        eprintln!("skipping: {} not built", rpaclient_path().display());
+        return;
+    }
+
+    let dir = scratch("client");
+    let input_path = dir.join("tiny.rpa");
+    std::fs::write(&input_path, TINY_INPUT).unwrap();
+    let port_file = dir.join("addr.txt");
+
+    // zero executors + backlog 1: the second submission always 429s
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rpaserved"))
+        .arg("-root")
+        .arg(dir.join("store"))
+        .args(["-addr", "127.0.0.1:0", "-executors", "0", "-backlog", "1"])
+        .arg("-port-file")
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let addr = read_addr(&port_file, &mut child);
+
+    let input = input_path.to_str().unwrap();
+    let first = rpaclient(&addr, &["submit", input, "-name", "first"]);
+    assert!(
+        first.status.success(),
+        "first submit failed: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+
+    let second = rpaclient(&addr, &["submit", input, "-name", "second"]);
+    assert!(!second.status.success(), "backlog-full submit must fail");
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("HTTP 429"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("retry after"),
+        "429 must surface Retry-After: {stderr}"
+    );
+
+    // cache subcommands ride the same client
+    let stats = rpaclient(&addr, &["cache"]);
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("\"entries\""));
+    let flush = rpaclient(&addr, &["cache-flush"]);
+    assert!(flush.status.success());
+    assert!(String::from_utf8_lossy(&flush.stdout).contains("\"flushed\""));
+
+    let shutdown = rpaclient(&addr, &["shutdown"]);
+    assert!(shutdown.status.success());
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "daemon exited {exit}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

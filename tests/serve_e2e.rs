@@ -185,7 +185,10 @@ fn kill_dash_nine_resumes_bit_for_bit() {
     }
 
     // the served result must be bit-identical to the uninterrupted run
-    let addr = std::fs::read_to_string(&port_file).unwrap().trim().to_string();
+    let addr = std::fs::read_to_string(&port_file)
+        .unwrap()
+        .trim()
+        .to_string();
     let (status, body) = http(&addr, "GET", &format!("/v1/jobs/{id}/result"), None);
     assert_eq!(status, 200, "{body}");
     assert_eq!(
