@@ -63,9 +63,52 @@ target/release/rpaserved -validate cache-entry "$CACHE_ENTRY"
 wait "$SERVE_PID"
 trap - EXIT
 
+# Forced-dispatch matrix: the SIMD layer's contract is that every
+# dispatch path returns bit-identical results. Re-run the golden
+# pinned-energy test and a full daemon round-trip under the canonical
+# scalar path and the best native vector path, and require the stored
+# `total_energy_bits` hex pattern to agree exactly across the matrix.
+DISPATCH_MATRIX="scalar"
+grep -q avx2 /proc/cpuinfo 2>/dev/null && DISPATCH_MATRIX="$DISPATCH_MATRIX avx2"
+MATRIX_BITS=""
+for SIMD in $DISPATCH_MATRIX; do
+    MBRPA_SIMD="$SIMD" cargo test -q --release --test golden_energy
+    ROOT="target/serve_dispatch_$SIMD"
+    rm -rf "$ROOT"
+    mkdir -p "$ROOT"
+    MBRPA_SIMD="$SIMD" target/release/rpaserved -root "$ROOT/store" -addr 127.0.0.1:0 \
+        -port-file "$ROOT/addr.txt" -executors 1 &
+    SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+    for _ in $(seq 1 200); do
+        [ -s "$ROOT/addr.txt" ] && break
+        sleep 0.1
+    done
+    ADDR="$(cat "$ROOT/addr.txt")"
+    "$RPACLIENT" -addr "$ADDR" health | grep -q "\"simd\":\"$SIMD\"" \
+        || { echo "ci: daemon health does not report dispatch '$SIMD'"; exit 1; }
+    "$RPACLIENT" -addr "$ADDR" submit inputs/cluster_smoke.rpa -name "ci-dispatch-$SIMD"
+    "$RPACLIENT" -addr "$ADDR" wait job-000001
+    BITS="$(grep -o '"total_energy_bits":"[0-9a-f]\{16\}"' \
+        "$ROOT/store/jobs/job-000001/result.json")"
+    "$RPACLIENT" -addr "$ADDR" shutdown
+    wait "$SERVE_PID"
+    trap - EXIT
+    [ -n "$BITS" ] || { echo "ci: no total_energy_bits in the $SIMD result"; exit 1; }
+    if [ -z "$MATRIX_BITS" ]; then
+        MATRIX_BITS="$BITS"
+    elif [ "$MATRIX_BITS" != "$BITS" ]; then
+        echo "ci: dispatch paths disagree on the energy: $MATRIX_BITS vs $BITS ($SIMD)"
+        exit 1
+    fi
+done
+
 # Kernel micro-benchmarks: smoke shapes keep this fast; the run
 # cross-checks the new kernels against in-tree pre-PR reference
 # implementations and the emitted JSON is schema-validated. The artifact
-# lives under target/ so it can never be committed by accident.
+# lives under target/ so it can never be committed by accident. A second
+# run on two rayon threads exercises the multi-vector parallel paths.
 cargo run --release -p mbrpa-bench --bin kernels_bench -- --smoke --out target/BENCH_kernels_smoke.json
 cargo run --release -p mbrpa-bench --bin kernels_bench -- --validate target/BENCH_kernels_smoke.json
+cargo run --release -p mbrpa-bench --bin kernels_bench -- --smoke --threads 2 --out target/BENCH_kernels_smoke_mt.json
+cargo run --release -p mbrpa-bench --bin kernels_bench -- --validate target/BENCH_kernels_smoke_mt.json

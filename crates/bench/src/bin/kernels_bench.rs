@@ -1,39 +1,90 @@
-//! Micro-benchmarks of the hot kernels (fused stencil block applies,
-//! packed register-blocked GEMM) against in-tree copies of the pre-PR
-//! implementations, emitting a schema-versioned `BENCH_kernels.json`.
+//! Micro-benchmarks of the hot kernels (runtime-dispatched SIMD stencil
+//! block applies, packed GEMM microkernels, and the lane-split reduction
+//! suite) against in-tree copies of the PR-3 implementations — the
+//! autovectorized fused/packed kernels this PR's explicit SIMD layer
+//! replaced — emitting a schema-versioned `BENCH_kernels.json`.
 //!
 //! Flags:
 //!
 //! * `--smoke` — tiny shapes (seconds, CI-friendly) instead of
 //!   paper-relevant ones,
 //! * `--out PATH` — output path (default `BENCH_kernels.json`),
-//! * `--threads N` — rayon pool size for the "new" kernels,
+//! * `--threads N` — rayon pool size for both kernel families,
 //! * `--validate PATH` — parse PATH and check it against the
-//!   `mbrpa.kernels-bench/1` schema, then exit (no benchmarks run).
+//!   `mbrpa.kernels-bench/2` schema, then exit (no benchmarks run).
 //!
-//! Every case records wall seconds for the new and reference kernels, the
-//! speedup, the new kernel's scalar GFLOP/s, and full shape metadata, so
-//! regressions are attributable without rerunning.
+//! The active SIMD dispatch path (settable via `MBRPA_SIMD`) is recorded
+//! in the emitted document, and every case records wall seconds for the
+//! new and reference kernels, the speedup, the new kernel's scalar
+//! GFLOP/s, and full shape metadata, so regressions are attributable
+//! without rerunning.
 
 use mbrpa_dft::{Hamiltonian, PotentialParams, SiliconSpec, SternheimerOperator};
 use mbrpa_grid::{Boundary, Grid3, Laplacian};
-use mbrpa_linalg::{matmul_hn_into, matmul_into, Mat, Scalar, C64};
+use mbrpa_linalg::{matmul_hn_into, matmul_into, vecops, Mat, Scalar, C64};
+use std::hint::black_box;
 use std::time::Instant;
 
-/// In-tree copies of the pre-PR kernels (multi-pass stencil apply,
-/// axpy-panel GEMM, dot-product Gram) — the baselines the packed /
-/// fused kernels replaced. Kept verbatim so the speedup column measures
-/// the kernel rewrite, not incidental drift.
+/// In-tree copies of the PR-3 kernels — the fused single-pass stencil,
+/// the packed register-blocked GEMM with a generic (autovectorized)
+/// microkernel, the 4×4-tiled Gram product, and the plain-loop vector
+/// reductions — exactly as they stood before the runtime-dispatched
+/// SIMD layer replaced them. Kept verbatim so the speedup column
+/// measures the explicit-SIMD rewrite, not incidental drift.
 mod reference {
     use mbrpa_grid::{Boundary, Laplacian};
-    use mbrpa_linalg::{vecops, Mat, Scalar};
+    use mbrpa_linalg::{Mat, Scalar};
     use rayon::prelude::*;
 
     const PANEL: usize = 512;
     const PAR_THRESHOLD: usize = 1 << 16;
+    const A_BLOCK_BYTES: usize = 1 << 18;
+
+    // -- PR-3 vector kernels (plain loops; the serial dependency chain in
+    //    the reductions is what the lane-split SIMD versions break) --
+
+    pub fn dot_t<T: Scalar>(x: &[T], y: &[T]) -> T {
+        let mut acc = T::zero();
+        for (&a, &b) in x.iter().zip(y.iter()) {
+            acc += a * b;
+        }
+        acc
+    }
+
+    pub fn dot_h<T: Scalar>(x: &[T], y: &[T]) -> T {
+        let mut acc = T::zero();
+        for (&a, &b) in x.iter().zip(y.iter()) {
+            acc += a.conj() * b;
+        }
+        acc
+    }
+
+    pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+        x.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi += alpha * xi;
+        }
+    }
+
+    pub fn axpby<T: Scalar>(alpha: T, x: &[T], beta: T, y: &mut [T]) {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi = alpha * xi + beta * *yi;
+        }
+    }
+
+    fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+    }
+
+    // -- PR-3 fused single-pass stencil --
 
     /// Stencil coefficients reconstructed from a [`Laplacian`]'s public
-    /// surface, as the pre-PR four-pass `apply` consumed them.
+    /// surface, applied by the PR-3 fused (but scalar-loop) sweep.
     pub struct RefStencil {
         nx: usize,
         ny: usize,
@@ -66,218 +117,416 @@ mod reference {
             }
         }
 
-        /// The pre-PR `Laplacian::apply`: one full sweep per term family
-        /// (diagonal, X, Y, Z), four-plus passes over `out`.
+        /// The PR-3 `Laplacian::apply_raw`: single fused sweep per
+        /// z-slice with paired ±t runs, relying on autovectorization.
         pub fn apply<T: Scalar>(&self, v: &[T], out: &mut [T]) {
             let (nx, ny, nz) = (self.nx, self.ny, self.nz);
             let periodic = self.periodic;
-
-            for (o, &x) in out.iter_mut().zip(v.iter()) {
-                *o = x.scale(self.diag);
-            }
-
-            for line in 0..ny * nz {
-                let base = line * nx;
-                let vl = &v[base..base + nx];
-                let ol = &mut out[base..base + nx];
-                for t in 1..=self.radius {
-                    let c = self.cx[t];
-                    for i in t..nx - t {
-                        ol[i] += (vl[i - t] + vl[i + t]).scale(c);
-                    }
-                    if periodic {
-                        for i in 0..t {
-                            ol[i] += (vl[i + nx - t] + vl[i + t]).scale(c);
-                        }
-                        for i in nx - t..nx {
-                            ol[i] += (vl[i - t] + vl[i + t - nx]).scale(c);
-                        }
-                    } else {
-                        for i in 0..t {
-                            ol[i] += vl[i + t].scale(c);
-                        }
-                        for i in nx - t..nx {
-                            ol[i] += vl[i - t].scale(c);
-                        }
-                    }
-                }
-            }
-
+            let r = self.radius;
             let slice = nx * ny;
-            for k in 0..nz {
-                let sbase = k * slice;
-                for t in 1..=self.radius {
-                    let c = self.cy[t];
-                    for j in 0..ny {
-                        let obase = sbase + j * nx;
-                        if j + t < ny || periodic {
-                            let jp = (j + t) % ny;
-                            let pbase = sbase + jp * nx;
-                            for i in 0..nx {
-                                let add = v[pbase + i].scale(c);
-                                out[obase + i] += add;
-                            }
+
+            #[inline(always)]
+            fn pair_add<T: Scalar>(ol: &mut [T], plus: Option<&[T]>, minus: Option<&[T]>, c: f64) {
+                match (plus, minus) {
+                    (Some(p), Some(m)) => {
+                        for ((o, &a), &b) in ol.iter_mut().zip(p.iter()).zip(m.iter()) {
+                            *o += a.scale(c);
+                            *o += b.scale(c);
                         }
-                        if j >= t || periodic {
-                            let jm = (j + ny - t) % ny;
-                            let mbase = sbase + jm * nx;
-                            for i in 0..nx {
-                                let add = v[mbase + i].scale(c);
-                                out[obase + i] += add;
+                    }
+                    (Some(p), None) => {
+                        for (o, &a) in ol.iter_mut().zip(p.iter()) {
+                            *o += a.scale(c);
+                        }
+                    }
+                    (None, Some(m)) => {
+                        for (o, &b) in ol.iter_mut().zip(m.iter()) {
+                            *o += b.scale(c);
+                        }
+                    }
+                    (None, None) => {}
+                }
+            }
+
+            for k in 0..nz {
+                let ks = k * slice;
+                {
+                    let os = &mut out[ks..ks + slice];
+                    let vs = &v[ks..ks + slice];
+                    for (o, &x) in os.iter_mut().zip(vs.iter()) {
+                        *o = x.scale(self.diag);
+                    }
+                }
+                for j in 0..ny {
+                    let base = ks + j * nx;
+                    let vl = &v[base..base + nx];
+                    let ol = &mut out[base..base + nx];
+                    for t in 1..=r {
+                        let c = self.cx[t];
+                        for i in t..nx - t {
+                            ol[i] += (vl[i - t] + vl[i + t]).scale(c);
+                        }
+                        if periodic {
+                            for i in 0..t {
+                                ol[i] += (vl[i + nx - t] + vl[i + t]).scale(c);
+                            }
+                            for i in nx - t..nx {
+                                ol[i] += (vl[i - t] + vl[i + t - nx]).scale(c);
+                            }
+                        } else {
+                            for i in 0..t {
+                                ol[i] += vl[i + t].scale(c);
+                            }
+                            for i in nx - t..nx {
+                                ol[i] += vl[i - t].scale(c);
                             }
                         }
                     }
                 }
-            }
-
-            for t in 1..=self.radius {
-                let c = self.cz[t];
-                for k in 0..nz {
-                    let obase = k * slice;
-                    if k + t < nz || periodic {
-                        let kp = (k + t) % nz;
-                        let pbase = kp * slice;
-                        for i in 0..slice {
-                            let add = v[pbase + i].scale(c);
-                            out[obase + i] += add;
-                        }
+                for t in 1..=r {
+                    let c = self.cy[t];
+                    let band = (ny - 2 * t) * nx;
+                    {
+                        let o = &mut out[ks + t * nx..ks + t * nx + band];
+                        let p = &v[ks + 2 * t * nx..ks + 2 * t * nx + band];
+                        let m = &v[ks..ks + band];
+                        pair_add(o, Some(p), Some(m), c);
                     }
-                    if k >= t || periodic {
-                        let km = (k + nz - t) % nz;
-                        let mbase = km * slice;
-                        for i in 0..slice {
-                            let add = v[mbase + i].scale(c);
-                            out[obase + i] += add;
-                        }
+                    {
+                        let len = t * nx;
+                        let o = &mut out[ks..ks + len];
+                        let p = &v[ks + t * nx..ks + t * nx + len];
+                        let m = periodic.then(|| &v[ks + (ny - t) * nx..ks + ny * nx]);
+                        pair_add(o, Some(p), m, c);
                     }
+                    {
+                        let len = t * nx;
+                        let o = &mut out[ks + (ny - t) * nx..ks + ny * nx];
+                        let m = &v[ks + (ny - 2 * t) * nx..ks + (ny - t) * nx];
+                        let p = periodic.then(|| &v[ks..ks + len]);
+                        pair_add(o, p, Some(m), c);
+                    }
+                }
+                for t in 1..=r {
+                    let c = self.cz[t];
+                    let o = &mut out[ks..ks + slice];
+                    let p = (k + t < nz || periodic).then(|| {
+                        let b = ((k + t) % nz) * slice;
+                        &v[b..b + slice]
+                    });
+                    let m = (k >= t || periodic).then(|| {
+                        let b = ((k + nz - t) % nz) * slice;
+                        &v[b..b + slice]
+                    });
+                    pair_add(o, p, m, c);
                 }
             }
         }
     }
 
-    /// The pre-PR `matmul_into`: axpy-panel kernel, k passes over each
-    /// output column panel, parallel path collecting owned panels and
-    /// copying them back serially.
-    pub fn matmul_into<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
+    // -- PR-3 packed register-blocked GEMM (generic microkernel) --
+
+    fn pack_a<T: Scalar, const MR: usize>(
+        a: &Mat<T>,
+        row0: usize,
+        mc: usize,
+        k: usize,
+        buf: &mut [T],
+    ) {
+        let n_panels = mc.div_ceil(MR);
+        for ip in 0..n_panels {
+            let i0 = row0 + ip * MR;
+            let mre = MR.min(row0 + mc - i0);
+            let panel = &mut buf[ip * MR * k..(ip + 1) * MR * k];
+            for l in 0..k {
+                let src = &a.col(l)[i0..i0 + mre];
+                let dst = &mut panel[l * MR..(l + 1) * MR];
+                dst[..mre].copy_from_slice(src);
+                for d in dst.iter_mut().skip(mre) {
+                    *d = T::zero();
+                }
+            }
+        }
+    }
+
+    fn pack_b<T: Scalar, const NR: usize>(b: &Mat<T>, alpha: T, k: usize, n: usize, buf: &mut [T]) {
+        let n_panels = n.div_ceil(NR);
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            let nre = NR.min(n - j0);
+            let panel = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+            for jj in 0..nre {
+                let bj = &b.col(j0 + jj)[..k];
+                for l in 0..k {
+                    panel[l * NR + jj] = alpha * bj[l];
+                }
+            }
+            for jj in nre..NR {
+                for l in 0..k {
+                    panel[l * NR + jj] = T::zero();
+                }
+            }
+        }
+    }
+
+    /// The PR-3 microkernel: interleaved `T` accumulators, compile-time
+    /// MR×NR unroll, autovectorized (`*`/`+=`, no explicit FMA).
+    #[inline(always)]
+    fn micro_kernel<T: Scalar, const MR: usize, const NR: usize>(
+        k: usize,
+        ap: &[T],
+        bp: &[T],
+        acc: &mut [[T; MR]; NR],
+    ) {
+        for (al, bl) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+            let al: &[T; MR] = al.try_into().expect("MR-sized chunk");
+            let bl: &[T; NR] = bl.try_into().expect("NR-sized chunk");
+            for jj in 0..NR {
+                let b = bl[jj];
+                for ii in 0..MR {
+                    acc[jj][ii] += al[ii] * b;
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn store_tile_col<T: Scalar>(dst: &mut [T], src: &[T], beta: T) {
+        if beta == T::zero() {
+            dst.copy_from_slice(src);
+        } else if beta == T::one() {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += *s;
+            }
+        } else {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = *s + beta * *d;
+            }
+        }
+    }
+
+    fn strip_gemm<T: Scalar, const MR: usize, const NR: usize>(
+        a: &Mat<T>,
+        bpack: &[T],
+        r0: usize,
+        h: usize,
+        k: usize,
+        n: usize,
+        mut write_tile: impl FnMut(usize, usize, &[[T; MR]; NR], usize, usize),
+    ) {
+        let mc_elems = (A_BLOCK_BYTES / std::mem::size_of::<T>() / k.max(1)).max(MR);
+        let mc_max = (mc_elems / MR * MR).min(h.div_ceil(MR) * MR);
+        let mut a_buf = vec![T::zero(); mc_max * k];
+        let n_col_panels = n.div_ceil(NR);
+
+        let mut off = 0;
+        while off < h {
+            let mc = mc_max.min(h - off);
+            pack_a::<T, MR>(a, r0 + off, mc, k, &mut a_buf);
+            let n_row_panels = mc.div_ceil(MR);
+            for jp in 0..n_col_panels {
+                let nre = NR.min(n - jp * NR);
+                let bp = &bpack[jp * NR * k..(jp + 1) * NR * k];
+                for ip in 0..n_row_panels {
+                    let mre = MR.min(mc - ip * MR);
+                    let ap = &a_buf[ip * MR * k..(ip + 1) * MR * k];
+                    let mut acc = [[T::zero(); MR]; NR];
+                    micro_kernel::<T, MR, NR>(k, ap, bp, &mut acc);
+                    write_tile(off + ip * MR, jp * NR, &acc, mre, nre);
+                }
+            }
+            off += mc;
+        }
+    }
+
+    fn gemm_driver<T: Scalar, const MR: usize, const NR: usize>(
+        alpha: T,
+        a: &Mat<T>,
+        b: &Mat<T>,
+        beta: T,
+        c: &mut Mat<T>,
+    ) {
         let (m, k) = a.shape();
-        let (kb, n) = b.shape();
-        assert_eq!(k, kb, "inner dimension mismatch: {k} vs {kb}");
+        let n = b.cols();
         assert_eq!(c.shape(), (m, n), "output shape mismatch");
         if m == 0 || n == 0 {
             return;
         }
-        let work = m * n * k;
-        let a_data = a.as_slice();
-        let b_ref = b;
-
-        let panel_op = |row0: usize, c_panel: &mut [T]| {
-            let h = c_panel.len() / n;
-            for j in 0..n {
-                let cj = &mut c_panel[j * h..(j + 1) * h];
-                if beta == T::zero() {
-                    cj.iter_mut().for_each(|x| *x = T::zero());
-                } else if beta != T::one() {
-                    vecops::scal(beta, cj);
-                }
-                for l in 0..k {
-                    let blj = alpha * b_ref[(l, j)];
-                    if blj == T::zero() {
-                        continue;
-                    }
-                    let al = &a_data[l * m + row0..l * m + row0 + h];
-                    vecops::axpy(blj, al, cj);
-                }
-            }
-        };
-
-        if work < PAR_THRESHOLD || m < 2 * PANEL {
-            let mut scratch = vec![T::zero(); PANEL.min(m) * n];
-            let mut row0 = 0;
-            while row0 < m {
-                let h = PANEL.min(m - row0);
-                for j in 0..n {
-                    for i in 0..h {
-                        scratch[j * h + i] = c[(row0 + i, j)];
-                    }
-                }
-                panel_op(row0, &mut scratch[..h * n]);
-                for j in 0..n {
-                    for i in 0..h {
-                        c[(row0 + i, j)] = scratch[j * h + i];
-                    }
-                }
-                row0 += h;
+        if k == 0 || alpha == T::zero() {
+            let data = c.as_mut_slice();
+            if beta == T::zero() {
+                data.iter_mut().for_each(|x| *x = T::zero());
+            } else if beta != T::one() {
+                scal(beta, data);
             }
             return;
         }
 
-        let n_panels = m.div_ceil(PANEL);
-        let mut panels: Vec<Vec<T>> = (0..n_panels)
-            .into_par_iter()
-            .map(|p| {
-                let row0 = p * PANEL;
-                let h = PANEL.min(m - row0);
-                let mut panel = vec![T::zero(); h * n];
-                if beta != T::zero() {
-                    for j in 0..n {
-                        for i in 0..h {
-                            panel[j * h + i] = c[(row0 + i, j)];
-                        }
-                    }
-                }
-                panel_op(row0, &mut panel);
-                panel
-            })
-            .collect();
+        let mut b_buf = vec![T::zero(); n.div_ceil(NR) * NR * k];
+        pack_b::<T, NR>(b, alpha, k, n, &mut b_buf);
 
-        for (p, panel) in panels.drain(..).enumerate() {
-            let row0 = p * PANEL;
-            let h = PANEL.min(m - row0);
-            for j in 0..n {
-                for i in 0..h {
-                    c[(row0 + i, j)] = panel[j * h + i];
+        let work = m * n * k;
+        let slots = rayon::current_num_threads();
+        let p = if work < PAR_THRESHOLD || slots == 1 {
+            1
+        } else {
+            slots.min(m.div_ceil(4 * MR)).max(1)
+        };
+
+        if p == 1 {
+            let c_data = c.as_mut_slice();
+            strip_gemm::<T, MR, NR>(a, &b_buf, 0, m, k, n, |i0, j0, acc, mre, nre| {
+                for jj in 0..nre {
+                    let col = &mut c_data[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + mre];
+                    store_tile_col(col, &acc[jj][..mre], beta);
                 }
+            });
+            return;
+        }
+
+        let h_strip = m.div_ceil(p).div_ceil(MR) * MR;
+        let strips: Vec<(usize, usize)> = (0..m.div_ceil(h_strip))
+            .map(|s| (s * h_strip, h_strip.min(m - s * h_strip)))
+            .collect();
+        let mut col_segs: Vec<Vec<&mut [T]>> =
+            strips.iter().map(|_| Vec::with_capacity(n)).collect();
+        let mut rest = c.as_mut_slice();
+        for _ in 0..n {
+            let (mut col, tail) = rest.split_at_mut(m);
+            rest = tail;
+            for (s, &(_, h)) in strips.iter().enumerate() {
+                let (seg, col_tail) = col.split_at_mut(h);
+                col_segs[s].push(seg);
+                col = col_tail;
             }
+        }
+        let b_ref = &b_buf;
+        strips
+            .par_iter()
+            .zip(col_segs.into_par_iter())
+            .for_each(|(&(r0, h), mut segs)| {
+                strip_gemm::<T, MR, NR>(a, b_ref, r0, h, k, n, |i0, j0, acc, mre, nre| {
+                    for jj in 0..nre {
+                        let col = &mut segs[j0 + jj][i0..i0 + mre];
+                        store_tile_col(col, &acc[jj][..mre], beta);
+                    }
+                });
+            });
+    }
+
+    /// The PR-3 `matmul_into`: 8×4 tiles for f64, 4×4 for Complex64,
+    /// interleaved accumulators either way.
+    pub fn matmul_into<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
+        assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+        if T::COMPONENTS >= 2 {
+            gemm_driver::<T, 4, 4>(alpha, a, b, beta, c);
+        } else {
+            gemm_driver::<T, 8, 4>(alpha, a, b, beta, c);
         }
     }
 
-    /// The pre-PR conjugated Gram product `AᴴB` (dot-product panels).
-    pub fn matmul_hn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
-        let (m, k) = a.shape();
-        let (mb, n) = b.shape();
-        assert_eq!(m, mb, "row dimension mismatch: {m} vs {mb}");
-        let work = m * n * k;
+    // -- PR-3 Gram product (4×4 dot tiles over PANEL chunks) --
 
-        let chunk_contrib = |row0: usize, h: usize| -> Mat<T> {
-            let mut local = Mat::zeros(k, n);
-            for j in 0..n {
-                let bj = &b.col(j)[row0..row0 + h];
-                for i in 0..k {
-                    let ai = &a.col(i)[row0..row0 + h];
-                    local[(i, j)] += vecops::dot_h(ai, bj);
+    fn gram_chunk<T: Scalar>(
+        a: &Mat<T>,
+        b: &Mat<T>,
+        mul: impl Fn(T, T) -> T + Copy,
+        row0: usize,
+        h: usize,
+        out: &mut [T],
+    ) {
+        let kc = a.cols();
+        let n = b.cols();
+        let mut j0 = 0;
+        while j0 < n {
+            let nj = (n - j0).min(4);
+            let mut i0 = 0;
+            while i0 < kc {
+                let ni = (kc - i0).min(4);
+                if ni == 4 && nj == 4 {
+                    let ac = [
+                        &a.col(i0)[row0..row0 + h],
+                        &a.col(i0 + 1)[row0..row0 + h],
+                        &a.col(i0 + 2)[row0..row0 + h],
+                        &a.col(i0 + 3)[row0..row0 + h],
+                    ];
+                    let bc = [
+                        &b.col(j0)[row0..row0 + h],
+                        &b.col(j0 + 1)[row0..row0 + h],
+                        &b.col(j0 + 2)[row0..row0 + h],
+                        &b.col(j0 + 3)[row0..row0 + h],
+                    ];
+                    let mut acc = [[T::zero(); 4]; 4];
+                    for r in 0..h {
+                        let av = [ac[0][r], ac[1][r], ac[2][r], ac[3][r]];
+                        let bv = [bc[0][r], bc[1][r], bc[2][r], bc[3][r]];
+                        for jj in 0..4 {
+                            for ii in 0..4 {
+                                acc[jj][ii] += mul(av[ii], bv[jj]);
+                            }
+                        }
+                    }
+                    for jj in 0..4 {
+                        for ii in 0..4 {
+                            out[(j0 + jj) * kc + i0 + ii] = acc[jj][ii];
+                        }
+                    }
+                } else {
+                    for jj in 0..nj {
+                        let bj = &b.col(j0 + jj)[row0..row0 + h];
+                        for ii in 0..ni {
+                            let ai = &a.col(i0 + ii)[row0..row0 + h];
+                            let mut acc = T::zero();
+                            for r in 0..h {
+                                acc += mul(ai[r], bj[r]);
+                            }
+                            out[(j0 + jj) * kc + i0 + ii] = acc;
+                        }
+                    }
                 }
+                i0 += ni;
             }
-            local
-        };
-
-        if work < PAR_THRESHOLD || m < 2 * PANEL {
-            return chunk_contrib(0, m);
+            j0 += nj;
         }
-        let n_panels = m.div_ceil(PANEL);
-        (0..n_panels)
-            .into_par_iter()
-            .map(|p| {
-                let row0 = p * PANEL;
-                let h = PANEL.min(m - row0);
-                chunk_contrib(row0, h)
-            })
-            .reduce(
-                || Mat::zeros(k, n),
-                |mut acc, x| {
-                    acc.axpy(T::one(), &x);
-                    acc
-                },
-            )
+    }
+
+    /// The PR-3 conjugated Gram product `AᴴB` with index-ordered
+    /// partial folding.
+    pub fn matmul_hn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+        let (m, kc) = a.shape();
+        let n = b.cols();
+        let mul = |x: T, y: T| x.conj() * y;
+        let mut out = Mat::zeros(kc, n);
+        let work = m * n * kc;
+        if work < PAR_THRESHOLD || m < 2 * PANEL {
+            gram_chunk(a, b, mul, 0, m, out.as_mut_slice());
+            return out;
+        }
+        let n_chunks = m.div_ceil(PANEL);
+        let mut partials = vec![T::zero(); n_chunks * kc * n];
+        let chunk_of = |p: usize, buf: &mut [T]| {
+            let row0 = p * PANEL;
+            gram_chunk(a, b, mul, row0, PANEL.min(m - row0), buf);
+        };
+        if rayon::current_num_threads() > 1 {
+            let chunk_refs: Vec<(usize, &mut [T])> =
+                partials.chunks_mut(kc * n).enumerate().collect();
+            chunk_refs
+                .into_par_iter()
+                .for_each(|(p, buf)| chunk_of(p, buf));
+        } else {
+            for (p, buf) in partials.chunks_mut(kc * n).enumerate() {
+                chunk_of(p, buf);
+            }
+        }
+        let out_data = out.as_mut_slice();
+        out_data.copy_from_slice(&partials[..kc * n]);
+        for p in 1..n_chunks {
+            for (o, x) in out_data.iter_mut().zip(&partials[p * kc * n..]) {
+                *o += *x;
+            }
+        }
+        out
     }
 }
 
@@ -339,7 +588,12 @@ fn stencil_cases(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
                 refk.apply(v.col(j), out_ref.col_mut(j));
             }
         });
-        assert_eq!(out_new, out_ref, "fused stencil diverged from reference");
+        // The SIMD path fuses `o += c·(p+m)` into one rounding, so the
+        // PR-3 reference differs in the last ulps — compare to tolerance.
+        assert!(
+            out_new.max_abs_diff(&out_ref) <= 1e-10,
+            "fused SIMD stencil diverged from the PR-3 reference"
+        );
         let flops = lap.apply_flops_per_vector() as f64 * s as f64;
         cases.push(Case {
             name: format!("laplacian_block_f64_s{s}"),
@@ -373,7 +627,7 @@ fn sternheimer_case(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
     let mut out_new = Mat::zeros(n, s);
     let mut out_ref = Mat::zeros(n, s);
     let secs_new = time_best(reps, &mut || op.apply_block(&v, &mut out_new));
-    // pre-PR path: per column, four-pass stencil + Hamiltonian tail + shift
+    // PR-3 path: per column, fused scalar stencil + Hamiltonian tail + shift
     let shift = C64::new(-lambda, omega);
     let secs_ref = time_best(reps, &mut || {
         for j in 0..s {
@@ -390,9 +644,9 @@ fn sternheimer_case(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
             }
         }
     });
-    assert_eq!(
-        out_new, out_ref,
-        "sternheimer block diverged from reference"
+    assert!(
+        out_new.max_abs_diff(&out_ref) <= 1e-10,
+        "sternheimer block diverged from the PR-3 reference"
     );
     let flops = op.apply_flops() as f64 * s as f64;
     cases.push(Case {
@@ -423,7 +677,7 @@ fn gemm_cases(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
     });
     assert!(
         c_new.max_abs_diff(&c_ref) <= 1e-12 * k as f64,
-        "f64 GEMM diverged from reference"
+        "f64 GEMM diverged from the PR-3 reference"
     );
     cases.push(Case {
         name: "gemm_nn_f64".into(),
@@ -445,7 +699,7 @@ fn gemm_cases(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
     });
     assert!(
         cc_new.max_abs_diff(&cc_ref) <= 1e-12 * k as f64,
-        "C64 GEMM diverged from reference"
+        "C64 GEMM diverged from the PR-3 reference"
     );
     cases.push(Case {
         name: "gemm_nn_c64_rayleigh_ritz".into(),
@@ -471,11 +725,133 @@ fn gemm_cases(smoke: bool, reps: usize, cases: &mut Vec<Case>) {
     });
 }
 
+/// The reduction suite: lane-split dispatched dot/norm/axpy/axpby versus
+/// the PR-3 plain loops. The serial dependency chain in a scalar
+/// reduction is the bottleneck the fixed lane split removes, so the dot
+/// and norm cases are where the accumulation-tree redesign shows up.
+fn reduce_cases(smoke: bool, cases: &mut Vec<Case>) {
+    let n = if smoke { 1 << 14 } else { 1 << 21 };
+    let reps = if smoke { 11 } else { 31 };
+    let shape = format!("n={n}");
+
+    // -- dot_t f64 --
+    let x = filled::<f64>(n, 1, 0x11);
+    let y = filled::<f64>(n, 1, 0x12);
+    let (xs, ys) = (x.col(0), y.col(0));
+    let d_new = vecops::dot_t(xs, ys);
+    let d_ref = reference::dot_t(xs, ys);
+    assert!((d_new - d_ref).abs() <= 1e-9 * d_ref.abs().max(1.0));
+    let secs_new = time_best(reps, &mut || {
+        black_box(vecops::dot_t(black_box(xs), black_box(ys)));
+    });
+    let secs_ref = time_best(reps, &mut || {
+        black_box(reference::dot_t(black_box(xs), black_box(ys)));
+    });
+    cases.push(Case {
+        name: "reduce_dot_t_f64".into(),
+        shape: shape.clone(),
+        secs_new,
+        secs_ref,
+        gflops: 2.0 * n as f64 / secs_new * 1e-9,
+    });
+
+    // -- dot_h c64 --
+    let xc = filled::<C64>(n / 2, 1, 0x13);
+    let yc = filled::<C64>(n / 2, 1, 0x14);
+    let (xcs, ycs) = (xc.col(0), yc.col(0));
+    let d_new = vecops::dot_h(xcs, ycs);
+    let d_ref = reference::dot_h(xcs, ycs);
+    assert!((d_new - d_ref).norm() <= 1e-9 * d_ref.norm().max(1.0));
+    let secs_new = time_best(reps, &mut || {
+        black_box(vecops::dot_h(black_box(xcs), black_box(ycs)));
+    });
+    let secs_ref = time_best(reps, &mut || {
+        black_box(reference::dot_h(black_box(xcs), black_box(ycs)));
+    });
+    cases.push(Case {
+        name: "reduce_dot_h_c64".into(),
+        shape: format!("n={}", n / 2),
+        secs_new,
+        secs_ref,
+        gflops: 8.0 * (n / 2) as f64 / secs_new * 1e-9,
+    });
+
+    // -- nrm2 f64 --
+    let d_new = vecops::norm2(xs);
+    let d_ref = reference::norm2(xs);
+    assert!((d_new - d_ref).abs() <= 1e-9 * d_ref.max(1.0));
+    let secs_new = time_best(reps, &mut || {
+        black_box(vecops::norm2(black_box(xs)));
+    });
+    let secs_ref = time_best(reps, &mut || {
+        black_box(reference::norm2(black_box(xs)));
+    });
+    cases.push(Case {
+        name: "reduce_nrm2_f64".into(),
+        shape: shape.clone(),
+        secs_new,
+        secs_ref,
+        gflops: 2.0 * n as f64 / secs_new * 1e-9,
+    });
+
+    // -- axpy f64 (streaming update: both sides bandwidth-bound) --
+    let mut y_new = y.clone();
+    let mut y_ref = y.clone();
+    vecops::axpy(0.5, xs, y_new.col_mut(0));
+    reference::axpy(0.5, xs, y_ref.col_mut(0));
+    assert!(y_new.max_abs_diff(&y_ref) <= 1e-12);
+    let secs_new = time_best(reps, &mut || {
+        vecops::axpy(black_box(0.5), black_box(xs), y_new.col_mut(0));
+    });
+    let secs_ref = time_best(reps, &mut || {
+        reference::axpy(black_box(0.5), black_box(xs), y_ref.col_mut(0));
+    });
+    cases.push(Case {
+        name: "reduce_axpy_f64".into(),
+        shape: shape.clone(),
+        secs_new,
+        secs_ref,
+        gflops: 2.0 * n as f64 / secs_new * 1e-9,
+    });
+
+    // -- axpby c64 (the xpay-style update inside COCG's recurrences) --
+    let alpha = C64::new(0.3, -0.2);
+    let beta = C64::new(0.5, 0.1);
+    let mut w_new = yc.clone();
+    let mut w_ref = yc.clone();
+    vecops::axpby(alpha, xcs, beta, w_new.col_mut(0));
+    reference::axpby(alpha, xcs, beta, w_ref.col_mut(0));
+    assert!(w_new.max_abs_diff(&w_ref) <= 1e-12);
+    let secs_new = time_best(reps, &mut || {
+        vecops::axpby(
+            black_box(alpha),
+            black_box(xcs),
+            black_box(beta),
+            w_new.col_mut(0),
+        );
+    });
+    let secs_ref = time_best(reps, &mut || {
+        reference::axpby(
+            black_box(alpha),
+            black_box(xcs),
+            black_box(beta),
+            w_ref.col_mut(0),
+        );
+    });
+    cases.push(Case {
+        name: "reduce_axpby_c64".into(),
+        shape: format!("n={}", n / 2),
+        secs_new,
+        secs_ref,
+        gflops: 14.0 * (n / 2) as f64 / secs_new * 1e-9,
+    });
+}
+
 // ---------------------------------------------------------------------
-// JSON emission + validation (schema "mbrpa.kernels-bench/1")
+// JSON emission + validation (schema "mbrpa.kernels-bench/2")
 // ---------------------------------------------------------------------
 
-const SCHEMA: &str = "mbrpa.kernels-bench/1";
+const SCHEMA: &str = "mbrpa.kernels-bench/2";
 
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
@@ -485,10 +861,10 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn emit_json(cases: &[Case], threads: usize, smoke: bool) -> String {
+fn emit_json(cases: &[Case], dispatch: &str, threads: usize, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"schema\":\"{SCHEMA}\",\"threads\":{threads},\"smoke\":{smoke},\"cases\":["
+        "{{\"schema\":\"{SCHEMA}\",\"dispatch\":\"{dispatch}\",\"threads\":{threads},\"smoke\":{smoke},\"cases\":["
     ));
     for (i, c) in cases.iter().enumerate() {
         if i > 0 {
@@ -689,7 +1065,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Validate `text` against the `mbrpa.kernels-bench/1` schema.
+/// Validate `text` against the `mbrpa.kernels-bench/2` schema.
 fn validate(text: &str) -> Result<usize, String> {
     let mut p = Parser::new(text);
     let root = p.value()?;
@@ -703,6 +1079,13 @@ fn validate(text: &str) -> Result<usize, String> {
         .ok_or("missing string field 'schema'")?;
     if schema != SCHEMA {
         return Err(format!("schema '{schema}', expected '{SCHEMA}'"));
+    }
+    let dispatch = root
+        .get("dispatch")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'dispatch'")?;
+    if !["scalar", "avx2", "neon"].contains(&dispatch) {
+        return Err(format!("unknown 'dispatch' path '{dispatch}'"));
     }
     let threads = root
         .get("threads")
@@ -768,13 +1151,28 @@ fn main() {
         return;
     }
 
+    // Resolve (and honor MBRPA_SIMD) before any kernel runs, so the
+    // recorded dispatch is exactly what every case measured.
+    let dispatch = match mbrpa_simd::init_from_env() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!("SIMD dispatch: {}", dispatch.name());
+
     let threads = threads.unwrap_or_else(rayon::current_num_threads);
-    let reps = if smoke { 3 } else { 7 };
+    let reps = if smoke { 3 } else { 9 };
+    // Stencil cases run in ~1 ms, so a best-of-7 is one scheduler blip
+    // away from garbage; they get more samples for the same wall time.
+    let stencil_reps = if smoke { 5 } else { 25 };
     let run = || {
         let mut cases: Vec<Case> = Vec::new();
-        stencil_cases(smoke, reps, &mut cases);
-        sternheimer_case(smoke, reps, &mut cases);
+        stencil_cases(smoke, stencil_reps, &mut cases);
+        sternheimer_case(smoke, stencil_reps, &mut cases);
         gemm_cases(smoke, reps, &mut cases);
+        reduce_cases(smoke, &mut cases);
         cases
     };
     let cases = mbrpa_bench::with_threads(threads, run);
@@ -797,7 +1195,7 @@ fn main() {
         &rows,
     );
 
-    let doc = emit_json(&cases, threads, smoke);
+    let doc = emit_json(&cases, dispatch.name(), threads, smoke);
     if let Err(e) = validate(&doc) {
         eprintln!("internal error: emitted JSON failed validation: {e}");
         std::process::exit(1);

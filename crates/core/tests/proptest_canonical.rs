@@ -138,7 +138,7 @@ impl Style {
         }
     }
     fn int(&mut self, v: usize) -> String {
-        if self.next() % 3 == 0 {
+        if self.next().is_multiple_of(3) {
             format!("0{v}") // leading zero, same integer
         } else {
             format!("{v}")
@@ -179,7 +179,7 @@ fn render(s: &Semantic, style_bytes: &[u8], order: &[usize]) -> String {
     let v = style.int(s.cheb);
     lines.push(style.line("CHEB_DEGREE_RPA", &v));
     // galerkin defaults to on: spelling `1` out is optional
-    if !s.galerkin || style.next() % 2 == 0 {
+    if !s.galerkin || style.next().is_multiple_of(2) {
         let v = if s.galerkin { "1" } else { "0" };
         lines.push(style.line("FLAG_COCGINITIAL", v));
     }
@@ -192,7 +192,7 @@ fn render(s: &Semantic, style_bytes: &[u8], order: &[usize]) -> String {
         (_, _) => format!("fixed {}", s.fixed_n),
     };
     lines.push(style.line("BLOCK_POLICY", &block));
-    let np_key = if style.next() % 2 == 0 {
+    let np_key = if style.next().is_multiple_of(2) {
         "NP"
     } else {
         "NP_NUCHI_EIGS_PARAL_RPA"
@@ -240,7 +240,7 @@ fn render(s: &Semantic, style_bytes: &[u8], order: &[usize]) -> String {
         lines.push(style.line("VACANCY", &v));
     }
     // a recognized-but-ignored artifact key must not move the fingerprint
-    if style.next() % 2 == 0 {
+    if style.next().is_multiple_of(2) {
         lines.push("FLAG_PQ_OPERATOR: 0".to_string());
     }
 
@@ -251,10 +251,10 @@ fn render(s: &Semantic, style_bytes: &[u8], order: &[usize]) -> String {
     let mut text = String::new();
     let mut style = Style::new(style_bytes);
     for (_, line) in indexed {
-        if style.next() % 4 == 0 {
+        if style.next().is_multiple_of(4) {
             text.push_str("# interleaved comment\n");
         }
-        if style.next() % 4 == 0 {
+        if style.next().is_multiple_of(4) {
             text.push('\n');
         }
         text.push_str(&line);

@@ -1,15 +1,18 @@
 //! High-order finite-difference Laplacian stencils.
 //!
 //! The Hamiltonian's kinetic term is a six-axis `(6r+1)`-point stencil of
-//! radius `r` (§III-C of the paper). Application is **fused per z-slice**:
-//! each output slice is finished while it sits in L1 — diagonal and
-//! x-axis terms, then the `2r` y-neighbour and `2r` z-neighbour
-//! contributions as long contiguous row-band runs with the `±t` pair of
-//! each distance accumulated in one paired pass — instead of the classic
-//! diagonal/X/Y/Z four-pass structure that streams the full arrays from
-//! memory once per pass (and the z pass `r` times). The per-point
-//! floating-point accumulation order is identical to the four-pass code, so
-//! results are bitwise unchanged. Per the paper's arithmetic-intensity
+//! radius `r` (§III-C of the paper). Application is **fully fused over a
+//! halo'd copy of the volume**: the vector is copied once into a scratch
+//! volume with `r` wrap-or-zero planes on every face, which turns all
+//! `6r + 1` stencil terms into the same `(weight, signed offset)` pairs
+//! at every grid point — no boundary branches — and the runtime-dispatched
+//! [`mbrpa_simd::stencil_rows_on`] kernel then sweeps the whole volume in
+//! one call, accumulating every term in SIMD registers and writing each
+//! output element exactly once, instead of the classic multi-pass
+//! structure that reads and rewrites the output once per distance per
+//! axis. The kernel's scalar twin replicates the vector lanes' fused
+//! multiply-adds exactly, so results are bitwise identical across AVX2,
+//! NEON, and scalar dispatch. Per the paper's arithmetic-intensity
 //! analysis the kernel operates on **one vector at a time**; the block
 //! driver parallelizes across columns (gated by
 //! [`crate::par::block_apply_chunks`]), and a deliberately "simultaneous"
@@ -20,12 +23,27 @@ use crate::grid::{Boundary, Grid3};
 use mbrpa_linalg::{Mat, Scalar};
 use rayon::prelude::*;
 
+/// Largest supported stencil radius: beyond this the central-difference
+/// weights underflow any f64 improvement and the halo cost only grows.
+const MAX_RADIUS: usize = 10;
+
+std::thread_local! {
+    /// Per-thread halo'd-volume scratch for [`Laplacian::apply_raw`] —
+    /// per **thread** so rayon workers running parallel block applies
+    /// never share it.
+    static HALO_SCRATCH: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Classical central-difference second-derivative weights of radius `r`
 /// (order `2r`): returns `c[0..=r]` with
 /// `f''(0) ≈ (c₀ f(0) + Σ_t c_t (f(t·h) + f(−t·h))) / h²`.
 pub fn second_derivative_weights(r: usize) -> Vec<f64> {
     assert!(r >= 1, "stencil radius must be at least 1");
-    assert!(r <= 10, "stencil radius beyond 10 is numerically useless");
+    assert!(
+        r <= MAX_RADIUS,
+        "stencil radius beyond {MAX_RADIUS} is numerically useless"
+    );
     let fact = |n: usize| -> f64 { (1..=n).map(|x| x as f64).product::<f64>().max(1.0) };
     let mut c = vec![0.0; r + 1];
     c[0] = -2.0 * (1..=r).map(|k| 1.0 / (k * k) as f64).sum::<f64>();
@@ -148,17 +166,19 @@ impl Laplacian {
     /// record counters once on the calling thread, so telemetry never
     /// strands in unflushed worker-thread buffers.
     ///
-    /// One fused slice sweep: every output z-slice is finished while it
-    /// sits in L1 — a long diagonal pass, per-line x terms, then the `2r`
-    /// y-neighbour and `2r` z-neighbour contributions as **contiguous
-    /// row-band runs**, with the `+t`/`−t` pair of each distance handled
-    /// in a single paired pass so the output slice is loaded and stored
-    /// half as often and vector remainders amortize over `nx·ny`-length
-    /// runs. Accumulation order per point matches the historical
-    /// diagonal/X/Y/Z four-pass kernel exactly (diag, x by ascending `t`,
-    /// y by ascending `t` with `+t` before `−t`, z likewise), so results
-    /// are bitwise identical while main memory is streamed ~once instead
-    /// of once per pass.
+    /// The vector is first copied into a halo'd scratch volume with `r`
+    /// extra planes on every face (wrapped copies for periodic
+    /// boundaries, zeros for Dirichlet — a `w·0` FMA contributes exactly
+    /// nothing), after which every output point applies the **same**
+    /// `6r + 1` uniform `(weight, signed offset)` terms with no boundary
+    /// branch anywhere: one [`mbrpa_simd::stencil_rows_on`] call sweeps
+    /// the whole volume, accumulating all terms into each output element
+    /// in registers and storing it **once** — instead of the band-sweep
+    /// structure that read and rewrote the output slice once per distance
+    /// per axis. Accumulation order is fixed (diag, then x, y, z by
+    /// ascending `t` with `+t` before `−t`), one fused multiply-add per
+    /// term on every dispatch path, so AVX2, NEON, and scalar produce
+    /// bitwise identical results.
     pub fn apply_raw<T: Scalar>(&self, v: &[T], out: &mut [T]) {
         let n = self.grid.len();
         assert_eq!(v.len(), n);
@@ -166,121 +186,85 @@ impl Laplacian {
         let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.grid.nz);
         let periodic = self.grid.bc == Boundary::Periodic;
         let r = self.radius;
-        let slice = nx * ny;
+        let cs = T::COMPONENTS;
+        let d = mbrpa_simd::active();
+        let vc = T::as_components(v);
+        let oc = T::as_components_mut(out);
+        let nxc = nx * cs;
+        let rc = r * cs;
 
-        // Accumulate one `+t`/`−t` neighbour-line pair into the output
-        // line in a single pass (`+t` added first — order preserved).
-        #[inline(always)]
-        fn pair_add<T: Scalar>(ol: &mut [T], plus: Option<&[T]>, minus: Option<&[T]>, c: f64) {
-            match (plus, minus) {
-                (Some(p), Some(m)) => {
-                    for ((o, &a), &b) in ol.iter_mut().zip(p.iter()).zip(m.iter()) {
-                        *o += a.scale(c);
-                        *o += b.scale(c);
-                    }
-                }
-                (Some(p), None) => {
-                    for (o, &a) in ol.iter_mut().zip(p.iter()) {
-                        *o += a.scale(c);
-                    }
-                }
-                (None, Some(m)) => {
-                    for (o, &b) in ol.iter_mut().zip(m.iter()) {
-                        *o += b.scale(c);
-                    }
-                }
-                (None, None) => {}
+        // Halo'd scratch volume, (nz + 2r) × (ny + 2r) slabs of rows of
+        // nxc + 2·rc components, reused across applies (a fresh 100s-of-kB
+        // allocation per call would pay page faults for the whole volume
+        // every time). Every element is written on every call — rows with
+        // a source are copied, rows and side halos without one (Dirichlet)
+        // are explicitly zeroed — so no stale data survives reuse.
+        let (hx, hy, hz) = (nxc + 2 * rc, ny + 2 * r, nz + 2 * r);
+        HALO_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            if scratch.len() < hx * hy * hz {
+                scratch.resize(hx * hy * hz, 0.0);
             }
-        }
-
-        for k in 0..nz {
-            let ks = k * slice;
-
-            // Diagonal term, one long pass over the whole slice.
-            {
-                let os = &mut out[ks..ks + slice];
-                let vs = &v[ks..ks + slice];
-                for (o, &x) in os.iter_mut().zip(vs.iter()) {
-                    *o = x.scale(self.diag);
+            let halo = &mut scratch[..hx * hy * hz];
+            // Wrapped source index per halo plane, resolved once per axis
+            // (-1 marks a Dirichlet zero plane) instead of per row.
+            let wrap_tab = |m: usize| -> Vec<isize> {
+                (0..m + 2 * r)
+                    .map(|ih| {
+                        let i = ih as isize - r as isize;
+                        if 0 <= i && (i as usize) < m {
+                            i
+                        } else if periodic {
+                            i.rem_euclid(m as isize)
+                        } else {
+                            -1
+                        }
+                    })
+                    .collect()
+            };
+            let (ktab, jtab) = (wrap_tab(nz), wrap_tab(ny));
+            for (kh, slab) in halo.chunks_exact_mut(hy * hx).enumerate() {
+                let ks = ktab[kh];
+                if ks < 0 {
+                    slab.fill(0.0);
+                    continue;
                 }
-            }
-
-            // X terms: within each line of the slice.
-            for j in 0..ny {
-                let base = ks + j * nx;
-                let vl = &v[base..base + nx];
-                let ol = &mut out[base..base + nx];
-                for t in 1..=r {
-                    let c = self.cx[t];
-                    for i in t..nx - t {
-                        ol[i] += (vl[i - t] + vl[i + t]).scale(c);
+                let vslab = &vc[ks as usize * ny * nxc..][..ny * nxc];
+                for (jh, dst) in slab.chunks_exact_mut(hx).enumerate() {
+                    let js = jtab[jh];
+                    if js < 0 {
+                        dst.fill(0.0);
+                        continue;
                     }
+                    let row = &vslab[js as usize * nxc..][..nxc];
+                    dst[rc..rc + nxc].copy_from_slice(row);
                     if periodic {
-                        for i in 0..t {
-                            ol[i] += (vl[i + nx - t] + vl[i + t]).scale(c);
-                        }
-                        for i in nx - t..nx {
-                            ol[i] += (vl[i - t] + vl[i + t - nx]).scale(c);
-                        }
+                        dst[..rc].copy_from_slice(&row[nxc - rc..]);
+                        dst[rc + nxc..].copy_from_slice(&row[..rc]);
                     } else {
-                        for i in 0..t {
-                            ol[i] += vl[i + t].scale(c);
-                        }
-                        for i in nx - t..nx {
-                            ol[i] += vl[i - t].scale(c);
-                        }
+                        dst[..rc].fill(0.0);
+                        dst[rc + nxc..].fill(0.0);
                     }
                 }
             }
 
-            // Y terms, per distance t, as three contiguous row bands of
-            // the slice instead of per-line snippets. Rows t..ny−t see
-            // both the +t and −t neighbour as one long paired run; the t
-            // boundary rows at each end wrap (periodic) or drop
-            // (Dirichlet) one side. Per-point order is still +t then −t.
-            for t in 1..=r {
-                let c = self.cy[t];
-                let band = (ny - 2 * t) * nx;
-                {
-                    let o = &mut out[ks + t * nx..ks + t * nx + band];
-                    let p = &v[ks + 2 * t * nx..ks + 2 * t * nx + band];
-                    let m = &v[ks..ks + band];
-                    pair_add(o, Some(p), Some(m), c);
-                }
-                {
-                    // rows 0..t: +t in range; −t wraps to rows ny−t..ny
-                    let len = t * nx;
-                    let o = &mut out[ks..ks + len];
-                    let p = &v[ks + t * nx..ks + t * nx + len];
-                    let m = periodic.then(|| &v[ks + (ny - t) * nx..ks + ny * nx]);
-                    pair_add(o, Some(p), m, c);
-                }
-                {
-                    // rows ny−t..ny: −t in range; +t wraps to rows 0..t
-                    let len = t * nx;
-                    let o = &mut out[ks + (ny - t) * nx..ks + ny * nx];
-                    let m = &v[ks + (ny - 2 * t) * nx..ks + (ny - t) * nx];
-                    let p = periodic.then(|| &v[ks..ks + len]);
-                    pair_add(o, p, Some(m), c);
+            // Uniform terms: diag, then each axis by ascending distance
+            // with the +t neighbour before −t. Offsets are in components;
+            // the fixed-size array keeps the hot path allocation-free.
+            let mut terms = [(0.0_f64, 0_isize); 6 * MAX_RADIUS + 1];
+            terms[0] = (self.diag, 0);
+            let mut nt = 1;
+            for (cw, stride) in [(&self.cx, cs), (&self.cy, hx), (&self.cz, hy * hx)] {
+                for t in 1..=r {
+                    let off = (t * stride) as isize;
+                    terms[nt] = (cw[t], off);
+                    terms[nt + 1] = (cw[t], -off);
+                    nt += 2;
                 }
             }
-
-            // Z terms: the ±t neighbour slices contribute to the whole
-            // slice as one paired full-slice run per distance.
-            for t in 1..=r {
-                let c = self.cz[t];
-                let o = &mut out[ks..ks + slice];
-                let p = (k + t < nz || periodic).then(|| {
-                    let b = ((k + t) % nz) * slice;
-                    &v[b..b + slice]
-                });
-                let m = (k >= t || periodic).then(|| {
-                    let b = ((k + nz - t) % nz) * slice;
-                    &v[b..b + slice]
-                });
-                pair_add(o, p, m, c);
-            }
-        }
+            let origin = (r * hy + r) * hx + rc;
+            mbrpa_simd::stencil_rows_on(d, &terms[..nt], halo, origin, hx, hy * hx, ny, nxc, oc);
+        });
     }
 
     /// Apply to every column of a block, one vector at a time (§III-C),

@@ -195,19 +195,17 @@ impl<T: Scalar> Mat<T> {
     /// `self += alpha * other`, elementwise.
     pub fn axpy(&mut self, alpha: T, other: &Mat<T>) {
         assert_eq!(self.shape(), other.shape());
-        for (x, &y) in self.data.iter_mut().zip(other.data.iter()) {
-            *x += alpha * y;
-        }
+        crate::vecops::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// `self *= alpha`, elementwise.
     pub fn scale_assign(&mut self, alpha: T) {
-        self.data.iter_mut().for_each(|x| *x *= alpha);
+        crate::vecops::scal(alpha, &mut self.data);
     }
 
     /// Frobenius norm.
     pub fn fro_norm(&self) -> f64 {
-        self.data.iter().map(|x| x.abs_sq()).sum::<f64>().sqrt()
+        crate::vecops::norm2(&self.data)
     }
 
     /// Largest modulus among entries.
@@ -217,9 +215,7 @@ impl<T: Scalar> Mat<T> {
 
     /// Euclidean norms of each column.
     pub fn col_norms(&self) -> Vec<f64> {
-        self.col_iter()
-            .map(|c| c.iter().map(|x| x.abs_sq()).sum::<f64>().sqrt())
-            .collect()
+        self.col_iter().map(crate::vecops::norm2).collect()
     }
 
     /// True if any entry is NaN or infinite.

@@ -11,6 +11,13 @@
 //! of once per column. Register tiles are 8×4 for `f64` and 4×4 for
 //! `Complex64` (selected by [`Scalar::COMPONENTS`]).
 //!
+//! The microkernels live in `mbrpa-simd` and are runtime-dispatched
+//! (AVX2+FMA / NEON / scalar) with a bit-identical scalar twin for every
+//! vector path. Panels are packed as flat `f64` component buffers: plain
+//! row/column entries for `f64`, split `[re×MR | im×MR]` per depth step
+//! for `Complex64` — the SoA layout the 4×4 split-complex kernel consumes
+//! without shuffles.
+//!
 //! `C` is written in place: the row dimension is split into disjoint
 //! contiguous strips, each strip borrowing its segment of every column via
 //! `split_at_mut`, so the parallel path needs no scratch panels and no
@@ -27,6 +34,7 @@ use crate::dense::Mat;
 use crate::par;
 use crate::scalar::Scalar;
 use crate::vecops;
+use mbrpa_simd::Dispatch;
 use num_complex::Complex64;
 use rayon::prelude::*;
 use std::any::{Any, TypeId};
@@ -92,99 +100,102 @@ fn put_buf<T: Scalar>(slot: u8, v: Vec<T>) {
 // Packing
 // ---------------------------------------------------------------------------
 
-/// Pack `mc` rows of `A` starting at `row0` into row panels of height `MR`:
-/// panel `ip` holds, for each depth index `l`, `MR` consecutive (converted)
-/// row entries, zero-padded past the matrix edge.
+/// Pack `mc` rows of `A` starting at `row0` into row panels of height `MR`
+/// as flat `f64` components: panel `ip` holds, for each depth index `l`,
+/// the `MR` consecutive (converted) row entries — `f64` directly, complex
+/// split as `[re×MR | im×MR]` — zero-padded past the matrix edge.
 fn pack_a<SA: Scalar, T: Scalar, const MR: usize>(
     a: &Mat<SA>,
     conv: fn(SA) -> T,
     row0: usize,
     mc: usize,
     k: usize,
-    buf: &mut [T],
+    buf: &mut [f64],
 ) {
+    let cs = T::COMPONENTS;
     let n_panels = mc.div_ceil(MR);
     for ip in 0..n_panels {
         let i0 = row0 + ip * MR;
         let mre = MR.min(row0 + mc - i0);
-        let panel = &mut buf[ip * MR * k..(ip + 1) * MR * k];
+        let panel = &mut buf[ip * MR * cs * k..(ip + 1) * MR * cs * k];
         for l in 0..k {
             let src = &a.col(l)[i0..i0 + mre];
-            let dst = &mut panel[l * MR..(l + 1) * MR];
-            for ii in 0..mre {
-                dst[ii] = conv(src[ii]);
-            }
-            for d in dst.iter_mut().skip(mre) {
-                *d = T::zero();
+            let dst = &mut panel[l * MR * cs..(l + 1) * MR * cs];
+            dst.fill(0.0);
+            if cs == 1 {
+                for ii in 0..mre {
+                    dst[ii] = conv(src[ii]).re();
+                }
+            } else {
+                for ii in 0..mre {
+                    let t = conv(src[ii]);
+                    dst[ii] = t.re();
+                    dst[MR + ii] = t.im();
+                }
             }
         }
     }
 }
 
 /// Pack all of `B` (k×n) into column panels of width `NR` with `alpha`
-/// folded in: panel `jp` holds, for each depth index `l`, `NR` consecutive
-/// scaled column entries, zero-padded past the matrix edge.
-fn pack_b<T: Scalar, const NR: usize>(b: &Mat<T>, alpha: T, k: usize, n: usize, buf: &mut [T]) {
+/// folded in, as flat `f64` components: panel `jp` holds, for each depth
+/// index `l`, `NR` consecutive scaled column entries (complex split as
+/// `[re×NR | im×NR]`), zero-padded past the matrix edge.
+fn pack_b<T: Scalar, const NR: usize>(b: &Mat<T>, alpha: T, k: usize, n: usize, buf: &mut [f64]) {
+    let cs = T::COMPONENTS;
     let n_panels = n.div_ceil(NR);
     for jp in 0..n_panels {
         let j0 = jp * NR;
         let nre = NR.min(n - j0);
-        let panel = &mut buf[jp * NR * k..(jp + 1) * NR * k];
+        let panel = &mut buf[jp * NR * cs * k..(jp + 1) * NR * cs * k];
+        panel.fill(0.0);
         for jj in 0..nre {
             let bj = &b.col(j0 + jj)[..k];
-            for l in 0..k {
-                panel[l * NR + jj] = alpha * bj[l];
-            }
-        }
-        for jj in nre..NR {
-            for l in 0..k {
-                panel[l * NR + jj] = T::zero();
+            if cs == 1 {
+                for l in 0..k {
+                    panel[l * NR + jj] = (alpha * bj[l]).re();
+                }
+            } else {
+                for l in 0..k {
+                    let t = alpha * bj[l];
+                    panel[l * NR * 2 + jj] = t.re();
+                    panel[l * NR * 2 + NR + jj] = t.im();
+                }
             }
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Microkernel
+// Tile stores
 // ---------------------------------------------------------------------------
 
-/// Accumulate `acc += Ap · Bp` over one packed depth-`k` panel pair. With
-/// `MR`/`NR` known at compile time the two inner loops fully unroll and the
-/// accumulator tile stays in registers.
+/// Read element `ii` of one accumulator tile column (`[re×8]` for `f64`,
+/// `[re×4 | im×4]` for complex — both a stride of 8 `f64` per column).
 #[inline(always)]
-fn micro_kernel<T: Scalar, const MR: usize, const NR: usize>(
-    k: usize,
-    ap: &[T],
-    bp: &[T],
-    acc: &mut [[T; MR]; NR],
-) {
-    for (al, bl) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
-        // lint: allow(unwrap) — chunks_exact(MR) yields exactly MR elements
-        let al: &[T; MR] = al.try_into().expect("MR-sized chunk");
-        // lint: allow(unwrap) — chunks_exact(NR) yields exactly NR elements
-        let bl: &[T; NR] = bl.try_into().expect("NR-sized chunk");
-        for jj in 0..NR {
-            let b = bl[jj];
-            for ii in 0..MR {
-                acc[jj][ii] += al[ii] * b;
-            }
-        }
+fn acc_elem<T: Scalar>(acc: &[f64], ii: usize) -> T {
+    if T::COMPONENTS == 1 {
+        T::from_components(acc[ii], 0.0)
+    } else {
+        T::from_components(acc[ii], acc[4 + ii])
     }
 }
 
-/// `dst = src + beta·dst` over one tile column (`beta` pre-dispatched so the
-/// branch sits outside the copy loop).
+/// `dst = acc + beta·dst` over one tile column (`beta` pre-dispatched so
+/// the branch sits outside the copy loop).
 #[inline(always)]
-fn store_tile_col<T: Scalar>(dst: &mut [T], src: &[T], beta: T) {
+fn store_acc_col<T: Scalar>(dst: &mut [T], acc: &[f64], beta: T) {
     if beta == T::zero() {
-        dst.copy_from_slice(src);
+        for (ii, d) in dst.iter_mut().enumerate() {
+            *d = acc_elem::<T>(acc, ii);
+        }
     } else if beta == T::one() {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d += *s;
+        for (ii, d) in dst.iter_mut().enumerate() {
+            *d += acc_elem::<T>(acc, ii);
         }
     } else {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d = *s + beta * *d;
+        for (ii, d) in dst.iter_mut().enumerate() {
+            *d = acc_elem::<T>(acc, ii) + beta * *d;
         }
     }
 }
@@ -194,24 +205,27 @@ fn store_tile_col<T: Scalar>(dst: &mut [T], src: &[T], beta: T) {
 // ---------------------------------------------------------------------------
 
 /// Compute one row strip `[r0, r0+h)` of `C = (alpha·A)·B + beta·C` from the
-/// shared packed `B`, packing `A` in L2-sized blocks on the way. Results are
-/// handed to `write_tile(i_local, j0, acc, mr_eff, nr_eff)` so the caller
-/// decides where the strip's output lives (whole matrix or a borrowed strip
+/// shared packed `B`, packing `A` in L2-sized blocks on the way. Accumulator
+/// tiles (column-major, column stride 8 `f64`) are handed to
+/// `write_tile(i_local, j0, acc, mr_eff, nr_eff)` so the caller decides
+/// where the strip's output lives (whole matrix or a borrowed strip
 /// segment).
 #[allow(clippy::too_many_arguments)]
 fn strip_gemm<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
+    d: Dispatch,
     a: &Mat<SA>,
     conv: fn(SA) -> T,
-    bpack: &[T],
+    bpack: &[f64],
     r0: usize,
     h: usize,
     k: usize,
     n: usize,
-    mut write_tile: impl FnMut(usize, usize, &[[T; MR]; NR], usize, usize),
+    mut write_tile: impl FnMut(usize, usize, &[f64; 32], usize, usize),
 ) {
+    let cs = T::COMPONENTS;
     let mc_elems = (A_BLOCK_BYTES / std::mem::size_of::<T>() / k.max(1)).max(MR);
     let mc_max = (mc_elems / MR * MR).min(h.div_ceil(MR) * MR);
-    let mut a_buf = take_buf::<T>(SLOT_PACK_A, mc_max * k);
+    let mut a_buf = take_buf::<f64>(SLOT_PACK_A, mc_max * k * cs);
     let n_col_panels = n.div_ceil(NR);
 
     let mut off = 0;
@@ -221,12 +235,16 @@ fn strip_gemm<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
         let n_row_panels = mc.div_ceil(MR);
         for jp in 0..n_col_panels {
             let nre = NR.min(n - jp * NR);
-            let bp = &bpack[jp * NR * k..(jp + 1) * NR * k];
+            let bp = &bpack[jp * NR * cs * k..(jp + 1) * NR * cs * k];
             for ip in 0..n_row_panels {
                 let mre = MR.min(mc - ip * MR);
-                let ap = &a_buf[ip * MR * k..(ip + 1) * MR * k];
-                let mut acc = [[T::zero(); MR]; NR];
-                micro_kernel::<T, MR, NR>(k, ap, bp, &mut acc);
+                let ap = &a_buf[ip * MR * cs * k..(ip + 1) * MR * cs * k];
+                let mut acc = [0.0f64; 32];
+                if cs == 1 {
+                    mbrpa_simd::gemm_f64_8x4_on(d, k, ap, bp, &mut acc);
+                } else {
+                    mbrpa_simd::gemm_c64_4x4_on(d, k, ap, bp, &mut acc);
+                }
                 write_tile(off + ip * MR, jp * NR, &acc, mre, nre);
             }
         }
@@ -246,6 +264,11 @@ fn gemm_driver<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
     beta: T,
     c: &mut Mat<T>,
 ) {
+    debug_assert_eq!(
+        (MR, NR),
+        if T::COMPONENTS == 1 { (8, 4) } else { (4, 4) },
+        "tile shape must match the mbrpa-simd microkernel"
+    );
     let (m, k) = a.shape();
     let n = b.cols();
     if m == 0 || n == 0 {
@@ -262,7 +285,9 @@ fn gemm_driver<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
         return;
     }
 
-    let mut b_buf = take_buf::<T>(SLOT_PACK_B, n.div_ceil(NR) * NR * k);
+    let d = mbrpa_simd::active();
+    let cs = T::COMPONENTS;
+    let mut b_buf = take_buf::<f64>(SLOT_PACK_B, n.div_ceil(NR) * NR * k * cs);
     pack_b::<T, NR>(b, alpha, k, n, &mut b_buf);
 
     let work = m * n * k;
@@ -275,10 +300,10 @@ fn gemm_driver<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
 
     if p == 1 {
         let c_data = c.as_mut_slice();
-        strip_gemm::<SA, T, MR, NR>(a, conv, &b_buf, 0, m, k, n, |i0, j0, acc, mre, nre| {
+        strip_gemm::<SA, T, MR, NR>(d, a, conv, &b_buf, 0, m, k, n, |i0, j0, acc, mre, nre| {
             for jj in 0..nre {
                 let col = &mut c_data[(j0 + jj) * m + i0..(j0 + jj) * m + i0 + mre];
-                store_tile_col(col, &acc[jj][..mre], beta);
+                store_acc_col(col, &acc[8 * jj..], beta);
             }
         });
         put_buf(SLOT_PACK_B, b_buf);
@@ -308,10 +333,10 @@ fn gemm_driver<SA: Scalar, T: Scalar, const MR: usize, const NR: usize>(
         .par_iter()
         .zip(col_segs.into_par_iter())
         .for_each(|(&(r0, h), mut segs)| {
-            strip_gemm::<SA, T, MR, NR>(a, conv, b_ref, r0, h, k, n, |i0, j0, acc, mre, nre| {
+            strip_gemm::<SA, T, MR, NR>(d, a, conv, b_ref, r0, h, k, n, |i0, j0, acc, mre, nre| {
                 for jj in 0..nre {
                     let col = &mut segs[j0 + jj][i0..i0 + mre];
-                    store_tile_col(col, &acc[jj][..mre], beta);
+                    store_acc_col(col, &acc[8 * jj..], beta);
                 }
             });
         });
@@ -392,13 +417,27 @@ pub fn matmul_hn<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
 /// allocation-free form for solver steady-state loops).
 pub fn matmul_tn_into<T: Scalar>(a: &Mat<T>, b: &Mat<T>, c: &mut Mat<T>) {
     gram_checks(a, b, c);
-    gram_driver(a, b, |x: T, y: T| x * y, c);
+    let d = mbrpa_simd::active();
+    gram_driver(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        |row0, h, buf| gram_chunk_simd(d, a, b, false, row0, h, buf),
+        c,
+    );
 }
 
 /// `C = Aᴴ · B` written into a caller-owned matrix (overwrites `C`).
 pub fn matmul_hn_into<T: Scalar>(a: &Mat<T>, b: &Mat<T>, c: &mut Mat<T>) {
     gram_checks(a, b, c);
-    gram_driver(a, b, |x: T, y: T| x.conj() * y, c);
+    let d = mbrpa_simd::active();
+    gram_driver(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        |row0, h, buf| gram_chunk_simd(d, a, b, true, row0, h, buf),
+        c,
+    );
 }
 
 fn gram_checks<SA: Scalar, T: Scalar>(a: &Mat<SA>, b: &Mat<T>, c: &Mat<T>) {
@@ -408,37 +447,40 @@ fn gram_checks<SA: Scalar, T: Scalar>(a: &Mat<SA>, b: &Mat<T>, c: &Mat<T>) {
     assert_eq!(c.shape(), (k, n), "output shape mismatch");
     mbrpa_obs::add("linalg.gram_calls", 1);
     mbrpa_obs::add("linalg.dot_products", (k * n) as u64);
+    // Gram products are block *reductions* (k·n long dot products), not
+    // GEMM traffic: charging them to `linalg.gemm_flops` inflated the
+    // GEMM GF/s row in `-profile` summaries, so they get their own
+    // counter in the reduce family.
     mbrpa_obs::add(
-        "linalg.gemm_flops",
+        "solver.reduce.gram_flops",
         (2 * m * k * n * SA::COMPONENTS * T::COMPONENTS) as u64,
     );
 }
 
-/// Register-tiled Gram product `C = op(A)ᵀ·B` (`mul` supplies the per-element
-/// product, e.g. conjugation or real×complex embedding). The long row
-/// dimension is cut into fixed `PANEL` chunks whose partial Grams are folded
-/// in index order, so results are bitwise independent of the thread count.
-fn gram_driver<SA: Scalar, T: Scalar>(
-    a: &Mat<SA>,
-    b: &Mat<T>,
-    mul: impl Fn(SA, T) -> T + Sync + Copy,
+/// Shared skeleton for the Gram products `C = op(A)ᵀ·B`: the long row
+/// dimension (`m`) is cut into fixed `PANEL` chunks whose partial Grams
+/// are computed by `chunk(row0, h, out_buf)` and folded in index order, so
+/// results are bitwise independent of the thread count.
+fn gram_driver<T: Scalar>(
+    m: usize,
+    kc: usize,
+    n: usize,
+    chunk: impl Fn(usize, usize, &mut [T]) + Sync,
     out: &mut Mat<T>,
 ) {
-    let (m, kc) = a.shape();
-    let n = b.cols();
     if kc == 0 || n == 0 {
         return;
     }
     let work = m * n * kc;
     if work < PAR_THRESHOLD || m < 2 * PANEL {
-        gram_chunk(a, b, mul, 0, m, out.as_mut_slice());
+        chunk(0, m, out.as_mut_slice());
         return;
     }
     let n_chunks = m.div_ceil(PANEL);
     let mut partials = take_buf::<T>(SLOT_GRAM, n_chunks * kc * n);
     let chunk_of = |p: usize, buf: &mut [T]| {
         let row0 = p * PANEL;
-        gram_chunk(a, b, mul, row0, PANEL.min(m - row0), buf);
+        chunk(row0, PANEL.min(m - row0), buf);
     };
     if par::inner_slots() > 1 {
         let chunk_refs: Vec<(usize, &mut [T])> = partials[..n_chunks * kc * n]
@@ -463,11 +505,112 @@ fn gram_driver<SA: Scalar, T: Scalar>(
     put_buf(SLOT_GRAM, partials);
 }
 
-/// One row chunk of the Gram product, written (overwriting) into `out`
-/// (column-major `a.cols() × b.cols()`). Full 4×4 tiles of output dots share
-/// their operand streams, quartering memory traffic versus dot-per-entry;
-/// edge tiles fall back to plain dots.
-fn gram_chunk<SA: Scalar, T: Scalar>(
+/// One row chunk of a uniform-field Gram product, written (overwriting)
+/// into `out` (column-major `a.cols() × b.cols()`), routed through the
+/// `mbrpa-simd` Gram tiles: 2×4 `f64` tiles / 2×2 complex tiles share
+/// their operand streams, cutting memory traffic versus dot-per-entry;
+/// edge tiles fall back to the dispatched dot primitives.
+fn gram_chunk_simd<T: Scalar>(
+    d: Dispatch,
+    a: &Mat<T>,
+    b: &Mat<T>,
+    conj: bool,
+    row0: usize,
+    h: usize,
+    out: &mut [T],
+) {
+    let kc = a.cols();
+    let n = b.cols();
+    let ac = |i: usize| T::as_components(&a.col(i)[row0..row0 + h]);
+    let bc = |j: usize| T::as_components(&b.col(j)[row0..row0 + h]);
+    if T::COMPONENTS == 1 {
+        let mut j0 = 0;
+        while j0 < n {
+            let nj = (n - j0).min(4);
+            let mut i0 = 0;
+            while i0 < kc {
+                let ni = (kc - i0).min(2);
+                if ni == 2 && nj == 4 {
+                    let mut t = [0.0; 8];
+                    mbrpa_simd::gram2x4_f64_on(
+                        d,
+                        ac(i0),
+                        ac(i0 + 1),
+                        bc(j0),
+                        bc(j0 + 1),
+                        bc(j0 + 2),
+                        bc(j0 + 3),
+                        &mut t,
+                    );
+                    for jj in 0..4 {
+                        for ii in 0..2 {
+                            out[(j0 + jj) * kc + i0 + ii] = T::from_components(t[2 * jj + ii], 0.0);
+                        }
+                    }
+                } else {
+                    for jj in 0..nj {
+                        for ii in 0..ni {
+                            out[(j0 + jj) * kc + i0 + ii] = T::from_components(
+                                mbrpa_simd::dot_on(d, ac(i0 + ii), bc(j0 + jj)),
+                                0.0,
+                            );
+                        }
+                    }
+                }
+                i0 += ni;
+            }
+            j0 += nj;
+        }
+    } else {
+        let mut j0 = 0;
+        while j0 < n {
+            let nj = (n - j0).min(2);
+            let mut i0 = 0;
+            while i0 < kc {
+                let ni = (kc - i0).min(2);
+                if ni == 2 && nj == 2 {
+                    let mut t = [0.0; 8];
+                    mbrpa_simd::gram2_c64_on(
+                        d,
+                        conj,
+                        ac(i0),
+                        ac(i0 + 1),
+                        bc(j0),
+                        bc(j0 + 1),
+                        &mut t,
+                    );
+                    for jj in 0..2 {
+                        for ii in 0..2 {
+                            let o = 2 * (2 * jj + ii);
+                            out[(j0 + jj) * kc + i0 + ii] = T::from_components(t[o], t[o + 1]);
+                        }
+                    }
+                } else {
+                    for jj in 0..nj {
+                        for ii in 0..ni {
+                            let (re, im) = if conj {
+                                mbrpa_simd::dot_h_c64_on(d, ac(i0 + ii), bc(j0 + jj))
+                            } else {
+                                mbrpa_simd::dot_t_c64_on(d, ac(i0 + ii), bc(j0 + jj))
+                            };
+                            out[(j0 + jj) * kc + i0 + ii] = T::from_components(re, im);
+                        }
+                    }
+                }
+                i0 += ni;
+            }
+            j0 += nj;
+        }
+    }
+}
+
+/// One row chunk of a mixed-field Gram product (`mul` supplies the
+/// per-element product, e.g. the real×complex embedding), written
+/// (overwriting) into `out`. Full 4×4 tiles of output dots share their
+/// operand streams; edge tiles fall back to plain dots. Used only by the
+/// real×complex Galerkin-guess product, which sits outside the solver
+/// steady-state loop.
+fn gram_chunk_mixed<SA: Scalar, T: Scalar>(
     a: &Mat<SA>,
     b: &Mat<T>,
     mul: impl Fn(SA, T) -> T + Copy,
@@ -548,7 +691,7 @@ pub fn matmul_nt<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
             if blj == T::zero() {
                 continue;
             }
-            vecops::axpy(blj, a.col(l), cj);
+            vecops::axpy_uncounted(blj, a.col(l), cj);
         }
     }
     c
@@ -613,7 +756,13 @@ pub fn matmul_rc(a: &Mat<f64>, b: &Mat<Complex64>) -> Mat<Complex64> {
 pub fn matmul_tn_rc(a: &Mat<f64>, b: &Mat<Complex64>) -> Mat<Complex64> {
     let mut c = Mat::zeros(a.cols(), b.cols());
     gram_checks(a, b, &c);
-    gram_driver(a, b, |x: f64, y: Complex64| y.scale(x), &mut c);
+    gram_driver(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        |row0, h, buf| gram_chunk_mixed(a, b, |x, y: Complex64| y.scale(x), row0, h, buf),
+        &mut c,
+    );
     c
 }
 
@@ -696,6 +845,26 @@ mod tests {
         let expect = c.map(|x| 0.5 * x);
         matmul_into(2.0, &a, &b, 0.5, &mut c);
         assert!(c.max_abs_diff(&expect) < 1e-15);
+    }
+
+    #[test]
+    fn complex_matmul_matches_componentwise_naive() {
+        let ar = pseudo_random(33, 6, 50);
+        let ai = pseudo_random(33, 6, 51);
+        let br = pseudo_random(6, 5, 52);
+        let bi = pseudo_random(6, 5, 53);
+        let a = Mat::from_fn(33, 6, |i, j| Complex64::new(ar[(i, j)], ai[(i, j)]));
+        let b = Mat::from_fn(6, 5, |i, j| Complex64::new(br[(i, j)], bi[(i, j)]));
+        let c = matmul(&a, &b);
+        for i in 0..33 {
+            for j in 0..5 {
+                let mut expect = Complex64::new(0.0, 0.0);
+                for l in 0..6 {
+                    expect += a[(i, l)] * b[(l, j)];
+                }
+                assert!((c[(i, j)] - expect).norm() < 1e-12);
+            }
+        }
     }
 
     #[test]

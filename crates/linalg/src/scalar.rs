@@ -55,6 +55,15 @@ pub trait Scalar:
     fn scale(self, s: f64) -> Self;
     /// True if any component is NaN or infinite.
     fn is_bad(self) -> bool;
+    /// Build a scalar from real components (`im` is ignored for `f64`).
+    fn from_components(re: f64, im: f64) -> Self;
+    /// View a scalar slice as its flat real components (`COMPONENTS`
+    /// f64 per element): `f64` is the identity view; `Complex64` is the
+    /// interleaved `[re, im, re, im, …]` view. The SIMD layer consumes
+    /// these flat views so every hot loop runs on `&[f64]`.
+    fn as_components(xs: &[Self]) -> &[f64];
+    /// Mutable variant of [`Scalar::as_components`].
+    fn as_components_mut(xs: &mut [Self]) -> &mut [f64];
 }
 
 impl Scalar for f64 {
@@ -98,6 +107,18 @@ impl Scalar for f64 {
     #[inline(always)]
     fn is_bad(self) -> bool {
         !self.is_finite()
+    }
+    #[inline(always)]
+    fn from_components(re: f64, _im: f64) -> Self {
+        re
+    }
+    #[inline(always)]
+    fn as_components(xs: &[Self]) -> &[f64] {
+        xs
+    }
+    #[inline(always)]
+    fn as_components_mut(xs: &mut [Self]) -> &mut [f64] {
+        xs
     }
 }
 
@@ -143,6 +164,24 @@ impl Scalar for Complex64 {
     fn is_bad(self) -> bool {
         !self.re.is_finite() || !self.im.is_finite()
     }
+    #[inline(always)]
+    fn from_components(re: f64, im: f64) -> Self {
+        Complex64::new(re, im)
+    }
+    #[inline(always)]
+    fn as_components(xs: &[Self]) -> &[f64] {
+        // SAFETY: `num_complex::Complex<f64>` is `#[repr(C)]` with
+        // exactly two `f64` fields (re, im), so a `[Complex64]` of
+        // length n is layout-identical to an aligned `[f64]` of length
+        // 2n; alignment of f64 divides that of Complex64.
+        unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<f64>(), 2 * xs.len()) }
+    }
+    #[inline(always)]
+    fn as_components_mut(xs: &mut [Self]) -> &mut [f64] {
+        // SAFETY: same layout argument as `as_components`; the borrow
+        // is exclusive, so no aliasing view coexists.
+        unsafe { std::slice::from_raw_parts_mut(xs.as_mut_ptr().cast::<f64>(), 2 * xs.len()) }
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +217,23 @@ mod tests {
         assert_eq!(z.scale(2.0), Complex64::new(6.0, -8.0));
         assert!(Complex64::new(f64::NAN, 0.0).is_bad());
         assert!(!z.is_bad());
+    }
+
+    #[test]
+    fn component_views_roundtrip() {
+        let mut zs = vec![Complex64::new(1.0, -2.0), Complex64::new(3.0, 4.0)];
+        assert_eq!(Scalar::as_components(&zs), &[1.0, -2.0, 3.0, 4.0]);
+        Scalar::as_components_mut(&mut zs)[1] = 7.0;
+        assert_eq!(zs[0], Complex64::new(1.0, 7.0));
+        assert_eq!(
+            <Complex64 as Scalar>::from_components(5.0, 6.0),
+            Complex64::new(5.0, 6.0)
+        );
+
+        let mut xs = vec![1.0_f64, 2.0];
+        assert_eq!(Scalar::as_components(&xs), &[1.0, 2.0]);
+        Scalar::as_components_mut(&mut xs)[0] = 9.0;
+        assert_eq!(xs[0], 9.0);
+        assert_eq!(<f64 as Scalar>::from_components(5.0, 6.0), 5.0);
     }
 }

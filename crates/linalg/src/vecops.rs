@@ -1,58 +1,104 @@
 //! Slice-level vector kernels shared by the dense and iterative layers.
+//!
+//! Every reduction and update here routes through `mbrpa-simd` on the
+//! scalar's flat component view, so the same runtime-dispatched
+//! microkernels (and the same bit-exact lane-split accumulation order)
+//! back both the `f64` and `Complex64` instantiations.
 
 use crate::scalar::Scalar;
+
+/// Charge `flops` real scalar FLOPs to the vector-reduction family.
+/// Kept separate from `linalg.gemm_flops` so the per-kernel GF/s rows in
+/// `-profile` summaries stay honest (see `Report::derived_rates`).
+#[inline]
+fn count_reduce(flops: usize) {
+    mbrpa_obs::add("solver.reduce.vec_flops", flops as u64);
+}
 
 /// Unconjugated dot product `xᵀ y` (the bilinear form used by COCG).
 #[inline]
 pub fn dot_t<T: Scalar>(x: &[T], y: &[T]) -> T {
     debug_assert_eq!(x.len(), y.len());
-    let mut acc = T::zero();
-    for (&a, &b) in x.iter().zip(y.iter()) {
-        acc += a * b;
+    let (xc, yc) = (T::as_components(x), T::as_components(y));
+    if T::COMPONENTS == 1 {
+        count_reduce(2 * xc.len());
+        T::from_components(mbrpa_simd::dot(xc, yc), 0.0)
+    } else {
+        count_reduce(4 * xc.len());
+        let (re, im) = mbrpa_simd::dot_t_c64(xc, yc);
+        T::from_components(re, im)
     }
-    acc
 }
 
 /// Conjugated dot product `xᴴ y` (the sesquilinear inner product).
 #[inline]
 pub fn dot_h<T: Scalar>(x: &[T], y: &[T]) -> T {
     debug_assert_eq!(x.len(), y.len());
-    let mut acc = T::zero();
-    for (&a, &b) in x.iter().zip(y.iter()) {
-        acc += a.conj() * b;
+    let (xc, yc) = (T::as_components(x), T::as_components(y));
+    if T::COMPONENTS == 1 {
+        count_reduce(2 * xc.len());
+        T::from_components(mbrpa_simd::dot(xc, yc), 0.0)
+    } else {
+        count_reduce(4 * xc.len());
+        let (re, im) = mbrpa_simd::dot_h_c64(xc, yc);
+        T::from_components(re, im)
     }
-    acc
 }
 
-/// Euclidean norm `‖x‖₂`.
+/// Euclidean norm `‖x‖₂` (componentwise sum of squares for complex).
 #[inline]
 pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt()
+    let xc = T::as_components(x);
+    count_reduce(2 * xc.len());
+    mbrpa_simd::nrm2_sq(xc).sqrt()
+}
+
+/// `y += alpha * x`, without the FLOP accounting — for call sites whose
+/// FLOPs are already charged to another counter (`matmul_nt` charges
+/// `linalg.gemm_flops` for its whole product up front).
+#[inline]
+pub(crate) fn axpy_uncounted<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    let xc = T::as_components(x);
+    let yc = T::as_components_mut(y);
+    if T::COMPONENTS == 1 {
+        mbrpa_simd::axpy(alpha.re(), xc, yc);
+    } else {
+        mbrpa_simd::axpy_c64(alpha.re(), alpha.im(), xc, yc);
+    }
 }
 
 /// `y += alpha * x`.
 #[inline]
 pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    count_reduce(if T::COMPONENTS == 1 { 2 } else { 4 } * T::as_components(x).len());
+    axpy_uncounted(alpha, x, y);
 }
 
 /// `y = alpha * x + beta * y`.
 #[inline]
 pub fn axpby<T: Scalar>(alpha: T, x: &[T], beta: T, y: &mut [T]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi = alpha * xi + beta * *yi;
+    let xc = T::as_components(x);
+    let yc = T::as_components_mut(y);
+    if T::COMPONENTS == 1 {
+        count_reduce(3 * xc.len());
+        mbrpa_simd::axpby(alpha.re(), beta.re(), xc, yc);
+    } else {
+        count_reduce(7 * xc.len());
+        mbrpa_simd::axpby_c64(alpha.re(), alpha.im(), beta.re(), beta.im(), xc, yc);
     }
 }
 
 /// `x *= alpha`.
 #[inline]
 pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
+    let xc = T::as_components_mut(x);
+    count_reduce(if T::COMPONENTS == 1 { 1 } else { 3 } * xc.len());
+    if T::COMPONENTS == 1 {
+        mbrpa_simd::scal(alpha.re(), xc);
+    } else {
+        mbrpa_simd::scal_c64(alpha.re(), alpha.im(), xc);
     }
 }
 

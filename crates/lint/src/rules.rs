@@ -1,6 +1,6 @@
 //! Rule engine: walks a lexed token stream and emits findings.
 //!
-//! Six rules enforce invariants the compiler cannot see (rule ids are
+//! Seven rules enforce invariants the compiler cannot see (rule ids are
 //! the strings used in `// lint: allow(<rule>)` suppressions):
 //!
 //! | id                | invariant                                              |
@@ -11,6 +11,7 @@
 //! | `hash_iter`       | no `HashMap`/`HashSet` in numeric crates                |
 //! | `print`           | no `println!`/`eprintln!` in library crates             |
 //! | `narrow_cast`     | no narrowing `as` casts inside index expressions        |
+//! | `arch_intrinsics` | `std::arch`/`core::arch` only inside `crates/simd`      |
 //! | `unused_allow`    | (meta) a suppression that matched no finding            |
 //!
 //! Suppressions: `// lint: allow(<rule>) — <justification>` on the same
@@ -36,26 +37,33 @@ pub struct Finding {
 
 /// All rule ids, in reporting order. `unused_allow` is the meta-rule
 /// for suppressions that matched nothing.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 8] = [
     "safety",
     "unwrap",
     "float_cmp",
     "hash_iter",
     "print",
     "narrow_cast",
+    "arch_intrinsics",
     "unused_allow",
 ];
 
+/// The one crate allowed to touch `std::arch`/`core::arch` directly
+/// (rule `arch_intrinsics`): every intrinsic lives behind its safe,
+/// dispatch-checked API so bit-identity across paths stays auditable
+/// in a single place.
+pub const ARCH_CRATE: &str = "simd";
+
 /// Crates whose results are numeric and must not depend on hash-map
 /// iteration order (rule `hash_iter`).
-pub const NUMERIC_CRATES: [&str; 5] = ["linalg", "grid", "solver", "core", "dft"];
+pub const NUMERIC_CRATES: [&str; 6] = ["simd", "linalg", "grid", "solver", "core", "dft"];
 
 /// Crates held to library discipline (rules `unwrap` and `print`):
 /// errors propagate, output goes through `mbrpa-obs`. The `bench`
 /// crate is deliberately absent — its panics and stdout tables are its
 /// CLI interface, not incidental behaviour.
-pub const LIBRARY_CRATES: [&str; 10] = [
-    "linalg", "grid", "solver", "core", "dft", "ckpt", "obs", "lint", "serve", "mbrpa",
+pub const LIBRARY_CRATES: [&str; 11] = [
+    "simd", "linalg", "grid", "solver", "core", "dft", "ckpt", "obs", "lint", "serve", "mbrpa",
 ];
 
 /// How a file participates in the rule set, derived from its
@@ -272,6 +280,27 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
                         "narrowing `as {}` inside an index expression can silently \
                          truncate; index with `usize` and convert with `try_from`",
                         next.map(|n| n.text.as_str()).unwrap_or("_")
+                    ),
+                );
+            }
+            // R7: raw CPU intrinsics outside the dedicated SIMD crate.
+            // `crates/simd` is the single audited home for `std::arch` /
+            // `core::arch`: its scalar oracle defines the canonical
+            // result bit-for-bit, so intrinsics sprinkled anywhere else
+            // would silently fork the numerics.
+            (TokKind::Ident, "std" | "core")
+                if class.crate_name != ARCH_CRATE
+                    && matches!(next, Some(n) if n.text == "::")
+                    && matches!(next2, Some(n2) if n2.text == "arch") =>
+            {
+                emit(
+                    tok.line,
+                    "arch_intrinsics",
+                    format!(
+                        "`{}::arch` outside `crates/simd`: route through the \
+                         `mbrpa-simd` dispatch API so every intrinsic keeps a \
+                         bit-identical scalar twin",
+                        tok.text
                     ),
                 );
             }

@@ -1,0 +1,38 @@
+// Fixture: rule `arch_intrinsics` — `std::arch` / `core::arch` belong
+// in `crates/simd` only, behind the dispatch-checked safe API. This
+// file is read by mbrpa-lint's own tests; it is never compiled and is
+// excluded from the workspace scan.
+
+/// Positive: importing raw intrinsics outside `crates/simd`.
+pub mod positive_std {
+    pub use std::arch::x86_64::_mm256_add_pd;
+}
+
+/// Positive: the `core::arch` spelling is the same violation.
+pub mod positive_core {
+    pub use core::arch::x86_64::_mm256_mul_pd;
+}
+
+/// Negative: the safe dispatch API is the sanctioned route, and paths
+/// that merely end in `arch` (not under `std`/`core`) are fine.
+pub mod negative {
+    pub mod my {
+        pub mod arch {
+            pub fn add(a: f64, b: f64) -> f64 {
+                a + b
+            }
+        }
+    }
+    pub fn ok() -> f64 {
+        my::arch::add(1.0, 2.0)
+    }
+}
+
+/// Suppressed: justified inline suppression silences the finding.
+pub mod suppressed {
+    // lint: allow(arch_intrinsics) — fixture exercises the suppression path
+    pub use std::arch::x86_64::_mm256_sub_pd;
+}
+
+// lint: allow(arch_intrinsics) — stale: the next line touches no intrinsics
+pub fn no_intrinsics_here() {}

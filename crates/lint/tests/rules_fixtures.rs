@@ -112,6 +112,21 @@ fn narrow_cast_rule_cases() {
 }
 
 #[test]
+fn arch_intrinsics_rule_cases() {
+    let f = run_fixture("crates/dft/src/rule_arch_intrinsics.rs");
+    assert_only(&f, &[("arch_intrinsics", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn arch_intrinsics_rule_exempts_the_simd_crate() {
+    // The identical source inside `crates/simd` is the sanctioned home
+    // for intrinsics: no findings, and both suppressions go stale.
+    let src = fixture_src("crates/dft/src/rule_arch_intrinsics.rs");
+    let f = check_file("crates/simd/src/rule_arch_intrinsics.rs", &src);
+    assert_only(&f, &[("arch_intrinsics", 0), ("unused_allow", 2)]);
+}
+
+#[test]
 fn classification_matrix() {
     let lib = classify("crates/solver/src/block_cocg.rs");
     assert!(lib.is_library && lib.is_numeric && !lib.is_test_file);

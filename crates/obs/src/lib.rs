@@ -52,7 +52,10 @@ use std::time::Instant;
 
 /// Version of the JSON report layout emitted by [`Report::to_json`].
 /// Bump on any backwards-incompatible change and document it in DESIGN.md.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: added the top-level `dispatch` member (active SIMD path or null)
+/// and split reduction FLOPs out of `linalg.gemm_flops` into the
+/// `solver.reduce.*` counters.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Maximum samples retained per series; later samples only bump a
 /// `dropped` count so unbounded loops cannot exhaust memory.
@@ -66,6 +69,24 @@ pub const TRACE_LEN_CAP: usize = 512;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: Mutex<Option<Global>> = Mutex::new(None);
+/// Active SIMD dispatch label (e.g. `"avx2"`), set once by the binary
+/// after it resolves the path. Kept outside the resettable sink so a
+/// [`reset`] between configuration and the run cannot lose it.
+static DISPATCH: Mutex<Option<String>> = Mutex::new(None);
+
+/// Record the active SIMD dispatch path so every subsequent [`Report`]
+/// (and its JSON/`summary_table` renderings) is tagged with it. This
+/// crate stays dependency-free: the resolved name is pushed in by the
+/// binaries rather than queried from the SIMD layer.
+pub fn set_dispatch(label: &str) {
+    let mut guard = DISPATCH.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = Some(label.to_string());
+}
+
+/// The SIMD dispatch label recorded via [`set_dispatch`], if any.
+pub fn dispatch() -> Option<String> {
+    DISPATCH.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
 
 #[derive(Default)]
 struct Sink {
@@ -423,6 +444,10 @@ pub struct Report {
     /// (a serving daemon attributing a profile to one queued job);
     /// `None` for untagged CLI-style runs.
     pub job: Option<String>,
+    /// Active SIMD dispatch path (`"scalar"`, `"avx2"`, `"neon"`) as
+    /// recorded by [`set_dispatch`]; `None` when the binary never
+    /// resolved one (library tests, embedded use).
+    pub dispatch: Option<String>,
     /// Wall-clock seconds since the sink was created or [`reset`].
     pub total_wall_s: f64,
     /// Span aggregates sorted by path.
@@ -487,6 +512,7 @@ pub fn report() -> Report {
         Report {
             schema_version: SCHEMA_VERSION,
             job: None,
+            dispatch: dispatch(),
             total_wall_s: g.epoch.elapsed().as_secs_f64(),
             spans,
             counters,
@@ -547,26 +573,38 @@ impl Report {
 
     /// Derived kernel throughput rows `(label, GF/s)` computed from the
     /// scalar-flop counters maintained by the hot kernels
-    /// (`linalg.gemm_flops`, `grid.stencil_flops`) over **total wall
-    /// time**: the sustained average rate each kernel family delivered
-    /// across the whole run. The flop counters are global while spans
-    /// cover only the instrumented call sites, so wall time is the only
-    /// denominator that matches the numerator — per-span division would
-    /// overstate the rate wherever a kernel runs outside its span.
-    /// Counters count *real* scalar flops (complex arithmetic already
-    /// expanded), so the rates are directly comparable to hardware peak;
-    /// each is a lower bound on the kernel's in-kernel throughput.
+    /// (`linalg.gemm_flops`, `grid.stencil_flops`, and the
+    /// `solver.reduce.*` family for Gram products and vector
+    /// reductions/updates) over **total wall time**: the sustained
+    /// average rate each kernel family delivered across the whole run.
+    /// The flop counters are global while spans cover only the
+    /// instrumented call sites, so wall time is the only denominator
+    /// that matches the numerator — per-span division would overstate
+    /// the rate wherever a kernel runs outside its span. Counters count
+    /// *real* scalar flops (complex arithmetic already expanded), so the
+    /// rates are directly comparable to hardware peak; each is a lower
+    /// bound on the kernel's in-kernel throughput. When a SIMD dispatch
+    /// path was recorded ([`set_dispatch`]) every label carries it, so a
+    /// rate is never mistaken for one measured on a different path.
     pub fn derived_rates(&self) -> Vec<(String, f64)> {
+        let tag = match &self.dispatch {
+            Some(d) => format!(", {d}"),
+            None => String::new(),
+        };
         let mut rows: Vec<(String, f64)> = Vec::new();
-        let mut push = |label: &str, flops: u64| {
+        let mut push = |family: &str, flops: u64| {
             if flops > 0 && self.total_wall_s > 0.0 {
-                rows.push((label.to_string(), flops as f64 * 1e-9 / self.total_wall_s));
+                rows.push((
+                    format!("{family} [avg GF/s{tag}]"),
+                    flops as f64 * 1e-9 / self.total_wall_s,
+                ));
             }
         };
-        push("linalg.gemm [avg GF/s]", self.counter("linalg.gemm_flops"));
+        push("linalg.gemm", self.counter("linalg.gemm_flops"));
+        push("grid.stencil", self.counter("grid.stencil_flops"));
         push(
-            "grid.stencil [avg GF/s]",
-            self.counter("grid.stencil_flops"),
+            "solver.reduce",
+            self.counter("solver.reduce.gram_flops") + self.counter("solver.reduce.vec_flops"),
         );
         rows
     }
@@ -580,6 +618,10 @@ impl Report {
         match &self.job {
             Some(job) => out.push_str(&format!("\"job\":{},", json_str(job))),
             None => out.push_str("\"job\":null,"),
+        }
+        match &self.dispatch {
+            Some(d) => out.push_str(&format!("\"dispatch\":{},", json_str(d))),
+            None => out.push_str("\"dispatch\":null,"),
         }
         out.push_str(&format!(
             "\"total_wall_s\":{},",
@@ -641,14 +683,15 @@ impl Report {
     pub fn summary_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "telemetry summary (schema v{}, wall {:.3} s, instrumented {:.1}%)\n",
+            "telemetry summary (schema v{}, wall {:.3} s, instrumented {:.1}%, simd {})\n",
             self.schema_version,
             self.total_wall_s,
             if self.total_wall_s > 0.0 {
                 100.0 * self.top_level_total() / self.total_wall_s
             } else {
                 0.0
-            }
+            },
+            self.dispatch.as_deref().unwrap_or("unresolved")
         ));
         out.push_str(&format!(
             "  {:<44} {:>12} {:>7} {:>9}\n",
@@ -869,7 +912,8 @@ mod tests {
         set_enabled(false);
         let text = r.to_json();
         assert_json(&text);
-        assert!(text.contains("\"schema_version\":1"));
+        assert!(text.contains("\"schema_version\":2"));
+        assert!(text.contains("\"dispatch\":"));
         assert!(text.contains("null"), "NaN must serialise to null");
     }
 
@@ -913,6 +957,18 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_label_survives_reset_and_lands_in_reports() {
+        let _g = exclusive();
+        reset();
+        set_dispatch("scalar");
+        reset(); // a reset after configuration must not lose the label
+        let r = report();
+        assert_eq!(r.dispatch.as_deref(), Some("scalar"));
+        assert!(r.to_json().contains("\"dispatch\":\"scalar\""));
+        assert!(r.summary_table().contains("simd scalar"));
+    }
+
+    #[test]
     fn derived_rates_compute_gflops_from_counters_and_spans() {
         // synthetic report: 20e9 scalar GEMM flops over 10 s of wall time
         // → 2 GF/s sustained average; 10e9 stencil flops → 1 GF/s. Spans
@@ -921,6 +977,7 @@ mod tests {
         let r = Report {
             schema_version: SCHEMA_VERSION,
             job: None,
+            dispatch: Some("avx2".into()),
             total_wall_s: 10.0,
             spans: vec![
                 SpanEntry {
@@ -937,26 +994,38 @@ mod tests {
             counters: vec![
                 ("grid.stencil_flops".into(), 10_000_000_000),
                 ("linalg.gemm_flops".into(), 20_000_000_000),
+                ("solver.reduce.gram_flops".into(), 3_000_000_000),
+                ("solver.reduce.vec_flops".into(), 2_000_000_000),
             ],
             series: vec![],
             traces: vec![],
         };
         let rates = r.derived_rates();
-        assert_eq!(rates.len(), 2);
-        assert_eq!(rates[0].0, "linalg.gemm [avg GF/s]");
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[0].0, "linalg.gemm [avg GF/s, avx2]");
         assert!((rates[0].1 - 2.0).abs() < 1e-9, "gemm rate {}", rates[0].1);
-        assert_eq!(rates[1].0, "grid.stencil [avg GF/s]");
+        assert_eq!(rates[1].0, "grid.stencil [avg GF/s, avx2]");
         assert!(
             (rates[1].1 - 1.0).abs() < 1e-9,
             "stencil rate {}",
             rates[1].1
         );
+        // the two solver.reduce.* counters fold into one family row, so
+        // Gram-product flops can never inflate the GEMM rate again
+        assert_eq!(rates[2].0, "solver.reduce [avg GF/s, avx2]");
+        assert!(
+            (rates[2].1 - 0.5).abs() < 1e-9,
+            "reduce rate {}",
+            rates[2].1
+        );
         assert!(r.summary_table().contains("derived rate"));
+        assert!(r.summary_table().contains("simd avx2"));
 
         // no flop counters → no derived rows, no header
         let empty = Report {
             schema_version: SCHEMA_VERSION,
             job: None,
+            dispatch: None,
             total_wall_s: 1.0,
             spans: vec![],
             counters: vec![],

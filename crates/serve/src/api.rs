@@ -74,6 +74,9 @@ fn health(shared: &Arc<ServeShared>) -> Response {
         ("cancelled", u(queue.count(JobState::Cancelled))),
         ("backlog_limit", u(queue.capacity())),
         ("executors", u(shared.executors)),
+        // active SIMD dispatch path — lets a client cross-check that two
+        // daemons claiming bit-identical results really can be compared
+        ("simd", s(mbrpa_simd::active().name())),
         (
             "draining",
             JsonValue::Bool(shared.draining.load(Ordering::Acquire)),

@@ -411,6 +411,10 @@ pub fn validate_health_doc(v: &JsonValue) -> Result<(), String> {
     for key in ["queued", "running", "backlog_limit", "executors"] {
         require_uint(v, key)?;
     }
+    let simd = require_str(v, "simd")?;
+    if !["scalar", "avx2", "neon"].contains(&simd) {
+        return Err(format!("unknown `simd` dispatch `{simd}`"));
+    }
     // the cache block is optional (daemons may run with `-no-cache`),
     // but when present its counters must all be there
     if let Some(cache) = v.get("cache") {
@@ -440,12 +444,16 @@ pub fn validate_health_doc(v: &JsonValue) -> Result<(), String> {
 /// and counter tables.
 pub fn validate_profile_doc(v: &JsonValue) -> Result<(), String> {
     let version = require_uint(v, "schema_version")?;
-    if version != 1 {
-        return Err(format!("profile schema_version is {version}, need 1"));
+    if version != 2 {
+        return Err(format!("profile schema_version is {version}, need 2"));
     }
     match v.get("job") {
         Some(JsonValue::Null) | Some(JsonValue::Str(_)) => {}
         _ => return Err("`job` must be a string or null".to_string()),
+    }
+    match v.get("dispatch") {
+        Some(JsonValue::Null) | Some(JsonValue::Str(_)) => {}
+        _ => return Err("`dispatch` must be a string or null".to_string()),
     }
     require_num(v, "total_wall_s")?;
     let spans = v
@@ -652,8 +660,34 @@ mod tests {
             ("running", u(0)),
             ("backlog_limit", u(16)),
             ("executors", u(1)),
+            ("simd", s("scalar")),
         ]);
         validate_health_doc(&doc).unwrap();
+        // a health doc without the dispatch path, or with a bogus one,
+        // is rejected
+        let no_simd: Vec<_> = doc
+            .as_obj()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| k != "simd")
+            .cloned()
+            .collect();
+        assert!(validate_health_doc(&JsonValue::Obj(no_simd)).is_err());
+        let bogus: Vec<_> = doc
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| {
+                if k == "simd" {
+                    (k.clone(), s("sse42"))
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect();
+        assert!(validate_health_doc(&JsonValue::Obj(bogus))
+            .unwrap_err()
+            .contains("simd"));
         let mut pairs = doc.as_obj().unwrap().to_vec();
         pairs.push((
             "cache".to_string(),

@@ -75,8 +75,11 @@ proptest! {
                     match queue.submit(&id, priority) {
                         Ok(()) => accepted.push(id),
                         Err(SubmitError::Full { retry_after_s }) => {
-                            // refused exactly when at capacity, with a hint
-                            prop_assert_eq!(queue.count(JobState::Queued), capacity);
+                            // refused only at/above capacity, with a hint.
+                            // Requeued drains can push the backlog PAST
+                            // capacity (re-admission bypasses the check),
+                            // so equality would over-assert here.
+                            prop_assert!(queue.count(JobState::Queued) >= capacity);
                             prop_assert!(retry_after_s >= 1);
                         }
                         Err(SubmitError::Duplicate) => {

@@ -1,0 +1,796 @@
+//! AVX2+FMA backend (x86_64).
+//!
+//! Every function here reproduces the canonical semantics of
+//! [`crate::scalar`] bit-for-bit: elementwise ops use one
+//! `_mm256_fmadd_pd`/`_mm256_fnmadd_pd` per `f64::mul_add` in the
+//! oracle (and plain `_mm256_mul_pd` per plain `*`), and reductions
+//! realize the canonical lane layout as register lanes, handle the
+//! remainder with the oracle's own scalar formula on the extracted lane
+//! state, and finish with the shared folds in [`crate::lanes`].
+//!
+//! All functions are `unsafe` because of `#[target_feature]`: callers
+//! (the dispatch layer in `lib.rs`) must have verified `avx2` and `fma`
+//! support at runtime.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use crate::lanes;
+use core::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_broadcast_sd, _mm256_castpd_si256, _mm256_cmp_pd,
+    _mm256_fmadd_pd, _mm256_fnmadd_pd, _mm256_loadu_pd, _mm256_maskload_pd, _mm256_maskstore_pd,
+    _mm256_mul_pd, _mm256_permute_pd, _mm256_set1_pd, _mm256_set_pd, _mm256_setzero_pd,
+    _mm256_storeu_pd, _CMP_LT_OQ,
+};
+
+/// Swap re/im within each complex pair: `[a, b, c, d] → [b, a, d, c]`.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+unsafe fn swap_pairs(v: __m256d) -> __m256d {
+    _mm256_permute_pd::<0b0101>(v)
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise, real coefficients
+// ---------------------------------------------------------------------------
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn scale_copy(c: f64, x: &[f64], o: &mut [f64]) {
+    debug_assert_eq!(x.len(), o.len());
+    let n = o.len();
+    let n4 = n - n % 4;
+    let vc = _mm256_set1_pd(c);
+    let (xp, op) = (x.as_ptr(), o.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and both slices have length n.
+        _mm256_storeu_pd(op.add(i), _mm256_mul_pd(vc, _mm256_loadu_pd(xp.add(i))));
+        i += 4;
+    }
+    for r in n4..n {
+        o[r] = c * x[r];
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn axpy(c: f64, x: &[f64], o: &mut [f64]) {
+    debug_assert_eq!(x.len(), o.len());
+    let n = o.len();
+    let n4 = n - n % 4;
+    let vc = _mm256_set1_pd(c);
+    let (xp, op) = (x.as_ptr(), o.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and both slices have length n.
+        let ov = _mm256_loadu_pd(op.add(i));
+        let xv = _mm256_loadu_pd(xp.add(i));
+        _mm256_storeu_pd(op.add(i), _mm256_fmadd_pd(vc, xv, ov));
+        i += 4;
+    }
+    for r in n4..n {
+        o[r] = c.mul_add(x[r], o[r]);
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn axpy2(c: f64, p: &[f64], m: &[f64], o: &mut [f64]) {
+    debug_assert_eq!(p.len(), o.len());
+    debug_assert_eq!(m.len(), o.len());
+    let n = o.len();
+    let n4 = n - n % 4;
+    let vc = _mm256_set1_pd(c);
+    let (pp, mp, op) = (p.as_ptr(), m.as_ptr(), o.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and all three slices have length n.
+        let sum = _mm256_add_pd(_mm256_loadu_pd(pp.add(i)), _mm256_loadu_pd(mp.add(i)));
+        let ov = _mm256_loadu_pd(op.add(i));
+        _mm256_storeu_pd(op.add(i), _mm256_fmadd_pd(vc, sum, ov));
+        i += 4;
+    }
+    for r in n4..n {
+        o[r] = c.mul_add(p[r] + m[r], o[r]);
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn scal(c: f64, x: &mut [f64]) {
+    let n = x.len();
+    let n4 = n - n % 4;
+    let vc = _mm256_set1_pd(c);
+    let xp = x.as_mut_ptr();
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n.
+        _mm256_storeu_pd(xp.add(i), _mm256_mul_pd(vc, _mm256_loadu_pd(xp.add(i))));
+        i += 4;
+    }
+    for xr in &mut x[n4..] {
+        *xr *= c;
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. The wrapper checks the extreme indices (`origin + min offset` and
+// `last row end + max offset`) against `src`; every index the sweep forms
+// is an affine combination with non-negative coefficients, so it lies
+// between those corners and all raw loads/stores stay in bounds.
+pub(crate) unsafe fn stencil_rows(
+    terms: &[(f64, isize)],
+    src: &[f64],
+    origin: usize,
+    row_stride: usize,
+    slab_stride: usize,
+    rows_per_slab: usize,
+    row_len: usize,
+    o: &mut [f64],
+) {
+    let n = row_len;
+    let (w0, off0) = terms[0];
+    let rest = &terms[1..];
+    let vw0 = _mm256_set1_pd(w0);
+    let sp = src.as_ptr();
+    let op = o.as_mut_ptr();
+    let nrows = o.len() / n;
+    let mut slab_base = origin;
+    let mut row_in_slab = 0usize;
+    let mut base = origin;
+    // Every row leaves the same n % 4 remainder, so the tail mask is
+    // built once per call.
+    let mask = _mm256_castpd_si256(_mm256_cmp_pd::<_CMP_LT_OQ>(
+        _mm256_set_pd(3.0, 2.0, 1.0, 0.0),
+        _mm256_set1_pd((n % 4) as f64),
+    ));
+    for rix in 0..nrows {
+        // SAFETY: base is in bounds (see function-level argument).
+        let rp = sp.add(base);
+        let orow = op.add(rix * n);
+        // Statically-unrolled register blocks (16-, 8-, then 4-wide):
+        // each output element sits in one lane of one named accumulator
+        // register for its whole term chain, so the chains interleave
+        // (hiding FMA latency) and each per-term coefficient broadcast is
+        // shared by the whole block. A dynamic vector count would spill
+        // the accumulator array to the stack on every term — the static
+        // tiers keep everything in ymm registers. The final `n % 4`
+        // elements run one masked vector — disabled lanes load as zero,
+        // compute garbage, and are never stored — so no row ever falls
+        // back to a scalar loop.
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // SAFETY: i + 16 <= n; base + off is corner-bounded (above).
+            let tp = rp.offset(off0).add(i);
+            let mut a0 = _mm256_mul_pd(vw0, _mm256_loadu_pd(tp));
+            let mut a1 = _mm256_mul_pd(vw0, _mm256_loadu_pd(tp.add(4)));
+            let mut a2 = _mm256_mul_pd(vw0, _mm256_loadu_pd(tp.add(8)));
+            let mut a3 = _mm256_mul_pd(vw0, _mm256_loadu_pd(tp.add(12)));
+            for &(w, off) in rest {
+                let vw = _mm256_set1_pd(w);
+                let tp = rp.offset(off).add(i);
+                a0 = _mm256_fmadd_pd(vw, _mm256_loadu_pd(tp), a0);
+                a1 = _mm256_fmadd_pd(vw, _mm256_loadu_pd(tp.add(4)), a1);
+                a2 = _mm256_fmadd_pd(vw, _mm256_loadu_pd(tp.add(8)), a2);
+                a3 = _mm256_fmadd_pd(vw, _mm256_loadu_pd(tp.add(12)), a3);
+            }
+            _mm256_storeu_pd(orow.add(i), a0);
+            _mm256_storeu_pd(orow.add(i + 4), a1);
+            _mm256_storeu_pd(orow.add(i + 8), a2);
+            _mm256_storeu_pd(orow.add(i + 12), a3);
+            i += 16;
+        }
+        if i + 8 <= n {
+            // SAFETY: i + 8 <= n; base + off is corner-bounded (above).
+            let tp = rp.offset(off0).add(i);
+            let mut a0 = _mm256_mul_pd(vw0, _mm256_loadu_pd(tp));
+            let mut a1 = _mm256_mul_pd(vw0, _mm256_loadu_pd(tp.add(4)));
+            for &(w, off) in rest {
+                let vw = _mm256_set1_pd(w);
+                let tp = rp.offset(off).add(i);
+                a0 = _mm256_fmadd_pd(vw, _mm256_loadu_pd(tp), a0);
+                a1 = _mm256_fmadd_pd(vw, _mm256_loadu_pd(tp.add(4)), a1);
+            }
+            _mm256_storeu_pd(orow.add(i), a0);
+            _mm256_storeu_pd(orow.add(i + 4), a1);
+            i += 8;
+        }
+        if i + 4 <= n {
+            // SAFETY: i + 4 <= n; base + off is corner-bounded (above).
+            let mut a0 = _mm256_mul_pd(vw0, _mm256_loadu_pd(rp.offset(off0).add(i)));
+            for &(w, off) in rest {
+                a0 = _mm256_fmadd_pd(
+                    _mm256_set1_pd(w),
+                    _mm256_loadu_pd(rp.offset(off).add(i)),
+                    a0,
+                );
+            }
+            _mm256_storeu_pd(orow.add(i), a0);
+            i += 4;
+        }
+        if i < n {
+            // SAFETY: enabled mask lanes satisfy i + lane < n; base + off
+            // is corner-bounded (above).
+            let mut a0 = _mm256_mul_pd(vw0, _mm256_maskload_pd(rp.offset(off0).add(i), mask));
+            for &(w, off) in rest {
+                a0 = _mm256_fmadd_pd(
+                    _mm256_set1_pd(w),
+                    _mm256_maskload_pd(rp.offset(off).add(i), mask),
+                    a0,
+                );
+            }
+            _mm256_maskstore_pd(orow.add(i), mask, a0);
+        }
+        row_in_slab += 1;
+        if row_in_slab == rows_per_slab {
+            row_in_slab = 0;
+            slab_base += slab_stride;
+            base = slab_base;
+        } else {
+            base += row_stride;
+        }
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn axpby(a: f64, b: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = y.len();
+    let n4 = n - n % 4;
+    let va = _mm256_set1_pd(a);
+    let vb = _mm256_set1_pd(b);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and both slices have length n.
+        let by = _mm256_mul_pd(vb, _mm256_loadu_pd(yp.add(i)));
+        let xv = _mm256_loadu_pd(xp.add(i));
+        _mm256_storeu_pd(yp.add(i), _mm256_fmadd_pd(va, xv, by));
+        i += 4;
+    }
+    for r in n4..n {
+        y[r] = a.mul_add(x[r], b * y[r]);
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn shift_scale(s: f64, c: f64, x: &[f64], v: &mut [f64]) {
+    debug_assert_eq!(x.len(), v.len());
+    let n = v.len();
+    let n4 = n - n % 4;
+    let vs = _mm256_set1_pd(s);
+    let vc = _mm256_set1_pd(c);
+    let (xp, vp) = (x.as_ptr(), v.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and both slices have length n.
+        let vv = _mm256_loadu_pd(vp.add(i));
+        let xv = _mm256_loadu_pd(xp.add(i));
+        _mm256_storeu_pd(vp.add(i), _mm256_mul_pd(vs, _mm256_fnmadd_pd(vc, xv, vv)));
+        i += 4;
+    }
+    for r in n4..n {
+        v[r] = s * (-c).mul_add(x[r], v[r]);
+    }
+}
+
+#[allow(clippy::many_single_char_names)]
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn shift_scale_sub(
+    s: f64,
+    c: f64,
+    t: f64,
+    y: &[f64],
+    xprev: &[f64],
+    w: &mut [f64],
+) {
+    debug_assert_eq!(y.len(), w.len());
+    debug_assert_eq!(xprev.len(), w.len());
+    let n = w.len();
+    let n4 = n - n % 4;
+    let vs = _mm256_set1_pd(s);
+    let vc = _mm256_set1_pd(c);
+    let vt = _mm256_set1_pd(t);
+    let (yp, xp, wp) = (y.as_ptr(), xprev.as_ptr(), w.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and all three slices have length n.
+        let wv = _mm256_loadu_pd(wp.add(i));
+        let yv = _mm256_loadu_pd(yp.add(i));
+        let xv = _mm256_loadu_pd(xp.add(i));
+        let inner = _mm256_mul_pd(vs, _mm256_fnmadd_pd(vc, yv, wv));
+        _mm256_storeu_pd(wp.add(i), _mm256_fnmadd_pd(vt, xv, inner));
+        i += 4;
+    }
+    for r in n4..n {
+        w[r] = (-t).mul_add(xprev[r], s * (-c).mul_add(y[r], w[r]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise, complex coefficients on interleaved data
+// ---------------------------------------------------------------------------
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn axpy_c64(ar: f64, ai: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len() % 2, 0);
+    let n = y.len();
+    let n4 = n - n % 4;
+    let var = _mm256_set1_pd(ar);
+    // Memory order [-ai, ai, -ai, ai] (set_pd lists high→low lanes).
+    let vas = _mm256_set_pd(ai, -ai, ai, -ai);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and both slices have length n.
+        let xv = _mm256_loadu_pd(xp.add(i));
+        let yv = _mm256_loadu_pd(yp.add(i));
+        let t = _mm256_fmadd_pd(var, xv, yv);
+        _mm256_storeu_pd(yp.add(i), _mm256_fmadd_pd(vas, swap_pairs(xv), t));
+        i += 4;
+    }
+    if n4 < n {
+        let (xr, xi) = (x[n4], x[n4 + 1]);
+        y[n4] = (-ai).mul_add(xi, ar.mul_add(xr, y[n4]));
+        y[n4 + 1] = ai.mul_add(xr, ar.mul_add(xi, y[n4 + 1]));
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn axpby_c64(ar: f64, ai: f64, br: f64, bi: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len() % 2, 0);
+    let n = y.len();
+    let n4 = n - n % 4;
+    let var = _mm256_set1_pd(ar);
+    let vas = _mm256_set_pd(ai, -ai, ai, -ai);
+    let vbr = _mm256_set1_pd(br);
+    let vbs = _mm256_set_pd(bi, -bi, bi, -bi);
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n and both slices have length n.
+        let xv = _mm256_loadu_pd(xp.add(i));
+        let yv = _mm256_loadu_pd(yp.add(i));
+        let ax = _mm256_fmadd_pd(vas, swap_pairs(xv), _mm256_mul_pd(var, xv));
+        let t = _mm256_fmadd_pd(vbs, swap_pairs(yv), ax);
+        _mm256_storeu_pd(yp.add(i), _mm256_fmadd_pd(vbr, yv, t));
+        i += 4;
+    }
+    if n4 < n {
+        let (xr, xi) = (x[n4], x[n4 + 1]);
+        let (yr, yi) = (y[n4], y[n4 + 1]);
+        let axr = (-ai).mul_add(xi, ar * xr);
+        let axi = ai.mul_add(xr, ar * xi);
+        y[n4] = br.mul_add(yr, (-bi).mul_add(yi, axr));
+        y[n4 + 1] = br.mul_add(yi, bi.mul_add(yr, axi));
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn scal_c64(ar: f64, ai: f64, x: &mut [f64]) {
+    debug_assert_eq!(x.len() % 2, 0);
+    let n = x.len();
+    let n4 = n - n % 4;
+    let var = _mm256_set1_pd(ar);
+    let vas = _mm256_set_pd(ai, -ai, ai, -ai);
+    let xp = x.as_mut_ptr();
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: i + 4 <= n.
+        let xv = _mm256_loadu_pd(xp.add(i));
+        let prod = _mm256_fmadd_pd(vas, swap_pairs(xv), _mm256_mul_pd(var, xv));
+        _mm256_storeu_pd(xp.add(i), prod);
+        i += 4;
+    }
+    if n4 < n {
+        let (xr, xi) = (x[n4], x[n4 + 1]);
+        x[n4] = (-ai).mul_add(xi, ar * xr);
+        x[n4 + 1] = ai.mul_add(xr, ar * xi);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let n8 = n - n % lanes::F64_LANES;
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut i = 0;
+    while i < n8 {
+        // SAFETY: i + 8 <= n and both slices have length n.
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), acc0);
+        acc1 = _mm256_fmadd_pd(
+            _mm256_loadu_pd(xp.add(i + 4)),
+            _mm256_loadu_pd(yp.add(i + 4)),
+            acc1,
+        );
+        i += 8;
+    }
+    let mut state = [0.0_f64; lanes::F64_LANES];
+    // SAFETY: `state` has room for both 4-lane stores.
+    _mm256_storeu_pd(state.as_mut_ptr(), acc0);
+    _mm256_storeu_pd(state.as_mut_ptr().add(4), acc1);
+    for r in n8..n {
+        let l = r % lanes::F64_LANES;
+        state[l] = x[r].mul_add(y[r], state[l]);
+    }
+    lanes::fold(&state)
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn nrm2_sq(x: &[f64]) -> f64 {
+    let n = x.len();
+    let n8 = n - n % lanes::F64_LANES;
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let xp = x.as_ptr();
+    let mut i = 0;
+    while i < n8 {
+        // SAFETY: i + 8 <= n.
+        let v0 = _mm256_loadu_pd(xp.add(i));
+        let v1 = _mm256_loadu_pd(xp.add(i + 4));
+        acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+        acc1 = _mm256_fmadd_pd(v1, v1, acc1);
+        i += 8;
+    }
+    let mut state = [0.0_f64; lanes::F64_LANES];
+    // SAFETY: `state` has room for both 4-lane stores.
+    _mm256_storeu_pd(state.as_mut_ptr(), acc0);
+    _mm256_storeu_pd(state.as_mut_ptr().add(4), acc1);
+    for (r, &xr) in x.iter().enumerate().skip(n8) {
+        let l = r % lanes::F64_LANES;
+        state[l] = xr.mul_add(xr, state[l]);
+    }
+    lanes::fold(&state)
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+unsafe fn dot_c64_states(
+    x: &[f64],
+    y: &[f64],
+) -> ([f64; 2 * lanes::C64_LANES], [f64; 2 * lanes::C64_LANES]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len() % 2, 0);
+    let n = x.len();
+    let n8 = n - n % (2 * lanes::C64_LANES);
+    let mut p0 = _mm256_setzero_pd();
+    let mut p1 = _mm256_setzero_pd();
+    let mut q0 = _mm256_setzero_pd();
+    let mut q1 = _mm256_setzero_pd();
+    let (xp, yp) = (x.as_ptr(), y.as_ptr());
+    let mut i = 0;
+    while i < n8 {
+        // SAFETY: i + 8 <= n and both slices have length n.
+        let xv0 = _mm256_loadu_pd(xp.add(i));
+        let yv0 = _mm256_loadu_pd(yp.add(i));
+        p0 = _mm256_fmadd_pd(xv0, yv0, p0);
+        q0 = _mm256_fmadd_pd(xv0, swap_pairs(yv0), q0);
+        let xv1 = _mm256_loadu_pd(xp.add(i + 4));
+        let yv1 = _mm256_loadu_pd(yp.add(i + 4));
+        p1 = _mm256_fmadd_pd(xv1, yv1, p1);
+        q1 = _mm256_fmadd_pd(xv1, swap_pairs(yv1), q1);
+        i += 8;
+    }
+    let mut p = [0.0_f64; 2 * lanes::C64_LANES];
+    let mut q = [0.0_f64; 2 * lanes::C64_LANES];
+    // SAFETY: `p`/`q` each have room for both 4-lane stores.
+    _mm256_storeu_pd(p.as_mut_ptr(), p0);
+    _mm256_storeu_pd(p.as_mut_ptr().add(4), p1);
+    _mm256_storeu_pd(q.as_mut_ptr(), q0);
+    _mm256_storeu_pd(q.as_mut_ptr().add(4), q1);
+    let mut j = n8 / 2;
+    while j < n / 2 {
+        let l = 2 * (j % lanes::C64_LANES);
+        let (xr, xi) = (x[2 * j], x[2 * j + 1]);
+        let (yr, yi) = (y[2 * j], y[2 * j + 1]);
+        p[l] = xr.mul_add(yr, p[l]);
+        p[l + 1] = xi.mul_add(yi, p[l + 1]);
+        q[l] = xr.mul_add(yi, q[l]);
+        q[l + 1] = xi.mul_add(yr, q[l + 1]);
+        j += 1;
+    }
+    (p, q)
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn dot_t_c64(x: &[f64], y: &[f64]) -> (f64, f64) {
+    let (p, q) = dot_c64_states(x, y);
+    lanes::combine_t(&p, &q)
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn dot_h_c64(x: &[f64], y: &[f64]) -> (f64, f64) {
+    let (p, q) = dot_c64_states(x, y);
+    lanes::combine_h(&p, &q)
+}
+
+// ---------------------------------------------------------------------------
+// GEMM microkernels
+// ---------------------------------------------------------------------------
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn gemm_f64_8x4(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    debug_assert!(ap.len() >= 8 * k);
+    debug_assert!(bp.len() >= 4 * k);
+    let accp = acc.as_mut_ptr();
+    // SAFETY: `acc` is exactly 32 f64s; offsets 0..28 stay in bounds.
+    let mut c00 = _mm256_loadu_pd(accp);
+    let mut c01 = _mm256_loadu_pd(accp.add(4));
+    let mut c10 = _mm256_loadu_pd(accp.add(8));
+    let mut c11 = _mm256_loadu_pd(accp.add(12));
+    let mut c20 = _mm256_loadu_pd(accp.add(16));
+    let mut c21 = _mm256_loadu_pd(accp.add(20));
+    let mut c30 = _mm256_loadu_pd(accp.add(24));
+    let mut c31 = _mm256_loadu_pd(accp.add(28));
+    let app = ap.as_ptr();
+    let bpp = bp.as_ptr();
+    for p in 0..k {
+        // SAFETY: panel bounds checked by the debug_asserts above; the
+        // packing layer always provides full 8-tall / 4-wide panels.
+        let a0 = _mm256_loadu_pd(app.add(8 * p));
+        let a1 = _mm256_loadu_pd(app.add(8 * p + 4));
+        let b0 = _mm256_broadcast_sd(&*bpp.add(4 * p));
+        c00 = _mm256_fmadd_pd(a0, b0, c00);
+        c01 = _mm256_fmadd_pd(a1, b0, c01);
+        let b1 = _mm256_broadcast_sd(&*bpp.add(4 * p + 1));
+        c10 = _mm256_fmadd_pd(a0, b1, c10);
+        c11 = _mm256_fmadd_pd(a1, b1, c11);
+        let b2 = _mm256_broadcast_sd(&*bpp.add(4 * p + 2));
+        c20 = _mm256_fmadd_pd(a0, b2, c20);
+        c21 = _mm256_fmadd_pd(a1, b2, c21);
+        let b3 = _mm256_broadcast_sd(&*bpp.add(4 * p + 3));
+        c30 = _mm256_fmadd_pd(a0, b3, c30);
+        c31 = _mm256_fmadd_pd(a1, b3, c31);
+    }
+    // SAFETY: same bounds as the loads above.
+    _mm256_storeu_pd(accp, c00);
+    _mm256_storeu_pd(accp.add(4), c01);
+    _mm256_storeu_pd(accp.add(8), c10);
+    _mm256_storeu_pd(accp.add(12), c11);
+    _mm256_storeu_pd(accp.add(16), c20);
+    _mm256_storeu_pd(accp.add(20), c21);
+    _mm256_storeu_pd(accp.add(24), c30);
+    _mm256_storeu_pd(accp.add(28), c31);
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn gemm_c64_4x4(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    debug_assert!(ap.len() >= 8 * k);
+    debug_assert!(bp.len() >= 8 * k);
+    let accp = acc.as_mut_ptr();
+    // SAFETY: `acc` is exactly 32 f64s; column j lives at 8j (re) / 8j+4 (im).
+    let mut cr0 = _mm256_loadu_pd(accp);
+    let mut ci0 = _mm256_loadu_pd(accp.add(4));
+    let mut cr1 = _mm256_loadu_pd(accp.add(8));
+    let mut ci1 = _mm256_loadu_pd(accp.add(12));
+    let mut cr2 = _mm256_loadu_pd(accp.add(16));
+    let mut ci2 = _mm256_loadu_pd(accp.add(20));
+    let mut cr3 = _mm256_loadu_pd(accp.add(24));
+    let mut ci3 = _mm256_loadu_pd(accp.add(28));
+    let app = ap.as_ptr();
+    let bpp = bp.as_ptr();
+    for p in 0..k {
+        // SAFETY: split panels hold [re×4 | im×4] per depth step; bounds
+        // follow from the debug_asserts above.
+        let arv = _mm256_loadu_pd(app.add(8 * p));
+        let aiv = _mm256_loadu_pd(app.add(8 * p + 4));
+        let br0 = _mm256_broadcast_sd(&*bpp.add(8 * p));
+        let bi0 = _mm256_broadcast_sd(&*bpp.add(8 * p + 4));
+        cr0 = _mm256_fnmadd_pd(aiv, bi0, _mm256_fmadd_pd(arv, br0, cr0));
+        ci0 = _mm256_fmadd_pd(aiv, br0, _mm256_fmadd_pd(arv, bi0, ci0));
+        let br1 = _mm256_broadcast_sd(&*bpp.add(8 * p + 1));
+        let bi1 = _mm256_broadcast_sd(&*bpp.add(8 * p + 5));
+        cr1 = _mm256_fnmadd_pd(aiv, bi1, _mm256_fmadd_pd(arv, br1, cr1));
+        ci1 = _mm256_fmadd_pd(aiv, br1, _mm256_fmadd_pd(arv, bi1, ci1));
+        let br2 = _mm256_broadcast_sd(&*bpp.add(8 * p + 2));
+        let bi2 = _mm256_broadcast_sd(&*bpp.add(8 * p + 6));
+        cr2 = _mm256_fnmadd_pd(aiv, bi2, _mm256_fmadd_pd(arv, br2, cr2));
+        ci2 = _mm256_fmadd_pd(aiv, br2, _mm256_fmadd_pd(arv, bi2, ci2));
+        let br3 = _mm256_broadcast_sd(&*bpp.add(8 * p + 3));
+        let bi3 = _mm256_broadcast_sd(&*bpp.add(8 * p + 7));
+        cr3 = _mm256_fnmadd_pd(aiv, bi3, _mm256_fmadd_pd(arv, br3, cr3));
+        ci3 = _mm256_fmadd_pd(aiv, br3, _mm256_fmadd_pd(arv, bi3, ci3));
+    }
+    // SAFETY: same bounds as the loads above.
+    _mm256_storeu_pd(accp, cr0);
+    _mm256_storeu_pd(accp.add(4), ci0);
+    _mm256_storeu_pd(accp.add(8), cr1);
+    _mm256_storeu_pd(accp.add(12), ci1);
+    _mm256_storeu_pd(accp.add(16), cr2);
+    _mm256_storeu_pd(accp.add(20), ci2);
+    _mm256_storeu_pd(accp.add(24), cr3);
+    _mm256_storeu_pd(accp.add(28), ci3);
+}
+
+// ---------------------------------------------------------------------------
+// Gram tiles
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn gram2x4_f64(
+    a0: &[f64],
+    a1: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+    out: &mut [f64; 8],
+) {
+    let k = a0.len();
+    debug_assert!(
+        a1.len() == k && b0.len() == k && b1.len() == k && b2.len() == k && b3.len() == k
+    );
+    let k4 = k - k % lanes::GRAM_F64_LANES;
+    let mut s = [_mm256_setzero_pd(); 8];
+    let ap = [a0.as_ptr(), a1.as_ptr()];
+    let bp = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+    let mut p = 0;
+    while p < k4 {
+        // SAFETY: p + 4 <= k and every slice has length k.
+        let av0 = _mm256_loadu_pd(ap[0].add(p));
+        let av1 = _mm256_loadu_pd(ap[1].add(p));
+        for j in 0..4 {
+            let bv = _mm256_loadu_pd(bp[j].add(p));
+            s[2 * j] = _mm256_fmadd_pd(av0, bv, s[2 * j]);
+            s[2 * j + 1] = _mm256_fmadd_pd(av1, bv, s[2 * j + 1]);
+        }
+        p += 4;
+    }
+    let mut state = [[0.0_f64; lanes::GRAM_F64_LANES]; 8];
+    for (arr, acc) in state.iter_mut().zip(s.iter()) {
+        // SAFETY: each lane array holds exactly 4 f64s.
+        _mm256_storeu_pd(arr.as_mut_ptr(), *acc);
+    }
+    let a = [a0, a1];
+    let b = [b0, b1, b2, b3];
+    for r in k4..k {
+        let l = r % lanes::GRAM_F64_LANES;
+        for j in 0..4 {
+            let bv = b[j][r];
+            for i in 0..2 {
+                let st = &mut state[2 * j + i][l];
+                *st = a[i][r].mul_add(bv, *st);
+            }
+        }
+    }
+    for (o, arr) in out.iter_mut().zip(state.iter()) {
+        *o = lanes::fold(arr);
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+// SAFETY: `#[target_feature]` fn — the caller must guarantee AVX2+FMA
+// support; `dispatch_on!` only routes here when `available()` reported
+// it. All memory access goes through safe slices.
+pub(crate) unsafe fn gram2_c64(
+    conj: bool,
+    a0: &[f64],
+    a1: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    out: &mut [f64; 8],
+) {
+    let n = a0.len();
+    debug_assert_eq!(n % 2, 0);
+    debug_assert!(a1.len() == n && b0.len() == n && b1.len() == n);
+    let kc = n / 2;
+    let kc2 = kc - kc % lanes::GRAM_C64_LANES;
+    let mut pv = [_mm256_setzero_pd(); 4];
+    let mut qv = [_mm256_setzero_pd(); 4];
+    let ap = [a0.as_ptr(), a1.as_ptr()];
+    let bp = [b0.as_ptr(), b1.as_ptr()];
+    let mut pc = 0;
+    while pc < kc2 {
+        let f = 2 * pc;
+        // SAFETY: f + 4 <= n and every slice has length n.
+        let av0 = _mm256_loadu_pd(ap[0].add(f));
+        let av1 = _mm256_loadu_pd(ap[1].add(f));
+        for j in 0..2 {
+            let bv = _mm256_loadu_pd(bp[j].add(f));
+            let bs = swap_pairs(bv);
+            pv[2 * j] = _mm256_fmadd_pd(av0, bv, pv[2 * j]);
+            qv[2 * j] = _mm256_fmadd_pd(av0, bs, qv[2 * j]);
+            pv[2 * j + 1] = _mm256_fmadd_pd(av1, bv, pv[2 * j + 1]);
+            qv[2 * j + 1] = _mm256_fmadd_pd(av1, bs, qv[2 * j + 1]);
+        }
+        pc += lanes::GRAM_C64_LANES;
+    }
+    let mut ps = [[0.0_f64; 2 * lanes::GRAM_C64_LANES]; 4];
+    let mut qs = [[0.0_f64; 2 * lanes::GRAM_C64_LANES]; 4];
+    for idx in 0..4 {
+        // SAFETY: each lane array holds exactly 4 f64s.
+        _mm256_storeu_pd(ps[idx].as_mut_ptr(), pv[idx]);
+        _mm256_storeu_pd(qs[idx].as_mut_ptr(), qv[idx]);
+    }
+    let a = [a0, a1];
+    let b = [b0, b1];
+    for r in kc2..kc {
+        let l = 2 * (r % lanes::GRAM_C64_LANES);
+        for j in 0..2 {
+            let (yr, yi) = (b[j][2 * r], b[j][2 * r + 1]);
+            for i in 0..2 {
+                let (xr, xi) = (a[i][2 * r], a[i][2 * r + 1]);
+                let s = &mut ps[2 * j + i];
+                s[l] = xr.mul_add(yr, s[l]);
+                s[l + 1] = xi.mul_add(yi, s[l + 1]);
+                let t = &mut qs[2 * j + i];
+                t[l] = xr.mul_add(yi, t[l]);
+                t[l + 1] = xi.mul_add(yr, t[l + 1]);
+            }
+        }
+    }
+    for idx in 0..4 {
+        let (re, im) = if conj {
+            lanes::combine_h(&ps[idx], &qs[idx])
+        } else {
+            lanes::combine_t(&ps[idx], &qs[idx])
+        };
+        out[2 * idx] = re;
+        out[2 * idx + 1] = im;
+    }
+}

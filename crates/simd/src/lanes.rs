@@ -1,0 +1,79 @@
+//! Shared lane-state folding — the single place partial lane sums become
+//! final reduction results.
+//!
+//! Every reduction in this crate (real and complex dots, squared norms,
+//! Gram tiles) accumulates into a fixed number of independent *lanes*:
+//! element `i` of the input always lands in lane `i mod LANES`, and each
+//! lane is a pure sequential fused-multiply-add chain. A vector backend
+//! realizes the lanes as SIMD register lanes; the scalar backend keeps
+//! them in a small array. Both then call the fold/combine functions in
+//! this module on the extracted lane state, so the reduction tree — and
+//! therefore the result bits — are identical across dispatch paths *by
+//! construction*, not by testing alone (the proptests in
+//! `tests/bitwise_identity.rs` check the construction anyway).
+
+/// Number of independent f64 accumulation lanes in every real reduction
+/// (`dot`, `nrm2_sq`). On AVX2 these are two 4-wide registers; on NEON
+/// four 2-wide registers; the scalar oracle keeps an `[f64; 8]`.
+pub const F64_LANES: usize = 8;
+
+/// Number of complex accumulation lanes in every complex reduction
+/// (`dot_t_c64`, `dot_h_c64`). Each complex lane spans two adjacent f64
+/// lanes (re, im), so the f64 lane state is `2 * C64_LANES` wide.
+pub const C64_LANES: usize = 4;
+
+/// f64 lanes per pair accumulator in the real Gram tile (`gram2x4_f64`):
+/// depth step `p` lands in lane `p mod GRAM_F64_LANES`.
+pub const GRAM_F64_LANES: usize = 4;
+
+/// Complex lanes per pair accumulator in the complex Gram tile
+/// (`gram2_c64`): complex depth step `p` lands in lane `p mod GRAM_C64_LANES`.
+pub const GRAM_C64_LANES: usize = 2;
+
+/// Canonical lane fold: plain sequential sum in lane order.
+#[inline]
+pub fn fold(lanes: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &l in lanes {
+        acc += l;
+    }
+    acc
+}
+
+/// Combine the component-product lane states of an **unconjugated**
+/// complex dot `xᵀy`.
+///
+/// `p[2l] / p[2l+1]` hold Σ xr·yr / Σ xi·yi partials for complex lane
+/// `l`; `q[2l] / q[2l+1]` hold Σ xr·yi / Σ xi·yr (the "swapped-y"
+/// stream a vector backend gets from one in-lane permute). Then
+/// `re = Σp_even − Σp_odd`, `im = Σq_even + Σq_odd`, with each partial
+/// sum folded sequentially in lane order.
+#[inline]
+pub fn combine_t(p: &[f64], q: &[f64]) -> (f64, f64) {
+    let (mut pr, mut pi, mut qr, mut qi) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    let mut l = 0;
+    while l < p.len() {
+        pr += p[l];
+        pi += p[l + 1];
+        qr += q[l];
+        qi += q[l + 1];
+        l += 2;
+    }
+    (pr - pi, qr + qi)
+}
+
+/// Combine the same lane states as [`combine_t`] into the **conjugated**
+/// complex dot `xᴴy`: `re = Σp_even + Σp_odd`, `im = Σq_even − Σq_odd`.
+#[inline]
+pub fn combine_h(p: &[f64], q: &[f64]) -> (f64, f64) {
+    let (mut pr, mut pi, mut qr, mut qi) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    let mut l = 0;
+    while l < p.len() {
+        pr += p[l];
+        pi += p[l + 1];
+        qr += q[l];
+        qi += q[l + 1];
+        l += 2;
+    }
+    (pr + pi, qr - qi)
+}

@@ -1,0 +1,832 @@
+//! Runtime-dispatched SIMD primitives for the hot mbrpa kernels.
+//!
+//! This crate is the only place in the workspace allowed to touch
+//! `core::arch` intrinsics (enforced by the mbrpa-lint `arch_intrinsics`
+//! rule). It exposes a *safe* slice-level API — scaled copies, fused
+//! axpy variants, Chebyshev shift/scale updates, complex axpy/axpby,
+//! lane-split dot products and norms, BLIS-style GEMM microkernels, and
+//! Gram tiles — and picks the fastest available backend at runtime:
+//!
+//! | path     | arch     | selected when                                  |
+//! |----------|----------|------------------------------------------------|
+//! | `avx2`   | x86_64   | `avx2` **and** `fma` detected via CPUID        |
+//! | `neon`   | aarch64  | always (NEON is baseline on aarch64)           |
+//! | `scalar` | any      | fallback, and forced via `MBRPA_SIMD=scalar`   |
+//!
+//! **Bit-identity guarantee.** Every backend produces *bitwise
+//! identical* results for every primitive, on every input. The scalar
+//! implementation in [`scalar`] is the canonical semantics: elementwise
+//! ops pin each rounding (plain `*`/`+` or `f64::mul_add` exactly where
+//! backends use hardware FMA), and reductions use the fixed lane-split
+//! accumulation described in [`lanes`], with the final lane fold shared
+//! between all paths. Checkpoint resume, the golden pinned-energy test,
+//! and the daemon's content-addressed result cache therefore stay exact
+//! no matter which path runs — and CI forces each path to prove it.
+//!
+//! The active path resolves once, lazily, from (in priority order) a
+//! programmatic [`force`] (the `-simd` CLI flag), the `MBRPA_SIMD`
+//! environment variable (`auto`, `scalar`, `avx2`, `neon`), and CPU
+//! detection. Requesting a path the CPU cannot run fails loudly rather
+//! than silently degrading.
+
+// Test code asserts exact float equality on purpose: bit-identity
+// across dispatch paths is this crate's contract.
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
+mod lanes;
+mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+pub use lanes::{C64_LANES, F64_LANES, GRAM_C64_LANES, GRAM_F64_LANES};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A SIMD dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Portable scalar fallback (the canonical semantics).
+    Scalar,
+    /// AVX2 + FMA on x86_64.
+    Avx2,
+    /// NEON on aarch64.
+    Neon,
+}
+
+impl Dispatch {
+    /// Stable lowercase name, as accepted by `MBRPA_SIMD` and shown in
+    /// profile reports and the daemon health document.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dispatch::Scalar => "scalar",
+            Dispatch::Avx2 => "avx2",
+            Dispatch::Neon => "neon",
+        }
+    }
+
+    /// Parse an `MBRPA_SIMD` / `-simd` value. `Ok(None)` means `auto`
+    /// (pick the best available path); unknown names are an error.
+    pub fn parse(s: &str) -> Result<Option<Dispatch>, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Ok(None),
+            "scalar" => Ok(Some(Dispatch::Scalar)),
+            "avx2" => Ok(Some(Dispatch::Avx2)),
+            "neon" => Ok(Some(Dispatch::Neon)),
+            other => Err(format!(
+                "unknown SIMD dispatch {other:?} (expected auto, scalar, avx2, or neon)"
+            )),
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Dispatch::Scalar => 1,
+            Dispatch::Avx2 => 2,
+            Dispatch::Neon => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Dispatch> {
+        match c {
+            1 => Some(Dispatch::Scalar),
+            2 => Some(Dispatch::Avx2),
+            3 => Some(Dispatch::Neon),
+            _ => None,
+        }
+    }
+}
+
+/// Dispatch paths this CPU can run, best first.
+pub fn available() -> &'static [Dispatch] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return &[Dispatch::Avx2, Dispatch::Scalar];
+        }
+        &[Dispatch::Scalar]
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        &[Dispatch::Neon, Dispatch::Scalar]
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        &[Dispatch::Scalar]
+    }
+}
+
+/// 0 = unresolved; otherwise `Dispatch::code()`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn resolve_from_env() -> Result<Dispatch, String> {
+    let req = match std::env::var("MBRPA_SIMD") {
+        Ok(v) => Dispatch::parse(&v).map_err(|e| format!("MBRPA_SIMD: {e}"))?,
+        Err(_) => None,
+    };
+    match req {
+        None => Ok(available()[0]),
+        Some(d) if available().contains(&d) => Ok(d),
+        Some(d) => Err(format!(
+            "MBRPA_SIMD requests {:?} but this CPU only supports {:?}",
+            d.name(),
+            available().iter().map(|a| a.name()).collect::<Vec<_>>()
+        )),
+    }
+}
+
+/// The active dispatch path, resolving it on first use from [`force`],
+/// then `MBRPA_SIMD`, then CPU detection.
+///
+/// # Panics
+/// Panics if `MBRPA_SIMD` names an unknown or unavailable path — a
+/// deliberate loud failure so a mis-forced CI run can never silently
+/// fall back. Binaries call [`init_from_env`] early to turn the same
+/// condition into a clean error message instead.
+pub fn active() -> Dispatch {
+    if let Some(d) = Dispatch::from_code(ACTIVE.load(Ordering::Relaxed)) {
+        return d;
+    }
+    // lint: allow(unwrap) — invalid MBRPA_SIMD must abort, not degrade;
+    // documented in the function contract above.
+    let d = resolve_from_env().expect("invalid MBRPA_SIMD");
+    // A concurrent first caller may have won the race; every candidate
+    // writes a value derived from the same env + CPUID state, so either
+    // outcome is the same dispatch.
+    let _ = ACTIVE.compare_exchange(0, d.code(), Ordering::Relaxed, Ordering::Relaxed);
+    // lint: allow(unwrap) — the slot now holds a valid nonzero code.
+    Dispatch::from_code(ACTIVE.load(Ordering::Relaxed)).expect("dispatch slot corrupted")
+}
+
+/// Resolve the dispatch path from `MBRPA_SIMD` + CPU detection without
+/// panicking, locking it in on success. Binaries call this during
+/// startup so configuration errors surface as clean diagnostics.
+pub fn init_from_env() -> Result<Dispatch, String> {
+    let d = resolve_from_env()?;
+    let _ = ACTIVE.compare_exchange(0, d.code(), Ordering::Relaxed, Ordering::Relaxed);
+    // lint: allow(unwrap) — the slot now holds a valid nonzero code.
+    Ok(Dispatch::from_code(ACTIVE.load(Ordering::Relaxed)).expect("dispatch slot corrupted"))
+}
+
+/// Force a specific path (`Some`) or best-available (`None`), as the
+/// `-simd` CLI flag does. Fails if the path is unavailable on this CPU
+/// or a *different* path has already been locked in by first use.
+pub fn force(req: Option<Dispatch>) -> Result<Dispatch, String> {
+    let d = match req {
+        None => available()[0],
+        Some(d) if available().contains(&d) => d,
+        Some(d) => {
+            return Err(format!(
+                "SIMD dispatch {:?} is not available on this CPU (supported: {:?})",
+                d.name(),
+                available().iter().map(|a| a.name()).collect::<Vec<_>>()
+            ))
+        }
+    };
+    match ACTIVE.compare_exchange(0, d.code(), Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => Ok(d),
+        Err(prev) if prev == d.code() => Ok(d),
+        Err(prev) => Err(format!(
+            "SIMD dispatch already resolved to {:?}; cannot re-force to {:?}",
+            Dispatch::from_code(prev).map(Dispatch::name).unwrap_or("?"),
+            d.name()
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched API
+//
+// Each primitive has an `*_on` form taking an explicit path (hoist
+// `active()` out of per-line loops; also how the bitwise-identity
+// proptests drive every path) and a convenience form using `active()`.
+// Passing a path that is not in `available()` is safe: it falls back to
+// the scalar canonical semantics, which are bit-identical by contract.
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch_on {
+    ($d:expr, $name:ident ( $($arg:expr),* )) => {
+        match $d {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the Avx2 path is only offered by `available()` (and
+            // accepted by `force`/env resolution) when CPUID reports both
+            // `avx2` and `fma`.
+            Dispatch::Avx2 => unsafe { avx2::$name($($arg),*) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is a baseline feature of every aarch64 target.
+            Dispatch::Neon => unsafe { neon::$name($($arg),*) },
+            _ => scalar::$name($($arg),*),
+        }
+    };
+}
+
+/// `o = c · x` on the given path.
+#[inline]
+pub fn scale_copy_on(d: Dispatch, c: f64, x: &[f64], o: &mut [f64]) {
+    dispatch_on!(d, scale_copy(c, x, o))
+}
+
+/// `o = c · x` on the active path.
+#[inline]
+pub fn scale_copy(c: f64, x: &[f64], o: &mut [f64]) {
+    scale_copy_on(active(), c, x, o)
+}
+
+/// `o[i] += c · x[i]` (fused) on the given path.
+#[inline]
+pub fn axpy_on(d: Dispatch, c: f64, x: &[f64], o: &mut [f64]) {
+    dispatch_on!(d, axpy(c, x, o))
+}
+
+/// `o[i] += c · x[i]` (fused) on the active path.
+#[inline]
+pub fn axpy(c: f64, x: &[f64], o: &mut [f64]) {
+    axpy_on(active(), c, x, o)
+}
+
+/// `o[i] += c · (p[i] + m[i])` (fused) on the given path — the paired
+/// ± stencil update.
+#[inline]
+pub fn axpy2_on(d: Dispatch, c: f64, p: &[f64], m: &[f64], o: &mut [f64]) {
+    dispatch_on!(d, axpy2(c, p, m, o))
+}
+
+/// `o[i] += c · (p[i] + m[i])` (fused) on the active path.
+#[inline]
+pub fn axpy2(c: f64, p: &[f64], m: &[f64], o: &mut [f64]) {
+    axpy2_on(active(), c, p, m, o)
+}
+
+/// `x *= c` on the given path.
+#[inline]
+pub fn scal_on(d: Dispatch, c: f64, x: &mut [f64]) {
+    dispatch_on!(d, scal(c, x))
+}
+
+/// `x *= c` on the active path.
+#[inline]
+pub fn scal(c: f64, x: &mut [f64]) {
+    scal_on(active(), c, x)
+}
+
+/// `y[i] = a · x[i] + b · y[i]` (fused multiply for the `a` term) on the
+/// given path.
+#[inline]
+pub fn axpby_on(d: Dispatch, a: f64, b: f64, x: &[f64], y: &mut [f64]) {
+    dispatch_on!(d, axpby(a, b, x, y))
+}
+
+/// `y[i] = a · x[i] + b · y[i]` on the active path.
+#[inline]
+pub fn axpby(a: f64, b: f64, x: &[f64], y: &mut [f64]) {
+    axpby_on(active(), a, b, x, y)
+}
+
+/// Chebyshev recurrence step `v[i] = s · (v[i] − c · x[i])` on the given
+/// path.
+#[inline]
+pub fn shift_scale_on(d: Dispatch, s: f64, c: f64, x: &[f64], v: &mut [f64]) {
+    dispatch_on!(d, shift_scale(s, c, x, v))
+}
+
+/// Chebyshev recurrence step `v[i] = s · (v[i] − c · x[i])` on the
+/// active path.
+#[inline]
+pub fn shift_scale(s: f64, c: f64, x: &[f64], v: &mut [f64]) {
+    shift_scale_on(active(), s, c, x, v)
+}
+
+/// Chebyshev three-term step
+/// `w[i] = s · (w[i] − c · y[i]) − t · xprev[i]` on the given path.
+#[inline]
+#[allow(clippy::many_single_char_names)]
+pub fn shift_scale_sub_on(
+    d: Dispatch,
+    s: f64,
+    c: f64,
+    t: f64,
+    y: &[f64],
+    xprev: &[f64],
+    w: &mut [f64],
+) {
+    dispatch_on!(d, shift_scale_sub(s, c, t, y, xprev, w))
+}
+
+/// Chebyshev three-term step on the active path.
+#[inline]
+#[allow(clippy::many_single_char_names)]
+pub fn shift_scale_sub(s: f64, c: f64, t: f64, y: &[f64], xprev: &[f64], w: &mut [f64]) {
+    shift_scale_sub_on(active(), s, c, t, y, xprev, w)
+}
+
+/// Uniform-offset stencil sweep over a halo'd source volume, on the
+/// given path. Output row `rix` (slab `rix / rows_per_slab`, row
+/// `rix % rows_per_slab` within it) reads from `src` starting at
+/// `origin + slab·slab_stride + row·row_stride`, and each of its
+/// `row_len` components is
+/// `Σ_t terms[t].0 · src[row_base + i + terms[t].1]`, accumulated in
+/// `terms` order — a multiply for the first term and one FMA for every
+/// further term — so each output element is one independent rounding
+/// chain and all paths are bit-identical by construction. The caller
+/// provides the halo: `src` must answer every `(weight, signed offset)`
+/// term at every point (wrapped copies for periodic boundaries, zeros
+/// for Dirichlet — a `w·0` FMA contributes exactly nothing), which is
+/// what makes the sweep completely free of boundary branches.
+///
+/// `o.len()` must be a whole number of slabs of `rows_per_slab` rows of
+/// `row_len` components; the call panics if any term offset could
+/// escape `src` at the extreme corners (which bounds every interior
+/// index, all strides being non-negative).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn stencil_rows_on(
+    d: Dispatch,
+    terms: &[(f64, isize)],
+    src: &[f64],
+    origin: usize,
+    row_stride: usize,
+    slab_stride: usize,
+    rows_per_slab: usize,
+    row_len: usize,
+    o: &mut [f64],
+) {
+    assert!(!terms.is_empty(), "at least one stencil term");
+    if o.is_empty() {
+        return;
+    }
+    assert!(row_len > 0 && rows_per_slab > 0, "degenerate row shape");
+    assert_eq!(
+        o.len() % (rows_per_slab * row_len),
+        0,
+        "out is not whole slabs"
+    );
+    let nrows = o.len() / row_len;
+    let nslabs = nrows / rows_per_slab;
+    let min_off = terms.iter().map(|t| t.1).min().unwrap_or(0);
+    let max_off = terms.iter().map(|t| t.1).max().unwrap_or(0);
+    // Corner bounds in u128/i128 so adversarially large strides cannot
+    // wrap the check while the kernel's pointer arithmetic wraps too.
+    let last = origin as u128
+        + (nslabs as u128 - 1) * slab_stride as u128
+        + (rows_per_slab as u128 - 1) * row_stride as u128
+        + (row_len as u128 - 1);
+    assert!(
+        origin as i128 + min_off as i128 >= 0,
+        "term offset underruns src"
+    );
+    assert!(
+        (last as i128 + max_off as i128) < src.len() as i128,
+        "term offset overruns src"
+    );
+    dispatch_on!(
+        d,
+        stencil_rows(
+            terms,
+            src,
+            origin,
+            row_stride,
+            slab_stride,
+            rows_per_slab,
+            row_len,
+            o
+        )
+    )
+}
+
+/// Uniform-offset stencil sweep on the active path.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn stencil_rows(
+    terms: &[(f64, isize)],
+    src: &[f64],
+    origin: usize,
+    row_stride: usize,
+    slab_stride: usize,
+    rows_per_slab: usize,
+    row_len: usize,
+    o: &mut [f64],
+) {
+    stencil_rows_on(
+        active(),
+        terms,
+        src,
+        origin,
+        row_stride,
+        slab_stride,
+        rows_per_slab,
+        row_len,
+        o,
+    )
+}
+
+/// Complex `y += (ar + i·ai) · x` on interleaved `[re, im, …]` slices,
+/// on the given path.
+#[inline]
+pub fn axpy_c64_on(d: Dispatch, ar: f64, ai: f64, x: &[f64], y: &mut [f64]) {
+    dispatch_on!(d, axpy_c64(ar, ai, x, y))
+}
+
+/// Complex `y += (ar + i·ai) · x` on interleaved slices, active path.
+#[inline]
+pub fn axpy_c64(ar: f64, ai: f64, x: &[f64], y: &mut [f64]) {
+    axpy_c64_on(active(), ar, ai, x, y)
+}
+
+/// Complex `y = a·x + b·y` on interleaved slices, on the given path.
+#[inline]
+pub fn axpby_c64_on(d: Dispatch, ar: f64, ai: f64, br: f64, bi: f64, x: &[f64], y: &mut [f64]) {
+    dispatch_on!(d, axpby_c64(ar, ai, br, bi, x, y))
+}
+
+/// Complex `y = a·x + b·y` on interleaved slices, active path.
+#[inline]
+pub fn axpby_c64(ar: f64, ai: f64, br: f64, bi: f64, x: &[f64], y: &mut [f64]) {
+    axpby_c64_on(active(), ar, ai, br, bi, x, y)
+}
+
+/// Complex `x *= (ar + i·ai)` on an interleaved slice, on the given path.
+#[inline]
+pub fn scal_c64_on(d: Dispatch, ar: f64, ai: f64, x: &mut [f64]) {
+    dispatch_on!(d, scal_c64(ar, ai, x))
+}
+
+/// Complex `x *= (ar + i·ai)` on an interleaved slice, active path.
+#[inline]
+pub fn scal_c64(ar: f64, ai: f64, x: &mut [f64]) {
+    scal_c64_on(active(), ar, ai, x)
+}
+
+/// Real dot `Σ x[i]·y[i]` with the canonical 8-lane split, given path.
+#[inline]
+pub fn dot_on(d: Dispatch, x: &[f64], y: &[f64]) -> f64 {
+    dispatch_on!(d, dot(x, y))
+}
+
+/// Real dot `Σ x[i]·y[i]` on the active path.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    dot_on(active(), x, y)
+}
+
+/// Squared Euclidean norm `Σ x[i]²` (componentwise — pass interleaved
+/// complex data directly), given path.
+#[inline]
+pub fn nrm2_sq_on(d: Dispatch, x: &[f64]) -> f64 {
+    dispatch_on!(d, nrm2_sq(x))
+}
+
+/// Squared Euclidean norm `Σ x[i]²` on the active path.
+#[inline]
+pub fn nrm2_sq(x: &[f64]) -> f64 {
+    nrm2_sq_on(active(), x)
+}
+
+/// Unconjugated complex dot `xᵀy` on interleaved slices, given path.
+/// Returns `(re, im)`.
+#[inline]
+pub fn dot_t_c64_on(d: Dispatch, x: &[f64], y: &[f64]) -> (f64, f64) {
+    dispatch_on!(d, dot_t_c64(x, y))
+}
+
+/// Unconjugated complex dot `xᵀy` on the active path.
+#[inline]
+pub fn dot_t_c64(x: &[f64], y: &[f64]) -> (f64, f64) {
+    dot_t_c64_on(active(), x, y)
+}
+
+/// Conjugated complex dot `xᴴy` on interleaved slices, given path.
+/// Returns `(re, im)`.
+#[inline]
+pub fn dot_h_c64_on(d: Dispatch, x: &[f64], y: &[f64]) -> (f64, f64) {
+    dispatch_on!(d, dot_h_c64(x, y))
+}
+
+/// Conjugated complex dot `xᴴy` on the active path.
+#[inline]
+pub fn dot_h_c64(x: &[f64], y: &[f64]) -> (f64, f64) {
+    dot_h_c64_on(active(), x, y)
+}
+
+/// 8×4 f64 GEMM microkernel: `acc[8j + i] += Σ_p ap[8p + i] · bp[4p + j]`
+/// over packed panels, on the given path. `acc` is column-major
+/// (column `j` at `acc[8j..8j + 8]`) and carries across k-blocks.
+#[inline]
+pub fn gemm_f64_8x4_on(d: Dispatch, k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    dispatch_on!(d, gemm_f64_8x4(k, ap, bp, acc))
+}
+
+/// 8×4 f64 GEMM microkernel on the active path.
+#[inline]
+pub fn gemm_f64_8x4(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    gemm_f64_8x4_on(active(), k, ap, bp, acc)
+}
+
+/// 4×4 split-complex GEMM microkernel on packed split panels
+/// (`[re×4 | im×4]` per depth step in both `ap` and `bp`), on the given
+/// path. Column `j` of `acc` holds `[re×4 | im×4]` at `acc[8j..8j + 8]`.
+/// Complex products are realized as real FMAs:
+/// `re += ar·br − ai·bi`, `im += ar·bi + ai·br`, one rounding each.
+#[inline]
+pub fn gemm_c64_4x4_on(d: Dispatch, k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    dispatch_on!(d, gemm_c64_4x4(k, ap, bp, acc))
+}
+
+/// 4×4 split-complex GEMM microkernel on the active path.
+#[inline]
+pub fn gemm_c64_4x4(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    gemm_c64_4x4_on(active(), k, ap, bp, acc)
+}
+
+/// 2×4 real Gram tile: `out[2j + i] = a_iᵀ b_j` with the canonical
+/// 4-lane depth split, on the given path.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn gram2x4_f64_on(
+    d: Dispatch,
+    a0: &[f64],
+    a1: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+    out: &mut [f64; 8],
+) {
+    dispatch_on!(d, gram2x4_f64(a0, a1, b0, b1, b2, b3, out))
+}
+
+/// 2×4 real Gram tile on the active path.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn gram2x4_f64(
+    a0: &[f64],
+    a1: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+    out: &mut [f64; 8],
+) {
+    gram2x4_f64_on(active(), a0, a1, b0, b1, b2, b3, out)
+}
+
+/// 2×2 complex Gram tile on interleaved columns: `out` holds the four
+/// complex results `(i, j)` at `out[2·(2j + i)..][..2]`, computing
+/// `a_iᵀ b_j` (`conj = false`) or `a_iᴴ b_j` (`conj = true`) with the
+/// canonical 2-complex-lane depth split, on the given path.
+#[inline]
+pub fn gram2_c64_on(
+    d: Dispatch,
+    conj: bool,
+    a0: &[f64],
+    a1: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    out: &mut [f64; 8],
+) {
+    dispatch_on!(d, gram2_c64(conj, a0, a1, b0, b1, out))
+}
+
+/// 2×2 complex Gram tile on the active path.
+#[inline]
+pub fn gram2_c64(conj: bool, a0: &[f64], a1: &[f64], b0: &[f64], b1: &[f64], out: &mut [f64; 8]) {
+    gram2_c64_on(active(), conj, a0, a1, b0, b1, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatch_parse_accepts_known_names() {
+        assert_eq!(Dispatch::parse("auto").unwrap(), None);
+        assert_eq!(Dispatch::parse("").unwrap(), None);
+        assert_eq!(Dispatch::parse("Scalar").unwrap(), Some(Dispatch::Scalar));
+        assert_eq!(Dispatch::parse("AVX2").unwrap(), Some(Dispatch::Avx2));
+        assert_eq!(Dispatch::parse("neon").unwrap(), Some(Dispatch::Neon));
+        assert!(Dispatch::parse("sse9").is_err());
+    }
+
+    #[test]
+    fn available_always_offers_scalar_last() {
+        let avail = available();
+        assert!(!avail.is_empty());
+        assert_eq!(*avail.last().unwrap(), Dispatch::Scalar);
+    }
+
+    #[test]
+    fn dot_matches_naive_sum_closely() {
+        let x = pseudo_random(1003, 1);
+        let y = pseudo_random(1003, 2);
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        for &d in available() {
+            let got = dot_on(d, &x, &y);
+            assert!((got - naive).abs() < 1e-10, "{d:?}: {got} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn nrm2_sq_is_nonnegative_and_exact_on_units() {
+        let mut x = vec![0.0; 17];
+        x[3] = -3.0;
+        x[11] = 4.0;
+        for &d in available() {
+            assert_eq!(nrm2_sq_on(d, &x), 25.0, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn complex_dots_match_reference() {
+        // x = [i, 2], y = [i, 1 + i]: xᵀy = 1 + 2i, xᴴy = 3 + 2i.
+        let x = [0.0, 1.0, 2.0, 0.0];
+        let y = [0.0, 1.0, 1.0, 1.0];
+        for &d in available() {
+            assert_eq!(dot_t_c64_on(d, &x, &y), (1.0, 2.0), "{d:?}");
+            assert_eq!(dot_h_c64_on(d, &x, &y), (3.0, 2.0), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn elementwise_primitives_compute_expected_values() {
+        for &d in available() {
+            let x = [1.0, -2.0, 3.0];
+            let mut o = [0.0; 3];
+            scale_copy_on(d, 2.0, &x, &mut o);
+            assert_eq!(o, [2.0, -4.0, 6.0]);
+            axpy_on(d, 0.5, &x, &mut o);
+            assert_eq!(o, [2.5, -5.0, 7.5]);
+            axpy2_on(d, 1.0, &x, &x, &mut o);
+            assert_eq!(o, [4.5, -9.0, 13.5]);
+            scal_on(d, 2.0, &mut o);
+            assert_eq!(o, [9.0, -18.0, 27.0]);
+            axpby_on(d, 1.0, 0.0, &x, &mut o);
+            assert_eq!(o, x);
+            let mut v = [10.0, 20.0];
+            shift_scale_on(d, 2.0, 3.0, &[1.0, 2.0], &mut v);
+            assert_eq!(v, [14.0, 28.0]); // 2·(v − 3x)
+            let mut w = [1.0, 1.0];
+            shift_scale_sub_on(d, 1.0, 0.0, 1.0, &[0.0, 0.0], &[5.0, 7.0], &mut w);
+            assert_eq!(w, [-4.0, -6.0]); // w − xprev
+        }
+    }
+
+    #[test]
+    fn stencil_rows_matches_naive_sum() {
+        // 2 slabs × 3 rows × 11 components out of a halo'd source with a
+        // one-row/one-slab halo on each side, radius-2 in-row offsets.
+        let (nslab, nrow, n) = (2, 3, 11);
+        let r = 2;
+        let row = n + 2 * r; // 15
+        let slab = row * (nrow + 2); // one halo row each side
+        let src = pseudo_random(slab * (nslab + 2), 31);
+        let origin = slab + row + r;
+        let terms: Vec<(f64, isize)> = vec![
+            (-1.5, 0),
+            (0.25, 1),
+            (0.25, -1),
+            (-0.0625, 2),
+            (-0.0625, -2),
+            (0.5, row as isize),
+            (0.5, -(row as isize)),
+            (0.125, slab as isize),
+        ];
+        let naive: Vec<f64> = (0..nslab * nrow * n)
+            .map(|e| {
+                let (k, rest) = (e / (nrow * n), e % (nrow * n));
+                let (j, i) = (rest / n, rest % n);
+                let p = (origin + k * slab + j * row + i) as isize;
+                terms
+                    .iter()
+                    .map(|&(w, off)| w * src[(p + off) as usize])
+                    .sum()
+            })
+            .collect();
+        for &d in available() {
+            let mut o = vec![0.0; nslab * nrow * n];
+            stencil_rows_on(d, &terms, &src, origin, row, slab, nrow, n, &mut o);
+            for (g, e) in o.iter().zip(naive.iter()) {
+                assert!((g - e).abs() < 1e-12, "{d:?}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn complex_elementwise_matches_complex_arithmetic() {
+        // (1 + 2i) · (3 − i) = 5 + 5i
+        for &d in available() {
+            let x = [3.0, -1.0];
+            let mut y = [0.0, 0.0];
+            axpy_c64_on(d, 1.0, 2.0, &x, &mut y);
+            assert_eq!(y, [5.0, 5.0]);
+            let mut z = [3.0, -1.0];
+            scal_c64_on(d, 1.0, 2.0, &mut z);
+            assert_eq!(z, [5.0, 5.0]);
+            // y = a·x + b·y with a = i, b = 2: i·(3 − i) + 2·(5 + 5i) = 11 + 13i
+            let mut w = [5.0, 5.0];
+            axpby_c64_on(d, 0.0, 1.0, 2.0, 0.0, &x, &mut w);
+            assert_eq!(w, [11.0, 13.0]);
+        }
+    }
+
+    #[test]
+    fn gemm_f64_kernel_matches_naive_tile() {
+        let k = 37;
+        let ap = pseudo_random(8 * k, 3);
+        let bp = pseudo_random(4 * k, 4);
+        let mut naive = [0.0_f64; 32];
+        for p in 0..k {
+            for j in 0..4 {
+                for i in 0..8 {
+                    naive[8 * j + i] += ap[8 * p + i] * bp[4 * p + j];
+                }
+            }
+        }
+        for &d in available() {
+            let mut acc = [0.0_f64; 32];
+            gemm_f64_8x4_on(d, k, &ap, &bp, &mut acc);
+            for (g, n) in acc.iter().zip(naive.iter()) {
+                assert!((g - n).abs() < 1e-12, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_c64_kernel_matches_naive_complex_tile() {
+        let k = 19;
+        let ap = pseudo_random(8 * k, 5);
+        let bp = pseudo_random(8 * k, 6);
+        let mut naive = [0.0_f64; 32];
+        for p in 0..k {
+            for j in 0..4 {
+                let (br, bi) = (bp[8 * p + j], bp[8 * p + 4 + j]);
+                for i in 0..4 {
+                    let (ar, ai) = (ap[8 * p + i], ap[8 * p + 4 + i]);
+                    naive[8 * j + i] += ar * br - ai * bi;
+                    naive[8 * j + 4 + i] += ar * bi + ai * br;
+                }
+            }
+        }
+        for &d in available() {
+            let mut acc = [0.0_f64; 32];
+            gemm_c64_4x4_on(d, k, &ap, &bp, &mut acc);
+            for (g, n) in acc.iter().zip(naive.iter()) {
+                assert!((g - n).abs() < 1e-12, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_tiles_match_dot_products() {
+        let k = 53;
+        let cols: Vec<Vec<f64>> = (0..6).map(|s| pseudo_random(k, 10 + s)).collect();
+        for &d in available() {
+            let mut out = [0.0_f64; 8];
+            gram2x4_f64_on(
+                d, &cols[0], &cols[1], &cols[2], &cols[3], &cols[4], &cols[5], &mut out,
+            );
+            for j in 0..4 {
+                for i in 0..2 {
+                    let naive: f64 = cols[i].iter().zip(&cols[2 + j]).map(|(a, b)| a * b).sum();
+                    assert!((out[2 * j + i] - naive).abs() < 1e-11, "{d:?}");
+                }
+            }
+        }
+        // Complex tile, k must be even in f64 length.
+        let zcols: Vec<Vec<f64>> = (0..4).map(|s| pseudo_random(2 * k + 2, 20 + s)).collect();
+        for &d in available() {
+            for conj in [false, true] {
+                let mut out = [0.0_f64; 8];
+                gram2_c64_on(
+                    d, conj, &zcols[0], &zcols[1], &zcols[2], &zcols[3], &mut out,
+                );
+                for j in 0..2 {
+                    for i in 0..2 {
+                        let (mut re, mut im) = (0.0_f64, 0.0_f64);
+                        for (xc, yc) in zcols[i].chunks_exact(2).zip(zcols[2 + j].chunks_exact(2)) {
+                            let (xr, xi) = (xc[0], if conj { -xc[1] } else { xc[1] });
+                            re += xr * yc[0] - xi * yc[1];
+                            im += xr * yc[1] + xi * yc[0];
+                        }
+                        let idx = 2 * (2 * j + i);
+                        assert!((out[idx] - re).abs() < 1e-11, "{d:?} conj={conj}");
+                        assert!((out[idx + 1] - im).abs() < 1e-11, "{d:?} conj={conj}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Canonical scalar implementations — the semantic definition of every
+//! primitive in this crate.
+//!
+//! This module is the oracle: whatever bits these functions produce are
+//! *the* correct answer, and every vector backend must reproduce them
+//! exactly. Two rules make that possible:
+//!
+//! 1. **Elementwise ops** use the same per-element formula the vector
+//!    backends use — in particular [`f64::mul_add`] wherever a backend
+//!    issues a hardware FMA, and plain `*`/`+` where it does not. A
+//!    vector lane applies exactly one rounding per operation to exactly
+//!    the operands the scalar formula names, so equal formulas ⇒ equal
+//!    bits, lane by lane.
+//! 2. **Reductions** accumulate into the fixed lane layout described in
+//!    [`crate::lanes`] (element `i` → lane `i mod LANES`, one FMA chain
+//!    per lane, shared final fold), which both paths realize literally.
+//!
+//! Complex data is interleaved `[re, im, re, im, …]` f64 slices; the
+//! split-complex GEMM panels are described at [`crate::gemm_c64_4x4`].
+
+use crate::lanes;
+
+// ---------------------------------------------------------------------------
+// Elementwise, real coefficients (componentwise-safe for complex data)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn scale_copy(c: f64, x: &[f64], o: &mut [f64]) {
+    debug_assert_eq!(x.len(), o.len());
+    for (oi, &xi) in o.iter_mut().zip(x) {
+        *oi = c * xi;
+    }
+}
+
+pub(crate) fn axpy(c: f64, x: &[f64], o: &mut [f64]) {
+    debug_assert_eq!(x.len(), o.len());
+    for (oi, &xi) in o.iter_mut().zip(x) {
+        *oi = c.mul_add(xi, *oi);
+    }
+}
+
+pub(crate) fn axpy2(c: f64, p: &[f64], m: &[f64], o: &mut [f64]) {
+    debug_assert_eq!(p.len(), o.len());
+    debug_assert_eq!(m.len(), o.len());
+    for ((oi, &pi), &mi) in o.iter_mut().zip(p).zip(m) {
+        *oi = c.mul_add(pi + mi, *oi);
+    }
+}
+
+pub(crate) fn scal(c: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= c;
+    }
+}
+
+pub(crate) fn axpby(a: f64, b: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = a.mul_add(xi, b * *yi);
+    }
+}
+
+pub(crate) fn shift_scale(s: f64, c: f64, x: &[f64], v: &mut [f64]) {
+    debug_assert_eq!(x.len(), v.len());
+    for (vi, &xi) in v.iter_mut().zip(x) {
+        *vi = s * (-c).mul_add(xi, *vi);
+    }
+}
+
+#[allow(clippy::many_single_char_names)]
+pub(crate) fn shift_scale_sub(s: f64, c: f64, t: f64, y: &[f64], xprev: &[f64], w: &mut [f64]) {
+    debug_assert_eq!(y.len(), w.len());
+    debug_assert_eq!(xprev.len(), w.len());
+    for ((wi, &yi), &xi) in w.iter_mut().zip(y).zip(xprev) {
+        *wi = (-t).mul_add(xi, s * (-c).mul_add(yi, *wi));
+    }
+}
+
+/// Uniform-offset stencil sweep over a halo'd source volume: row `rix`
+/// (slab `rix / rows_per_slab`, row-in-slab `rix % rows_per_slab`) starts
+/// at `origin + slab·slab_stride + row·row_stride` in `src`, and each of
+/// its `row_len` output components is
+///
+/// ```text
+/// o[rix·row_len + i] = Σ_t  terms[t].0 · src[row_base + i + terms[t].1]
+/// ```
+///
+/// accumulated **in `terms` order** — a multiply for the first term and
+/// one FMA per further term — so every output element is an independent
+/// rounding chain and vector backends are bit-identical lane by lane.
+/// Because the source carries its halo (wrapped or zeroed by the caller),
+/// the same signed offsets apply at every point and there is no boundary
+/// special-casing anywhere in the sweep.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stencil_rows(
+    terms: &[(f64, isize)],
+    src: &[f64],
+    origin: usize,
+    row_stride: usize,
+    slab_stride: usize,
+    rows_per_slab: usize,
+    row_len: usize,
+    o: &mut [f64],
+) {
+    let (w0, off0) = terms[0];
+    let rest = &terms[1..];
+    for (rix, orow) in o.chunks_exact_mut(row_len).enumerate() {
+        let base =
+            origin + (rix / rows_per_slab) * slab_stride + (rix % rows_per_slab) * row_stride;
+        for (i, oi) in orow.iter_mut().enumerate() {
+            let p = (base + i) as isize;
+            let mut acc = w0 * src[(p + off0) as usize];
+            for &(w, off) in rest {
+                acc = w.mul_add(src[(p + off) as usize], acc);
+            }
+            *oi = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise, complex coefficients on interleaved data
+// ---------------------------------------------------------------------------
+
+pub(crate) fn axpy_c64(ar: f64, ai: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yp, xp) in y.chunks_exact_mut(2).zip(x.chunks_exact(2)) {
+        let (xr, xi) = (xp[0], xp[1]);
+        yp[0] = (-ai).mul_add(xi, ar.mul_add(xr, yp[0]));
+        yp[1] = ai.mul_add(xr, ar.mul_add(xi, yp[1]));
+    }
+}
+
+pub(crate) fn axpby_c64(ar: f64, ai: f64, br: f64, bi: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yp, xp) in y.chunks_exact_mut(2).zip(x.chunks_exact(2)) {
+        let (xr, xi) = (xp[0], xp[1]);
+        let (yr, yi) = (yp[0], yp[1]);
+        let axr = (-ai).mul_add(xi, ar * xr);
+        let axi = ai.mul_add(xr, ar * xi);
+        yp[0] = br.mul_add(yr, (-bi).mul_add(yi, axr));
+        yp[1] = br.mul_add(yi, bi.mul_add(yr, axi));
+    }
+}
+
+pub(crate) fn scal_c64(ar: f64, ai: f64, x: &mut [f64]) {
+    for xp in x.chunks_exact_mut(2) {
+        let (xr, xi) = (xp[0], xp[1]);
+        xp[0] = (-ai).mul_add(xi, ar * xr);
+        xp[1] = ai.mul_add(xr, ar * xi);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (canonical lane layout, shared fold)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut state = [0.0_f64; lanes::F64_LANES];
+    for (i, (&a, &b)) in x.iter().zip(y).enumerate() {
+        let l = i % lanes::F64_LANES;
+        state[l] = a.mul_add(b, state[l]);
+    }
+    lanes::fold(&state)
+}
+
+pub(crate) fn nrm2_sq(x: &[f64]) -> f64 {
+    let mut state = [0.0_f64; lanes::F64_LANES];
+    for (i, &a) in x.iter().enumerate() {
+        let l = i % lanes::F64_LANES;
+        state[l] = a.mul_add(a, state[l]);
+    }
+    lanes::fold(&state)
+}
+
+/// Accumulate the shared p/q component-product lane states of a complex
+/// dot (see [`lanes::combine_t`] for the layout).
+fn dot_c64_states(
+    x: &[f64],
+    y: &[f64],
+) -> ([f64; 2 * lanes::C64_LANES], [f64; 2 * lanes::C64_LANES]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut p = [0.0_f64; 2 * lanes::C64_LANES];
+    let mut q = [0.0_f64; 2 * lanes::C64_LANES];
+    for (j, (xc, yc)) in x.chunks_exact(2).zip(y.chunks_exact(2)).enumerate() {
+        let l = 2 * (j % lanes::C64_LANES);
+        p[l] = xc[0].mul_add(yc[0], p[l]);
+        p[l + 1] = xc[1].mul_add(yc[1], p[l + 1]);
+        q[l] = xc[0].mul_add(yc[1], q[l]);
+        q[l + 1] = xc[1].mul_add(yc[0], q[l + 1]);
+    }
+    (p, q)
+}
+
+pub(crate) fn dot_t_c64(x: &[f64], y: &[f64]) -> (f64, f64) {
+    let (p, q) = dot_c64_states(x, y);
+    lanes::combine_t(&p, &q)
+}
+
+pub(crate) fn dot_h_c64(x: &[f64], y: &[f64]) -> (f64, f64) {
+    let (p, q) = dot_c64_states(x, y);
+    lanes::combine_h(&p, &q)
+}
+
+// ---------------------------------------------------------------------------
+// GEMM microkernels on packed panels
+// ---------------------------------------------------------------------------
+
+pub(crate) fn gemm_f64_8x4(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    debug_assert!(ap.len() >= 8 * k);
+    debug_assert!(bp.len() >= 4 * k);
+    for p in 0..k {
+        let a = &ap[8 * p..8 * p + 8];
+        let b = &bp[4 * p..4 * p + 4];
+        for j in 0..4 {
+            let bj = b[j];
+            for i in 0..8 {
+                acc[8 * j + i] = a[i].mul_add(bj, acc[8 * j + i]);
+            }
+        }
+    }
+}
+
+pub(crate) fn gemm_c64_4x4(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 32]) {
+    debug_assert!(ap.len() >= 8 * k);
+    debug_assert!(bp.len() >= 8 * k);
+    for p in 0..k {
+        let ar = &ap[8 * p..8 * p + 4];
+        let ai = &ap[8 * p + 4..8 * p + 8];
+        let br = &bp[8 * p..8 * p + 4];
+        let bi = &bp[8 * p + 4..8 * p + 8];
+        for j in 0..4 {
+            let (brj, bij) = (br[j], bi[j]);
+            for i in 0..4 {
+                let re = 8 * j + i;
+                let im = 8 * j + 4 + i;
+                acc[re] = (-ai[i]).mul_add(bij, ar[i].mul_add(brj, acc[re]));
+                acc[im] = ai[i].mul_add(brj, ar[i].mul_add(bij, acc[im]));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gram tiles (shared-stream column blocks of AᵀB / AᴴB)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn gram2x4_f64(
+    a0: &[f64],
+    a1: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+    out: &mut [f64; 8],
+) {
+    let k = a0.len();
+    debug_assert!(
+        a1.len() == k && b0.len() == k && b1.len() == k && b2.len() == k && b3.len() == k
+    );
+    let a = [a0, a1];
+    let b = [b0, b1, b2, b3];
+    // Pair (i, j) accumulates in state[2 * j + i].
+    let mut state = [[0.0_f64; lanes::GRAM_F64_LANES]; 8];
+    for p in 0..k {
+        let l = p % lanes::GRAM_F64_LANES;
+        for j in 0..4 {
+            let bv = b[j][p];
+            for i in 0..2 {
+                let s = &mut state[2 * j + i][l];
+                *s = a[i][p].mul_add(bv, *s);
+            }
+        }
+    }
+    for (o, s) in out.iter_mut().zip(state.iter()) {
+        *o = lanes::fold(s);
+    }
+}
+
+pub(crate) fn gram2_c64(
+    conj: bool,
+    a0: &[f64],
+    a1: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    out: &mut [f64; 8],
+) {
+    let kc = a0.len() / 2;
+    debug_assert!(a0.len().is_multiple_of(2));
+    debug_assert!(a1.len() == a0.len() && b0.len() == a0.len() && b1.len() == a0.len());
+    let a = [a0, a1];
+    let b = [b0, b1];
+    // Pair (i, j) accumulates p/q states in index 2 * j + i.
+    let mut ps = [[0.0_f64; 2 * lanes::GRAM_C64_LANES]; 4];
+    let mut qs = [[0.0_f64; 2 * lanes::GRAM_C64_LANES]; 4];
+    for pc in 0..kc {
+        let l = 2 * (pc % lanes::GRAM_C64_LANES);
+        for j in 0..2 {
+            let (yr, yi) = (b[j][2 * pc], b[j][2 * pc + 1]);
+            for i in 0..2 {
+                let (xr, xi) = (a[i][2 * pc], a[i][2 * pc + 1]);
+                let s = &mut ps[2 * j + i];
+                s[l] = xr.mul_add(yr, s[l]);
+                s[l + 1] = xi.mul_add(yi, s[l + 1]);
+                let t = &mut qs[2 * j + i];
+                t[l] = xr.mul_add(yi, t[l]);
+                t[l + 1] = xi.mul_add(yr, t[l + 1]);
+            }
+        }
+    }
+    for idx in 0..4 {
+        let (re, im) = if conj {
+            lanes::combine_h(&ps[idx], &qs[idx])
+        } else {
+            lanes::combine_t(&ps[idx], &qs[idx])
+        };
+        out[2 * idx] = re;
+        out[2 * idx + 1] = im;
+    }
+}

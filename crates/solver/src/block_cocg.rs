@@ -362,7 +362,9 @@ pub fn block_cocg_ws(
         if opts.deflate && active.len() > 1 {
             w_norms.clear();
             for j in 0..w.cols() {
-                let col_norm = w.col(j).iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+                // Dispatched lane-split reduction — same kernel (and the
+                // same bit pattern) as the matrix-level norms.
+                let col_norm = mbrpa_linalg::vecops::norm2(w.col(j));
                 debug_assert!(
                     col_norm.is_finite(),
                     "non-finite residual norm {col_norm} in deflation column {j}"

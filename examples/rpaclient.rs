@@ -36,14 +36,15 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// One HTTP exchange; returns `(status, headers, body)`. Header names
-/// are lowercased.
-fn exchange(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> Result<(u16, Vec<(String, String)>, String), String> {
+/// A parsed HTTP reply: status code, lowercased header names, body.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+/// One HTTP exchange.
+fn exchange(addr: &str, method: &str, path: &str, body: Option<&str>) -> Result<Reply, String> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     stream
@@ -78,7 +79,11 @@ fn exchange(
             Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
         })
         .collect();
-    Ok((status, headers, body))
+    Ok(Reply {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// A response header value, by lowercase name.
@@ -93,7 +98,11 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
 /// code.
 fn run(addr: &str, method: &str, path: &str, body: Option<&str>) -> ExitCode {
     match exchange(addr, method, path, body) {
-        Ok((status, headers, body)) => {
+        Ok(Reply {
+            status,
+            headers,
+            body,
+        }) => {
             println!("{body}");
             if (200..300).contains(&status) {
                 ExitCode::SUCCESS
@@ -153,14 +162,14 @@ fn submit(addr: &str, args: &[String]) -> ExitCode {
 
 fn wait(addr: &str, id: &str) -> ExitCode {
     loop {
-        let (status, _headers, body) = match exchange(addr, "GET", &format!("/v1/jobs/{id}"), None)
-        {
-            Ok(reply) => reply,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let Reply { status, body, .. } =
+            match exchange(addr, "GET", &format!("/v1/jobs/{id}"), None) {
+                Ok(reply) => reply,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         if status != 200 {
             eprintln!("HTTP {status}: {body}");
             return ExitCode::FAILURE;

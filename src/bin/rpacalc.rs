@@ -23,7 +23,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!("usage: rpacalc -name <basename> [-stdout] [-threads N] [-save-ks] [-load-ks]");
     eprintln!("               [-checkpoint <dir>] [-resume] [-checkpoint-every K]");
-    eprintln!("               [-profile <out.json>]");
+    eprintln!("               [-profile <out.json>] [-simd auto|scalar|avx2|neon]");
     eprintln!("  reads <basename>.rpa and writes <basename>.out");
     eprintln!("  -save-ks / -load-ks persist the KS orbitals as <basename>.orb");
     eprintln!("  (mirrors the artifact workflow of reading precomputed SPARC outputs)");
@@ -33,6 +33,10 @@ fn usage() -> ExitCode {
     eprintln!("  -profile <out.json>  enable telemetry: write a versioned JSON report of");
     eprintln!("                       span timings, counters, and per-frequency residual");
     eprintln!("                       traces, and append a summary table to the run report");
+    eprintln!("  -simd <path>         force the SIMD dispatch path (default: auto-detect;");
+    eprintln!("                       the MBRPA_SIMD env var sets the same override).");
+    eprintln!("                       Every path is bit-identical; this exists for");
+    eprintln!("                       cross-checking and benchmarking, not correctness");
     ExitCode::FAILURE
 }
 
@@ -107,6 +111,7 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut checkpoint_every: usize = 1;
     let mut profile_path: Option<String> = None;
+    let mut simd_mode: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -146,6 +151,13 @@ fn main() -> ExitCode {
                 };
                 profile_path = Some(p.clone());
             }
+            "-simd" | "--simd" => {
+                let Some(m) = it.next() else {
+                    eprintln!("-simd needs a value (auto, scalar, avx2, or neon)");
+                    return usage();
+                };
+                simd_mode = Some(m.clone());
+            }
             "-checkpoint-every" | "--checkpoint-every" => {
                 let Some(v) = it.next() else {
                     eprintln!("-checkpoint-every needs a value");
@@ -173,6 +185,24 @@ fn main() -> ExitCode {
         eprintln!("-resume requires -checkpoint <dir>");
         return ExitCode::FAILURE;
     }
+    // Lock the SIMD dispatch path in before any kernel can resolve it
+    // lazily: `-simd` wins over the MBRPA_SIMD environment variable.
+    let dispatch = {
+        let resolved = match &simd_mode {
+            Some(m) => mbrpa_simd::Dispatch::parse(m)
+                .map_err(|e| format!("-simd: {e}"))
+                .and_then(mbrpa_simd::force),
+            None => mbrpa_simd::init_from_env(),
+        };
+        match resolved {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    mbrpa_obs::set_dispatch(dispatch.name());
     if profile_path.is_some() {
         mbrpa_obs::reset();
         mbrpa_obs::set_enabled(true);

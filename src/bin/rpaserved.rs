@@ -29,6 +29,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: rpaserved [-root <dir>] [-addr <ip:port>] [-port-file <path>]");
     eprintln!("                 [-executors N] [-backlog N] [-threads N] [-profile]");
     eprintln!("                 [-cache-dir <dir>] [-cache-budget BYTES] [-no-cache]");
+    eprintln!("                 [-simd auto|scalar|avx2|neon]");
     eprintln!(
         "       rpaserved -validate <job|status|result|health|profile|cache-entry> <file.json>"
     );
@@ -42,6 +43,9 @@ fn usage() -> ExitCode {
     eprintln!("  -cache-dir <dir>  exact result cache directory (default <root>/cache)");
     eprintln!("  -cache-budget B   cache byte budget, LRU-evicted above (default 64 MiB)");
     eprintln!("  -no-cache         disable the exact result cache");
+    eprintln!("  -simd <path>      force the SIMD dispatch path (default: auto-detect; the");
+    eprintln!("                    MBRPA_SIMD env var sets the same override). All paths are");
+    eprintln!("                    bit-identical; the active one is reported in GET /v1/health");
     eprintln!("  -validate K F     check file F against schema kind K, exit nonzero if invalid");
     ExitCode::FAILURE
 }
@@ -97,6 +101,7 @@ fn main() -> ExitCode {
     let mut cache = true;
     let mut cache_dir: Option<PathBuf> = None;
     let mut cache_budget = mbrpa::serve::cache::DEFAULT_BUDGET;
+    let mut simd_mode: Option<String> = None;
 
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
@@ -166,6 +171,13 @@ fn main() -> ExitCode {
                 }
             },
             "-no-cache" | "--no-cache" => cache = false,
+            "-simd" | "--simd" => {
+                let Some(m) = it.next() else {
+                    eprintln!("-simd needs a value (auto, scalar, avx2, or neon)");
+                    return usage();
+                };
+                simd_mode = Some(m.clone());
+            }
             "-h" | "--help" => return usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -173,6 +185,25 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Lock the SIMD dispatch path in before the executors spin up so every
+    // job (and the health document) reports the same resolved path.
+    let dispatch = {
+        let resolved = match &simd_mode {
+            Some(m) => mbrpa_simd::Dispatch::parse(m)
+                .map_err(|e| format!("-simd: {e}"))
+                .and_then(mbrpa_simd::force),
+            None => mbrpa_simd::init_from_env(),
+        };
+        match resolved {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    mbrpa_obs::set_dispatch(dispatch.name());
 
     if profile && executors > 1 {
         eprintln!("note: -profile needs a single executor; profiles will not be emitted");
