@@ -11,10 +11,45 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # In-tree invariant linter: rules the compiler can't see (SAFETY comments,
 # unjustified unwraps, float ==, HashMap iteration order, stray prints,
-# narrowing index casts). --deny makes any finding fail CI; the JSON
-# findings report is schema-validated by the same binary.
-cargo run --release -p mbrpa-lint -- --deny --json target/lint_findings.json
+# narrowing index casts) plus the structure-aware concurrency/unsafety
+# rules (atomic_ordering, unsafe_wrapper, nested_par, lock_hold,
+# schema_tag). --deny makes any finding fail CI; the JSON findings report
+# is schema-validated by the same binary; --timing surfaces the cost of
+# the shared lex + scope-tree pass in the CI log.
+cargo run --release -p mbrpa-lint -- --deny --timing --json target/lint_findings.json
 cargo run --release -p mbrpa-lint -- --validate target/lint_findings.json
+
+# Sanitizer legs: Miri (UB in the unsafe SIMD/linalg kernels) and
+# ThreadSanitizer (data races in the serve executor pool). Both need a
+# nightly toolchain with specific components; when unavailable the legs
+# SKIP loudly — a silent skip would let CI go green without the check
+# anyone reading this script expects to have run.
+NIGHTLY_OK=0
+if command -v rustup >/dev/null 2>&1 && rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    NIGHTLY_OK=1
+fi
+if [ "$NIGHTLY_OK" = 1 ] \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q 'miri.*(installed)'; then
+    # Miri cannot execute AVX2 intrinsics; MBRPA_SIMD=scalar pins the
+    # dispatch to the path Miri can interpret, which is also the path
+    # whose results every other path must match bit-for-bit.
+    MBRPA_SIMD=scalar cargo +nightly miri test -p mbrpa-simd --lib
+    MBRPA_SIMD=scalar cargo +nightly miri test -p mbrpa-linalg --lib par:: fcmp::
+else
+    echo "ci: SKIP miri leg — nightly toolchain with the miri component is not installed" \
+         "(rustup toolchain install nightly && rustup component add miri --toolchain nightly)"
+fi
+if [ "$NIGHTLY_OK" = 1 ] \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src.*(installed)'; then
+    # TSan needs -Zbuild-std so std itself is instrumented; target the
+    # concurrency-heavy serve suites (executor pool, HTTP workers).
+    TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
+        --target "$TSAN_TARGET" -p mbrpa-serve --test http_api
+else
+    echo "ci: SKIP thread-sanitizer leg — nightly toolchain with rust-src is not installed" \
+         "(rustup component add rust-src --toolchain nightly)"
+fi
 
 # Daemon smoke test: serve the tiny Dirichlet-cluster job end-to-end
 # through the HTTP API on an ephemeral port, schema-validate the stored

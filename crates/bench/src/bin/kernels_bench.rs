@@ -848,10 +848,10 @@ fn reduce_cases(smoke: bool, cases: &mut Vec<Case>) {
 }
 
 // ---------------------------------------------------------------------
-// JSON emission + validation (schema "mbrpa.kernels-bench/2")
+// JSON emission + validation (schema `mbrpa_schema::KERNELS_BENCH`)
 // ---------------------------------------------------------------------
 
-const SCHEMA: &str = "mbrpa.kernels-bench/2";
+const SCHEMA: &str = mbrpa_schema::KERNELS_BENCH;
 
 fn json_f64(v: f64) -> String {
     if v.is_finite() {

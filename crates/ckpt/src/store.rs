@@ -267,6 +267,7 @@ mod tests {
 
     fn scratch_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // ord: Relaxed — unique-id counter; nothing is published, only distinctness matters
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         std::env::temp_dir().join(format!("mbrpa-ckpt-store-{}-{tag}-{n}", std::process::id()))
     }

@@ -20,7 +20,7 @@ fn scratch_dir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "mbrpa-ckpt-prop-{}-{}",
         std::process::id(),
-        COUNTER.fetch_add(1, Ordering::Relaxed)
+        COUNTER.fetch_add(1, Ordering::Relaxed) // ord: Relaxed — unique-id counter, no data published
     ));
     std::fs::create_dir_all(&dir).unwrap();
     dir

@@ -37,11 +37,14 @@ impl CancelToken {
     /// Request cancellation. Safe to call from any thread, any number of
     /// times; the pipeline reacts at its next boundary check.
     pub fn cancel(&self) {
+        // ord: Release — pairs with the Acquire load in `is_cancelled`, so work
+        // done before cancelling is visible to the thread observing the flag
         self.flag.store(true, Ordering::Release);
     }
 
     /// Has cancellation been requested?
     pub fn is_cancelled(&self) -> bool {
+        // ord: Acquire — pairs with the Release store in `cancel`
         self.flag.load(Ordering::Acquire)
     }
 }

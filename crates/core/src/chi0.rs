@@ -245,6 +245,7 @@ impl<'a> DielectricOperator<'a> {
 
     /// Total single-column operator applications so far.
     pub fn applications(&self) -> usize {
+        // ord: Relaxed — monotonic telemetry counter; readers need a count, not a happens-before edge
         self.applications.load(Ordering::Relaxed)
     }
 
@@ -516,6 +517,7 @@ impl<'a> DielectricOperator<'a> {
         if with_nu_sqrt {
             self.coulomb.apply_nu_sqrt_block(&mut result);
         }
+        // ord: Relaxed — telemetry counter only; the numeric result flows through `result`, not this atomic
         self.applications.fetch_add(cols, Ordering::Relaxed);
         // lint: allow(unwrap) — a poisoned mutex means a worker already crashed; abort loudly
         *self.time_in_apply.lock().expect("time mutex poisoned") += t0.elapsed();

@@ -26,6 +26,8 @@ pub struct OuterScope {
 
 impl Drop for OuterScope {
     fn drop(&mut self) {
+        // ord: Relaxed — OUTER is a sizing hint for `inner_slots`, not a
+        // synchronization point; a stale read only mis-sizes a work split
         OUTER.fetch_sub(self.tasks, Ordering::Relaxed);
     }
 }
@@ -34,12 +36,14 @@ impl Drop for OuterScope {
 /// returned guard. Call this right before an outer `par_iter` with the
 /// number of concurrently runnable tasks it creates.
 pub fn outer_scope(tasks: usize) -> OuterScope {
+    // ord: Relaxed — sizing hint only (see Drop above); no data is published through OUTER
     OUTER.fetch_add(tasks, Ordering::Relaxed);
     OuterScope { tasks }
 }
 
 /// True if any outer parallel region is currently registered.
 pub fn outer_active() -> bool {
+    // ord: Relaxed — advisory snapshot of the sizing hint; no ordering needed
     OUTER.load(Ordering::Relaxed) > 0
 }
 
@@ -48,6 +52,7 @@ pub fn outer_active() -> bool {
 /// share of threads left idle by the outer partition (at least 1).
 pub fn inner_slots() -> usize {
     let threads = rayon::current_num_threads();
+    // ord: Relaxed — advisory snapshot; a racing guard only shifts the thread split by one
     let outer = OUTER.load(Ordering::Relaxed);
     if outer == 0 {
         threads
@@ -67,12 +72,16 @@ mod tests {
     fn scope_registers_and_releases() {
         // Tests in this crate may run in parallel; only assert relative
         // changes made by our own guards.
+        // ord: Relaxed — same advisory counter the library reads; the asserts
+        // below tolerate concurrent guards, so no ordering is required
         let before = OUTER.load(Ordering::Relaxed);
         {
             let _g = outer_scope(3);
+            // ord: Relaxed — advisory snapshot (see `before` above)
             assert!(OUTER.load(Ordering::Relaxed) >= before + 3);
             assert!(outer_active());
         }
+        // ord: Relaxed — advisory snapshot (see `before` above)
         assert!(OUTER.load(Ordering::Relaxed) <= before + 3);
     }
 

@@ -286,8 +286,10 @@ impl Lexer<'_> {
     fn char_body(&mut self) {
         match self.bump() {
             Some('\\') => {
-                // Escape: consume escape char, then everything to the quote
-                // (covers '\u{…}').
+                // Escape: the escaped char is consumed blindly — it may be
+                // a quote ('\'') or backslash ('\\') — then everything to
+                // the closing quote (covers '\u{…}').
+                self.bump();
                 while let Some(c) = self.bump() {
                     if c == '\'' {
                         return;
@@ -487,5 +489,28 @@ mod tests {
         assert_eq!(toks[0].0, TokKind::Str);
         assert_eq!(toks[1].0, TokKind::Char);
         assert_eq!(toks[2].0, TokKind::Str);
+    }
+
+    #[test]
+    fn escaped_quote_char_does_not_eat_the_next_token() {
+        // Regression: '\'' must end at its own closing quote — the
+        // escaped quote is the *content*, not the terminator. Getting
+        // this wrong swallowed the following `)` into a bogus char
+        // token and unbalanced every downstream scope tree.
+        let toks = kinds(r"m('\'') n('\\')");
+        let texts: Vec<_> = toks.iter().map(|t| (t.0, t.1.as_str())).collect();
+        assert_eq!(
+            texts,
+            [
+                (TokKind::Ident, "m"),
+                (TokKind::Punct, "("),
+                (TokKind::Char, r"'\''"),
+                (TokKind::Punct, ")"),
+                (TokKind::Ident, "n"),
+                (TokKind::Punct, "("),
+                (TokKind::Char, r"'\\'"),
+                (TokKind::Punct, ")"),
+            ]
+        );
     }
 }

@@ -1,18 +1,25 @@
 //! # mbrpa-lint — in-tree invariant linter
 //!
-//! A zero-dependency static-analysis pass enforcing numerics,
-//! determinism, and safety invariants the compiler cannot see:
-//! bitwise-reproducible reductions must not be compared with float
+//! A near-zero-dependency static-analysis pass enforcing numerics,
+//! determinism, concurrency, and safety invariants the compiler cannot
+//! see: bitwise-reproducible reductions must not be compared with float
 //! equality, hash-map iteration order must not leak into numeric
-//! results, `unsafe` soundness arguments must be written down, and
-//! library crates must propagate errors instead of panicking.
+//! results, `unsafe` soundness arguments and weakened atomic orderings
+//! must be written down, rayon regions must not nest, lock guards must
+//! not be held across blocking calls, and schema tags come from one
+//! registry.
 //!
 //! The pass lexes every workspace `.rs` file with a hand-rolled Rust
 //! lexer ([`lexer`]) — comments, raw strings, and char-vs-lifetime
-//! disambiguation included — and runs the rule engine ([`rules`]) over
-//! the token stream. Findings are reported as a human table and as
-//! schema-versioned JSON ([`report`], schema `mbrpa.lint-findings/1`)
-//! with a hand-rolled validator so CI can round-trip the artifact.
+//! disambiguation included — then builds a lightweight scope tree over
+//! the token stream ([`scope`]): the nesting of brace/paren/bracket
+//! scopes with each scope's owning item (`fn` with its
+//! `pub`/`unsafe` qualifiers, or `macro_rules!`). Token-window rules
+//! and structure-aware rules ([`rules`]) share a single [`rules::Analysis`]
+//! per file, so each file is lexed and parsed exactly once. Findings
+//! are reported as a human table and as schema-versioned JSON
+//! ([`report`], schema `mbrpa.lint-findings/1`) with a hand-rolled
+//! validator so CI can round-trip the artifact.
 //!
 //! Run it from the workspace root:
 //!
@@ -29,26 +36,45 @@
 //!
 //! Unused suppressions are themselves findings (`unused_allow`), so
 //! stale justifications cannot accumulate. The rule catalogue and the
-//! policy for adding rules live in DESIGN.md §9.
+//! policy for adding rules live in DESIGN.md §9; the scope-tree
+//! architecture and the structural rule semantics in DESIGN.md §14.
 
 #![warn(missing_docs)]
 
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod scope;
 
 use rules::Finding;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Wall-clock breakdown of one workspace scan, summed over files. The
+/// lex pass runs once per file and is shared by all thirteen rules;
+/// `structure` covers scope-tree construction plus comment/suppression
+/// indexing; `rules` is the rule engine proper.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Timing {
+    /// Total time lexing.
+    pub lex: Duration,
+    /// Total time building scope trees and comment indices.
+    pub structure: Duration,
+    /// Total time running the rules.
+    pub rules: Duration,
+}
 
 /// Result of scanning a workspace: every finding plus the file count
 /// (the JSON schema records both so an accidentally-empty scan cannot
-/// masquerade as a clean one).
+/// masquerade as a clean one) and the phase timing breakdown.
 #[derive(Debug)]
 pub struct ScanResult {
     /// All findings across the workspace, sorted by (file, line, rule).
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Per-phase wall time, summed over files (`--timing`).
+    pub timing: Timing,
 }
 
 /// Scan every `.rs` file under `root` (a workspace checkout), skipping
@@ -59,6 +85,7 @@ pub fn scan_workspace(root: &Path) -> Result<ScanResult, String> {
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut findings = Vec::new();
+    let mut timing = Timing::default();
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))
             .map_err(|e| format!("read {}: {e}", rel.display()))?;
@@ -66,14 +93,30 @@ pub fn scan_workspace(root: &Path) -> Result<ScanResult, String> {
             .to_str()
             .ok_or_else(|| format!("non-UTF-8 path {}", rel.display()))?
             .replace('\\', "/");
-        findings.extend(rules::check_file(&rel_str, &src));
+        let analysis = rules::analyze(&rel_str, &src);
+        timing.lex += analysis.lex_time;
+        timing.structure += analysis.structure_time;
+        let t0 = std::time::Instant::now();
+        findings.extend(rules::run_rules(&analysis));
+        timing.rules += t0.elapsed();
     }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(ScanResult {
         findings,
         files_scanned: files.len(),
+        timing,
     })
+}
+
+/// Collect the workspace-relative paths `scan_workspace` would lint,
+/// sorted. Exposed so tests (e.g. the self-parse suite) can iterate the
+/// same file set as the scanner.
+pub fn workspace_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

@@ -7,7 +7,8 @@ use crate::rules::{Finding, RULE_IDS};
 
 /// Schema identifier written into every findings document. Bump on any
 /// backwards-incompatible change and document it in DESIGN.md §9.
-pub const SCHEMA: &str = "mbrpa.lint-findings/1";
+/// Drawn from the registry crate, like every other tag (`schema_tag`).
+pub const SCHEMA: &str = mbrpa_schema::LINT_FINDINGS;
 
 /// Render findings as an aligned human-readable table; empty findings
 /// produce a one-line all-clear. Returned as a `String` so the library

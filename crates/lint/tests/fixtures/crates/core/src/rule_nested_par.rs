@@ -1,0 +1,58 @@
+//! Fixture: `nested_par` — positive, negative, suppressed, and
+//! unused-suppression cases. Never compiled; only lexed and parsed.
+
+use mbrpa_linalg::par::outer_scope;
+use rayon::prelude::*;
+
+// positive: rayon call in a block nested under a live guard
+pub fn positive_guarded_nested(xs: &[f64]) -> f64 {
+    let _outer = outer_scope(4);
+    let mut acc = 0.0;
+    {
+        acc += xs.par_iter().sum::<f64>();
+    }
+    acc
+}
+
+// positive: rayon call inside another rayon call's closure
+pub fn positive_par_in_par(rows: &mut [Vec<f64>]) {
+    rows.par_iter_mut().for_each(|row| {
+        row.par_iter_mut().for_each(|x| *x += 1.0);
+    });
+}
+
+// negative: guard and the outer region bound in the same scope — the
+// sanctioned "this is the outer level" idiom (`core::chi0`)
+pub fn negative_guard_same_scope(xs: &[f64]) -> f64 {
+    let _outer = outer_scope(xs.len());
+    xs.par_iter().sum::<f64>()
+}
+
+// negative: zipping two parallel iterators is one region, not two
+pub fn negative_zip(a: &[f64], b: Vec<f64>) -> f64 {
+    a.par_iter().zip(b.into_par_iter()).map(|(x, y)| x * y).sum()
+}
+
+// negative: sequential parallel regions in one function body
+pub fn negative_sequential(xs: &[f64]) -> (f64, f64) {
+    let a = xs.par_iter().sum::<f64>();
+    let b = xs.par_iter().map(|x| x * x).sum::<f64>();
+    (a, b)
+}
+
+// suppressed: nesting justified at the inner call site
+pub fn suppressed_case(blocks: &[Vec<f64>]) -> f64 {
+    blocks
+        .par_iter()
+        .map(|block| {
+            // lint: allow(nested_par) — fixture: inner width is sized by inner_slots
+            block.par_iter().sum::<f64>()
+        })
+        .sum()
+}
+
+// unused suppression: nothing parallel is nested here
+pub fn unused_allow_case(xs: &[f64]) -> f64 {
+    // lint: allow(nested_par) — nothing parallel is nested on the next line
+    xs.par_iter().sum::<f64>()
+}

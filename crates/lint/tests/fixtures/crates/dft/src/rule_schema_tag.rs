@@ -1,0 +1,39 @@
+//! Fixture: `schema_tag` — positive, negative, suppressed, and
+//! unused-suppression cases. Never compiled; only lexed and parsed.
+
+// positive: a writer spelling the tag literal locally
+pub fn positive_literal_tag() -> &'static str {
+    "mbrpa.fixture-doc/1"
+}
+
+// positive: tag embedded in a larger document string
+pub fn positive_embedded() -> &'static str {
+    "{\"schema\":\"mbrpa.fixture-doc/2\",\"ok\":true}"
+}
+
+// negative: referencing the registry constant
+pub fn negative_registry() -> &'static str {
+    mbrpa_schema::JOB
+}
+
+// negative: dotted prose without a version suffix is not a tag
+pub fn negative_prose() -> &'static str {
+    "see mbrpa.md and the mbrpa.design notes"
+}
+
+// negative: the version must be numeric
+pub fn negative_non_numeric() -> &'static str {
+    "mbrpa.fixture-doc/vNext"
+}
+
+// suppressed: justified literal
+pub fn suppressed_case() -> &'static str {
+    // lint: allow(schema_tag) — fixture: golden-file path, not a document tag
+    "mbrpa.fixture-doc/3"
+}
+
+// unused suppression: the next line is registry-clean
+pub fn unused_allow_case() -> &'static str {
+    // lint: allow(schema_tag) — the next line references the registry
+    mbrpa_schema::HEALTH
+}

@@ -1,0 +1,57 @@
+//! Fixture: `atomic_ordering` — positive, negative, suppressed, and
+//! unused-suppression cases. Never compiled; only lexed and parsed.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+// positive: weakened ordering with no `ord:` rationale anywhere near
+pub fn positive_bare_relaxed() -> usize {
+    COUNT.load(Ordering::Relaxed)
+}
+
+// positive: `record:` must not satisfy the marker (word-boundary check)
+pub fn positive_lookalike_marker() {
+    // record: bump the counter before publishing
+    COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+// negative: SeqCst is the conservative default and needs no rationale
+pub fn negative_seqcst() {
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+// negative: rationale on the same line
+pub fn negative_same_line() -> bool {
+    FLAG.load(Ordering::Relaxed) // ord: Relaxed — advisory flag, no data published
+}
+
+// negative: rationale in the comment run directly above
+pub fn negative_above() {
+    // ord: Release — pairs with an Acquire load elsewhere in this fixture
+    FLAG.store(true, Ordering::Release);
+}
+
+// negative: one rationale covers both orderings on a compare_exchange line
+pub fn negative_compare_exchange() {
+    // ord: Relaxed — self-contained value; the CAS only arbitrates ties
+    let _ = COUNT.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+}
+
+// negative: `cmp::Ordering` variants are not atomic orderings
+pub fn negative_cmp_ordering(a: i32, b: i32) -> bool {
+    matches!(a.cmp(&b), core::cmp::Ordering::Less)
+}
+
+// suppressed: justified inline suppression on the line above
+pub fn suppressed_case() {
+    // lint: allow(atomic_ordering) — fixture: the rationale lives in the design doc
+    FLAG.store(true, Ordering::Release);
+}
+
+// unused suppression: flagged as `unused_allow`
+pub fn unused_allow_case() {
+    // lint: allow(atomic_ordering) — nothing on the next line violates the rule
+    FLAG.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,73 @@
+//! Fixture: `lock_hold` — positive, negative, suppressed, and
+//! unused-suppression cases. Never compiled; only lexed and parsed.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// positive: retained guard held across a blocking channel recv
+pub fn positive_let_guard(q: &Mutex<Vec<u64>>, ch: &Receiver<u64>) {
+    let mut queue = lock(q);
+    if let Ok(id) = ch.recv() {
+        queue.push(id);
+    }
+}
+
+// positive: scrutinee temporary lives across the match body
+pub fn positive_match_header(q: &Mutex<Vec<u64>>, ch: &Receiver<u64>) {
+    match lock(q).pop() {
+        Some(id) => {
+            let _ = ch.recv_timeout(std::time::Duration::from_millis(1));
+            drop(id);
+        }
+        None => {}
+    }
+}
+
+// negative: temporary consumed in one statement, nothing held after
+pub fn negative_temporary(q: &Mutex<Vec<u64>>, ch: &Receiver<u64>) {
+    lock(q).push(7);
+    let _ = ch.recv();
+}
+
+// negative: guard dropped (inner scope) before the blocking call
+pub fn negative_scoped_guard(q: &Mutex<Vec<u64>>, ch: &Receiver<u64>) {
+    {
+        let mut queue = lock(q);
+        queue.push(1);
+    }
+    let _ = ch.recv();
+}
+
+// negative: the method chain consumes the guard — the binding holds the
+// popped value, not the lock
+pub fn negative_chain_consumed(q: &Mutex<Vec<u64>>, ch: &Receiver<u64>) -> Option<u64> {
+    let head = lock(q).pop();
+    let _ = ch.recv();
+    head
+}
+
+// negative: `fs::write` is IO, not an RwLock acquisition
+pub fn negative_fs_write(path: &std::path::Path, ch: &Receiver<u64>) {
+    let _ = std::fs::write(path, b"x");
+    let _ = ch.recv();
+}
+
+// suppressed: blocking under the lock is the serialization design
+pub fn suppressed_case(q: &Mutex<Vec<u64>>, ch: &Receiver<u64>) {
+    let mut queue = lock(q);
+    // lint: allow(lock_hold) — fixture: the queue lock is the recv serialization point
+    if let Ok(id) = ch.recv() {
+        queue.push(id);
+    }
+}
+
+// unused suppression: nothing blocks while the guard is live
+pub fn unused_allow_case(q: &Mutex<Vec<u64>>) {
+    // lint: allow(lock_hold) — nothing blocks below
+    let mut queue = lock(q);
+    queue.push(2);
+}

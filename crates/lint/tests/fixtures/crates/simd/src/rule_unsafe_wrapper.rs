@@ -1,0 +1,54 @@
+//! Fixture: `unsafe_wrapper` — positive, negative, suppressed, and
+//! unused-suppression cases. Never compiled; only lexed and parsed.
+//! Every `unsafe` carries a SAFETY comment so the `safety` rule stays
+//! quiet and the cases isolate the wrapper rule.
+
+// positive: fully-public unsafe entry point (should be pub(crate))
+// SAFETY: fixture — caller guarantees `p` is valid for reads
+pub unsafe fn positive_public_unsafe(p: *const f64) -> f64 {
+    // SAFETY: contract forwarded from the caller
+    unsafe { *p }
+}
+
+// positive: unsafe block in a safe fn with no preceding check
+pub fn positive_unchecked_block(xs: &[f64]) -> f64 {
+    // SAFETY: pretends index 0 exists — this is the violation
+    unsafe { *xs.as_ptr() }
+}
+
+// negative: two-corner-check wrapper — the assert proves the precondition
+pub fn negative_checked_wrapper(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "empty slice");
+    // SAFETY: non-emptiness asserted above
+    unsafe { *xs.as_ptr() }
+}
+
+// negative: crate-visible unsafe entry point behind the checked wrapper
+// SAFETY: fixture — `negative_checked_wrapper` proves the precondition
+pub(crate) unsafe fn negative_crate_entry(p: *const f64) -> f64 {
+    // SAFETY: contract forwarded from the caller
+    unsafe { *p }
+}
+
+// negative: macro_rules bodies are expansion sites, not wrappers
+macro_rules! fixture_dispatch {
+    ($f:ident, $xs:expr) => {
+        // SAFETY: the expansion site checked the CPU feature above
+        unsafe { $f($xs) }
+    };
+}
+
+// suppressed: wrapper obligation justified at the block
+pub fn suppressed_case(xs: &[f64]) -> f64 {
+    // SAFETY: fixture — length checked by the (not shown) caller
+    // lint: allow(unsafe_wrapper) — fixture: the caller owns the bounds check
+    unsafe { *xs.as_ptr() }
+}
+
+// unused suppression: the assert already satisfies the rule
+pub fn unused_allow_case(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: non-emptiness asserted above
+    // lint: allow(unsafe_wrapper) — the assert above already satisfies the rule
+    unsafe { *xs.as_ptr() }
+}

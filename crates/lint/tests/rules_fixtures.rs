@@ -145,3 +145,59 @@ fn classification_matrix() {
     let lint_main = classify("crates/lint/src/main.rs");
     assert!(!lint_main.is_library, "bin targets are not library code");
 }
+
+#[test]
+fn atomic_ordering_rule_cases() {
+    let f = run_fixture("crates/serve/src/rule_atomic_ordering.rs");
+    assert_only(&f, &[("atomic_ordering", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn unsafe_wrapper_rule_cases() {
+    let f = run_fixture("crates/simd/src/rule_unsafe_wrapper.rs");
+    assert_only(&f, &[("unsafe_wrapper", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn unsafe_wrapper_rule_is_scoped_to_the_simd_crate() {
+    // The identical source outside `crates/simd` is out of the rule's
+    // jurisdiction: no wrapper findings, both suppressions go stale.
+    let src = fixture_src("crates/simd/src/rule_unsafe_wrapper.rs");
+    let f = check_file("crates/dft/src/rule_unsafe_wrapper.rs", &src);
+    assert_only(&f, &[("unsafe_wrapper", 0), ("unused_allow", 2)]);
+}
+
+#[test]
+fn nested_par_rule_cases() {
+    let f = run_fixture("crates/core/src/rule_nested_par.rs");
+    assert_only(&f, &[("nested_par", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn lock_hold_rule_cases() {
+    let f = run_fixture("crates/serve/src/rule_lock_hold.rs");
+    assert_only(&f, &[("lock_hold", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn lock_hold_rule_is_scoped_to_serve_non_test_code() {
+    // Reclassified as a serve *test* file the rule stands down (tests
+    // may serialize on a lock deliberately); suppressions go stale.
+    let src = fixture_src("crates/serve/src/rule_lock_hold.rs");
+    let f = check_file("crates/serve/tests/rule_lock_hold.rs", &src);
+    assert_only(&f, &[("lock_hold", 0), ("unused_allow", 2)]);
+}
+
+#[test]
+fn schema_tag_rule_cases() {
+    let f = run_fixture("crates/dft/src/rule_schema_tag.rs");
+    assert_only(&f, &[("schema_tag", 2), ("unused_allow", 1)]);
+}
+
+#[test]
+fn schema_tag_rule_exempts_the_registry_crate() {
+    // The registry itself is the one place allowed to spell tags.
+    let src = fixture_src("crates/dft/src/rule_schema_tag.rs");
+    let f = check_file("crates/schema/src/rule_schema_tag.rs", &src);
+    assert_only(&f, &[("schema_tag", 0), ("unused_allow", 2)]);
+}

@@ -76,6 +76,11 @@ fn deny_exits_nonzero_on_fixture_violations() {
         "hash_iter",
         "print",
         "narrow_cast",
+        "atomic_ordering",
+        "unsafe_wrapper",
+        "nested_par",
+        "lock_hold",
+        "schema_tag",
     ] {
         assert!(
             stdout.contains(rule),

@@ -187,11 +187,15 @@ pub fn set_enabled(on: bool) {
     if on {
         with_global(|_| ());
     }
+    // ord: Relaxed — ENABLED only gates whether telemetry is recorded; the
+    // data itself is published under the sink mutex
     ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Whether the sink is currently enabled.
 pub fn enabled() -> bool {
+    // ord: Relaxed — gate flag only (see `set_enabled`); a stale read skips
+    // or records one extra sample, never corrupts data
     ENABLED.load(Ordering::Relaxed)
 }
 

@@ -79,6 +79,7 @@ fn health(shared: &Arc<ServeShared>) -> Response {
         ("simd", s(mbrpa_simd::active().name())),
         (
             "draining",
+            // ord: Acquire — pairs with the Release stores in `shutdown`/`drain`
             JsonValue::Bool(shared.draining.load(Ordering::Acquire)),
         ),
     ];
@@ -123,6 +124,8 @@ fn cache_flush(shared: &Arc<ServeShared>) -> Response {
 }
 
 fn submit(shared: &Arc<ServeShared>, req: &Request) -> Response {
+    // ord: Acquire — pairs with the Release stores in `shutdown`/`drain`; an
+    // admission that races the drain is still rejected at claim time
     if shared.draining.load(Ordering::Acquire) {
         return Response::error(503, "daemon is draining; resubmit after restart");
     }
@@ -227,7 +230,10 @@ fn status_body(shared: &Arc<ServeShared>, id: &str) -> Option<JsonValue> {
         .or_else(|| shared.store.read_state(id))?;
     let progress = match state {
         JobState::Running => shared.running_job(id).and_then(|run| {
+            // ord: Acquire — pairs with the executor's Release stores so
+            // `completed` never reads ahead of the published `n_omega`
             let n_omega = run.n_omega.load(Ordering::Acquire);
+            // ord: Acquire — same pairing as `n_omega` above
             (n_omega > 0).then(|| (run.completed.load(Ordering::Acquire), n_omega))
         }),
         JobState::Cancelled => partial_progress(shared, id),
@@ -309,6 +315,8 @@ fn cancel(shared: &Arc<ServeShared>, id: &str) -> Response {
                 // order matters: mark the cancellation as user-initiated
                 // *before* tripping the token, so the executor cannot
                 // observe the token and still see a drain
+                // ord: Release — pairs with the executor's Acquire load of
+                // `user_cancel` after it observes the token trip
                 run.user_cancel.store(true, Ordering::Release);
                 run.token.cancel();
             }
@@ -331,6 +339,7 @@ fn cancel_reply(shared: &Arc<ServeShared>, id: &str, status: u16) -> Response {
 }
 
 fn shutdown(shared: &Arc<ServeShared>) -> Response {
+    // ord: Release — pairs with the Acquire loads in `submit`/`health`/executor claim
     shared.draining.store(true, Ordering::Release);
     // cancel without `user_cancel`: running jobs checkpoint and requeue
     for run in lock(&shared.running).iter() {

@@ -240,6 +240,8 @@ impl Daemon {
     /// a client's `POST /v1/shutdown`. The owning binary polls this and
     /// then calls [`Daemon::drain`] to finish the shutdown.
     pub fn drain_requested(&self) -> bool {
+        // ord: Acquire — pairs with the Release stores in `drain` and the
+        // HTTP shutdown handler
         self.shared.draining.load(Ordering::Acquire)
     }
 
@@ -247,6 +249,7 @@ impl Daemon {
     /// jobs (they checkpoint at the next frequency boundary and requeue),
     /// join the executors, close the listener. Idempotent.
     pub fn drain(&mut self) {
+        // ord: Release — pairs with the Acquire loads gating admission and claims
         self.shared.draining.store(true, Ordering::Release);
         for job in lock(&self.shared.running).iter() {
             job.token.cancel();

@@ -44,6 +44,8 @@ enum Finish {
 /// daemon drains.
 pub(crate) fn executor_loop(shared: &Arc<ServeShared>) {
     loop {
+        // ord: Acquire — pairs with the Release stores in `Daemon::drain` and
+        // the HTTP shutdown handler
         if shared.draining.load(Ordering::Acquire) {
             return;
         }
@@ -177,12 +179,21 @@ fn execute(shared: &Arc<ServeShared>, spec: &JobSpec, job: &RunningJob) -> Finis
                 return complete(shared, &input, job, &result, profiled);
             }
             Ok(ResumableOutcome::Checkpointed { completed, n_omega }) => {
+                // ord: Release — pairs with the status endpoint's Acquire loads;
+                // store `completed` first so a reader that sees `n_omega > 0`
+                // also sees the matching progress
                 job.completed.store(completed, Ordering::Release);
+                // ord: Release — see `completed` above
                 job.n_omega.store(n_omega, Ordering::Release);
             }
             Ok(ResumableOutcome::Cancelled(partial)) => {
+                // ord: Release — same progress-publication pairing as the
+                // Checkpointed arm above
                 job.completed.store(partial.completed, Ordering::Release);
+                // ord: Release — see `completed` above
                 job.n_omega.store(partial.n_omega, Ordering::Release);
+                // ord: Acquire — pairs with the cancel endpoint's Release store,
+                // so a tripped token implies the flag is already visible
                 if job.user_cancel.load(Ordering::Acquire) {
                     let partial_json = job::partial_doc(&job.id, &partial).to_json();
                     write_or_log(shared, &job.id, PARTIAL_FILE, &partial_json);
@@ -212,8 +223,10 @@ fn complete(
     result: &RpaResult,
     profiled: bool,
 ) -> Finish {
+    // pairs with the status endpoint's Acquire loads (progress publication)
     job.completed
-        .store(result.per_omega.len(), Ordering::Release);
+        .store(result.per_omega.len(), Ordering::Release); // ord: Release — see above
+                                                           // ord: Release — see `completed` above
     job.n_omega.store(result.per_omega.len(), Ordering::Release);
 
     let result_doc = job::result_doc(&job.id, result);

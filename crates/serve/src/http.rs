@@ -179,9 +179,12 @@ impl HttpServer {
             let rx = Arc::clone(&rx);
             let handler = Arc::clone(&handler);
             workers.push(std::thread::spawn(move || loop {
-                // hold the lock only for the recv itself
+                // hold the lock only for the recv itself: this mutex exists
+                // solely to share the single consumer end among workers, and
+                // an idle worker *must* park inside recv while holding it
                 let next = {
                     let Ok(guard) = rx.lock() else { return };
+                    // lint: allow(lock_hold) — blocking in recv under this lock is the design; no other code path takes `rx`
                     guard.recv()
                 };
                 match next {
@@ -194,6 +197,7 @@ impl HttpServer {
         let shutdown_seen = Arc::clone(&shutdown);
         let accept = std::thread::spawn(move || {
             loop {
+                // ord: Acquire — pairs with the Release store in `shutdown`
                 if shutdown_seen.load(Ordering::Acquire) {
                     break;
                 }
@@ -230,6 +234,7 @@ impl HttpServer {
 
     /// Stop accepting, finish in-flight requests, join every thread.
     pub fn shutdown(&mut self) {
+        // ord: Release — pairs with the accept loop's Acquire load
         self.shutdown.store(true, Ordering::Release);
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();

@@ -21,17 +21,17 @@ use mbrpa_core::io::{parse_rpa_input, RpaInput};
 use mbrpa_core::{PartialRun, RpaResult};
 
 /// Schema tag of a job submission body.
-pub const JOB_SCHEMA: &str = "mbrpa.job/1";
+pub const JOB_SCHEMA: &str = mbrpa_schema::JOB;
 /// Schema tag of a status body.
-pub const STATUS_SCHEMA: &str = "mbrpa.job-status/1";
+pub const STATUS_SCHEMA: &str = mbrpa_schema::JOB_STATUS;
 /// Schema tag of a result body.
-pub const RESULT_SCHEMA: &str = "mbrpa.result/1";
+pub const RESULT_SCHEMA: &str = mbrpa_schema::RESULT;
 /// Schema tag of the health body.
-pub const HEALTH_SCHEMA: &str = "mbrpa.health/1";
+pub const HEALTH_SCHEMA: &str = mbrpa_schema::HEALTH;
 /// Schema tag of the job-list body.
-pub const LIST_SCHEMA: &str = "mbrpa.job-list/1";
+pub const LIST_SCHEMA: &str = mbrpa_schema::JOB_LIST;
 /// Schema tag of a persisted result-cache entry.
-pub const CACHE_ENTRY_SCHEMA: &str = "mbrpa.cache-entry/1";
+pub const CACHE_ENTRY_SCHEMA: &str = mbrpa_schema::CACHE_ENTRY;
 
 /// Highest accepted priority (larger runs sooner).
 pub const MAX_PRIORITY: u8 = 9;

@@ -39,6 +39,7 @@ extern "C" {
 
 extern "C" fn on_signal(_signum: i32) {
     // a single lock-free atomic store — async-signal-safe
+    // ord: Release — pairs with the Acquire load in `termination_requested`
     TERMINATION.store(true, Ordering::Release);
 }
 
@@ -59,6 +60,7 @@ pub fn install_termination_handler() {
 
 /// True once SIGINT or SIGTERM has been delivered. Sticky.
 pub fn termination_requested() -> bool {
+    // ord: Acquire — pairs with the Release stores in `on_signal` and the tests
     TERMINATION.load(Ordering::Acquire)
 }
 
@@ -72,6 +74,7 @@ pub struct CancelWatcher {
 
 impl Drop for CancelWatcher {
     fn drop(&mut self) {
+        // ord: Release — pairs with the watcher thread's Acquire load of `stop`
         self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -91,6 +94,7 @@ pub fn watch(cancel: CancelToken) -> CancelWatcher {
             cancel.cancel();
             return;
         }
+        // ord: Acquire — pairs with the Release store in `CancelWatcher::drop`
         if stop_seen.load(Ordering::Acquire) {
             return;
         }
@@ -118,6 +122,7 @@ mod tests {
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn reset_flag() {
+        // ord: Release — mirror the production store so tests exercise the same pairing
         TERMINATION.store(false, Ordering::Release);
     }
 
@@ -142,6 +147,7 @@ mod tests {
         let token = CancelToken::new();
         let watcher = watch(token.clone());
         assert!(!token.is_cancelled());
+        // ord: Release — simulate `on_signal` with the identical store
         TERMINATION.store(true, Ordering::Release);
         // the watcher polls every 25 ms; give it a generous window
         let deadline = std::time::Instant::now() + Duration::from_secs(5);

@@ -80,7 +80,7 @@ fn scratch_root(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!(
         "mbrpa-serve-cache-{tag}-{}-{}",
         std::process::id(),
-        COUNTER.fetch_add(1, Ordering::Relaxed)
+        COUNTER.fetch_add(1, Ordering::Relaxed) // ord: Relaxed — unique-id counter, no data published
     ))
 }
 

@@ -147,6 +147,8 @@ fn resolve_from_env() -> Result<Dispatch, String> {
 /// fall back. Binaries call [`init_from_env`] early to turn the same
 /// condition into a clean error message instead.
 pub fn active() -> Dispatch {
+    // ord: Relaxed — ACTIVE carries a self-contained code; no other data is
+    // published through it, so visibility ordering cannot change the result
     if let Some(d) = Dispatch::from_code(ACTIVE.load(Ordering::Relaxed)) {
         return d;
     }
@@ -156,8 +158,10 @@ pub fn active() -> Dispatch {
     // A concurrent first caller may have won the race; every candidate
     // writes a value derived from the same env + CPUID state, so either
     // outcome is the same dispatch.
+    // ord: Relaxed — value is self-contained (see load above); the CAS only arbitrates ties
     let _ = ACTIVE.compare_exchange(0, d.code(), Ordering::Relaxed, Ordering::Relaxed);
     // lint: allow(unwrap) — the slot now holds a valid nonzero code.
+    // ord: Relaxed — re-read of the self-contained code
     Dispatch::from_code(ACTIVE.load(Ordering::Relaxed)).expect("dispatch slot corrupted")
 }
 
@@ -166,8 +170,10 @@ pub fn active() -> Dispatch {
 /// startup so configuration errors surface as clean diagnostics.
 pub fn init_from_env() -> Result<Dispatch, String> {
     let d = resolve_from_env()?;
+    // ord: Relaxed — self-contained dispatch code (see `active`); CAS only arbitrates ties
     let _ = ACTIVE.compare_exchange(0, d.code(), Ordering::Relaxed, Ordering::Relaxed);
     // lint: allow(unwrap) — the slot now holds a valid nonzero code.
+    // ord: Relaxed — re-read of the self-contained code
     Ok(Dispatch::from_code(ACTIVE.load(Ordering::Relaxed)).expect("dispatch slot corrupted"))
 }
 
@@ -186,6 +192,7 @@ pub fn force(req: Option<Dispatch>) -> Result<Dispatch, String> {
             ))
         }
     };
+    // ord: Relaxed — self-contained dispatch code (see `active`); CAS only arbitrates ties
     match ACTIVE.compare_exchange(0, d.code(), Ordering::Relaxed, Ordering::Relaxed) {
         Ok(_) => Ok(d),
         Err(prev) if prev == d.code() => Ok(d),

@@ -22,6 +22,7 @@ struct CountingAlloc;
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: same contract as `System::alloc`, to which this delegates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ord: Relaxed — single-threaded test counts totals; no data is published
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: `layout` is forwarded unchanged from our caller, who
         // upholds `GlobalAlloc`'s contract (non-zero size, valid align).
@@ -29,12 +30,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
     // SAFETY: same contract as `System::alloc_zeroed`; pure delegation.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // ord: Relaxed — see `alloc` above
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: `layout` is forwarded unchanged from our caller.
         unsafe { System.alloc_zeroed(layout) }
     }
     // SAFETY: same contract as `System::realloc`; pure delegation.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ord: Relaxed — see `alloc` above
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: `ptr` was allocated by `System` (every path in this
         // wrapper delegates there), and `layout`/`new_size` come from a
@@ -109,8 +112,10 @@ fn iteration_count_does_not_change_allocation_count() {
     assert_eq!(warm.breakdowns, 0, "breakdowns would skew the comparison");
 
     let measure = |iters: usize, ws: &mut Workspace<C64>| -> (u64, usize) {
+        // ord: Relaxed — the measured solve runs on this thread; program order suffices
         let before = ALLOCS.load(Ordering::Relaxed);
         let (x, rep) = block_cocg_ws(&op, &b, None, &opts(iters), ws);
+        // ord: Relaxed — see `before` above
         let count = ALLOCS.load(Ordering::Relaxed) - before;
         assert_eq!(rep.iterations, iters);
         assert_eq!(rep.breakdowns, 0);
