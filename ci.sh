@@ -138,6 +138,65 @@ for SIMD in $DISPATCH_MATRIX; do
     fi
 done
 
+# Multi-worker smoke test: two workers on one shared checkpoint root
+# behind an rparouter. One job is routed by rendezvous hash and served
+# through the router; then the job's owner is SIGKILLed mid-fleet and
+# the router must hand a fresh submission to the survivor (worker loss
+# handling, exercised at full depth by tests/router_failover.rs). The
+# persisted route table is schema-validated by the router's own
+# --validate mode.
+FLEET_ROOT="target/router_smoke"
+rm -rf "$FLEET_ROOT"
+mkdir -p "$FLEET_ROOT"
+target/release/rpaserved -root "$FLEET_ROOT/store-a" -ckpt-root "$FLEET_ROOT/ckpt" \
+    -addr 127.0.0.1:0 -port-file "$FLEET_ROOT/a.txt" -executors 1 &
+WORKER_A=$!
+target/release/rpaserved -root "$FLEET_ROOT/store-b" -ckpt-root "$FLEET_ROOT/ckpt" \
+    -addr 127.0.0.1:0 -port-file "$FLEET_ROOT/b.txt" -executors 1 &
+WORKER_B=$!
+trap 'kill "$WORKER_A" "$WORKER_B" "${ROUTER_PID:-}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 200); do
+    [ -s "$FLEET_ROOT/a.txt" ] && [ -s "$FLEET_ROOT/b.txt" ] && break
+    sleep 0.1
+done
+target/release/rparouter -root "$FLEET_ROOT/router" \
+    -worker "$(cat "$FLEET_ROOT/a.txt")" -worker "$(cat "$FLEET_ROOT/b.txt")" \
+    -addr 127.0.0.1:0 -port-file "$FLEET_ROOT/r.txt" \
+    -poll-ms 150 -fail-threshold 2 &
+ROUTER_PID=$!
+for _ in $(seq 1 200); do
+    [ -s "$FLEET_ROOT/r.txt" ] && break
+    sleep 0.1
+done
+ROUTER_ADDR="$(cat "$FLEET_ROOT/r.txt")"
+# the client speaks to the router exactly as it would to a single worker
+"$RPACLIENT" -addr "$ROUTER_ADDR" submit inputs/cluster_smoke.rpa -name ci-fleet
+"$RPACLIENT" -addr "$ROUTER_ADDR" wait rjob-000001
+"$RPACLIENT" -addr "$ROUTER_ADDR" health | grep -q '"router":' \
+    || { echo "ci: router health lacks the router block"; exit 1; }
+target/release/rparouter -validate route-table "$FLEET_ROOT/router/route-table.json"
+# worker loss: kill the job's owner, submit a *different* job, and the
+# router must route it to the survivor
+OWNER_ADDR="$(grep -o '"worker":"[^"]*"' "$FLEET_ROOT/router/route-table.json" \
+    | head -n1 | cut -d'"' -f4)"
+if [ "$OWNER_ADDR" = "$(cat "$FLEET_ROOT/a.txt")" ]; then
+    kill -9 "$WORKER_A"
+else
+    kill -9 "$WORKER_B"
+fi
+sed 's/^SYSTEM_SEED: 7$/SYSTEM_SEED: 11/' inputs/cluster_smoke.rpa > "$FLEET_ROOT/variant.rpa"
+grep -q 'SYSTEM_SEED: 11' "$FLEET_ROOT/variant.rpa" \
+    || { echo "ci: variant input was not rewritten"; exit 1; }
+"$RPACLIENT" -addr "$ROUTER_ADDR" submit "$FLEET_ROOT/variant.rpa" -name ci-fleet-failover
+"$RPACLIENT" -addr "$ROUTER_ADDR" wait rjob-000002
+target/release/rparouter -validate route-table "$FLEET_ROOT/router/route-table.json"
+"$RPACLIENT" -addr "$ROUTER_ADDR" shutdown
+wait "$ROUTER_PID"
+kill "$WORKER_A" "$WORKER_B" 2>/dev/null || true
+wait "$WORKER_A" 2>/dev/null || true
+wait "$WORKER_B" 2>/dev/null || true
+trap - EXIT
+
 # Kernel micro-benchmarks: smoke shapes keep this fast; the run
 # cross-checks the new kernels against in-tree pre-PR reference
 # implementations and the emitted JSON is schema-validated. The artifact

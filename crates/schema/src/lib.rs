@@ -34,9 +34,15 @@ pub const CACHE_ENTRY: &str = "mbrpa.cache-entry/1";
 pub const LINT_FINDINGS: &str = "mbrpa.lint-findings/1";
 /// `kernels_bench` report (`BENCH_kernels.json`); v2 added `dispatch`.
 pub const KERNELS_BENCH: &str = "mbrpa.kernels-bench/2";
+/// One worker's liveness/occupancy as tracked by `rparouter` (embedded
+/// in the router's health document and `GET /v1/workers`).
+pub const WORKER: &str = "mbrpa.worker/1";
+/// The router's job-ownership table (`GET /v1/routes`, persisted as
+/// `<root>/route-table.json`).
+pub const ROUTE_TABLE: &str = "mbrpa.route-table/1";
 
 /// Every registered tag, for exhaustiveness checks and tooling.
-pub const ALL: [&str; 8] = [
+pub const ALL: [&str; 10] = [
     JOB,
     JOB_STATUS,
     RESULT,
@@ -45,6 +51,8 @@ pub const ALL: [&str; 8] = [
     CACHE_ENTRY,
     LINT_FINDINGS,
     KERNELS_BENCH,
+    WORKER,
+    ROUTE_TABLE,
 ];
 
 #[cfg(test)]

@@ -47,6 +47,12 @@ use std::time::SystemTime;
 /// Default byte budget (64 MiB — thousands of result documents).
 pub const DEFAULT_BUDGET: u64 = 64 * 1024 * 1024;
 
+/// Sidecar recency journal: one fingerprint per line, coldest first.
+/// Without it a restarted daemon would only know entry *write* times
+/// (lookup hits never touch the files), so post-restart eviction would
+/// drop recently-hit entries while keeping cold ones.
+const LRU_FILE: &str = "lru";
+
 /// Monotonic counters the daemon exposes through `health/1` and the
 /// cache admin endpoint.
 #[derive(Clone, Copy, Debug, Default)]
@@ -88,11 +94,13 @@ impl CacheStore {
     /// Open (creating if needed) the cache under `dir` with the given
     /// byte budget. Scans the directory: leftover temp dotfiles and any
     /// file that fails full validation are deleted; surviving entries
-    /// enter the LRU ordered by modification time (oldest first), and the
-    /// budget is enforced immediately.
+    /// enter the LRU in the order the recency journal recorded before
+    /// the restart (falling back to modification time for files the
+    /// journal does not know), and the budget is enforced immediately.
     pub fn open(dir: impl Into<PathBuf>, budget: u64) -> io::Result<CacheStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let journal = read_lru_journal(&dir);
         let mut store = CacheStore {
             dir,
             budget,
@@ -112,6 +120,11 @@ impl CacheStore {
                 store.drop_file(&path);
                 continue;
             };
+            // the recency journal (and its atomic-write temp) is ours,
+            // not a cache entry
+            if name == LRU_FILE || name == ".lru.tmp" {
+                continue;
+            }
             // crash leftovers (`.<fp>.json.tmp`) and anything that is not
             // `<32-hex>.json` is junk — delete rather than serve
             let fingerprint = name.strip_suffix(".json").unwrap_or("");
@@ -133,10 +146,21 @@ impl CacheStore {
                 },
             ));
         }
-        found.sort_by_key(|(modified, _)| *modified);
+        // LRU order, coldest first: files the journal never saw (dropped
+        // in externally, or written in the instant before a crash beat
+        // the journal update) have unknown recency and are conservatively
+        // treated as coldest, ordered among themselves by mtime; then the
+        // journaled entries in their recorded order
+        found.sort_by_key(
+            |(modified, e)| match journal.iter().position(|j| j == &e.fingerprint) {
+                Some(rank) => (1u8, rank, *modified),
+                None => (0u8, 0, *modified),
+            },
+        );
         store.total_bytes = found.iter().map(|(_, e)| e.bytes).sum();
         store.entries = found.into_iter().map(|(_, e)| e).collect();
         store.evict_to_budget();
+        store.persist_lru();
         Ok(store)
     }
 
@@ -180,6 +204,19 @@ impl CacheStore {
         self.counters.corrupt_dropped += 1;
     }
 
+    /// Persist the current LRU order (coldest first) to the sidecar
+    /// journal, atomically. Best-effort: a failed write costs recency
+    /// fidelity across the *next* restart, never correctness — eviction
+    /// order is the journal's only consumer.
+    fn persist_lru(&self) {
+        let mut text = String::with_capacity(self.entries.len() * 33);
+        for entry in &self.entries {
+            text.push_str(&entry.fingerprint);
+            text.push('\n');
+        }
+        let _ = write_atomic(&self.dir.join(LRU_FILE), text.as_bytes());
+    }
+
     /// Read and fully validate one entry file; returns the embedded
     /// `mbrpa.result/1` object on success.
     fn load_validated(&self, path: &Path, fingerprint: &str) -> Option<JsonValue> {
@@ -213,6 +250,7 @@ impl CacheStore {
                 let entry = self.entries.remove(index);
                 self.entries.push(entry);
                 self.counters.hits += 1;
+                self.persist_lru();
                 Some(result)
             }
             None => {
@@ -220,6 +258,7 @@ impl CacheStore {
                 self.total_bytes = self.total_bytes.saturating_sub(entry.bytes);
                 self.drop_file(&path);
                 self.counters.misses += 1;
+                self.persist_lru();
                 None
             }
         }
@@ -262,6 +301,7 @@ impl CacheStore {
         self.total_bytes += size;
         self.counters.insertions += 1;
         self.evict_to_budget();
+        self.persist_lru();
         Ok(true)
     }
 
@@ -285,8 +325,24 @@ impl CacheStore {
         }
         self.total_bytes = 0;
         self.counters.flushes += 1;
+        self.persist_lru();
         flushed
     }
+}
+
+/// Read the recency journal left by the previous incarnation: one
+/// fingerprint per line, coldest first. Unparseable lines (and a missing
+/// or torn file) degrade to "no recorded recency", never to an error —
+/// the scan's mtime fallback covers those entries.
+fn read_lru_journal(dir: &Path) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(dir.join(LRU_FILE)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|line| is_fingerprint_hex(line))
+        .map(String::from)
+        .collect()
 }
 
 #[cfg(test)]
@@ -401,6 +457,71 @@ mod tests {
         assert!(cache.lookup(&fp(2)).is_none(), "coldest should be evicted");
         assert!(cache.lookup(&fp(1)).is_some());
         assert!(cache.lookup(&fp(3)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The restart-mid-sequence regression for the recency bug: insert
+    /// 1 then 2 (so 2 is *younger on disk*), then hit 1 so 2 is the LRU
+    /// coldest, restart, and force one eviction. The mtime-ordered scan
+    /// used to forget the hit and evict the recently-used entry 1; the
+    /// journal must make the reopened store drop 2 instead.
+    #[test]
+    fn lru_recency_survives_restart() {
+        let dir = tmp_dir("lru_restart");
+        let one = CacheStore::open(tmp_dir("lru_restart_size"), DEFAULT_BUDGET)
+            .and_then(|mut c| {
+                c.insert(&fp(9), &result_value(-1.0))?;
+                Ok(c.total_bytes())
+            })
+            .unwrap();
+        {
+            let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+            cache.insert(&fp(1), &result_value(-1.0)).unwrap();
+            cache.insert(&fp(2), &result_value(-2.0)).unwrap();
+            assert!(cache.lookup(&fp(1)).is_some(), "touch 1: 2 is now coldest");
+        }
+        // restart with room for two entries, not three
+        let mut cache = CacheStore::open(&dir, one * 2 + one / 2).unwrap();
+        cache.insert(&fp(3), &result_value(-3.0)).unwrap();
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(
+            cache.lookup(&fp(2)).is_none(),
+            "the pre-restart coldest entry must be the one evicted"
+        );
+        assert!(cache.lookup(&fp(1)).is_some(), "the hit entry must survive");
+        assert!(cache.lookup(&fp(3)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Entries the journal never saw (e.g. dropped into the directory by
+    /// hand) are treated as coldest and evicted before journaled ones.
+    #[test]
+    fn unjournaled_entry_ranks_coldest_after_restart() {
+        let dir = tmp_dir("lru_unjournaled");
+        let one = CacheStore::open(tmp_dir("lru_unjournaled_size"), DEFAULT_BUDGET)
+            .and_then(|mut c| {
+                c.insert(&fp(9), &result_value(-1.0))?;
+                Ok(c.total_bytes())
+            })
+            .unwrap();
+        {
+            let mut cache = CacheStore::open(&dir, DEFAULT_BUDGET).unwrap();
+            cache.insert(&fp(1), &result_value(-1.0)).unwrap();
+            cache.insert(&fp(2), &result_value(-2.0)).unwrap();
+        }
+        // an alien-but-valid entry appears behind the journal's back
+        let donor = fs::read_to_string(dir.join(format!("{}.json", fp(1)))).unwrap();
+        let forged = donor.replace(&fp(1), &fp(7));
+        fs::write(dir.join(format!("{}.json", fp(7))), forged).unwrap();
+
+        let mut cache = CacheStore::open(&dir, one * 2 + one / 2).unwrap();
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(
+            cache.lookup(&fp(7)).is_none(),
+            "the unjournaled entry must be evicted first"
+        );
+        assert!(cache.lookup(&fp(1)).is_some());
+        assert!(cache.lookup(&fp(2)).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

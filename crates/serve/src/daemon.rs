@@ -15,6 +15,7 @@ use crate::job::JobState;
 use crate::queue::JobQueue;
 use crate::store::JobStore;
 use mbrpa_core::CancelToken;
+use std::fs;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -52,6 +53,13 @@ pub struct DaemonConfig {
     pub cache_dir: Option<PathBuf>,
     /// Cache byte budget (LRU eviction above this).
     pub cache_budget: u64,
+    /// Shared checkpoint root for multi-worker fleets. When set, job
+    /// checkpoints live under `<ckpt_root>/<input-fingerprint>/` instead
+    /// of the worker-local per-job-id namespace, so a job handed to
+    /// another worker after a failover resumes from the dead worker's
+    /// slices bit-for-bit. Point every worker behind one `rparouter` at
+    /// the same (shared-storage) directory.
+    pub ckpt_root: Option<PathBuf>,
     /// Diagnostics sink.
     pub log: Logger,
 }
@@ -68,6 +76,7 @@ impl Default for DaemonConfig {
             cache: true,
             cache_dir: None,
             cache_budget: cache::DEFAULT_BUDGET,
+            ckpt_root: None,
             log: Arc::new(|_| {}),
         }
     }
@@ -124,6 +133,9 @@ pub struct ServeShared {
     /// The exact result cache, `None` when disabled. Locked separately
     /// from (and never while holding) the queue lock.
     pub cache: Option<Mutex<CacheStore>>,
+    /// Shared fingerprint-keyed checkpoint root, `None` for worker-local
+    /// per-job-id namespaces (see [`DaemonConfig::ckpt_root`]).
+    pub ckpt_root: Option<PathBuf>,
     /// Diagnostics sink.
     pub log: Logger,
 }
@@ -195,6 +207,14 @@ impl Daemon {
             None
         };
 
+        if let Some(root) = config.ckpt_root.as_ref() {
+            fs::create_dir_all(root)?;
+            (config.log)(&format!(
+                "shared checkpoint root: {} (fingerprint-keyed namespaces)",
+                root.display()
+            ));
+        }
+
         let shared = Arc::new(ServeShared {
             queue: Mutex::new(queue),
             store,
@@ -203,6 +223,7 @@ impl Daemon {
             executors: config.executors,
             profile: config.profile,
             cache,
+            ckpt_root: config.ckpt_root.clone(),
             log: Arc::clone(&config.log),
         });
 

@@ -155,7 +155,7 @@ fn execute(shared: &Arc<ServeShared>, spec: &JobSpec, job: &RunningJob) -> Finis
         }
     };
 
-    let mut store = match CheckpointStore::open_namespaced(shared.store.ckpt_root(), &job.id) {
+    let mut store = match open_job_checkpoints(shared, &input, &job.id) {
         Ok(s) => s,
         Err(e) => return Finish::Failed(format!("cannot open checkpoint namespace: {e}")),
     };
@@ -213,6 +213,24 @@ fn execute(shared: &Arc<ServeShared>, spec: &JobSpec, job: &RunningJob) -> Finis
             }
             Err(e) => return Finish::Failed(format!("RPA stage failed: {e}")),
         }
+    }
+}
+
+/// Open the job's checkpoint namespace. With a shared `-ckpt-root`, the
+/// namespace is keyed by the input's canonical fingerprint rather than
+/// the worker-local job id: two workers given the same submission open
+/// the *same* directory, so a worker adopting a job after a failover
+/// resumes from the dead worker's completed slices bit-for-bit. (The
+/// router's rendezvous hash assigns each fingerprint to exactly one live
+/// worker, so the namespace has a single writer at a time.)
+fn open_job_checkpoints(
+    shared: &ServeShared,
+    input: &RpaInput,
+    id: &str,
+) -> Result<CheckpointStore, mbrpa_ckpt::CkptError> {
+    match shared.ckpt_root.as_ref() {
+        Some(root) => CheckpointStore::open_namespaced(root, &mbrpa_core::fingerprint_hex(input)),
+        None => CheckpointStore::open_namespaced(shared.store.ckpt_root(), id),
     }
 }
 

@@ -19,12 +19,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted header block, bytes.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Largest accepted request body, bytes.
 pub const MAX_BODY_BYTES: usize = 2 * 1024 * 1024;
+/// Hard ceiling on reading one full request (header block + body). A
+/// per-read socket timeout alone cannot bound a client that trickles
+/// one byte at a time — every successful read would reset the clock and
+/// pin a worker thread indefinitely.
+pub const MAX_REQUEST_SECS: u64 = 10;
 
 /// A parsed request.
 #[derive(Debug)]
@@ -252,9 +257,9 @@ impl Drop for HttpServer {
 }
 
 fn handle_connection(mut stream: TcpStream, handler: &Handler) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let deadline = Instant::now() + Duration::from_secs(MAX_REQUEST_SECS);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let response = match read_request(&mut stream) {
+    let response = match read_request(&mut stream, deadline) {
         Ok(request) => handler(&request),
         Err(message) => Response::error(400, &message),
     };
@@ -262,8 +267,37 @@ fn handle_connection(mut stream: TcpStream, handler: &Handler) {
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// Read and parse one request. Errors are client-facing messages.
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// One bounded read against the request deadline: the socket timeout is
+/// re-armed with the *remaining* budget before every read, so the total
+/// time a request may occupy a worker is capped regardless of how the
+/// client paces its bytes. `what` names the phase for the error message.
+fn read_chunk(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    chunk: &mut [u8],
+    what: &str,
+) -> Result<usize, String> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(format!(
+            "request {what} not complete within {MAX_REQUEST_SECS} s"
+        ));
+    }
+    if stream.set_read_timeout(Some(remaining)).is_err() {
+        return Err("cannot arm the read deadline".to_string());
+    }
+    match stream.read(chunk) {
+        Ok(0) => Err(format!("connection closed mid-{what}")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "request {what} not complete within {MAX_REQUEST_SECS} s"
+        )),
+    }
+}
+
+/// Read and parse one request. Errors are client-facing messages (the
+/// caller answers `400`, never a panic path).
+fn read_request(stream: &mut TcpStream, deadline: Instant) -> Result<Request, String> {
     // accumulate until the blank line ending the header block
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let header_end = loop {
@@ -274,11 +308,8 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             return Err("header block exceeds the limit".to_string());
         }
         let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-request".to_string()),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err("read failed or timed out".to_string()),
-        }
+        let n = read_chunk(stream, deadline, &mut chunk, "header")?;
+        buf.extend_from_slice(&chunk[..n]);
     };
 
     let head = std::str::from_utf8(&buf[..header_end])
@@ -327,14 +358,19 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         return Err("body exceeds the limit".to_string());
     }
 
+    // loop the read to the declared Content-Length under the same
+    // deadline: a short read is more bytes pending, not a complete
+    // request, and a truncated body is a client error, not a panic
     let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
         let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-body".to_string()),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err("read failed or timed out".to_string()),
-        }
+        let n = read_chunk(stream, deadline, &mut chunk, "body").map_err(|e| {
+            format!(
+                "{e} (got {} of {content_length} declared body bytes)",
+                body.len().min(content_length)
+            )
+        })?;
+        body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
 
@@ -423,6 +459,44 @@ mod tests {
         let reply = roundtrip(server.local_addr(), &raw);
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
         server.shutdown();
+    }
+
+    #[test]
+    fn truncated_body_gets_400_not_a_short_request() {
+        let mut server = start_echo();
+        // declare 10 body bytes, deliver 3, then close the write side:
+        // the server must answer 400, never hand the handler a body
+        // shorter than the declared length
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("3 of 10"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn trickled_request_hits_the_deadline() {
+        // drive read_request directly with a short deadline: a client
+        // that sends a partial header and then stalls must be cut off
+        // when the budget expires, not held for a fresh timeout per read
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"GET / HT").unwrap();
+            std::thread::sleep(Duration::from_millis(600));
+            drop(stream);
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let deadline = Instant::now() + Duration::from_millis(150);
+        let err = read_request(&mut server_side, deadline).unwrap_err();
+        assert!(err.contains("not complete within"), "{err}");
+        client.join().unwrap();
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub const HEALTH_SCHEMA: &str = mbrpa_schema::HEALTH;
 pub const LIST_SCHEMA: &str = mbrpa_schema::JOB_LIST;
 /// Schema tag of a persisted result-cache entry.
 pub const CACHE_ENTRY_SCHEMA: &str = mbrpa_schema::CACHE_ENTRY;
+/// Schema tag of one worker's liveness/occupancy document (router).
+pub const WORKER_SCHEMA: &str = mbrpa_schema::WORKER;
+/// Schema tag of the router's job-ownership table.
+pub const ROUTE_TABLE_SCHEMA: &str = mbrpa_schema::ROUTE_TABLE;
 
 /// Highest accepted priority (larger runs sooner).
 pub const MAX_PRIORITY: u8 = 9;
@@ -434,6 +438,108 @@ pub fn validate_health_doc(v: &JsonValue) -> Result<(), String> {
                 .get(key)
                 .and_then(JsonValue::as_u64)
                 .ok_or_else(|| format!("missing integer member `cache.{key}`"))?;
+        }
+    }
+    // the router block is optional (plain workers have none), but when
+    // present its worker documents and counters must all check out
+    if let Some(router) = v.get("router") {
+        if router.as_obj().is_none() {
+            return Err("`router` must be an object".to_string());
+        }
+        let workers = router
+            .get("workers")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing array member `router.workers`")?;
+        for worker in workers {
+            validate_worker_doc(worker).map_err(|e| format!("router worker: {e}"))?;
+        }
+        for key in ["routes", "routed", "failovers", "forward_errors"] {
+            router
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing integer member `router.{key}`"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate a `mbrpa.worker/1` document: one worker's liveness and
+/// occupancy as the router tracks it.
+pub fn validate_worker_doc(v: &JsonValue) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != WORKER_SCHEMA {
+        return Err(format!("schema is `{schema}`, need `{WORKER_SCHEMA}`"));
+    }
+    if require_str(v, "addr")?.is_empty() {
+        return Err("`addr` must not be empty".to_string());
+    }
+    match v.get("alive") {
+        Some(JsonValue::Bool(_)) => {}
+        _ => return Err("`alive` must be a boolean".to_string()),
+    }
+    for key in ["queued", "running", "consecutive_failures"] {
+        require_uint(v, key)?;
+    }
+    Ok(())
+}
+
+/// Validate a `mbrpa.route-table/1` document: the router's persisted
+/// job-ownership table. Each route binds a router-assigned id to its
+/// input fingerprint, the owning worker, and the worker-local job id;
+/// the optional `stale` list names superseded claims the router still
+/// owes a cancel (see `crate::router`).
+pub fn validate_route_table_doc(v: &JsonValue) -> Result<(), String> {
+    let schema = require_str(v, "schema")?;
+    if schema != ROUTE_TABLE_SCHEMA {
+        return Err(format!("schema is `{schema}`, need `{ROUTE_TABLE_SCHEMA}`"));
+    }
+    require_uint(v, "next_id")?;
+    let routes = v
+        .get("routes")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing array member `routes`")?;
+    for route in routes {
+        let id = require_str(route, "id")?;
+        if !valid_label(id) {
+            return Err(format!("route `id` `{id}` is not a valid job id"));
+        }
+        let fingerprint = require_str(route, "fingerprint")?;
+        if !mbrpa_core::is_fingerprint_hex(fingerprint) {
+            return Err(format!(
+                "route `fingerprint` `{fingerprint}` is not 32 lowercase hex digits"
+            ));
+        }
+        if require_str(route, "worker")?.is_empty() {
+            return Err("route `worker` must not be empty".to_string());
+        }
+        let worker_job = require_str(route, "worker_job")?;
+        if !valid_label(worker_job) {
+            return Err(format!(
+                "route `worker_job` `{worker_job}` is not a valid job id"
+            ));
+        }
+        let state = require_str(route, "state")?;
+        if !matches!(state, "routed" | "done") {
+            return Err(format!(
+                "route `state` `{state}` must be `routed` or `done`"
+            ));
+        }
+        require_uint(route, "failovers")?;
+    }
+    if let Some(stale) = v.get("stale") {
+        let entries = stale
+            .as_arr()
+            .ok_or("`stale` must be an array when present")?;
+        for entry in entries {
+            if require_str(entry, "worker")?.is_empty() {
+                return Err("stale `worker` must not be empty".to_string());
+            }
+            let worker_job = require_str(entry, "worker_job")?;
+            if !valid_label(worker_job) {
+                return Err(format!(
+                    "stale `worker_job` `{worker_job}` is not a valid job id"
+                ));
+            }
         }
     }
     Ok(())

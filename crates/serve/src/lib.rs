@@ -28,6 +28,10 @@
 //!   every slice boundary,
 //! * [`daemon`] — assembly: crash recovery at startup, graceful drain
 //!   on shutdown,
+//! * [`router`] — `rparouter`: shards submissions across a fleet of
+//!   workers by rendezvous-hashing the input fingerprint, polls worker
+//!   health, and hands a dead worker's jobs to survivors, which resume
+//!   bit-for-bit from a shared fingerprint-keyed checkpoint root,
 //! * [`signal`] — SIGINT/SIGTERM → a cooperative `CancelToken`.
 //!
 //! A running job journals per-frequency state through `core::checkpoint`
@@ -45,6 +49,7 @@ pub mod http;
 pub mod job;
 pub mod json;
 pub mod queue;
+pub mod router;
 pub mod signal;
 pub mod store;
 
@@ -52,4 +57,5 @@ pub use cache::{CacheCounters, CacheStore};
 pub use daemon::{Daemon, DaemonConfig, Logger, RunningJob, ServeShared};
 pub use job::{JobSpec, JobState};
 pub use queue::{CancelOutcome, JobQueue, SubmitError};
+pub use router::{Router, RouterConfig};
 pub use store::JobStore;

@@ -9,8 +9,10 @@
 //! Hand-rolled HTTP/1.1 over `std::net`, mirroring the daemon's own
 //! zero-dependency server. Every command prints the response body (JSON
 //! for everything but `report`) to stdout and exits nonzero on any
-//! non-2xx status; a `429` additionally surfaces the server's
-//! `Retry-After` header on stderr so scripts know when to resubmit.
+//! non-2xx status, surfacing the server's JSON `error` member — and the
+//! `Retry-After` header when one is sent (429 backpressure, 503 drains)
+//! — on stderr so scripts see why a request was refused and when to
+//! resubmit.
 
 use mbrpa::serve::json::{self, obj, s, u, JsonValue};
 use std::io::{Read, Write};
@@ -107,12 +109,21 @@ fn run(addr: &str, method: &str, path: &str, body: Option<&str>) -> ExitCode {
             if (200..300).contains(&status) {
                 ExitCode::SUCCESS
             } else {
-                eprintln!("HTTP {status}");
-                if status == 429 {
-                    // backpressure, not failure: tell scripts when to retry
-                    if let Some(seconds) = header(&headers, "retry-after") {
-                        eprintln!("retry after {seconds} s");
-                    }
+                // surface the server's own diagnosis, not just the code:
+                // error replies carry {"error": "..."} in the body
+                let reason = json::parse(&body).ok().and_then(|doc| {
+                    doc.get("error")
+                        .and_then(JsonValue::as_str)
+                        .map(String::from)
+                });
+                match reason {
+                    Some(reason) => eprintln!("HTTP {status}: {reason}"),
+                    None => eprintln!("HTTP {status}"),
+                }
+                // backpressure, not failure: tell scripts when to retry
+                // (any status may carry the header — 429 and 503 do)
+                if let Some(seconds) = header(&headers, "retry-after") {
+                    eprintln!("retry after {seconds} s");
                 }
                 ExitCode::FAILURE
             }

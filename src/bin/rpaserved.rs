@@ -29,7 +29,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: rpaserved [-root <dir>] [-addr <ip:port>] [-port-file <path>]");
     eprintln!("                 [-executors N] [-backlog N] [-threads N] [-profile]");
     eprintln!("                 [-cache-dir <dir>] [-cache-budget BYTES] [-no-cache]");
-    eprintln!("                 [-simd auto|scalar|avx2|neon]");
+    eprintln!("                 [-ckpt-root <dir>] [-simd auto|scalar|avx2|neon]");
     eprintln!(
         "       rpaserved -validate <job|status|result|health|profile|cache-entry> <file.json>"
     );
@@ -43,6 +43,9 @@ fn usage() -> ExitCode {
     eprintln!("  -cache-dir <dir>  exact result cache directory (default <root>/cache)");
     eprintln!("  -cache-budget B   cache byte budget, LRU-evicted above (default 64 MiB)");
     eprintln!("  -no-cache         disable the exact result cache");
+    eprintln!("  -ckpt-root <dir>  shared checkpoint root for multi-worker fleets: namespaces");
+    eprintln!("                    are keyed by input fingerprint, so another worker given the");
+    eprintln!("                    same dir adopts a dead worker's job and resumes bit-for-bit");
     eprintln!("  -simd <path>      force the SIMD dispatch path (default: auto-detect; the");
     eprintln!("                    MBRPA_SIMD env var sets the same override). All paths are");
     eprintln!("                    bit-identical; the active one is reported in GET /v1/health");
@@ -101,6 +104,7 @@ fn main() -> ExitCode {
     let mut cache = true;
     let mut cache_dir: Option<PathBuf> = None;
     let mut cache_budget = mbrpa::serve::cache::DEFAULT_BUDGET;
+    let mut ckpt_root: Option<PathBuf> = None;
     let mut simd_mode: Option<String> = None;
 
     let mut it = args.iter().skip(1);
@@ -171,6 +175,13 @@ fn main() -> ExitCode {
                 }
             },
             "-no-cache" | "--no-cache" => cache = false,
+            "-ckpt-root" | "--ckpt-root" => {
+                let Some(v) = it.next() else {
+                    eprintln!("-ckpt-root needs a directory");
+                    return usage();
+                };
+                ckpt_root = Some(PathBuf::from(v));
+            }
             "-simd" | "--simd" => {
                 let Some(m) = it.next() else {
                     eprintln!("-simd needs a value (auto, scalar, avx2, or neon)");
@@ -231,6 +242,7 @@ fn main() -> ExitCode {
         cache,
         cache_dir,
         cache_budget,
+        ckpt_root,
         log: Arc::new(|line| eprintln!("rpaserved: {line}")),
     };
     let mut daemon = match Daemon::start(config) {

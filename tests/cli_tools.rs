@@ -1,7 +1,8 @@
 //! CLI contract tests: `rpaserved -validate` exit codes for every
 //! document kind (including the new `cache-entry`), and the `rpaclient`
-//! example's backpressure behavior — a 429 must exit nonzero and
-//! surface the server's Retry-After header on stderr.
+//! example's error reporting — any non-2xx must exit nonzero and
+//! surface the server's JSON `error` member (plus the Retry-After
+//! header when one is sent) on stderr, not just a bare status code.
 
 #![allow(clippy::unwrap_used)]
 
@@ -178,6 +179,33 @@ fn rpaclient_surfaces_retry_after_on_backpressure() {
     assert!(
         stderr.contains("retry after"),
         "429 must surface Retry-After: {stderr}"
+    );
+    assert!(
+        stderr.contains("backlog"),
+        "429 must surface the server's error body, not just the code: {stderr}"
+    );
+
+    // the server's diagnosis must reach stderr for every error shape:
+    // a 404 names the missing job, a 400 names what was wrong
+    let missing = rpaclient(&addr, &["status", "job-999999"]);
+    assert!(
+        !missing.status.success(),
+        "status of a missing job must fail"
+    );
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(
+        stderr.contains("HTTP 404") && stderr.contains("no such job"),
+        "404 must carry the server's error member: {stderr}"
+    );
+
+    let garbled_path = dir.join("garbled.rpa");
+    std::fs::write(&garbled_path, "NOT_A_KEY: banana\n").unwrap();
+    let garbled = rpaclient(&addr, &["submit", garbled_path.to_str().unwrap()]);
+    assert!(!garbled.status.success(), "invalid input must be refused");
+    let stderr = String::from_utf8_lossy(&garbled.stderr);
+    assert!(
+        stderr.contains("HTTP 400") && stderr.contains("input"),
+        "400 must carry the server's error member: {stderr}"
     );
 
     // cache subcommands ride the same client

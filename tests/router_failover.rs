@@ -1,0 +1,305 @@
+//! Router failover e2e: spawn two real `rpaserved` workers sharing a
+//! checkpoint root, front them with a real `rparouter`, submit a job,
+//! `kill -9` the worker that owns it mid-run, and assert the surviving
+//! worker adopts the job and finishes it with an energy bit-identical
+//! to an uninterrupted in-process run of the same input.
+
+#![allow(clippy::unwrap_used)]
+
+use mbrpa::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Several cheap frequencies, so the kill usually lands mid-run and the
+/// adopting worker has checkpoints to restore and work left to do.
+const JOB_INPUT: &str = "\
+N_NUCHI_EIGS: 6
+N_OMEGA: 8
+TOL_EIG: 1e-2
+TOL_STERN_RES: 1e-2
+MAXIT_FILTERING: 6
+CHEB_DEGREE_RPA: 2
+BOUNDARY: DIRICHLET
+CELLS_Z: 1
+POINTS_PER_CELL: 5
+MESH: 0.69
+PERTURBATION: 0.02
+SYSTEM_SEED: 7
+NP: 1
+";
+
+fn spawn_worker(root: &Path, ckpt_root: &Path, port_file: &Path) -> Child {
+    let _ = std::fs::remove_file(port_file);
+    Command::new(env!("CARGO_BIN_EXE_rpaserved"))
+        .arg("-root")
+        .arg(root)
+        .arg("-ckpt-root")
+        .arg(ckpt_root)
+        .args(["-addr", "127.0.0.1:0", "-executors", "1"])
+        .arg("-port-file")
+        .arg(port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("rpaserved should start")
+}
+
+fn spawn_router(root: &Path, workers: &[&str], port_file: &Path) -> Child {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rparouter"));
+    cmd.arg("-root")
+        .arg(root)
+        .args(["-addr", "127.0.0.1:0"])
+        .arg("-port-file")
+        .arg(port_file)
+        // fast detection so the test does not dawdle: two missed probes
+        // 150 ms apart declare a worker dead
+        .args(["-poll-ms", "150", "-probe-timeout-ms", "500"])
+        .args(["-fail-threshold", "2"]);
+    for worker in workers {
+        cmd.args(["-worker", worker]);
+    }
+    cmd.stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("rparouter should start")
+}
+
+fn read_addr(port_file: &Path, child: &mut Child, who: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if !text.trim().is_empty() {
+                return text.trim().to_string();
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("{who} exited before binding: {status}");
+        }
+        assert!(Instant::now() < deadline, "{who} never wrote its address");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split(' ').nth(1).unwrap().parse().unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pull a `"key": value` scalar out of a flat JSON body without a
+/// parser dependency in this integration test.
+fn json_member(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = body[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        return Some(stripped[..stripped.find('"')?].to_string());
+    }
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+#[test]
+fn worker_loss_hands_the_job_off_bit_for_bit() {
+    let scratch = std::env::temp_dir().join(format!("mbrpa-router-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let ckpt_root: PathBuf = scratch.join("ckpt");
+
+    // reference: an uninterrupted in-process run of the same input
+    let input = mbrpa::core::parse_rpa_input(JOB_INPUT).unwrap();
+    let setup = RpaSetup::prepare(
+        input.system.build(),
+        &PotentialParams::default(),
+        2,
+        KsSolver::Dense { extra: 4 },
+    )
+    .unwrap();
+    let reference = setup.run(&input.config).unwrap();
+    let reference_bits = format!("{:016x}", reference.total_energy.to_bits());
+
+    // two workers on one shared checkpoint root, one router in front
+    let port_a = scratch.join("a.txt");
+    let port_b = scratch.join("b.txt");
+    let port_r = scratch.join("r.txt");
+    let mut worker_a = spawn_worker(&scratch.join("store-a"), &ckpt_root, &port_a);
+    let addr_a = read_addr(&port_a, &mut worker_a, "worker a");
+    let mut worker_b = spawn_worker(&scratch.join("store-b"), &ckpt_root, &port_b);
+    let addr_b = read_addr(&port_b, &mut worker_b, "worker b");
+    let mut router = spawn_router(&scratch.join("router"), &[&addr_a, &addr_b], &port_r);
+    let router_addr = read_addr(&port_r, &mut router, "rparouter");
+
+    let submit = format!(
+        "{{\"schema\":\"mbrpa.job/1\",\"input\":{}}}",
+        mbrpa::serve::json::s(JOB_INPUT).to_json()
+    );
+    let (status, body) = http(&router_addr, "POST", "/v1/jobs", Some(&submit));
+    assert_eq!(status, 201, "{body}");
+    let rid = json_member(&body, "id").unwrap();
+    assert!(
+        rid.starts_with("rjob-"),
+        "router must re-key the id: {body}"
+    );
+
+    // which worker owns the job? (rendezvous picks either)
+    let (status, routes) = http(&router_addr, "GET", "/v1/routes", None);
+    assert_eq!(status, 200, "{routes}");
+    let owner = json_member(&routes, "worker").unwrap();
+    assert!(
+        owner == addr_a || owner == addr_b,
+        "route names an unknown worker: {routes}"
+    );
+
+    // wait until at least one frequency is checkpointed, so the adopter
+    // has prior state to restore
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut finished_before_kill = false;
+    loop {
+        let (status, body) = http(&router_addr, "GET", &format!("/v1/jobs/{rid}"), None);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            json_member(&body, "id").as_deref(),
+            Some(rid.as_str()),
+            "proxied status must carry the router id: {body}"
+        );
+        let state = json_member(&body, "state").unwrap();
+        if state == "completed" {
+            // machine too fast: the job finished before we could kill its
+            // owner; the bit-identity assertion below still applies
+            finished_before_kill = true;
+            break;
+        }
+        assert_ne!(state, "failed", "{body}");
+        let completed: usize = json_member(&body, "completed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if state == "running" && completed >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no progress before the kill");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    eprintln!(
+        "failover path: {}",
+        if finished_before_kill {
+            "NOT exercised (job finished first)"
+        } else {
+            "exercising kill -9 on the owner"
+        }
+    );
+    let mut killed_mid_run = false;
+    if !finished_before_kill {
+        // SIGKILL the owner: no drain, no checkpoint flush beyond what
+        // per-frequency journaling already wrote
+        let doomed = if owner == addr_a {
+            &mut worker_a
+        } else {
+            &mut worker_b
+        };
+        doomed.kill().unwrap();
+        doomed.wait().unwrap();
+        killed_mid_run = true;
+
+        // the router must detect the loss, hand the job to the survivor,
+        // and the survivor must finish it from the shared checkpoints
+        let deadline = Instant::now() + Duration::from_secs(180);
+        loop {
+            let (status, body) = http(&router_addr, "GET", &format!("/v1/jobs/{rid}"), None);
+            assert_eq!(status, 200, "{body}");
+            let state = json_member(&body, "state").unwrap();
+            if state == "completed" {
+                break;
+            }
+            assert_ne!(state, "failed", "{body}");
+            assert!(Instant::now() < deadline, "adopted job never finished");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+
+        // the route must have moved off the dead worker and count the
+        // failover
+        let (status, routes) = http(&router_addr, "GET", "/v1/routes", None);
+        assert_eq!(status, 200, "{routes}");
+        let now_on = json_member(&routes, "worker").unwrap();
+        assert_ne!(now_on, owner, "route still names the dead worker");
+        let failovers: usize = json_member(&routes, "failovers")
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(failovers >= 1, "failover not recorded: {routes}");
+
+        let (status, health) = http(&router_addr, "GET", "/v1/health", None);
+        assert_eq!(status, 200, "{health}");
+        let counted: usize = json_member(&health, "failovers")
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(counted >= 1, "health must report the failover: {health}");
+    }
+
+    // the adopted result must be bit-identical to the uninterrupted run
+    let (status, body) = http(&router_addr, "GET", &format!("/v1/jobs/{rid}/result"), None);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        json_member(&body, "total_energy_bits").as_deref(),
+        Some(reference_bits.as_str()),
+        "adopted energy differs from the uninterrupted run: {body}"
+    );
+    if killed_mid_run {
+        let n_restored: usize = json_member(&body, "n_restored")
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(
+            n_restored >= 1,
+            "the adopter restored nothing from the dead worker's checkpoints: {body}"
+        );
+    }
+
+    // the persisted route table must validate against its schema
+    let table = scratch.join("router").join("route-table.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_rparouter"))
+        .args(["-validate", "route-table"])
+        .arg(&table)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "route table invalid: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // graceful exits: router first, then the surviving worker(s)
+    let (status, _) = http(&router_addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 202);
+    let exit = router.wait().unwrap();
+    assert!(exit.success(), "router exited {exit}");
+    for (addr, mut worker) in [(addr_a, worker_a), (addr_b, worker_b)] {
+        if let Ok(Some(_)) = worker.try_wait() {
+            continue; // the one we killed
+        }
+        let (status, _) = http(&addr, "POST", "/v1/shutdown", None);
+        assert_eq!(status, 202);
+        let exit = worker.wait().unwrap();
+        assert!(exit.success(), "worker exited {exit}");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
